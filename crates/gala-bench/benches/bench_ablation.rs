@@ -1,0 +1,48 @@
+//! Criterion bench behind Figure 6: phase-1 wall-clock of the three
+//! ablation points (Baseline, +MG, +MG+MM) on LJ and FR test stand-ins.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use gala_core::kernels::hashtable::HashConfig;
+use gala_core::kernels::KernelKind;
+use gala_core::louvain::{Louvain, LouvainConfig};
+use gala_core::pruning::PruningKind;
+use gala_core::weight::WeightUpdateMode;
+use gala_graph::datasets::{Dataset, Scale};
+
+fn bench_ablation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig6_ablation");
+    group.sample_size(10);
+    for dataset in [Dataset::LJ, Dataset::FR] {
+        let g = dataset.generate(Scale::Test);
+        let configs = [
+            ("baseline", LouvainConfig::baseline()),
+            (
+                "mg",
+                LouvainConfig {
+                    pruning: PruningKind::Gain,
+                    weight_update: WeightUpdateMode::Delta,
+                    ..LouvainConfig::baseline()
+                },
+            ),
+            (
+                "mg_mm",
+                LouvainConfig {
+                    pruning: PruningKind::Gain,
+                    weight_update: WeightUpdateMode::Delta,
+                    kernel: KernelKind::WorkloadAware(HashConfig::default()),
+                    ..LouvainConfig::default()
+                },
+            ),
+        ];
+        for (name, cfg) in configs {
+            group.bench_with_input(BenchmarkId::new(name, dataset.abbr()), &g, |b, g| {
+                let runner = Louvain::new(cfg);
+                b.iter(|| runner.run_phase1(g))
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_ablation);
+criterion_main!(benches);

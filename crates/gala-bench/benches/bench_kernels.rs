@@ -1,0 +1,79 @@
+//! Criterion bench behind Figure 9: a single DecideAndMove pass per kernel
+//! over the small-degree and hub vertex classes of the LJ test stand-in.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use gala_core::kernels::hashtable::{HashConfig, HashTableKind};
+use gala_core::kernels::{self, KernelKind};
+use gala_core::state::BspState;
+use gala_graph::datasets::{Dataset, Scale};
+
+fn bench_kernels(c: &mut Criterion) {
+    let g = Dataset::LJ.generate(Scale::Test);
+    let state = BspState::new(&g);
+    let small: Vec<bool> = (0..g.num_vertices())
+        .map(|v| (1..32).contains(&g.degree(v as u32)))
+        .collect();
+    let large: Vec<bool> = (0..g.num_vertices())
+        .map(|v| g.degree(v as u32) >= 32)
+        .collect();
+
+    let mut group = c.benchmark_group("fig9a_small_degree");
+    group.bench_function("shuffle", |b| {
+        b.iter(|| kernels::decide(KernelKind::Shuffle, &g, &state, &small))
+    });
+    group.bench_function("hash_hierarchical", |b| {
+        b.iter(|| {
+            kernels::decide(
+                KernelKind::Hash(HashConfig::default()),
+                &g,
+                &state,
+                &small,
+            )
+        })
+    });
+    group.bench_function("hash_global", |b| {
+        b.iter(|| {
+            kernels::decide(
+                KernelKind::Hash(HashConfig {
+                    kind: HashTableKind::GlobalOnly,
+                    shared_buckets: 0,
+                }),
+                &g,
+                &state,
+                &small,
+            )
+        })
+    });
+    group.bench_function("sort", |b| {
+        b.iter(|| kernels::decide(KernelKind::Sort, &g, &state, &small))
+    });
+    group.bench_function("replicated", |b| {
+        b.iter(|| gala_core::kernels::replicated::decide(&g, &state, &small))
+    });
+    group.finish();
+
+    let mut group = c.benchmark_group("fig9b_large_degree");
+    for (name, kind, buckets) in [
+        ("hierarchical", HashTableKind::Hierarchical, 256),
+        ("unified", HashTableKind::Unified, 256),
+        ("global_only", HashTableKind::GlobalOnly, 0),
+    ] {
+        group.bench_function(name, |b| {
+            b.iter(|| {
+                kernels::decide(
+                    KernelKind::Hash(HashConfig {
+                        kind,
+                        shared_buckets: buckets,
+                    }),
+                    &g,
+                    &state,
+                    &large,
+                )
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_kernels);
+criterion_main!(benches);

@@ -1,0 +1,56 @@
+//! Criterion bench behind Figures 1 and 7: the per-iteration cost of each
+//! pruning classifier, plus full phase-1 runs under each strategy.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use gala_core::kernels::{self, KernelKind};
+use gala_core::louvain::{Louvain, LouvainConfig};
+use gala_core::pruning::{self, PruningKind};
+use gala_core::state::BspState;
+use gala_core::weight::{self, WeightUpdateMode};
+use gala_graph::datasets::{Dataset, Scale};
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+fn bench_pruning(c: &mut Criterion) {
+    let g = Dataset::LJ.generate(Scale::Test);
+    // Advance the state a few supersteps so history-based strategies have
+    // something to look at.
+    let mut state = BspState::new(&g);
+    for _ in 0..3 {
+        let active = vec![true; g.num_vertices()];
+        let out = kernels::decide(KernelKind::Cpu, &g, &state, &active);
+        let summary = state.apply_moves(&g, &out.next_comm);
+        weight::update(WeightUpdateMode::Delta, &g, &mut state, &summary);
+    }
+
+    let mut group = c.benchmark_group("pruning_classify");
+    for kind in [
+        PruningKind::Strict,
+        PruningKind::Relaxed,
+        PruningKind::probabilistic_default(),
+        PruningKind::Gain,
+        PruningKind::GainRelaxed,
+    ] {
+        group.bench_function(kind.label(), |b| {
+            let mut rng = ChaCha8Rng::seed_from_u64(1);
+            b.iter(|| pruning::classify(kind, &g, &state, &mut rng))
+        });
+    }
+    group.finish();
+
+    let mut group = c.benchmark_group("phase1_by_strategy");
+    group.sample_size(10);
+    for kind in [PruningKind::None, PruningKind::Gain, PruningKind::GainRelaxed] {
+        group.bench_function(kind.label(), |b| {
+            let runner = Louvain::new(LouvainConfig {
+                pruning: kind,
+                ..LouvainConfig::default()
+            });
+            b.iter(|| runner.run_phase1(&g))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_pruning);
+criterion_main!(benches);

@@ -1,0 +1,74 @@
+//! Criterion bench behind Figure 5: wall-clock of phase 1 for GALA vs. the
+//! re-implemented baseline strategies, on the LJ and TW test-scale
+//! stand-ins (one strong-community graph, one weak-community graph).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use gala_core::grappolo;
+use gala_core::kernels::hashtable::{HashConfig, HashTableKind};
+use gala_core::kernels::KernelKind;
+use gala_core::louvain::{Louvain, LouvainConfig};
+use gala_core::pruning::PruningKind;
+use gala_core::sequential::{sequential_louvain, SequentialConfig};
+use gala_core::weight::WeightUpdateMode;
+use gala_graph::datasets::{Dataset, Scale};
+
+fn bench_sota(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig5_sota");
+    group.sample_size(10);
+    for dataset in [Dataset::LJ, Dataset::TW] {
+        let g = dataset.generate(Scale::Test);
+        group.bench_with_input(BenchmarkId::new("gala", dataset.abbr()), &g, |b, g| {
+            let runner = Louvain::new(LouvainConfig::default());
+            b.iter(|| runner.run_phase1(g))
+        });
+        group.bench_with_input(BenchmarkId::new("sort_kernel", dataset.abbr()), &g, |b, g| {
+            let runner = Louvain::new(LouvainConfig {
+                pruning: PruningKind::None,
+                kernel: KernelKind::Sort,
+                weight_update: WeightUpdateMode::Naive,
+                ..LouvainConfig::default()
+            });
+            b.iter(|| runner.run_phase1(g))
+        });
+        group.bench_with_input(
+            BenchmarkId::new("global_hash", dataset.abbr()),
+            &g,
+            |b, g| {
+                let runner = Louvain::new(LouvainConfig {
+                    pruning: PruningKind::None,
+                    kernel: KernelKind::Hash(HashConfig {
+                        kind: HashTableKind::GlobalOnly,
+                        shared_buckets: 0,
+                    }),
+                    weight_update: WeightUpdateMode::Naive,
+                    ..LouvainConfig::default()
+                });
+                b.iter(|| runner.run_phase1(g))
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("grappolo_cpu", dataset.abbr()),
+            &g,
+            |b, g| b.iter(|| grappolo::phase1(g, 1e-6, 500)),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("sequential", dataset.abbr()),
+            &g,
+            |b, g| {
+                b.iter(|| {
+                    sequential_louvain(
+                        g,
+                        SequentialConfig {
+                            max_rounds: 1,
+                            ..SequentialConfig::default()
+                        },
+                    )
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_sota);
+criterion_main!(benches);

@@ -1,0 +1,129 @@
+//! Criterion bench over the substrates: graph construction, coarsening,
+//! warp primitives, hashtable upserts, collectives, and the multi-device
+//! driver (Figure 10's machinery).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use gala_core::multi_gpu::{run_phase1, MultiGpuConfig, SyncMode};
+use gala_graph::coarsen::coarsen;
+use gala_graph::datasets::{Dataset, Scale};
+use gala_graph::generators::sbm::PlantedPartition;
+use gala_graph::GraphBuilder;
+use gala_gpu::block::SharedMem;
+use gala_gpu::comm::DeviceGroup;
+use gala_gpu::memory::MemTally;
+use gala_gpu::warp::{Warp, FULL_MASK, WARP_SIZE};
+
+fn bench_substrates(c: &mut Criterion) {
+    // Graph building.
+    let gt = PlantedPartition {
+        num_communities: 20,
+        community_size: 100,
+        internal_degree: 10.0,
+        mixing: 0.2,
+    }
+    .generate(1);
+    let edges: Vec<(u32, u32, f64)> = gt
+        .graph
+        .vertices()
+        .flat_map(|v| {
+            gt.graph
+                .neighbors(v)
+                .filter(move |&(u, _)| u >= v)
+                .map(move |(u, w)| (v, u, w))
+        })
+        .collect();
+    c.bench_function("graph_build_csr", |b| {
+        b.iter(|| {
+            let mut builder = GraphBuilder::with_capacity(2000, edges.len());
+            builder.extend_edges(edges.iter().copied());
+            builder.build()
+        })
+    });
+
+    // Coarsening.
+    c.bench_function("coarsen", |b| {
+        b.iter(|| coarsen(&gt.graph, &gt.ground_truth))
+    });
+
+    // Warp primitives.
+    c.bench_function("warp_match_reduce", |b| {
+        let comms: [u32; WARP_SIZE] = std::array::from_fn(|i| (i % 5) as u32);
+        let weights = [1.0f64; WARP_SIZE];
+        b.iter(|| {
+            let mut tally = MemTally::new();
+            let mut warp = Warp::new(FULL_MASK, &mut tally);
+            let groups = warp.match_any_sync(&comms);
+            warp.reduce_add_grouped(&groups, &weights)
+        })
+    });
+
+    // Hashtable upserts (hierarchical).
+    c.bench_function("hashtable_upsert_1k", |b| {
+        use gala_core::kernels::hashtable::{HashConfig, VertexTable};
+        b.iter(|| {
+            let mut shared = SharedMem::default_budget();
+            let mut t = VertexTable::new(HashConfig::default(), 256, &mut shared);
+            let mut tally = MemTally::new();
+            for i in 0..1000u32 {
+                t.upsert_add(i % 97, 1.0, &mut tally);
+            }
+            t.len()
+        })
+    });
+
+    // Stream compaction (the pruning filter).
+    c.bench_function("compact_100k_flags", |b| {
+        let flags: Vec<bool> = (0..100_000).map(|i| i % 3 == 0).collect();
+        b.iter(|| {
+            let mut tally = MemTally::new();
+            gala_gpu::scan::compact(&flags, &mut tally)
+        })
+    });
+
+    // Bitonic sorting network (the sort kernel's engine).
+    c.bench_function("bitonic_sort_4k", |b| {
+        let items: Vec<(u32, f64)> = (0..4096u32).map(|k| ((k * 2654435761) % 9973, 1.0)).collect();
+        b.iter(|| {
+            let mut copy = items.clone();
+            let mut tally = MemTally::new();
+            gala_gpu::sorting::bitonic_sort_by_key(
+                &mut copy,
+                gala_gpu::memory::Space::Global,
+                &mut tally,
+            );
+            copy
+        })
+    });
+
+    // Collectives.
+    let group = DeviceGroup::new(8);
+    c.bench_function("all_reduce_8dev_64k", |b| {
+        b.iter(|| {
+            let mut bufs: Vec<Vec<f64>> = (0..8).map(|d| vec![d as f64; 65_536]).collect();
+            group.all_reduce_sum(&mut bufs)
+        })
+    });
+
+    // Multi-device phase 1 (the Fig 10 machinery end to end).
+    let g = Dataset::OR.generate(Scale::Test);
+    let mut mg = c.benchmark_group("multi_gpu_phase1");
+    mg.sample_size(10);
+    for p in [1usize, 4] {
+        mg.bench_with_input(BenchmarkId::from_parameter(p), &p, |b, &p| {
+            b.iter(|| {
+                run_phase1(
+                    &g,
+                    MultiGpuConfig {
+                        num_devices: p,
+                        sync: SyncMode::Adaptive,
+                        ..MultiGpuConfig::default()
+                    },
+                )
+            })
+        });
+    }
+    mg.finish();
+}
+
+criterion_group!(benches, bench_substrates);
+criterion_main!(benches);

@@ -1,0 +1,166 @@
+//! Figure 9: memory-management optimisation on the two workload classes.
+//!
+//! * (a) **small-degree vertices** (degree < 32, one warp's worth): the
+//!   shuffle-based kernel (registers) vs. the hash-based kernel with a
+//!   shared-memory-first table vs. with a global-only table.
+//!   Paper: shuffle 1.9× over hash-global and 1.2× over hash-shared.
+//! * (b) **large-degree vertices** (the paper uses degree > 2000):
+//!   hierarchical vs. unified vs. global-only hashtable. Paper:
+//!   hierarchical 1.5× over global-only and 1.2× over unified. Our SBM
+//!   stand-ins have modest degree maxima, so the sweep adds `BA-hub`, a
+//!   preferential-attachment graph whose hubs reach into the thousands.
+//!
+//! One DecideAndMove pass over the selected vertex class, simulated cycles
+//! under the default cost model.
+
+use gala_bench::{all_datasets, eng, scale_from_env, Table};
+use gala_core::kernels::hashtable::{HashConfig, HashTableKind};
+use gala_core::kernels::{self, KernelKind};
+use gala_core::state::BspState;
+use gala_graph::datasets::Scale;
+use gala_graph::generators::ba::barabasi_albert;
+use gala_graph::Graph;
+use gala_gpu::memory::CostModel;
+
+fn main() {
+    let scale = scale_from_env();
+    let cost = CostModel::default();
+    let mut datasets: Vec<(String, Graph)> = all_datasets(scale)
+        .into_iter()
+        .map(|(d, g)| (d.abbr().to_string(), g))
+        .collect();
+    let ba_n = match scale {
+        Scale::Test => 5_000,
+        Scale::Full => 50_000,
+    };
+    datasets.push(("BA-hub".to_string(), barabasi_albert(ba_n, 16, 0xBA)));
+
+    println!("Figure 9(a) — small-degree vertices (< 32): kernel comparison\n");
+    let mut table = Table::new(&[
+        "Graph", "#Small", "Shuffle cyc", "HashShared cyc", "HashGlobal cyc", "vs glob", "vs shar",
+    ]);
+    let mut avg = (0.0f64, 0.0f64);
+    let mut small_rows = 0usize;
+    for (name, g) in &datasets {
+        let state = BspState::new(g);
+        let small: Vec<bool> = (0..g.num_vertices())
+            .map(|v| g.degree(v as u32) < 32 && g.degree(v as u32) > 0)
+            .collect();
+        let count = small.iter().filter(|&&a| a).count();
+        if count == 0 {
+            continue;
+        }
+        let shuffle = kernels::decide(KernelKind::Shuffle, g, &state, &small);
+        let hash_shared = kernels::decide(
+            KernelKind::Hash(HashConfig {
+                kind: HashTableKind::Hierarchical,
+                shared_buckets: 256,
+            }),
+            g,
+            &state,
+            &small,
+        );
+        let hash_global = kernels::decide(
+            KernelKind::Hash(HashConfig {
+                kind: HashTableKind::GlobalOnly,
+                shared_buckets: 0,
+            }),
+            g,
+            &state,
+            &small,
+        );
+        assert_eq!(shuffle.next_comm, hash_shared.next_comm, "kernel disagreement");
+        assert_eq!(shuffle.next_comm, hash_global.next_comm, "kernel disagreement");
+        let (sc, hs, hg) = (
+            cost.cycles(&shuffle.tally),
+            cost.cycles(&hash_shared.tally),
+            cost.cycles(&hash_global.tally),
+        );
+        table.row(vec![
+            name.clone(),
+            count.to_string(),
+            eng(sc),
+            eng(hs),
+            eng(hg),
+            format!("{:.2}x", hg / sc),
+            format!("{:.2}x", hs / sc),
+        ]);
+        avg.0 += hg / sc;
+        avg.1 += hs / sc;
+        small_rows += 1;
+    }
+    table.print();
+    println!(
+        "avg: shuffle {:.2}x vs hash-global, {:.2}x vs hash-shared (paper: 1.9x / 1.2x)\n",
+        avg.0 / small_rows.max(1) as f64,
+        avg.1 / small_rows.max(1) as f64
+    );
+
+    println!("Figure 9(b) — large-degree vertices: hashtable comparison\n");
+    let mut table = Table::new(&[
+        "Graph", "#Large", "MinDeg", "MaxDeg", "Hier cyc", "Unified cyc", "Global cyc", "vs glob", "vs unif",
+    ]);
+    let mut avg = (0.0f64, 0.0f64);
+    let mut counted = 0usize;
+    for (name, g) in &datasets {
+        // The heaviest hubs: the top ~5% by degree, and at least 2 warps.
+        let mut degrees: Vec<usize> = (0..g.num_vertices()).map(|v| g.degree(v as u32)).collect();
+        degrees.sort_unstable_by(|a, b| b.cmp(a));
+        let threshold = degrees
+            .get(g.num_vertices() / 20)
+            .copied()
+            .unwrap_or(64)
+            .max(64);
+        let large: Vec<bool> = (0..g.num_vertices())
+            .map(|v| g.degree(v as u32) >= threshold)
+            .collect();
+        let count = large.iter().filter(|&&a| a).count();
+        if count == 0 {
+            continue;
+        }
+        let state = BspState::new(g);
+        let mk = |kind, s| {
+            kernels::decide(
+                KernelKind::Hash(HashConfig {
+                    kind,
+                    shared_buckets: s,
+                }),
+                g,
+                &state,
+                &large,
+            )
+        };
+        let hier = mk(HashTableKind::Hierarchical, 256);
+        let unif = mk(HashTableKind::Unified, 256);
+        let glob = mk(HashTableKind::GlobalOnly, 0);
+        assert_eq!(hier.next_comm, glob.next_comm, "table disagreement");
+        assert_eq!(hier.next_comm, unif.next_comm, "table disagreement");
+        let (hc, uc, gc) = (
+            cost.cycles(&hier.tally),
+            cost.cycles(&unif.tally),
+            cost.cycles(&glob.tally),
+        );
+        table.row(vec![
+            name.clone(),
+            count.to_string(),
+            threshold.to_string(),
+            degrees[0].to_string(),
+            eng(hc),
+            eng(uc),
+            eng(gc),
+            format!("{:.2}x", gc / hc),
+            format!("{:.2}x", uc / hc),
+        ]);
+        avg.0 += gc / hc;
+        avg.1 += uc / hc;
+        counted += 1;
+    }
+    table.print();
+    if counted > 0 {
+        println!(
+            "avg: hierarchical {:.2}x vs global-only, {:.2}x vs unified (paper: 1.5x / 1.2x)",
+            avg.0 / counted as f64,
+            avg.1 / counted as f64
+        );
+    }
+}

@@ -1,0 +1,72 @@
+//! Section 5.6's capacity check: the paper runs phase 1 of the first round
+//! on uk-2007-02 (3.4 B edges) in 43 s on 8 A100s. Here: the largest
+//! stand-in this harness generates (a uk-2007-flavoured power-law SBM, two
+//! orders of magnitude smaller), timed end to end on the simulated devices.
+//!
+//! ```sh
+//! cargo run --release -p gala-bench --bin stress_large
+//! ```
+
+use gala_bench::time;
+use gala_core::louvain::{Louvain, LouvainConfig};
+use gala_core::multi_gpu::{run_phase1, MultiGpuConfig, SyncMode};
+use gala_graph::generators::sbm::PowerLawSbm;
+use gala_graph::stats::GraphStats;
+
+fn main() {
+    let n = match std::env::var("GALA_SCALE").as_deref() {
+        Ok("test") => 20_000,
+        _ => 200_000,
+    };
+    println!("generating uk-2007-flavoured stand-in (n = {n})...");
+    let (gt, gen_time) = time(|| {
+        PowerLawSbm {
+            num_vertices: n,
+            min_community: 10,
+            max_community: 800,
+            size_exponent: 1.8,
+            internal_degree: 16.0,
+            mixing: 0.01,
+        }
+        .generate(0x2007)
+    });
+    let g = gt.graph;
+    let s = GraphStats::compute(&g);
+    println!(
+        "generated in {:.1}s: {} vertices, {} edges, max degree {}\n",
+        gen_time.as_secs_f64(),
+        s.num_vertices,
+        s.num_edges,
+        s.max_degree
+    );
+
+    let ((state, stats), wall) = time(|| Louvain::new(LouvainConfig::default()).run_phase1(&g));
+    println!(
+        "GALA phase 1 (single device): {:.2}s wall, {} supersteps, Q = {:.5}, {} communities",
+        wall.as_secs_f64(),
+        stats.iterations.len(),
+        stats.modularity,
+        state.partition().num_communities()
+    );
+
+    let (multi, wall) = time(|| {
+        run_phase1(
+            &g,
+            MultiGpuConfig {
+                num_devices: 8,
+                sync: SyncMode::Adaptive,
+                ..MultiGpuConfig::default()
+            },
+        )
+    });
+    println!(
+        "GALA phase 1 (8 simulated devices): {:.2}s host wall, modelled {:.0} us \
+         ({:.0} compute + {:.0} comm), Q = {:.5}",
+        wall.as_secs_f64(),
+        multi.total_us(),
+        multi.compute_us(),
+        multi.comm_us(),
+        multi.modularity
+    );
+    println!("\npaper: uk-2007-02 (3.4B edges) phase 1 in 43 s on 8 A100s.");
+}

@@ -1,0 +1,53 @@
+//! Table 1: FNR and FPR of the four pruning strategies on all seven graph
+//! stand-ins, measured on the shared baseline trajectory (every superstep
+//! processes all vertices; each strategy's prediction is scored against the
+//! ground-truth moves).
+//!
+//! Paper claims to reproduce: SM and MG have 0.00% FNR everywhere; RM and
+//! PM have non-zero FNR; MG's FPR is well below SM's (91.7% avg in the
+//! paper) and the best or near-best overall.
+
+use gala_bench::{all_datasets, scale_from_env, Table};
+use gala_core::pruning::{evaluate_on_baseline, PruningKind};
+
+fn main() {
+    let scale = scale_from_env();
+    let kinds = [
+        PruningKind::Strict,
+        PruningKind::Relaxed,
+        PruningKind::probabilistic_default(),
+        PruningKind::Gain,
+    ];
+    println!("Table 1 — FNR / FPR of pruning strategies ({scale:?} scale)\n");
+    let mut table = Table::new(&[
+        "Graph", "FNR-SM", "FNR-RM", "FNR-PM", "FNR-MG", "FPR-SM", "FPR-RM", "FPR-PM", "FPR-MG",
+    ]);
+    let mut avg = vec![(0.0f64, 0.0f64); kinds.len()];
+    let mut count = 0usize;
+    for (d, g) in all_datasets(scale) {
+        let results = evaluate_on_baseline(&g, &kinds, 1e-6, 200, 0xF0);
+        let mut row = vec![d.abbr().to_string()];
+        for (_, total, _) in &results {
+            row.push(format!("{:.2}%", total.fnr() * 100.0));
+        }
+        for (i, (_, total, _)) in results.iter().enumerate() {
+            row.push(format!("{:.2}%", total.fpr() * 100.0));
+            avg[i].0 += total.fnr();
+            avg[i].1 += total.fpr();
+        }
+        table.row(row);
+        count += 1;
+    }
+    let mut row = vec!["Avg.".to_string()];
+    for &(fnr, _) in &avg {
+        row.push(format!("{:.2}%", fnr / count as f64 * 100.0));
+    }
+    for &(_, fpr) in &avg {
+        row.push(format!("{:.2}%", fpr / count as f64 * 100.0));
+    }
+    table.row(row);
+    table.print();
+    println!(
+        "\npaper: FNR 0/0.37/6.35/0 %, FPR 91.73/39.64/47.33/32.24 % (SM/RM/PM/MG averages)."
+    );
+}

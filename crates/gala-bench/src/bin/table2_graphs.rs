@@ -1,0 +1,30 @@
+//! Table 2: statistics of the graph stand-ins.
+//!
+//! The paper's Table 2 lists the original graphs (65.6 M–2 M vertices); our
+//! stand-ins are deterministic synthetic graphs with each original's
+//! community *personality* at laptop scale (see `gala_graph::datasets`).
+
+use gala_bench::{all_datasets, eng, scale_from_env, Table};
+use gala_graph::stats::GraphStats;
+
+fn main() {
+    let scale = scale_from_env();
+    println!("Table 2 — graph stand-in statistics ({scale:?} scale)\n");
+    let mut table = Table::new(&[
+        "Graph", "Abbr", "#Vertices", "#Edges", "MeanDeg", "MaxDeg", "Deg<32", "PaperQ",
+    ]);
+    for (d, g) in all_datasets(scale) {
+        let s = GraphStats::compute(&g);
+        table.row(vec![
+            d.full_name().into(),
+            d.abbr().into(),
+            eng(s.num_vertices as f64),
+            eng(s.num_edges as f64),
+            format!("{:.1}", s.mean_degree),
+            s.max_degree.to_string(),
+            format!("{:.0}%", s.small_degree_fraction * 100.0),
+            format!("{:.3}", d.paper_modularity()),
+        ]);
+    }
+    table.print();
+}

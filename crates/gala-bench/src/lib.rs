@@ -1,0 +1,155 @@
+//! Shared harness for the experiment binaries that regenerate every table
+//! and figure of the GALA paper (see DESIGN.md's experiment index and
+//! EXPERIMENTS.md for paper-vs-measured records).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use gala_core::louvain::{Louvain, LouvainConfig};
+use gala_graph::datasets::{Dataset, Scale};
+use gala_graph::Graph;
+use std::time::{Duration, Instant};
+
+/// Returns the benchmark scale selected by the `GALA_SCALE` environment
+/// variable (`test` → small graphs, anything else / unset → full).
+pub fn scale_from_env() -> Scale {
+    match std::env::var("GALA_SCALE").as_deref() {
+        Ok("test") => Scale::Test,
+        _ => Scale::Full,
+    }
+}
+
+/// Generates all seven stand-in graphs at the given scale.
+pub fn all_datasets(scale: Scale) -> Vec<(Dataset, Graph)> {
+    Dataset::all()
+        .into_iter()
+        .map(|d| (d, d.generate(scale)))
+        .collect()
+}
+
+/// Times a closure, returning its result and the wall-clock duration.
+pub fn time<R>(f: impl FnOnce() -> R) -> (R, Duration) {
+    let t = Instant::now();
+    let r = f();
+    (r, t.elapsed())
+}
+
+/// Runs phase 1 (the paper's measured region) and returns wall time plus
+/// the round stats.
+pub fn run_phase1_timed(
+    graph: &Graph,
+    config: LouvainConfig,
+) -> (gala_core::louvain::RoundStats, Duration) {
+    let ((_, stats), wall) = time(|| Louvain::new(config).run_phase1(graph));
+    (stats, wall)
+}
+
+/// Minimal fixed-width table printer for paper-style terminal output.
+pub struct Table {
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates a table with the given column headers.
+    pub fn new(headers: &[&str]) -> Self {
+        Self {
+            headers: headers.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row (stringified cells).
+    pub fn row(&mut self, cells: Vec<String>) {
+        assert_eq!(cells.len(), self.headers.len(), "row width mismatch");
+        self.rows.push(cells);
+    }
+
+    /// Renders the table to a string.
+    pub fn render(&self) -> String {
+        let cols = self.headers.len();
+        let mut widths: Vec<usize> = self.headers.iter().map(|h| h.len()).collect();
+        for row in &self.rows {
+            for (i, c) in row.iter().enumerate() {
+                widths[i] = widths[i].max(c.len());
+            }
+        }
+        let mut out = String::new();
+        let fmt_row = |cells: &[String], widths: &[usize]| -> String {
+            let mut line = String::from("|");
+            for i in 0..cols {
+                line.push_str(&format!(" {:>w$} |", cells[i], w = widths[i]));
+            }
+            line.push('\n');
+            line
+        };
+        let sep = {
+            let mut line = String::from("|");
+            for w in &widths {
+                line.push_str(&format!("{:-<w$}|", "", w = w + 2));
+            }
+            line.push('\n');
+            line
+        };
+        out.push_str(&fmt_row(&self.headers, &widths));
+        out.push_str(&sep);
+        for row in &self.rows {
+            out.push_str(&fmt_row(row, &widths));
+        }
+        out
+    }
+
+    /// Prints the rendered table to stdout.
+    pub fn print(&self) {
+        print!("{}", self.render());
+    }
+}
+
+/// Formats a duration as fractional milliseconds.
+pub fn ms(d: Duration) -> String {
+    format!("{:.1}", d.as_secs_f64() * 1e3)
+}
+
+/// Formats a large count in engineering notation (K/M/G).
+pub fn eng(x: f64) -> String {
+    if x >= 1e9 {
+        format!("{:.2}G", x / 1e9)
+    } else if x >= 1e6 {
+        format!("{:.2}M", x / 1e6)
+    } else if x >= 1e3 {
+        format!("{:.2}K", x / 1e3)
+    } else {
+        format!("{x:.0}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_renders_aligned() {
+        let mut t = Table::new(&["Graph", "Q"]);
+        t.row(vec!["LJ".into(), "0.75".into()]);
+        t.row(vec!["ORKUT".into(), "0.6".into()]);
+        let out = t.render();
+        let lines: Vec<&str> = out.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines.iter().all(|l| l.len() == lines[0].len()));
+    }
+
+    #[test]
+    #[should_panic(expected = "row width mismatch")]
+    fn table_rejects_ragged_rows() {
+        let mut t = Table::new(&["A"]);
+        t.row(vec!["x".into(), "y".into()]);
+    }
+
+    #[test]
+    fn eng_notation() {
+        assert_eq!(eng(512.0), "512");
+        assert_eq!(eng(2_500.0), "2.50K");
+        assert_eq!(eng(3_000_000.0), "3.00M");
+        assert_eq!(eng(7.2e9), "7.20G");
+    }
+}

@@ -1,0 +1,468 @@
+//! Argument grammar for the `gala` CLI (hand-rolled: the workspace carries
+//! no arg-parsing dependency).
+
+use std::fmt;
+
+/// Usage text printed on parse errors and `--help`.
+pub const USAGE: &str = "\
+usage:
+  gala detect <graph> [options]     run community detection
+      --algorithm gala|leiden|lpa|sequential   (default: gala)
+      --pruning mg|sm|rm|pm|mgrm|none          (default: mg; gala only)
+      --resolution <gamma>                     (default: 1.0)
+      --format edgelist|metis|bin              (default: by extension)
+      --output <file>                          write `vertex community` lines
+      --devices <p>                            simulated GPUs (default: 1)
+      --quiet                                  suppress the report
+  gala stats <graph> [--format ...]   print graph statistics
+  gala generate <kind> --out <file> [--n <v>] [--seed <s>] [--mixing <mu>]
+      kinds: sbm | lfr | rmat | ba | ws | gnp
+  gala convert <in> <out>             convert between formats (by extension)
+  gala compare <assign1> <assign2> [--graph <file>]
+                                      NMI/ARI between two assignment files
+                                      (plus per-partition Q with --graph)
+  gala help                           show this text";
+
+/// Graph file formats the CLI understands.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Format {
+    /// Whitespace edge list (`u v [w]`).
+    EdgeList,
+    /// METIS adjacency format.
+    Metis,
+    /// The crate's binary container.
+    Binary,
+}
+
+impl Format {
+    /// Parses a `--format` value.
+    pub fn parse(s: &str) -> Result<Self, ParseError> {
+        match s {
+            "edgelist" | "txt" => Ok(Format::EdgeList),
+            "metis" | "graph" => Ok(Format::Metis),
+            "bin" | "binary" => Ok(Format::Binary),
+            other => Err(ParseError(format!("unknown format `{other}`"))),
+        }
+    }
+
+    /// Infers a format from a file extension; edge list when unknown.
+    pub fn from_path(path: &str) -> Self {
+        match path.rsplit('.').next().unwrap_or("") {
+            "metis" | "graph" => Format::Metis,
+            "bin" => Format::Binary,
+            _ => Format::EdgeList,
+        }
+    }
+}
+
+/// Detection algorithms.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Algorithm {
+    /// The full GALA system (BSP Louvain on the simulated GPU).
+    Gala,
+    /// Leiden (sequential, connectivity-guaranteed).
+    Leiden,
+    /// Synchronous label propagation.
+    Lpa,
+    /// Classic sequential Louvain.
+    Sequential,
+}
+
+impl Algorithm {
+    fn parse(s: &str) -> Result<Self, ParseError> {
+        match s {
+            "gala" => Ok(Algorithm::Gala),
+            "leiden" => Ok(Algorithm::Leiden),
+            "lpa" | "labelprop" => Ok(Algorithm::Lpa),
+            "sequential" | "louvain" => Ok(Algorithm::Sequential),
+            other => Err(ParseError(format!("unknown algorithm `{other}`"))),
+        }
+    }
+}
+
+/// Pruning strategy names.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Pruning {
+    /// Modularity-gain (MG).
+    Mg,
+    /// Strict movement (SM).
+    Sm,
+    /// Relaxed movement (RM).
+    Rm,
+    /// Probabilistic movement (PM, α = 0.25).
+    Pm,
+    /// MG + RM combined.
+    MgRm,
+    /// No pruning.
+    None,
+}
+
+impl Pruning {
+    fn parse(s: &str) -> Result<Self, ParseError> {
+        match s {
+            "mg" => Ok(Pruning::Mg),
+            "sm" => Ok(Pruning::Sm),
+            "rm" => Ok(Pruning::Rm),
+            "pm" => Ok(Pruning::Pm),
+            "mgrm" | "mg+rm" => Ok(Pruning::MgRm),
+            "none" => Ok(Pruning::None),
+            other => Err(ParseError(format!("unknown pruning strategy `{other}`"))),
+        }
+    }
+}
+
+/// The `detect` subcommand's options.
+#[derive(Clone, Debug, PartialEq)]
+pub struct DetectArgs {
+    /// Input graph path.
+    pub input: String,
+    /// Input format (inferred from the extension when absent).
+    pub format: Option<Format>,
+    /// Algorithm to run.
+    pub algorithm: Algorithm,
+    /// Pruning strategy (GALA only).
+    pub pruning: Pruning,
+    /// Resolution γ.
+    pub resolution: f64,
+    /// Assignment output path.
+    pub output: Option<String>,
+    /// Simulated device count.
+    pub devices: usize,
+    /// Suppress the human-readable report.
+    pub quiet: bool,
+}
+
+/// The `generate` subcommand's options.
+#[derive(Clone, Debug, PartialEq)]
+pub struct GenerateArgs {
+    /// Generator kind (`sbm`, `lfr`, `rmat`, `ba`, `ws`, `gnp`).
+    pub kind: String,
+    /// Output path.
+    pub out: String,
+    /// Vertex count.
+    pub n: usize,
+    /// RNG seed.
+    pub seed: u64,
+    /// Mixing parameter (sbm / lfr).
+    pub mixing: f64,
+}
+
+/// A parsed CLI invocation.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Command {
+    /// Run community detection.
+    Detect(DetectArgs),
+    /// Print graph statistics.
+    Stats {
+        /// Input path.
+        input: String,
+        /// Explicit format override.
+        format: Option<Format>,
+    },
+    /// Generate a synthetic graph.
+    Generate(GenerateArgs),
+    /// Convert between formats.
+    Convert {
+        /// Input path.
+        input: String,
+        /// Output path.
+        output: String,
+    },
+    /// Compare two community-assignment files.
+    Compare {
+        /// First assignment file (`vertex community` lines).
+        a: String,
+        /// Second assignment file.
+        b: String,
+        /// Optional graph for modularity scoring.
+        graph: Option<String>,
+    },
+    /// Print usage.
+    Help,
+}
+
+/// A parse failure with a human-readable message.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ParseError(pub String);
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+fn value<'a>(
+    args: &'a [String],
+    i: &mut usize,
+    flag: &str,
+) -> Result<&'a str, ParseError> {
+    *i += 1;
+    args.get(*i)
+        .map(|s| s.as_str())
+        .ok_or_else(|| ParseError(format!("{flag} needs a value")))
+}
+
+impl Command {
+    /// Parses an argv (without the program name).
+    pub fn parse(args: &[String]) -> Result<Self, ParseError> {
+        let Some(sub) = args.first() else {
+            return Err(ParseError("missing subcommand".into()));
+        };
+        match sub.as_str() {
+            "help" | "--help" | "-h" => Ok(Command::Help),
+            "detect" => Self::parse_detect(&args[1..]),
+            "stats" => Self::parse_stats(&args[1..]),
+            "generate" => Self::parse_generate(&args[1..]),
+            "convert" => {
+                let [input, output] = &args[1..] else {
+                    return Err(ParseError("convert needs <in> <out>".into()));
+                };
+                Ok(Command::Convert {
+                    input: input.clone(),
+                    output: output.clone(),
+                })
+            }
+            "compare" => Self::parse_compare(&args[1..]),
+            other => Err(ParseError(format!("unknown subcommand `{other}`"))),
+        }
+    }
+
+    fn parse_detect(args: &[String]) -> Result<Self, ParseError> {
+        let mut out = DetectArgs {
+            input: String::new(),
+            format: None,
+            algorithm: Algorithm::Gala,
+            pruning: Pruning::Mg,
+            resolution: 1.0,
+            output: None,
+            devices: 1,
+            quiet: false,
+        };
+        let mut i = 0;
+        while i < args.len() {
+            match args[i].as_str() {
+                "--format" => out.format = Some(Format::parse(value(args, &mut i, "--format")?)?),
+                "--algorithm" => {
+                    out.algorithm = Algorithm::parse(value(args, &mut i, "--algorithm")?)?
+                }
+                "--pruning" => out.pruning = Pruning::parse(value(args, &mut i, "--pruning")?)?,
+                "--resolution" => {
+                    let v = value(args, &mut i, "--resolution")?;
+                    out.resolution = v
+                        .parse()
+                        .map_err(|_| ParseError(format!("bad resolution `{v}`")))?;
+                    if !(out.resolution > 0.0) {
+                        return Err(ParseError("resolution must be > 0".into()));
+                    }
+                }
+                "--output" => out.output = Some(value(args, &mut i, "--output")?.to_string()),
+                "--devices" => {
+                    let v = value(args, &mut i, "--devices")?;
+                    out.devices = v
+                        .parse()
+                        .map_err(|_| ParseError(format!("bad device count `{v}`")))?;
+                    if out.devices == 0 {
+                        return Err(ParseError("need at least one device".into()));
+                    }
+                }
+                "--quiet" => out.quiet = true,
+                flag if flag.starts_with("--") => {
+                    return Err(ParseError(format!("unknown flag `{flag}`")))
+                }
+                positional => {
+                    if !out.input.is_empty() {
+                        return Err(ParseError(format!("unexpected argument `{positional}`")));
+                    }
+                    out.input = positional.to_string();
+                }
+            }
+            i += 1;
+        }
+        if out.input.is_empty() {
+            return Err(ParseError("detect needs an input graph".into()));
+        }
+        Ok(Command::Detect(out))
+    }
+
+    fn parse_compare(args: &[String]) -> Result<Self, ParseError> {
+        let mut positional = Vec::new();
+        let mut graph = None;
+        let mut i = 0;
+        while i < args.len() {
+            match args[i].as_str() {
+                "--graph" => graph = Some(value(args, &mut i, "--graph")?.to_string()),
+                flag if flag.starts_with("--") => {
+                    return Err(ParseError(format!("unknown flag `{flag}`")))
+                }
+                p => positional.push(p.to_string()),
+            }
+            i += 1;
+        }
+        let [a, b] = positional.as_slice() else {
+            return Err(ParseError("compare needs exactly two assignment files".into()));
+        };
+        Ok(Command::Compare {
+            a: a.clone(),
+            b: b.clone(),
+            graph,
+        })
+    }
+
+    fn parse_stats(args: &[String]) -> Result<Self, ParseError> {
+        let mut input = String::new();
+        let mut format = None;
+        let mut i = 0;
+        while i < args.len() {
+            match args[i].as_str() {
+                "--format" => format = Some(Format::parse(value(args, &mut i, "--format")?)?),
+                flag if flag.starts_with("--") => {
+                    return Err(ParseError(format!("unknown flag `{flag}`")))
+                }
+                positional => {
+                    if !input.is_empty() {
+                        return Err(ParseError(format!("unexpected argument `{positional}`")));
+                    }
+                    input = positional.to_string();
+                }
+            }
+            i += 1;
+        }
+        if input.is_empty() {
+            return Err(ParseError("stats needs an input graph".into()));
+        }
+        Ok(Command::Stats { input, format })
+    }
+
+    fn parse_generate(args: &[String]) -> Result<Self, ParseError> {
+        let mut out = GenerateArgs {
+            kind: String::new(),
+            out: String::new(),
+            n: 10_000,
+            seed: 42,
+            mixing: 0.2,
+        };
+        let mut i = 0;
+        while i < args.len() {
+            match args[i].as_str() {
+                "--out" => out.out = value(args, &mut i, "--out")?.to_string(),
+                "--n" => {
+                    let v = value(args, &mut i, "--n")?;
+                    out.n = v.parse().map_err(|_| ParseError(format!("bad --n `{v}`")))?;
+                }
+                "--seed" => {
+                    let v = value(args, &mut i, "--seed")?;
+                    out.seed = v.parse().map_err(|_| ParseError(format!("bad --seed `{v}`")))?;
+                }
+                "--mixing" => {
+                    let v = value(args, &mut i, "--mixing")?;
+                    out.mixing = v
+                        .parse()
+                        .map_err(|_| ParseError(format!("bad --mixing `{v}`")))?;
+                }
+                flag if flag.starts_with("--") => {
+                    return Err(ParseError(format!("unknown flag `{flag}`")))
+                }
+                positional => {
+                    if !out.kind.is_empty() {
+                        return Err(ParseError(format!("unexpected argument `{positional}`")));
+                    }
+                    out.kind = positional.to_string();
+                }
+            }
+            i += 1;
+        }
+        if out.kind.is_empty() {
+            return Err(ParseError("generate needs a kind (sbm|lfr|rmat|ba|ws|gnp)".into()));
+        }
+        if out.out.is_empty() {
+            return Err(ParseError("generate needs --out <file>".into()));
+        }
+        Ok(Command::Generate(out))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn argv(s: &str) -> Vec<String> {
+        s.split_whitespace().map(|x| x.to_string()).collect()
+    }
+
+    #[test]
+    fn parses_minimal_detect() {
+        let cmd = Command::parse(&argv("detect graph.txt")).unwrap();
+        let Command::Detect(d) = cmd else { panic!() };
+        assert_eq!(d.input, "graph.txt");
+        assert_eq!(d.algorithm, Algorithm::Gala);
+        assert_eq!(d.pruning, Pruning::Mg);
+        assert_eq!(d.resolution, 1.0);
+        assert!(!d.quiet);
+    }
+
+    #[test]
+    fn parses_full_detect() {
+        let cmd = Command::parse(&argv(
+            "detect g.metis --algorithm leiden --resolution 2.5 --output out.txt --devices 4 --quiet",
+        ))
+        .unwrap();
+        let Command::Detect(d) = cmd else { panic!() };
+        assert_eq!(d.algorithm, Algorithm::Leiden);
+        assert_eq!(d.resolution, 2.5);
+        assert_eq!(d.output.as_deref(), Some("out.txt"));
+        assert_eq!(d.devices, 4);
+        assert!(d.quiet);
+    }
+
+    #[test]
+    fn rejects_bad_values() {
+        assert!(Command::parse(&argv("detect g.txt --resolution zero")).is_err());
+        assert!(Command::parse(&argv("detect g.txt --resolution -1")).is_err());
+        assert!(Command::parse(&argv("detect g.txt --devices 0")).is_err());
+        assert!(Command::parse(&argv("detect g.txt --pruning magic")).is_err());
+        assert!(Command::parse(&argv("detect")).is_err());
+        assert!(Command::parse(&argv("detect a.txt b.txt")).is_err());
+        assert!(Command::parse(&argv("detect g.txt --nonsense")).is_err());
+        assert!(Command::parse(&argv("frobnicate")).is_err());
+        assert!(Command::parse(&[]).is_err());
+    }
+
+    #[test]
+    fn parses_generate() {
+        let cmd = Command::parse(&argv("generate lfr --out g.txt --n 5000 --mixing 0.3")).unwrap();
+        let Command::Generate(g) = cmd else { panic!() };
+        assert_eq!(g.kind, "lfr");
+        assert_eq!(g.n, 5000);
+        assert_eq!(g.mixing, 0.3);
+        assert!(Command::parse(&argv("generate lfr")).is_err()); // no --out
+        assert!(Command::parse(&argv("generate --out x")).is_err()); // no kind
+    }
+
+    #[test]
+    fn parses_convert_and_stats_and_help() {
+        assert_eq!(
+            Command::parse(&argv("convert a.txt b.metis")).unwrap(),
+            Command::Convert {
+                input: "a.txt".into(),
+                output: "b.metis".into()
+            }
+        );
+        assert!(matches!(
+            Command::parse(&argv("stats g.bin")).unwrap(),
+            Command::Stats { .. }
+        ));
+        assert_eq!(Command::parse(&argv("help")).unwrap(), Command::Help);
+        assert!(Command::parse(&argv("convert onlyone")).is_err());
+    }
+
+    #[test]
+    fn format_inference() {
+        assert_eq!(Format::from_path("x.metis"), Format::Metis);
+        assert_eq!(Format::from_path("x.graph"), Format::Metis);
+        assert_eq!(Format::from_path("x.bin"), Format::Binary);
+        assert_eq!(Format::from_path("x.txt"), Format::EdgeList);
+        assert_eq!(Format::from_path("noext"), Format::EdgeList);
+    }
+}

@@ -1,0 +1,431 @@
+//! Command execution: graph IO, algorithm dispatch, and reporting.
+
+use crate::args::{Algorithm, Command, DetectArgs, Format, GenerateArgs, Pruning, USAGE};
+use gala_core::label_prop::{label_propagation, LabelPropConfig};
+use gala_core::leiden::{leiden, LeidenConfig};
+use gala_core::louvain::LouvainConfig;
+use gala_core::metrics::summarize;
+use gala_core::modularity::modularity_with_resolution;
+use gala_core::multi_gpu::{run_phase1 as multi_gpu_phase1, MultiGpuConfig};
+use gala_core::pruning::PruningKind;
+use gala_core::sequential::{sequential_louvain, SequentialConfig};
+use gala_core::validation::{coverage, mean_conductance};
+use gala_graph::generators::ba::barabasi_albert;
+use gala_graph::generators::gnp::gnp;
+use gala_graph::generators::lfr::LfrParams;
+use gala_graph::generators::rmat::{rmat, RmatParams};
+use gala_graph::generators::sbm::PowerLawSbm;
+use gala_graph::generators::ws::watts_strogatz;
+use gala_graph::stats::GraphStats;
+use gala_graph::{io, metis, Graph, Partition};
+use std::fs::File;
+use std::io::{BufWriter, Write};
+use std::time::Instant;
+
+/// Boxed error type for command failures.
+pub type Error = Box<dyn std::error::Error>;
+
+/// Executes a parsed command.
+pub fn execute(cmd: Command) -> Result<(), Error> {
+    match cmd {
+        Command::Help => {
+            println!("{USAGE}");
+            Ok(())
+        }
+        Command::Stats { input, format } => stats(&input, format),
+        Command::Convert { input, output } => convert(&input, &output),
+        Command::Compare { a, b, graph } => compare(&a, &b, graph.as_deref()),
+        Command::Generate(args) => generate(args),
+        Command::Detect(args) => detect(args),
+    }
+}
+
+/// Reads a `vertex community` assignment file (as written by `detect
+/// --output`). Missing vertices default to singleton labels.
+pub fn load_assignment(path: &str, num_vertices: usize) -> Result<Partition, Error> {
+    let text = std::fs::read_to_string(path)?;
+    let mut n = num_vertices;
+    let mut pairs = Vec::new();
+    for (lineno, line) in text.lines().enumerate() {
+        let t = line.trim();
+        if t.is_empty() || t.starts_with('#') {
+            continue;
+        }
+        let mut it = t.split_whitespace();
+        let bad = || format!("{path} line {}: expected `vertex community`", lineno + 1);
+        let v: usize = it.next().ok_or_else(bad)?.parse().map_err(|_| bad())?;
+        let c: u32 = it.next().ok_or_else(bad)?.parse().map_err(|_| bad())?;
+        n = n.max(v + 1);
+        pairs.push((v, c));
+    }
+    let mut assignment: Vec<u32> = (0..n as u32).collect();
+    // Avoid label collisions with explicit assignments: shift defaults up.
+    let max_label = pairs.iter().map(|&(_, c)| c).max().unwrap_or(0);
+    for x in assignment.iter_mut() {
+        *x += max_label + 1;
+    }
+    for (v, c) in pairs {
+        assignment[v] = c;
+    }
+    Ok(Partition::from_assignment(assignment))
+}
+
+fn compare(a: &str, b: &str, graph: Option<&str>) -> Result<(), Error> {
+    use gala_core::metrics::nmi;
+    use gala_core::validation::adjusted_rand_index;
+    let pa = load_assignment(a, 0)?;
+    let pb = load_assignment(b, pa.len())?;
+    let pa = if pa.len() < pb.len() {
+        load_assignment(a, pb.len())?
+    } else {
+        pa
+    };
+    println!("vertices: {}", pa.len());
+    println!(
+        "communities: {} vs {}",
+        pa.num_communities(),
+        pb.num_communities()
+    );
+    println!("NMI: {:.5}", nmi(&pa, &pb));
+    println!("ARI: {:.5}", adjusted_rand_index(&pa, &pb));
+    if let Some(gpath) = graph {
+        let g = load(gpath, None)?;
+        if g.num_vertices() != pa.len() {
+            return Err(format!(
+                "graph has {} vertices, assignments cover {}",
+                g.num_vertices(),
+                pa.len()
+            )
+            .into());
+        }
+        println!(
+            "Q: {:.5} vs {:.5}",
+            modularity_with_resolution(&g, &pa, 1.0),
+            modularity_with_resolution(&g, &pb, 1.0)
+        );
+    }
+    Ok(())
+}
+
+/// Loads a graph with the given (or inferred) format.
+pub fn load(path: &str, format: Option<Format>) -> Result<Graph, Error> {
+    let format = format.unwrap_or_else(|| Format::from_path(path));
+    Ok(match format {
+        Format::EdgeList => io::load_edge_list(path)?,
+        Format::Metis => metis::load_metis(path)?,
+        Format::Binary => io::load_binary(path)?,
+    })
+}
+
+/// Saves a graph with the format inferred from the extension.
+pub fn save(graph: &Graph, path: &str) -> Result<(), Error> {
+    match Format::from_path(path) {
+        Format::EdgeList => io::save_edge_list(graph, path)?,
+        Format::Metis => metis::save_metis(graph, path)?,
+        Format::Binary => io::save_binary(graph, path)?,
+    }
+    Ok(())
+}
+
+fn stats(input: &str, format: Option<Format>) -> Result<(), Error> {
+    let g = load(input, format)?;
+    let s = GraphStats::compute(&g);
+    println!("vertices:        {}", s.num_vertices);
+    println!("edges:           {}", s.num_edges);
+    println!("total weight:    {}", s.total_weight);
+    println!("degree min/mean/max: {} / {:.2} / {}", s.min_degree, s.mean_degree, s.max_degree);
+    println!("degree < 32:     {:.1}%", s.small_degree_fraction * 100.0);
+    let (_, components) = gala_graph::traversal::connected_components(&g);
+    println!("components:      {components}");
+    Ok(())
+}
+
+fn convert(input: &str, output: &str) -> Result<(), Error> {
+    let g = load(input, None)?;
+    save(&g, output)?;
+    println!(
+        "converted {input} -> {output} ({} vertices, {} edges)",
+        g.num_vertices(),
+        g.num_edges()
+    );
+    Ok(())
+}
+
+fn generate(args: GenerateArgs) -> Result<(), Error> {
+    let GenerateArgs { kind, out, n, seed, mixing } = args;
+    let graph = match kind.as_str() {
+        "sbm" => {
+            PowerLawSbm {
+                num_vertices: n,
+                min_community: 15,
+                max_community: (n / 20).max(30) as u32,
+                size_exponent: 2.0,
+                internal_degree: 10.0,
+                mixing,
+            }
+            .generate(seed)
+            .graph
+        }
+        "lfr" => {
+            LfrParams {
+                num_vertices: n,
+                min_degree: 5,
+                max_degree: 50,
+                degree_exponent: 2.5,
+                min_community: 20,
+                max_community: (n / 20).max(40) as u32,
+                community_exponent: 1.5,
+                mixing,
+            }
+            .generate(seed)
+            .graph
+        }
+        "rmat" => {
+            let scale = (n.max(2) as f64).log2().ceil() as u32;
+            rmat(
+                &RmatParams {
+                    scale,
+                    edge_factor: 12.0,
+                    ..RmatParams::default()
+                },
+                seed,
+            )
+        }
+        "ba" => barabasi_albert(n, 8, seed),
+        "ws" => watts_strogatz(n, 8, mixing.clamp(0.0, 1.0), seed),
+        "gnp" => gnp(n, 16.0 / n.max(1) as f64, seed),
+        other => return Err(format!("unknown generator `{other}`").into()),
+    };
+    save(&graph, &out)?;
+    println!(
+        "generated {kind} graph: {} vertices, {} edges -> {out}",
+        graph.num_vertices(),
+        graph.num_edges()
+    );
+    Ok(())
+}
+
+fn detect(args: DetectArgs) -> Result<(), Error> {
+    let graph = load(&args.input, args.format)?;
+    let start = Instant::now();
+    let (name, partition): (&str, Partition) = match args.algorithm {
+        Algorithm::Gala => {
+            let pruning = match args.pruning {
+                Pruning::Mg => PruningKind::Gain,
+                Pruning::Sm => PruningKind::Strict,
+                Pruning::Rm => PruningKind::Relaxed,
+                Pruning::Pm => PruningKind::probabilistic_default(),
+                Pruning::MgRm => PruningKind::GainRelaxed,
+                Pruning::None => PruningKind::None,
+            };
+            if args.devices > 1 {
+                let r = multi_gpu_phase1(
+                    &graph,
+                    MultiGpuConfig {
+                        num_devices: args.devices,
+                        pruning,
+                        ..MultiGpuConfig::default()
+                    },
+                );
+                ("GALA (multi-device, phase 1)", r.partition)
+            } else {
+                let r = gala_core::louvain::Louvain::new(LouvainConfig {
+                    pruning,
+                    resolution: args.resolution,
+                    ..LouvainConfig::default()
+                })
+                .run(&graph);
+                ("GALA", r.partition)
+            }
+        }
+        Algorithm::Leiden => {
+            let r = leiden(
+                &graph,
+                LeidenConfig {
+                    resolution: args.resolution,
+                    ..LeidenConfig::default()
+                },
+            );
+            ("Leiden", r.partition)
+        }
+        Algorithm::Lpa => {
+            let r = label_propagation(&graph, LabelPropConfig::default());
+            ("label propagation", r.partition)
+        }
+        Algorithm::Sequential => {
+            let r = sequential_louvain(&graph, SequentialConfig::default());
+            ("sequential Louvain", r.partition)
+        }
+    };
+    let elapsed = start.elapsed();
+    if !args.quiet {
+        let q = modularity_with_resolution(&graph, &partition, args.resolution);
+        let s = summarize(&partition);
+        println!(
+            "{name}: {} vertices, {} edges, {:.2}s",
+            graph.num_vertices(),
+            graph.num_edges(),
+            elapsed.as_secs_f64()
+        );
+        println!(
+            "Q(gamma={}) = {:.5}, {} communities (sizes {}..{}, mean {:.1})",
+            args.resolution, q, s.num_communities, s.min_size, s.max_size, s.mean_size
+        );
+        println!(
+            "coverage = {:.4}, mean conductance = {:.4}",
+            coverage(&graph, &partition),
+            mean_conductance(&graph, &partition)
+        );
+    }
+    if let Some(path) = args.output {
+        let mut w = BufWriter::new(File::create(&path)?);
+        for (v, &c) in partition.assignment().iter().enumerate() {
+            writeln!(w, "{v} {c}")?;
+        }
+        if !args.quiet {
+            println!("assignments written to {path}");
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::args::Command;
+    use gala_graph::generators::fixtures;
+
+    fn tmp(name: &str) -> String {
+        std::env::temp_dir()
+            .join(format!("gala_cli_{name}_{}", std::process::id()))
+            .to_string_lossy()
+            .into_owned()
+    }
+
+    #[test]
+    fn load_save_roundtrip_every_format() {
+        let g = fixtures::two_cliques(4);
+        for ext in ["txt", "metis", "bin"] {
+            let path = format!("{}.{ext}", tmp("roundtrip"));
+            save(&g, &path).unwrap();
+            let g2 = load(&path, None).unwrap();
+            assert_eq!(g, g2, "{ext}");
+            let _ = std::fs::remove_file(path);
+        }
+    }
+
+    #[test]
+    fn detect_pipeline_end_to_end() {
+        let g = fixtures::two_cliques(5);
+        let graph_path = format!("{}.txt", tmp("detect"));
+        let out_path = format!("{}.out", tmp("detect"));
+        save(&g, &graph_path).unwrap();
+        let cmd = Command::parse(
+            &[
+                "detect",
+                graph_path.as_str(),
+                "--output",
+                out_path.as_str(),
+                "--quiet",
+            ]
+            .map(String::from),
+        )
+        .unwrap();
+        execute(cmd).unwrap();
+        let text = std::fs::read_to_string(&out_path).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 10);
+        // Two communities: vertices 0-4 share one label, 5-9 the other.
+        let label_of = |v: usize| lines[v].split_whitespace().nth(1).unwrap().to_string();
+        assert_eq!(label_of(0), label_of(4));
+        assert_eq!(label_of(5), label_of(9));
+        assert_ne!(label_of(0), label_of(5));
+        let _ = std::fs::remove_file(graph_path);
+        let _ = std::fs::remove_file(out_path);
+    }
+
+    #[test]
+    fn generate_and_stats() {
+        let path = format!("{}.bin", tmp("gen"));
+        execute(
+            Command::parse(
+                &["generate", "sbm", "--out", path.as_str(), "--n", "500"].map(String::from),
+            )
+            .unwrap(),
+        )
+        .unwrap();
+        let g = load(&path, None).unwrap();
+        assert_eq!(g.num_vertices(), 500);
+        execute(Command::parse(&["stats", path.as_str()].map(String::from)).unwrap()).unwrap();
+        let _ = std::fs::remove_file(path);
+    }
+
+    #[test]
+    fn every_algorithm_runs() {
+        let g = fixtures::two_cliques(4);
+        let graph_path = format!("{}.txt", tmp("algos"));
+        save(&g, &graph_path).unwrap();
+        for algo in ["gala", "leiden", "lpa", "sequential"] {
+            let cmd = Command::parse(
+                &["detect", graph_path.as_str(), "--algorithm", algo, "--quiet"].map(String::from),
+            )
+            .unwrap();
+            execute(cmd).unwrap_or_else(|e| panic!("{algo}: {e}"));
+        }
+        let _ = std::fs::remove_file(graph_path);
+    }
+
+    #[test]
+    fn compare_pipeline() {
+        let g = fixtures::two_cliques(4);
+        let gp = format!("{}.txt", tmp("cmpg"));
+        let a1 = format!("{}.a", tmp("cmp"));
+        let a2 = format!("{}.b", tmp("cmp"));
+        save(&g, &gp).unwrap();
+        std::fs::write(&a1, "0 0\n1 0\n2 0\n3 0\n4 1\n5 1\n6 1\n7 1\n").unwrap();
+        std::fs::write(&a2, "0 5\n1 5\n2 5\n3 5\n4 9\n5 9\n6 9\n7 9\n").unwrap();
+        let cmd = Command::parse(
+            &["compare", a1.as_str(), a2.as_str(), "--graph", gp.as_str()].map(String::from),
+        )
+        .unwrap();
+        execute(cmd).unwrap();
+        // Identical up to relabel: NMI must be exactly 1 (checked via the
+        // library call the command uses).
+        let pa = load_assignment(&a1, 0).unwrap();
+        let pb = load_assignment(&a2, 0).unwrap();
+        assert_eq!(gala_core::metrics::nmi(&pa, &pb), 1.0);
+        for p in [gp, a1, a2] {
+            let _ = std::fs::remove_file(p);
+        }
+    }
+
+    #[test]
+    fn load_assignment_defaults_missing_vertices_to_singletons() {
+        let path = format!("{}.a", tmp("sparse"));
+        std::fs::write(&path, "0 7\n2 7\n").unwrap();
+        let p = load_assignment(&path, 4).unwrap();
+        assert_eq!(p.len(), 4);
+        assert_eq!(p.community_of(0), 7);
+        assert_eq!(p.community_of(2), 7);
+        // 1 and 3 are singletons distinct from 7 and from each other.
+        assert_ne!(p.community_of(1), 7);
+        assert_ne!(p.community_of(3), 7);
+        assert_ne!(p.community_of(1), p.community_of(3));
+        let _ = std::fs::remove_file(path);
+    }
+
+    #[test]
+    fn missing_file_is_an_error() {
+        let cmd = Command::parse(&["stats", "/no/such/file.txt"].map(String::from)).unwrap();
+        assert!(execute(cmd).is_err());
+    }
+
+    #[test]
+    fn unknown_generator_is_an_error() {
+        let cmd = Command::parse(
+            &["generate", "fractal", "--out", "/tmp/x.txt"].map(String::from),
+        )
+        .unwrap();
+        assert!(execute(cmd).is_err());
+    }
+}

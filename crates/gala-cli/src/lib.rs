@@ -1,0 +1,40 @@
+//! # gala-cli — command-line community detection
+//!
+//! ```text
+//! gala detect <graph> [--algorithm gala|leiden|lpa|sequential]
+//!                     [--pruning mg|sm|rm|pm|mgrm|none]
+//!                     [--resolution <gamma>] [--format edgelist|metis|bin]
+//!                     [--output <file>] [--devices <p>] [--quiet]
+//! gala stats  <graph> [--format ...]
+//! gala generate <sbm|lfr|rmat|ba|ws|gnp> --out <file> [generator options]
+//! gala convert <in> <out>   (formats inferred from extension)
+//! ```
+//!
+//! The parsing layer is separated from IO so it is unit-testable; see
+//! [`args`] for the grammar and [`run`] for the dispatch.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod args;
+pub mod commands;
+
+use std::process::ExitCode;
+
+/// Entry point used by the `gala` binary: parse and dispatch.
+pub fn run(argv: &[String]) -> ExitCode {
+    match args::Command::parse(argv) {
+        Ok(cmd) => match commands::execute(cmd) {
+            Ok(()) => ExitCode::SUCCESS,
+            Err(e) => {
+                eprintln!("error: {e}");
+                ExitCode::FAILURE
+            }
+        },
+        Err(e) => {
+            eprintln!("error: {e}\n");
+            eprintln!("{}", args::USAGE);
+            ExitCode::from(2)
+        }
+    }
+}

@@ -1,0 +1,6 @@
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    gala_cli::run(&argv)
+}

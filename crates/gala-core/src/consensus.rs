@@ -1,0 +1,228 @@
+//! Consensus clustering (Lancichinetti & Fortunato 2012): run the detector
+//! several times with different seeds, keep only the agreements, repeat.
+//!
+//! Louvain-family results are seed-dependent on noisy graphs; consensus
+//! trades K× the work for a stable, reproducible-by-construction answer.
+//! The sparse variant is used: the consensus graph reweights only the
+//! *original* edges by their co-clustering frequency (the dense n² matrix
+//! of the original formulation is never materialised).
+
+use crate::louvain::{Louvain, LouvainConfig};
+use crate::metrics::nmi;
+use crate::modularity::modularity_with_resolution;
+use gala_graph::reorder::{apply, Ordering};
+use gala_graph::{Graph, GraphBuilder, Partition, VertexId};
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+/// Configuration for consensus clustering.
+#[derive(Clone, Copy, Debug)]
+pub struct ConsensusConfig {
+    /// Independent seeded runs per round (paper-typical: 10–50).
+    pub runs: usize,
+    /// Consensus edges with co-clustering frequency below this are dropped
+    /// (the sparsification threshold τ; 0.5 is customary).
+    pub threshold: f64,
+    /// Cap on consensus rounds.
+    pub max_rounds: usize,
+    /// Base Louvain configuration (its `seed` is varied per run).
+    pub base: LouvainConfig,
+}
+
+impl Default for ConsensusConfig {
+    fn default() -> Self {
+        Self {
+            runs: 8,
+            threshold: 0.5,
+            max_rounds: 5,
+            base: LouvainConfig::default(),
+        }
+    }
+}
+
+/// Result of a consensus run.
+#[derive(Clone, Debug)]
+pub struct ConsensusResult {
+    /// The agreed partition (of the *original* graph).
+    pub partition: Partition,
+    /// Its modularity on the original graph.
+    pub modularity: f64,
+    /// Consensus rounds executed.
+    pub rounds: usize,
+    /// Whether the runs converged to full agreement (NMI 1 pairwise).
+    pub converged: bool,
+}
+
+/// Runs consensus clustering over `graph`.
+pub fn consensus(graph: &Graph, config: ConsensusConfig) -> ConsensusResult {
+    assert!(config.runs >= 2, "consensus needs at least two runs");
+    assert!((0.0..=1.0).contains(&config.threshold));
+    let mut working = graph.clone();
+    let mut rounds = 0;
+    let mut partitions: Vec<Partition> = Vec::new();
+    let mut converged = false;
+    while rounds < config.max_rounds {
+        rounds += 1;
+        partitions = (0..config.runs)
+            .map(|i| {
+                // GALA itself is deterministic; the runs are diversified by
+                // relabelling the vertices (the min-id tie-breaks then make
+                // genuinely different greedy choices), and the result is
+                // mapped back to the original ids.
+                let run_seed = config.base.seed ^ ((i as u64 + 1).wrapping_mul(0x9E37_79B9));
+                let ordering = random_ordering(working.num_vertices(), run_seed);
+                let relabeled = apply(&working, &ordering);
+                let cfg = LouvainConfig {
+                    seed: run_seed,
+                    ..config.base
+                };
+                let found = Louvain::new(cfg).run(&relabeled).partition;
+                // Map back: original v carried new id `ordering.new_id[v]`.
+                Partition::from_assignment(
+                    (0..working.num_vertices())
+                        .map(|v| found.community_of(ordering.new_id[v]))
+                        .collect(),
+                )
+            })
+            .collect();
+        if all_agree(&partitions) {
+            converged = true;
+            break;
+        }
+        working = consensus_graph(&working, &partitions, config.threshold);
+    }
+    // All runs agree (or the round budget is spent): report the first
+    // run's partition, scored on the ORIGINAL graph.
+    let partition = partitions.into_iter().next().expect("runs >= 2");
+    let modularity =
+        modularity_with_resolution(graph, &partition, config.base.resolution);
+    ConsensusResult {
+        partition,
+        modularity,
+        rounds,
+        converged,
+    }
+}
+
+/// A seeded uniformly random vertex relabelling.
+fn random_ordering(n: usize, seed: u64) -> Ordering {
+    let mut new_id: Vec<VertexId> = (0..n as VertexId).collect();
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    new_id.shuffle(&mut rng);
+    Ordering { new_id }
+}
+
+fn all_agree(partitions: &[Partition]) -> bool {
+    partitions
+        .windows(2)
+        .all(|w| (nmi(&w[0], &w[1]) - 1.0).abs() < 1e-12)
+}
+
+/// Builds the sparse consensus graph: each original edge reweighted by the
+/// fraction of runs that co-clustered its endpoints; edges below the
+/// threshold are dropped (their endpoints stay as vertices).
+pub fn consensus_graph(graph: &Graph, partitions: &[Partition], threshold: f64) -> Graph {
+    let k = partitions.len() as f64;
+    let mut b = GraphBuilder::with_capacity(graph.num_vertices(), graph.num_edges());
+    b.reserve_vertices(graph.num_vertices());
+    for v in graph.vertices() {
+        for (u, _) in graph.neighbors(v) {
+            if u < v {
+                continue;
+            }
+            let together = partitions
+                .iter()
+                .filter(|p| p.community_of(v) == p.community_of(u))
+                .count() as f64
+                / k;
+            if together >= threshold {
+                let w = if u == v { together / 2.0 } else { together };
+                b.add_edge(v, u, w);
+            }
+        }
+    }
+    b.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gala_graph::generators::fixtures;
+    use gala_graph::generators::sbm::PlantedPartition;
+
+    #[test]
+    fn converges_immediately_on_clean_structure() {
+        let g = fixtures::ring_of_cliques(6, 5);
+        let r = consensus(&g, ConsensusConfig::default());
+        assert!(r.converged);
+        assert_eq!(r.rounds, 1);
+        assert_eq!(r.partition.num_communities(), 6);
+    }
+
+    #[test]
+    fn consensus_graph_keeps_agreed_edges_only() {
+        let g = fixtures::two_cliques(3);
+        let p1 = Partition::from_assignment(vec![0, 0, 0, 1, 1, 1]);
+        let p2 = Partition::from_assignment(vec![0, 0, 2, 1, 1, 1]);
+        let cg = consensus_graph(&g, &[p1, p2], 0.6);
+        // Edge (0,1): co-clustered in both runs -> weight 1, kept.
+        assert_eq!(cg.edge_weight(0, 1), Some(1.0));
+        // Edge (1,2): co-clustered in one run -> 0.5 < 0.6, dropped.
+        assert_eq!(cg.edge_weight(1, 2), None);
+        // Bridge (2,3): never co-clustered, dropped.
+        assert_eq!(cg.edge_weight(2, 3), None);
+        assert_eq!(cg.num_vertices(), 6);
+    }
+
+    #[test]
+    fn quality_at_least_single_run_on_noisy_graph() {
+        let gt = PlantedPartition {
+            num_communities: 8,
+            community_size: 30,
+            internal_degree: 6.0,
+            mixing: 0.3,
+        }
+        .generate(4);
+        let single = Louvain::new(LouvainConfig::default()).run(&gt.graph);
+        let cons = consensus(
+            &gt.graph,
+            ConsensusConfig {
+                runs: 4,
+                max_rounds: 3,
+                ..ConsensusConfig::default()
+            },
+        );
+        // Consensus must not be dramatically worse; usually it's at least
+        // as stable. Allow a small tolerance (it optimises agreement, not
+        // raw Q).
+        assert!(
+            cons.modularity > single.modularity - 0.05,
+            "consensus {} vs single {}",
+            cons.modularity,
+            single.modularity
+        );
+    }
+
+    #[test]
+    fn deterministic_given_config() {
+        let g = fixtures::ring_of_cliques(4, 4);
+        let a = consensus(&g, ConsensusConfig::default());
+        let b = consensus(&g, ConsensusConfig::default());
+        assert_eq!(a.partition, b.partition);
+        assert_eq!(a.rounds, b.rounds);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least two runs")]
+    fn rejects_single_run() {
+        let g = fixtures::two_cliques(3);
+        consensus(
+            &g,
+            ConsensusConfig {
+                runs: 1,
+                ..ConsensusConfig::default()
+            },
+        );
+    }
+}

@@ -1,0 +1,155 @@
+//! Block-level hash-based DecideAndMove kernel (paper Algorithm 3).
+//!
+//! One simulated block per active vertex. The block's threads stride over
+//! the neighbor list, upserting `(C[u], w(u,v))` into a per-vertex
+//! [`VertexTable`] whose placement (global-only / unified / hierarchical)
+//! is the experiment variable of Figures 4 and 9(b). On first insertion of
+//! a community the block also loads `D_V(C[u])` from global memory
+//! (Algorithm 3 line 9). The final candidate scan feeds the shared
+//! [`choose`] rule.
+
+use super::hashtable::{HashConfig, TableStats, VertexTable};
+use super::{choose, DecideOutput};
+use crate::state::BspState;
+use gala_graph::partition::CommunityId;
+use gala_graph::{Graph, VertexId};
+use gala_gpu::block::SharedMem;
+use gala_gpu::grid;
+use gala_gpu::memory::{MemTally, Space};
+
+/// Runs the hash-based kernel over the active vertices.
+pub fn decide(
+    graph: &Graph,
+    state: &BspState,
+    active: &[bool],
+    cfg: HashConfig,
+) -> DecideOutput {
+    let work: Vec<VertexId> = (0..graph.num_vertices() as VertexId)
+        .filter(|&v| active[v as usize])
+        .collect();
+    let launched = grid::launch(&work, |&v, tally| decide_one(v, graph, state, cfg, tally));
+    let mut next_comm = state.comm.clone();
+    let mut hash_stats = TableStats::default();
+    for (&v, &(c, stats)) in work.iter().zip(&launched.outputs) {
+        next_comm[v as usize] = c;
+        hash_stats += stats;
+    }
+    DecideOutput {
+        next_comm,
+        tally: launched.tally,
+        hash_stats,
+    }
+}
+
+/// One block's work: Algorithm 3 for vertex `v`.
+pub fn decide_one(
+    v: VertexId,
+    graph: &Graph,
+    state: &BspState,
+    cfg: HashConfig,
+    tally: &mut MemTally,
+) -> (CommunityId, TableStats) {
+    let mut shared = SharedMem::default_budget();
+    let deg = graph.degree(v);
+    let mut table = VertexTable::new(cfg, deg.max(1), &mut shared);
+    let ids = graph.neighbor_ids(v);
+    let weights = graph.neighbor_weights(v);
+    for (&u, &w) in ids.iter().zip(weights) {
+        // Load neighbor id, edge weight, and C[u] from global memory.
+        tally.load(Space::Global, 3);
+        if u == v {
+            continue;
+        }
+        let c = state.comm[u as usize];
+        let before = table.len();
+        table.upsert_add(c, w, tally);
+        if table.len() != before {
+            // Fresh community: load D_V(C[u]) into the table (Alg. 3 l. 9).
+            tally.load(Space::Global, 1);
+        }
+        // Gain computation for the running max (registers).
+        tally.load(Space::Register, 4);
+    }
+    let cands = table.drain(tally);
+    // Block-level reduction of per-thread maxima (registers).
+    tally.load(Space::Register, 2 * cands.len() as u64 + 2);
+    (choose(v, graph, state, &cands), table.stats)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::cpu;
+    use super::super::hashtable::HashTableKind;
+    use super::*;
+    use gala_graph::generators::fixtures;
+
+    fn all_kinds() -> [HashConfig; 3] {
+        [
+            HashConfig { kind: HashTableKind::GlobalOnly, shared_buckets: 0 },
+            HashConfig { kind: HashTableKind::Unified, shared_buckets: 64 },
+            HashConfig { kind: HashTableKind::Hierarchical, shared_buckets: 64 },
+        ]
+    }
+
+    #[test]
+    fn all_table_kinds_match_cpu_reference() {
+        let g = fixtures::ring_of_cliques(5, 6);
+        let s = BspState::new(&g);
+        let active = vec![true; g.num_vertices()];
+        let reference = cpu::decide(&g, &s, &active);
+        for cfg in all_kinds() {
+            let out = decide(&g, &s, &active, cfg);
+            assert_eq!(out.next_comm, reference.next_comm, "{:?}", cfg.kind);
+        }
+    }
+
+    #[test]
+    fn hierarchical_serves_more_from_shared_than_unified() {
+        let g = fixtures::ring_of_cliques(8, 8);
+        let s = BspState::new(&g);
+        let active = vec![true; g.num_vertices()];
+        let hier = decide(
+            &g,
+            &s,
+            &active,
+            HashConfig { kind: HashTableKind::Hierarchical, shared_buckets: 32 },
+        );
+        let uni = decide(
+            &g,
+            &s,
+            &active,
+            HashConfig { kind: HashTableKind::Unified, shared_buckets: 32 },
+        );
+        assert!(
+            hier.hash_stats.access_rate() > uni.hash_stats.access_rate(),
+            "hier {} vs uni {}",
+            hier.hash_stats.access_rate(),
+            uni.hash_stats.access_rate()
+        );
+    }
+
+    #[test]
+    fn global_only_counts_no_shared_traffic() {
+        let g = fixtures::two_cliques(5);
+        let s = BspState::new(&g);
+        let active = vec![true; g.num_vertices()];
+        let out = decide(
+            &g,
+            &s,
+            &active,
+            HashConfig { kind: HashTableKind::GlobalOnly, shared_buckets: 0 },
+        );
+        assert_eq!(out.tally.shared_atomics, 0);
+        assert!(out.tally.global_atomics > 0);
+    }
+
+    #[test]
+    fn inactive_vertices_untouched() {
+        let g = fixtures::two_cliques(4);
+        let s = BspState::new(&g);
+        let active = vec![false; g.num_vertices()];
+        let out = decide(&g, &s, &active, HashConfig::default());
+        assert_eq!(out.next_comm, s.comm);
+        assert_eq!(out.tally, MemTally::new());
+    }
+}

@@ -1,0 +1,266 @@
+//! DecideAndMove kernels (paper Section 4).
+//!
+//! Every kernel computes, for each active vertex, the same function: the
+//! weight `d_C(v)` to each neighboring community, the gain score of moving
+//! there, and the best target under Grappolo's deterministic tie-breaking.
+//! They differ in *where the intermediate state lives*:
+//!
+//! * [`cpu`] — host reference: per-vertex `HashMap`, rayon over vertices.
+//! * [`shuffle`] — paper Algorithm 2: a warp per vertex, state in lane
+//!   registers, aggregation via `__match_any_sync` + grouped reduce.
+//! * [`hash`] — paper Algorithm 3: a block per vertex, state in a
+//!   [`hashtable::VertexTable`] that is global-only, unified, or
+//!   hierarchical (the paper's contribution).
+//! * [`sort`] — the cuGraph-style baseline: materialise `(community,
+//!   weight)` pairs in global scratch, bitonic-sort, segmented-reduce.
+//! * [`replicated`] — per-thread private tables merged by reduction (the
+//!   conflict-free design of the paper's reference [32], kept as a
+//!   measurable ablation).
+//!
+//! All kernels funnel their per-community aggregates through [`choose`], so
+//! on unit-weight graphs (exact f64 sums) they make bit-identical decisions
+//! — a property the cross-kernel tests enforce.
+
+pub mod cpu;
+pub mod hash;
+pub mod hashtable;
+pub mod replicated;
+pub mod shuffle;
+pub mod sort;
+
+use crate::state::BspState;
+use gala_graph::partition::CommunityId;
+use gala_graph::{Graph, VertexId};
+use gala_gpu::memory::MemTally;
+use hashtable::{HashConfig, TableStats};
+
+/// Which DecideAndMove kernel to run.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum KernelKind {
+    /// Host reference implementation (per-vertex hash map on rayon).
+    Cpu,
+    /// Warp-level shuffle-based kernel (Algorithm 2).
+    Shuffle,
+    /// Block-level hash-based kernel (Algorithm 3) with the given table.
+    Hash(HashConfig),
+    /// cuGraph-style sort + segmented-reduce baseline.
+    Sort,
+    /// Per-thread replicated tables merged by reduction — the design of
+    /// the paper's reference [32], kept as a measurable ablation.
+    Replicated,
+    /// GALA's workload-aware dispatch: shuffle for degree < threshold,
+    /// hash-based (hierarchical table by default) otherwise. This is the
+    /// paper's "MM" memory-management optimisation.
+    WorkloadAware(HashConfig),
+}
+
+impl Default for KernelKind {
+    fn default() -> Self {
+        KernelKind::WorkloadAware(HashConfig::default())
+    }
+}
+
+/// Degree below which the workload-aware dispatcher uses the shuffle kernel
+/// (one warp's worth of neighbors).
+pub const SHUFFLE_DEGREE_THRESHOLD: usize = 32;
+
+/// Output of a DecideAndMove pass.
+#[derive(Clone, Debug)]
+pub struct DecideOutput {
+    /// Chosen community per vertex (unchanged for inactive vertices).
+    pub next_comm: Vec<CommunityId>,
+    /// Summed simulated memory tally.
+    pub tally: MemTally,
+    /// Hashtable placement statistics (hash-based kernels only).
+    pub hash_stats: TableStats,
+}
+
+/// Runs the selected kernel over all `active` vertices.
+pub fn decide(
+    kind: KernelKind,
+    graph: &Graph,
+    state: &BspState,
+    active: &[bool],
+) -> DecideOutput {
+    match kind {
+        KernelKind::Cpu => cpu::decide(graph, state, active),
+        KernelKind::Shuffle => shuffle::decide(graph, state, active),
+        KernelKind::Hash(cfg) => hash::decide(graph, state, active, cfg),
+        KernelKind::Sort => sort::decide(graph, state, active),
+        KernelKind::Replicated => replicated::decide(graph, state, active),
+        KernelKind::WorkloadAware(cfg) => decide_workload_aware(graph, state, active, cfg),
+    }
+}
+
+/// GALA's dispatch: small-degree vertices to the shuffle kernel, the rest to
+/// the hash-based kernel. Both halves run over the same state snapshot, so
+/// the split is purely a performance decision.
+fn decide_workload_aware(
+    graph: &Graph,
+    state: &BspState,
+    active: &[bool],
+    cfg: HashConfig,
+) -> DecideOutput {
+    let mut small = vec![false; active.len()];
+    let mut large = vec![false; active.len()];
+    for v in 0..active.len() {
+        if !active[v] {
+            continue;
+        }
+        if graph.degree(v as VertexId) < SHUFFLE_DEGREE_THRESHOLD {
+            small[v] = true;
+        } else {
+            large[v] = true;
+        }
+    }
+    let a = shuffle::decide(graph, state, &small);
+    let b = hash::decide(graph, state, &large, cfg);
+    let mut next_comm = a.next_comm;
+    for v in 0..active.len() {
+        if large[v] {
+            next_comm[v] = b.next_comm[v];
+        }
+    }
+    DecideOutput {
+        next_comm,
+        tally: a.tally + b.tally,
+        hash_stats: b.hash_stats,
+    }
+}
+
+/// Shared decision rule: given the aggregated `(community, d_vc)` candidates
+/// of vertex `v`, picks the next community under the extraction-convention
+/// gain with Grappolo's heuristics:
+///
+/// 1. Foreign candidates are ranked by gain score; ties go to the smaller
+///    community id (deterministic under any parallel schedule).
+/// 2. The vertex moves only if the best foreign score beats the stay score,
+///    or equals it with a smaller community id.
+/// 3. Singleton-swap guard: a vertex alone in its community only moves into
+///    another *singleton* community of smaller id, preventing the classic
+///    two-singleton oscillation of parallel Louvain.
+pub fn choose(
+    v: VertexId,
+    graph: &Graph,
+    state: &BspState,
+    candidates: &[(CommunityId, f64)],
+) -> CommunityId {
+    let cv = state.comm[v as usize];
+    let d_v = graph.degree_w(v);
+    let mut stay_d_vc = 0.0;
+    let mut best: Option<(f64, CommunityId)> = None;
+    for &(c, d_vc) in candidates {
+        if c == cv {
+            stay_d_vc = d_vc;
+            continue;
+        }
+        let score = state.score(d_vc, d_v, state.d_tot[c as usize]);
+        best = match best {
+            None => Some((score, c)),
+            Some((bs, bc)) => {
+                if score > bs || (score == bs && c < bc) {
+                    Some((score, c))
+                } else {
+                    Some((bs, bc))
+                }
+            }
+        };
+    }
+    let Some((best_score, best_c)) = best else {
+        return cv; // no foreign neighbor community: nothing to move to
+    };
+    let stay_score = state.score(stay_d_vc, d_v, state.d_tot_without(v, graph));
+    let wants_move = best_score > stay_score || (best_score == stay_score && best_c < cv);
+    if !wants_move {
+        return cv;
+    }
+    // Singleton-swap guard (Grappolo): singleton may only join a singleton
+    // with a smaller id.
+    if state.comm_size[cv as usize] == 1
+        && state.comm_size[best_c as usize] == 1
+        && best_c > cv
+    {
+        return cv;
+    }
+    best_c
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gala_graph::generators::fixtures;
+
+    /// Fresh singleton state over the two-cliques fixture.
+    fn setup() -> (Graph, BspState) {
+        let g = fixtures::two_cliques(3);
+        let s = BspState::new(&g);
+        (g, s)
+    }
+
+    #[test]
+    fn choose_moves_toward_positive_gain() {
+        let (g, s) = setup();
+        // Vertex 1 (inside clique 0) with singleton communities everywhere:
+        // all neighbors are singleton communities; guard restricts moves to
+        // smaller ids, so it must pick community 0.
+        let cands: Vec<(CommunityId, f64)> = g
+            .neighbors(1)
+            .map(|(u, w)| (s.comm[u as usize], w))
+            .collect();
+        assert_eq!(choose(1, &g, &s, &cands), 0);
+    }
+
+    #[test]
+    fn choose_respects_singleton_guard() {
+        let (g, s) = setup();
+        // Vertex 0's neighbors are communities 1 and 2, both singletons
+        // with larger ids: the guard forbids both moves.
+        let cands: Vec<(CommunityId, f64)> = g
+            .neighbors(0)
+            .map(|(u, w)| (s.comm[u as usize], w))
+            .collect();
+        assert_eq!(choose(0, &g, &s, &cands), 0);
+    }
+
+    #[test]
+    fn choose_stays_without_candidates() {
+        let (g, s) = setup();
+        assert_eq!(choose(4, &g, &s, &[]), 4);
+    }
+
+    #[test]
+    fn choose_prefers_smaller_id_on_tie() {
+        let (g, mut s) = setup();
+        // Make communities 1 and 2 identical targets for vertex 0.
+        s.comm = vec![0, 1, 1, 2, 2, 5];
+        s.comm_size = vec![1, 2, 2, 0, 0, 1];
+        s.d_tot = vec![
+            g.degree_w(0),
+            g.degree_w(1) + g.degree_w(2),
+            g.degree_w(3) + g.degree_w(4),
+            0.0,
+            0.0,
+            g.degree_w(5),
+        ];
+        // Vertex 0 connects to 1 and 2, both in community 1 — single
+        // candidate; then symmetric fake: d_vc equal to both communities.
+        let cands = vec![(1u32, 1.0), (2u32, 1.0)];
+        // d_tot of community 1 vs 2: clique degrees are symmetric except
+        // bridge; vertex 2 and 3 carry the bridge. Compute scores directly:
+        let cv = choose(0, &g, &s, &cands);
+        // community 2 contains the bridge endpoint 3 (degree 3), community 1
+        // also contains bridge endpoint 2 (degree 3): d_tot equal → tie →
+        // smaller id wins.
+        assert_eq!(cv, 1);
+    }
+
+    #[test]
+    fn workload_aware_matches_cpu() {
+        let g = fixtures::ring_of_cliques(4, 6);
+        let s = BspState::new(&g);
+        let active = vec![true; g.num_vertices()];
+        let a = decide(KernelKind::Cpu, &g, &s, &active);
+        let b = decide(KernelKind::default(), &g, &s, &active);
+        assert_eq!(a.next_comm, b.next_comm);
+    }
+}

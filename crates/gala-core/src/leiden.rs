@@ -1,0 +1,359 @@
+//! The Leiden algorithm (Traag, Waltman & van Eck 2019) — the paper's
+//! reference [54], whose relaxed movement rule GALA's RM strategy comes
+//! from. Implemented as a sequential quality baseline.
+//!
+//! Leiden repairs Louvain's badly-connected-communities defect with a
+//! three-step round: (1) fast local moving, (2) *refinement* — each
+//! community is re-partitioned from singletons, merging only inside it, so
+//! every final community is internally connected — and (3) aggregation on
+//! the refined partition, with the aggregated vertices initially labelled
+//! by their step-1 communities.
+//!
+//! The headline guarantee ("communities are well-connected") is verified by
+//! [`communities_are_connected`] and enforced in tests.
+
+use crate::modularity::modularity_with_resolution;
+use gala_graph::coarsen::coarsen;
+use gala_graph::partition::CommunityId;
+use gala_graph::subgraph::community_subgraph;
+use gala_graph::traversal::connected_components;
+use gala_graph::{Graph, Partition, VertexId};
+use std::collections::HashMap;
+
+/// Configuration of a Leiden run.
+#[derive(Clone, Copy, Debug)]
+pub struct LeidenConfig {
+    /// Resolution parameter γ (1.0 = classic modularity).
+    pub resolution: f64,
+    /// Stop a local-moving pass once its total gain falls below θ.
+    pub theta: f64,
+    /// Cap on local-moving sweeps per round.
+    pub max_sweeps: usize,
+    /// Cap on rounds (move + refine + aggregate repetitions).
+    pub max_rounds: usize,
+}
+
+impl Default for LeidenConfig {
+    fn default() -> Self {
+        Self {
+            resolution: 1.0,
+            theta: 1e-6,
+            max_sweeps: 200,
+            max_rounds: 20,
+        }
+    }
+}
+
+/// Result of a Leiden run.
+#[derive(Clone, Debug)]
+pub struct LeidenResult {
+    /// Final communities on the original graph.
+    pub partition: Partition,
+    /// Final (generalised) modularity.
+    pub modularity: f64,
+    /// Rounds executed.
+    pub rounds: usize,
+}
+
+/// Runs Leiden to convergence.
+pub fn leiden(graph: &Graph, config: LeidenConfig) -> LeidenResult {
+    let mut current: Option<Graph> = None;
+    // `labels` carries the working graph's initial communities into each
+    // round (Leiden's aggregated vertices do NOT restart as singletons).
+    let mut labels: Option<Vec<CommunityId>> = None;
+    let mut flat: Option<Partition> = None;
+    let mut rounds = 0;
+    for _ in 0..config.max_rounds {
+        let g = current.as_ref().unwrap_or(graph);
+        let mut comm: Vec<CommunityId> =
+            labels.take().unwrap_or_else(|| (0..g.num_vertices() as CommunityId).collect());
+        let moved = local_move(g, &mut comm, &config);
+        rounds += 1;
+        let partition = Partition::from_assignment(comm.clone());
+        let (dense, k) = partition.renumbered();
+        if k == g.num_vertices() {
+            // Nothing merged: converged. Record this level and stop.
+            flat = Some(match flat {
+                None => dense,
+                Some(prev) => prev.compose(&dense),
+            });
+            break;
+        }
+        // Refinement: re-partition each community from singletons.
+        let refined = refine(g, &partition, &config);
+        let coarse = coarsen(g, &refined);
+        // The aggregated graph's vertices start in their step-1 community.
+        let refined_dense = &coarse.renumbered;
+        let mut next_labels = vec![0 as CommunityId; coarse.num_communities];
+        for v in 0..g.num_vertices() {
+            let super_v = refined_dense.community_of(v as VertexId) as usize;
+            next_labels[super_v] = dense.community_of(v as VertexId);
+        }
+        flat = Some(match flat {
+            None => refined_dense.clone(),
+            Some(prev) => prev.compose(refined_dense),
+        });
+        if !moved {
+            break;
+        }
+        labels = Some(next_labels);
+        current = Some(coarse.graph);
+    }
+    // Flatten maps original vertices to the last refined level; compose
+    // with the final labels if a round ended early with labels pending.
+    let mut partition = flat.unwrap_or_else(|| Partition::singletons(graph.num_vertices()));
+    if let Some(last) = labels {
+        partition = partition.compose(&Partition::from_assignment(last));
+    }
+    let q = modularity_with_resolution(graph, &partition, config.resolution);
+    LeidenResult {
+        partition,
+        modularity: q,
+        rounds,
+    }
+}
+
+/// Sequential local moving with immediate updates (Louvain phase-1 style),
+/// starting from the given assignment. Returns whether anything moved.
+fn local_move(graph: &Graph, comm: &mut [CommunityId], config: &LeidenConfig) -> bool {
+    let n = graph.num_vertices();
+    let m2 = graph.total_weight();
+    if m2 == 0.0 {
+        return false;
+    }
+    let slots = comm.iter().copied().max().unwrap_or(0) as usize + 1;
+    let mut d_tot = vec![0.0f64; slots.max(n)];
+    for v in 0..n {
+        d_tot[comm[v] as usize] += graph.degree_w(v as VertexId);
+    }
+    let gamma = config.resolution;
+    let mut any_moved = false;
+    let mut agg: HashMap<CommunityId, f64> = HashMap::new();
+    for _ in 0..config.max_sweeps {
+        let mut sweep_gain = 0.0;
+        for v in 0..n as VertexId {
+            let cv = comm[v as usize];
+            let d_v = graph.degree_w(v);
+            agg.clear();
+            for (u, w) in graph.neighbors(v) {
+                if u != v {
+                    *agg.entry(comm[u as usize]).or_insert(0.0) += w;
+                }
+            }
+            if agg.is_empty() {
+                continue;
+            }
+            d_tot[cv as usize] -= d_v;
+            let score = |d_vc: f64, dt: f64| d_vc - gamma * d_v * dt / m2;
+            let stay = score(agg.get(&cv).copied().unwrap_or(0.0), d_tot[cv as usize]);
+            let mut best_c = cv;
+            let mut best = stay;
+            for (&c, &d_vc) in agg.iter() {
+                if c == cv {
+                    continue;
+                }
+                let s = score(d_vc, d_tot[c as usize]);
+                if s > best || (s == best && c < best_c) {
+                    best = s;
+                    best_c = c;
+                }
+            }
+            d_tot[best_c as usize] += d_v;
+            if best_c != cv {
+                comm[v as usize] = best_c;
+                any_moved = true;
+                sweep_gain += 2.0 / m2 * (best - stay);
+            }
+        }
+        if sweep_gain < config.theta {
+            break;
+        }
+    }
+    any_moved
+}
+
+/// Leiden's refinement as a standalone operation: within each community of
+/// `partition`, re-partition from singletons by local moving restricted to
+/// that community. Every refined community is internally connected by
+/// construction (merges only follow internal edges).
+///
+/// Exposed publicly so other drivers can borrow it —
+/// [`crate::louvain::LouvainConfig::refine`] runs it between BSP phase 1
+/// and the coarsening, which repairs the badly-connected communities
+/// simultaneous moves sometimes glue together.
+pub fn refine_partition(
+    graph: &Graph,
+    partition: &Partition,
+    resolution: f64,
+    max_sweeps: usize,
+) -> Partition {
+    refine(
+        graph,
+        partition,
+        &LeidenConfig {
+            resolution,
+            max_sweeps,
+            ..LeidenConfig::default()
+        },
+    )
+}
+
+fn refine(graph: &Graph, partition: &Partition, config: &LeidenConfig) -> Partition {
+    let n = graph.num_vertices();
+    // Refined labels start as singletons (label = own vertex id).
+    let mut refined: Vec<CommunityId> = (0..n as CommunityId).collect();
+    let m2 = graph.total_weight();
+    if m2 == 0.0 {
+        return Partition::from_assignment(refined);
+    }
+    let gamma = config.resolution;
+    let mut d_tot: Vec<f64> = (0..n).map(|v| graph.degree_w(v as VertexId)).collect();
+    let mut agg: HashMap<CommunityId, f64> = HashMap::new();
+    for _ in 0..config.max_sweeps {
+        let mut moved = false;
+        for v in 0..n as VertexId {
+            let parent = partition.community_of(v);
+            let cv = refined[v as usize];
+            let d_v = graph.degree_w(v);
+            agg.clear();
+            for (u, w) in graph.neighbors(v) {
+                if u != v && partition.community_of(u) == parent {
+                    *agg.entry(refined[u as usize]).or_insert(0.0) += w;
+                }
+            }
+            if agg.is_empty() {
+                continue;
+            }
+            d_tot[cv as usize] -= d_v;
+            let score = |d_vc: f64, dt: f64| d_vc - gamma * d_v * dt / m2;
+            let stay = score(agg.get(&cv).copied().unwrap_or(0.0), d_tot[cv as usize]);
+            let mut best_c = cv;
+            let mut best = stay;
+            for (&c, &d_vc) in agg.iter() {
+                if c == cv {
+                    continue;
+                }
+                let s = score(d_vc, d_tot[c as usize]);
+                if s > best || (s == best && c < best_c) {
+                    best = s;
+                    best_c = c;
+                }
+            }
+            d_tot[best_c as usize] += d_v;
+            if best_c != cv {
+                refined[v as usize] = best_c;
+                moved = true;
+            }
+        }
+        if !moved {
+            break;
+        }
+    }
+    Partition::from_assignment(refined)
+}
+
+/// Checks Leiden's guarantee: every community of `partition` induces a
+/// connected subgraph of `graph`. (Louvain offers no such guarantee; its
+/// communities can be internally disconnected.)
+pub fn communities_are_connected(graph: &Graph, partition: &Partition) -> bool {
+    let (ids, members) = partition.groups();
+    for (&c, vs) in ids.iter().zip(&members) {
+        if vs.len() <= 1 {
+            continue;
+        }
+        let sub = community_subgraph(graph, partition, c);
+        let (_, k) = connected_components(&sub.graph);
+        if k != 1 {
+            return false;
+        }
+    }
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gala_graph::generators::fixtures;
+    use gala_graph::generators::sbm::PlantedPartition;
+
+    #[test]
+    fn finds_two_cliques() {
+        let g = fixtures::two_cliques(6);
+        let r = leiden(&g, LeidenConfig::default());
+        assert_eq!(r.partition.num_communities(), 2);
+        assert!(r.modularity > 0.45);
+    }
+
+    #[test]
+    fn communities_are_always_connected() {
+        let gt = PlantedPartition {
+            num_communities: 10,
+            community_size: 30,
+            internal_degree: 6.0,
+            mixing: 0.25,
+        }
+        .generate(5);
+        let r = leiden(&gt.graph, LeidenConfig::default());
+        assert!(
+            communities_are_connected(&gt.graph, &r.partition),
+            "Leiden produced a disconnected community"
+        );
+    }
+
+    #[test]
+    fn quality_comparable_to_louvain() {
+        let g = fixtures::ring_of_cliques(8, 5);
+        let leiden_q = leiden(&g, LeidenConfig::default()).modularity;
+        let louvain_q = crate::sequential::sequential_louvain(
+            &g,
+            crate::sequential::SequentialConfig::default(),
+        )
+        .modularity;
+        assert!(
+            leiden_q >= louvain_q - 0.02,
+            "leiden {leiden_q} vs louvain {louvain_q}"
+        );
+    }
+
+    #[test]
+    fn respects_resolution() {
+        let g = fixtures::ring_of_cliques(20, 4);
+        let coarse = leiden(&g, LeidenConfig::default()).partition.num_communities();
+        let fine = leiden(
+            &g,
+            LeidenConfig {
+                resolution: 4.0,
+                ..LeidenConfig::default()
+            },
+        )
+        .partition
+        .num_communities();
+        assert!(fine >= coarse);
+        assert_eq!(fine, 20);
+    }
+
+    #[test]
+    fn karate_club_quality() {
+        let g = fixtures::karate_club();
+        let r = leiden(&g, LeidenConfig::default());
+        assert!(r.modularity > 0.38, "q = {}", r.modularity);
+        assert!(communities_are_connected(&g, &r.partition));
+    }
+
+    #[test]
+    fn connectivity_checker_spots_disconnected_partition() {
+        // Two far-apart cliques forced into one community.
+        let g = fixtures::two_cliques(3);
+        let bad = Partition::from_assignment(vec![0, 0, 1, 1, 0, 0]);
+        assert!(!communities_are_connected(&g, &bad));
+        let good = fixtures::two_cliques_truth(3);
+        assert!(communities_are_connected(&g, &good));
+    }
+
+    #[test]
+    fn edgeless_graph() {
+        let g = gala_graph::GraphBuilder::new(4).build();
+        let r = leiden(&g, LeidenConfig::default());
+        assert_eq!(r.partition.num_communities(), 4);
+    }
+}

@@ -1,0 +1,41 @@
+//! # gala-core — the GALA algorithm (PPoPP '25) on the simulated GPU
+//!
+//! Implements the paper's contribution on top of the `gala-graph` and
+//! `gala-gpu` substrates:
+//!
+//! * [`modularity`] — modularity `Q` (Eq. 1) and the move-gain `ΔQ` (Eq. 2)
+//!   under the extraction convention.
+//! * [`state`] — the BSP iteration state of Algorithm 1 (community ids,
+//!   per-vertex community weight `d_{C[v]}(v)`, per-community totals).
+//! * [`pruning`] — the four unmoved-vertex predictors (SM, RM, PM, MG) plus
+//!   MG+RM and the no-pruning baseline, with FNR/FPR instrumentation.
+//! * [`weight`] — naive vs. delta community-weight maintenance (Sec. 3.5).
+//! * [`kernels`] — DecideAndMove kernels: CPU reference, warp shuffle-based
+//!   (Alg. 2), block hash-based (Alg. 3) with global-only / unified /
+//!   hierarchical hashtables, and a cuGraph-style sort-based baseline.
+//! * [`louvain`] — the BSP phase-1 loop, phase-2 coarsening, and the
+//!   multi-round driver with Grappolo's convergence heuristics.
+//! * [`sequential`] — the classic sequential Louvain baseline (Blondel).
+//! * [`grappolo`] — a Grappolo-style CPU parallel baseline on rayon.
+//! * [`multi_gpu`] — vertex-partitioned multi-device execution with
+//!   adaptive dense/sparse synchronisation (Sec. 4.3).
+//! * [`metrics`] — NMI and partition-quality statistics.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod consensus;
+pub mod grappolo;
+pub mod hierarchy;
+pub mod kernels;
+pub mod label_prop;
+pub mod leiden;
+pub mod louvain;
+pub mod metrics;
+pub mod modularity;
+pub mod multi_gpu;
+pub mod pruning;
+pub mod sequential;
+pub mod state;
+pub mod validation;
+pub mod weight;

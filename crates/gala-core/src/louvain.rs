@@ -1,0 +1,498 @@
+//! The GALA Louvain driver: BSP phase 1 (Algorithm 1) with pluggable
+//! pruning, kernels, and weight maintenance, plus the phase-2 coarsening
+//! loop building the community hierarchy.
+
+use crate::kernels::hashtable::TableStats;
+use crate::kernels::{self, KernelKind};
+use crate::pruning::{self, PruningKind};
+use crate::state::BspState;
+use crate::weight::{self, WeightUpdateMode};
+use gala_graph::coarsen::coarsen;
+use gala_graph::{Graph, Partition};
+use gala_gpu::memory::MemTally;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use std::time::{Duration, Instant};
+
+/// Configuration of a GALA Louvain run. The defaults reproduce the paper's
+/// full system: MG pruning, workload-aware kernels with the hierarchical
+/// hashtable, delta weight maintenance, θ = 10⁻⁶.
+#[derive(Clone, Copy, Debug)]
+pub struct LouvainConfig {
+    /// Convergence threshold θ on the per-iteration modularity gain.
+    pub theta: f64,
+    /// Unmoved-vertex pruning strategy (Section 3).
+    pub pruning: PruningKind,
+    /// DecideAndMove kernel (Section 4).
+    pub kernel: KernelKind,
+    /// `d_self` maintenance mode (Section 3.5).
+    pub weight_update: WeightUpdateMode,
+    /// Safety cap on phase-1 supersteps per round.
+    pub max_iterations: usize,
+    /// Cap on hierarchy rounds (phase 1 + phase 2 repetitions).
+    pub max_rounds: usize,
+    /// Seed for the PM strategy's randomness (unused by the others).
+    pub seed: u64,
+    /// Resolution parameter γ of generalised modularity: 1.0 is classic
+    /// Louvain; larger values favour smaller communities.
+    pub resolution: f64,
+    /// Supersteps a round may go without reaching a new best modularity
+    /// before it stops (simultaneous BSP moves can dip Q temporarily;
+    /// weak-community graphs need to churn through several dips). The
+    /// best-seen state is restored at the end, so a round never finishes
+    /// below its peak.
+    pub dip_patience: usize,
+    /// Run a Leiden-style refinement pass between phase 1 and the
+    /// coarsening of each round (see [`crate::leiden::refine_partition`]).
+    /// Off by default — the paper's GALA coarsens the phase-1 partition
+    /// directly — but it repairs the badly-connected communities that
+    /// simultaneous BSP moves can produce on high-mixing graphs, at the
+    /// cost of an extra sequential pass per round.
+    pub refine: bool,
+}
+
+impl Default for LouvainConfig {
+    fn default() -> Self {
+        Self {
+            theta: 1e-6,
+            pruning: PruningKind::Gain,
+            kernel: KernelKind::default(),
+            weight_update: WeightUpdateMode::Delta,
+            max_iterations: 500,
+            max_rounds: 20,
+            seed: 0x6A1A,
+            resolution: 1.0,
+            dip_patience: 8,
+            refine: false,
+        }
+    }
+}
+
+impl LouvainConfig {
+    /// The paper's unoptimised baseline: no pruning, hash kernel with a
+    /// global-only table, naive weight maintenance.
+    pub fn baseline() -> Self {
+        use crate::kernels::hashtable::{HashConfig, HashTableKind};
+        Self {
+            pruning: PruningKind::None,
+            kernel: KernelKind::Hash(HashConfig {
+                kind: HashTableKind::GlobalOnly,
+                shared_buckets: 0,
+            }),
+            weight_update: WeightUpdateMode::Naive,
+            ..Self::default()
+        }
+    }
+}
+
+/// Per-superstep record (the raw material of Figs 1, 4, 7, 8).
+#[derive(Clone, Debug)]
+pub struct IterationStats {
+    /// Superstep index within the round (0-based).
+    pub iteration: usize,
+    /// Vertices classified active.
+    pub num_active: usize,
+    /// Vertices that actually moved.
+    pub num_moved: usize,
+    /// Modularity after the superstep.
+    pub modularity: f64,
+    /// Simulated memory tally of the DecideAndMove pass.
+    pub tally: MemTally,
+    /// Simulated memory tally of the weight-maintenance pass.
+    pub weight_tally: MemTally,
+    /// Hashtable placement stats (hash kernels only).
+    pub hash_stats: TableStats,
+    /// Wall time of DecideAndMove.
+    pub decide_time: Duration,
+    /// Wall time of the weight-maintenance step.
+    pub weight_time: Duration,
+    /// Wall time of everything else (classify, apply, modularity).
+    pub other_time: Duration,
+}
+
+/// One hierarchy round: a full phase-1 run on the (possibly coarsened)
+/// graph.
+#[derive(Clone, Debug)]
+pub struct RoundStats {
+    /// Round index (0 = original graph).
+    pub round: usize,
+    /// Vertices of the graph this round ran on.
+    pub num_vertices: usize,
+    /// Per-superstep records.
+    pub iterations: Vec<IterationStats>,
+    /// Modularity at the end of the round.
+    pub modularity: f64,
+}
+
+impl RoundStats {
+    /// Total DecideAndMove wall time of the round.
+    pub fn decide_time(&self) -> Duration {
+        self.iterations.iter().map(|i| i.decide_time).sum()
+    }
+
+    /// Total weight-maintenance wall time of the round.
+    pub fn weight_time(&self) -> Duration {
+        self.iterations.iter().map(|i| i.weight_time).sum()
+    }
+
+    /// Total simulated memory tally of the round (DecideAndMove + weight
+    /// maintenance).
+    pub fn total_tally(&self) -> MemTally {
+        self.iterations.iter().map(|i| i.tally + i.weight_tally).sum()
+    }
+
+    /// Total simulated tally of the DecideAndMove passes only.
+    pub fn decide_tally(&self) -> MemTally {
+        self.iterations.iter().map(|i| i.tally).sum()
+    }
+
+    /// Total simulated tally of the weight-maintenance passes only.
+    pub fn weight_tally(&self) -> MemTally {
+        self.iterations.iter().map(|i| i.weight_tally).sum()
+    }
+}
+
+/// Result of a full Louvain run.
+#[derive(Clone, Debug)]
+pub struct LouvainResult {
+    /// Final communities on the *original* graph.
+    pub partition: Partition,
+    /// Final modularity on the original graph.
+    pub modularity: f64,
+    /// Per-round statistics.
+    pub rounds: Vec<RoundStats>,
+}
+
+impl LouvainResult {
+    /// Total supersteps across all rounds.
+    pub fn num_iterations(&self) -> usize {
+        self.rounds.iter().map(|r| r.iterations.len()).sum()
+    }
+
+    /// Summed simulated tally across all rounds.
+    pub fn total_tally(&self) -> MemTally {
+        self.rounds.iter().map(|r| r.total_tally()).sum()
+    }
+}
+
+/// The GALA Louvain runner.
+#[derive(Clone, Debug, Default)]
+pub struct Louvain {
+    config: LouvainConfig,
+}
+
+impl Louvain {
+    /// Creates a runner with the given configuration.
+    pub fn new(config: LouvainConfig) -> Self {
+        Self { config }
+    }
+
+    /// The active configuration.
+    pub fn config(&self) -> &LouvainConfig {
+        &self.config
+    }
+
+    /// Runs phase 1 only on `graph`, starting from singletons — the setting
+    /// of most of the paper's experiments ("phase 1 of the first round
+    /// dominates the runtime"). Returns the final state and the stats.
+    pub fn run_phase1(&self, graph: &Graph) -> (BspState, RoundStats) {
+        self.run_phase1_round(graph, 0)
+    }
+
+    fn run_phase1_round(&self, graph: &Graph, round: usize) -> (BspState, RoundStats) {
+        let cfg = &self.config;
+        let mut state = BspState::with_resolution(graph, cfg.resolution);
+        let mut rng = ChaCha8Rng::seed_from_u64(cfg.seed ^ round as u64);
+        let mut iterations = Vec::new();
+        // Simultaneous greedy moves can overshoot and *lower* Q (the
+        // classic BSP-Louvain hazard), but on weak-community graphs the
+        // optimum lies beyond several such dips. Following Grappolo's
+        // convergence heuristics we keep iterating with bounded patience
+        // and restore the best state seen, so a round never ends below its
+        // peak and Theorem 6's guarantees carry to the system level.
+        let mut best_q = state.modularity(graph);
+        let mut best_state = state.clone(); // a round may never beat its start
+        let mut stagnant = 0usize;
+        for iteration in 0..cfg.max_iterations {
+            let t0 = Instant::now();
+            let active = pruning::classify(cfg.pruning, graph, &state, &mut rng);
+            let num_active = active.iter().filter(|&&a| a).count();
+            let t1 = Instant::now();
+            let out = kernels::decide(cfg.kernel, graph, &state, &active);
+            let t2 = Instant::now();
+            let summary = state.apply_moves(graph, &out.next_comm);
+            let t3 = Instant::now();
+            let weight_tally = weight::update(cfg.weight_update, graph, &mut state, &summary);
+            let t4 = Instant::now();
+            let q = state.modularity(graph);
+            let t5 = Instant::now();
+            iterations.push(IterationStats {
+                iteration,
+                num_active,
+                num_moved: summary.num_moved(),
+                modularity: q,
+                tally: out.tally,
+                weight_tally,
+                hash_stats: out.hash_stats,
+                decide_time: t2 - t1,
+                weight_time: t4 - t3,
+                other_time: (t1 - t0) + (t3 - t2) + (t5 - t4),
+            });
+            // Progress is measured against the best state, never against
+            // the previous (possibly oscillating) superstep: a θ-sized
+            // up-tick inside an oscillation must not read as convergence.
+            if q > best_q {
+                best_state = state.clone();
+                if q > best_q + cfg.theta {
+                    stagnant = 0; // meaningful progress (Grappolo's θ rule)
+                } else {
+                    stagnant += 1;
+                }
+                best_q = q;
+            } else {
+                stagnant += 1;
+            }
+            if summary.num_moved() == 0 || stagnant > cfg.dip_patience {
+                break;
+            }
+        }
+        if state.modularity(graph) < best_q {
+            state = best_state;
+        }
+        let stats = RoundStats {
+            round,
+            num_vertices: graph.num_vertices(),
+            modularity: best_q,
+            iterations,
+        };
+        (state, stats)
+    }
+
+    /// Runs the full multi-round Louvain (phase 1 + phase 2 repetitions)
+    /// and returns the flattened hierarchy result.
+    pub fn run(&self, graph: &Graph) -> LouvainResult {
+        let cfg = &self.config;
+        let mut rounds = Vec::new();
+        let mut current: Option<Graph> = None; // None = original graph
+        let mut flat: Option<Partition> = None;
+        let mut best: Option<(Partition, f64)> = None;
+        let mut last_q = f64::NEG_INFINITY;
+        for round in 0..cfg.max_rounds {
+            let g = current.as_ref().unwrap_or(graph);
+            let (state, stats) = self.run_phase1_round(g, round);
+            let q = stats.modularity;
+            let moved_any = stats.iterations.iter().any(|i| i.num_moved > 0);
+            rounds.push(stats);
+            let partition = if cfg.refine {
+                // Leiden-style repair: split each community into its
+                // well-connected pieces before aggregating; the next
+                // round's phase 1 re-merges whatever belongs together.
+                crate::leiden::refine_partition(
+                    g,
+                    &state.partition(),
+                    cfg.resolution,
+                    cfg.max_iterations,
+                )
+            } else {
+                state.partition()
+            };
+            let coarse = coarsen(g, &partition);
+            let composed = match flat {
+                None => coarse.renumbered.clone(),
+                Some(prev) => prev.compose(&coarse.renumbered),
+            };
+            // Track the best flattened partition on the *original* graph —
+            // refinement may transiently lower Q before the next round
+            // recovers it, and the caller should never see that dip.
+            let q_flat = crate::modularity::modularity_with_resolution(
+                graph,
+                &composed,
+                cfg.resolution,
+            );
+            if best.as_ref().is_none_or(|(_, bq)| q_flat > *bq) {
+                best = Some((composed.clone(), q_flat));
+            }
+            flat = Some(composed);
+            // Stop when phase 1 stopped merging or the round gained < θ.
+            if !moved_any
+                || coarse.num_communities == g.num_vertices()
+                || q - last_q < cfg.theta
+            {
+                break;
+            }
+            last_q = q;
+            current = Some(coarse.graph);
+        }
+        let (partition, modularity) = best
+            .unwrap_or_else(|| (Partition::singletons(graph.num_vertices()), 0.0));
+        LouvainResult {
+            partition,
+            modularity,
+            rounds,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::modularity::modularity;
+    use gala_graph::generators::fixtures;
+
+    #[test]
+    fn finds_two_cliques() {
+        let g = fixtures::two_cliques(8);
+        let result = Louvain::new(LouvainConfig::default()).run(&g);
+        assert_eq!(result.partition.num_communities(), 2);
+        // All of clique 0 together, all of clique 1 together.
+        let c0 = result.partition.community_of(0);
+        for v in 0..8 {
+            assert_eq!(result.partition.community_of(v), c0);
+        }
+        let c1 = result.partition.community_of(8);
+        assert_ne!(c0, c1);
+        for v in 8..16 {
+            assert_eq!(result.partition.community_of(v), c1);
+        }
+    }
+
+    #[test]
+    fn modularity_field_matches_partition() {
+        let g = fixtures::ring_of_cliques(5, 4);
+        let result = Louvain::new(LouvainConfig::default()).run(&g);
+        let q = modularity(&g, &result.partition);
+        assert!((result.modularity - q).abs() < 1e-12);
+        assert!(result.modularity > 0.5, "q = {}", result.modularity);
+    }
+
+    #[test]
+    fn phase1_round_ends_at_its_peak() {
+        // Individual supersteps may dip (BSP hazard), but the round's final
+        // state is always the best one seen.
+        let g = fixtures::ring_of_cliques(6, 6);
+        let (state, stats) = Louvain::new(LouvainConfig::default()).run_phase1(&g);
+        let peak = stats
+            .iterations
+            .iter()
+            .map(|i| i.modularity)
+            .fold(f64::NEG_INFINITY, f64::max);
+        assert!((stats.modularity - peak).abs() < 1e-12);
+        assert!((state.modularity(&g) - peak).abs() < 1e-12);
+    }
+
+    #[test]
+    fn baseline_and_mg_agree_on_modularity() {
+        // Theorem 6: MG pruning never loses modularity vs. the baseline.
+        let g = fixtures::ring_of_cliques(8, 5);
+        let base = Louvain::new(LouvainConfig {
+            pruning: PruningKind::None,
+            ..LouvainConfig::default()
+        })
+        .run(&g);
+        let mg = Louvain::new(LouvainConfig {
+            pruning: PruningKind::Gain,
+            ..LouvainConfig::default()
+        })
+        .run(&g);
+        assert!(
+            (base.modularity - mg.modularity).abs() < 1e-9,
+            "baseline {} vs MG {}",
+            base.modularity,
+            mg.modularity
+        );
+    }
+
+    #[test]
+    fn pruning_reduces_active_counts() {
+        let g = fixtures::ring_of_cliques(10, 6);
+        let (_, mg) = Louvain::new(LouvainConfig::default()).run_phase1(&g);
+        let total_active: usize = mg.iterations.iter().map(|i| i.num_active).sum();
+        let total_possible = g.num_vertices() * mg.iterations.len();
+        assert!(
+            total_active < total_possible,
+            "MG never pruned anything ({total_active}/{total_possible})"
+        );
+    }
+
+    #[test]
+    fn higher_resolution_finds_more_communities() {
+        // The resolution limit: with many small cliques in a ring, classic
+        // modularity (γ = 1) merges neighbours; a higher γ separates them.
+        let g = fixtures::ring_of_cliques(24, 4);
+        let communities = |gamma: f64| {
+            Louvain::new(LouvainConfig {
+                resolution: gamma,
+                ..LouvainConfig::default()
+            })
+            .run(&g)
+            .partition
+            .num_communities()
+        };
+        let coarse = communities(1.0);
+        let fine = communities(4.0);
+        assert!(
+            fine >= coarse,
+            "γ=4 found {fine} communities vs {coarse} at γ=1"
+        );
+        assert_eq!(fine, 24, "γ=4 should isolate every clique, got {fine}");
+    }
+
+    #[test]
+    fn resolution_one_is_classic_louvain() {
+        let g = fixtures::two_cliques(6);
+        let explicit = Louvain::new(LouvainConfig {
+            resolution: 1.0,
+            ..LouvainConfig::default()
+        })
+        .run(&g);
+        let default = Louvain::new(LouvainConfig::default()).run(&g);
+        assert_eq!(explicit.partition, default.partition);
+    }
+
+    #[test]
+    fn refinement_never_hurts_and_repairs_noisy_graphs() {
+        let gt = gala_graph::generators::sbm::PlantedPartition {
+            num_communities: 10,
+            community_size: 40,
+            internal_degree: 6.0,
+            mixing: 0.35,
+        }
+        .generate(5);
+        let plain = Louvain::new(LouvainConfig::default()).run(&gt.graph);
+        let refined = Louvain::new(LouvainConfig {
+            refine: true,
+            ..LouvainConfig::default()
+        })
+        .run(&gt.graph);
+        assert!(
+            refined.modularity >= plain.modularity - 1e-6,
+            "refine {} vs plain {}",
+            refined.modularity,
+            plain.modularity
+        );
+        // And on a clean fixture the two agree.
+        let g = fixtures::two_cliques(6);
+        let a = Louvain::new(LouvainConfig::default()).run(&g);
+        let b = Louvain::new(LouvainConfig {
+            refine: true,
+            ..LouvainConfig::default()
+        })
+        .run(&g);
+        assert_eq!(a.partition.num_communities(), b.partition.num_communities());
+    }
+
+    #[test]
+    fn empty_graph_is_fine() {
+        let g = gala_graph::GraphBuilder::new(0).build();
+        let result = Louvain::new(LouvainConfig::default()).run(&g);
+        assert_eq!(result.partition.len(), 0);
+        assert_eq!(result.modularity, 0.0);
+    }
+
+    #[test]
+    fn edgeless_graph_keeps_singletons() {
+        let g = gala_graph::GraphBuilder::new(5).build();
+        let result = Louvain::new(LouvainConfig::default()).run(&g);
+        assert_eq!(result.partition.num_communities(), 5);
+    }
+}

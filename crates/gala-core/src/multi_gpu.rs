@@ -1,0 +1,438 @@
+//! Multi-GPU GALA (paper Section 4.3): vertex-partitioned execution with
+//! adaptive dense/sparse synchronisation.
+//!
+//! Vertices are split into contiguous, edge-balanced ranges, one per
+//! simulated device. Each superstep every device runs DecideAndMove over
+//! its own range; the decisions are then synchronised:
+//!
+//! * **Dense** — every vertex's state (community id, moved flag, community
+//!   weight) goes through an `AllReduce`, paying for the full state size
+//!   each iteration.
+//! * **Sparse** — only `(vertex, new community)` deltas of *moved* vertices
+//!   go through an `AllGather`; receivers replay the moves locally (the
+//!   same delta propagation as [`crate::weight`]).
+//! * **Adaptive** (GALA) — per iteration, whichever of the two has the
+//!   smaller modelled cost; early iterations are dense (everything moves),
+//!   late iterations sparse.
+//!
+//! The simulation is *functionally exact*: all devices share the host's
+//! ground-truth state, so the result equals the single-device run — the
+//! property tests pin this down. What the device split changes is the
+//! *cost*: per-device compute (max over devices, they run in parallel) plus
+//! the modelled collective time, which is what Figure 10 plots.
+
+use crate::kernels::{self, KernelKind};
+use crate::pruning::{self, PruningKind};
+use crate::state::BspState;
+use crate::weight::{self, WeightUpdateMode};
+use gala_graph::{Graph, Partition, VertexId};
+use gala_gpu::comm::DeviceGroup;
+use gala_gpu::memory::{CostModel, MemTally};
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+/// Synchronisation strategy between devices.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SyncMode {
+    /// AllReduce the full per-vertex state every iteration.
+    Dense,
+    /// AllGather only the moved-vertex deltas.
+    Sparse,
+    /// Per-iteration choice by modelled cost (GALA's strategy).
+    Adaptive,
+}
+
+/// Bytes of per-vertex state in a dense sync: community id (4) + moved
+/// flag (1) + community weight (8).
+const DENSE_BYTES_PER_VERTEX: u64 = 13;
+/// Bytes per moved-vertex delta in a sparse sync: vertex id (4) +
+/// new community id (4).
+const SPARSE_BYTES_PER_MOVE: u64 = 8;
+
+/// Configuration of a multi-device run.
+#[derive(Clone, Copy, Debug)]
+pub struct MultiGpuConfig {
+    /// Number of simulated devices.
+    pub num_devices: usize,
+    /// DecideAndMove kernel per device.
+    pub kernel: KernelKind,
+    /// Pruning strategy (applies identically on every device).
+    pub pruning: PruningKind,
+    /// Weight maintenance mode.
+    pub weight_update: WeightUpdateMode,
+    /// Synchronisation strategy.
+    pub sync: SyncMode,
+    /// Convergence threshold θ.
+    pub theta: f64,
+    /// Superstep cap.
+    pub max_iterations: usize,
+    /// Seed (PM pruning only).
+    pub seed: u64,
+    /// Simulated GPU clock in GHz (converts cost-model cycles to µs).
+    pub clock_ghz: f64,
+    /// Effective concurrent lanes per device. The cost-model tally counts
+    /// *total* work; a GPU retires thousands of accesses per cycle across
+    /// its SMs, so modelled time = cycles / (clock · parallelism). 2048 is
+    /// a conservative A100-class figure (108 SMs, partial occupancy).
+    pub effective_parallelism: f64,
+}
+
+impl Default for MultiGpuConfig {
+    fn default() -> Self {
+        Self {
+            num_devices: 1,
+            kernel: KernelKind::default(),
+            pruning: PruningKind::Gain,
+            weight_update: WeightUpdateMode::Delta,
+            sync: SyncMode::Adaptive,
+            theta: 1e-6,
+            max_iterations: 500,
+            seed: 0x6A1A,
+            clock_ghz: 1.4,
+            effective_parallelism: 2048.0,
+        }
+    }
+}
+
+/// Per-superstep record of a multi-device run.
+#[derive(Clone, Debug)]
+pub struct MultiGpuIteration {
+    /// Superstep index.
+    pub iteration: usize,
+    /// Modelled compute time: max over devices of its kernel cycles / clock.
+    pub compute_us: f64,
+    /// Modelled collective time for this superstep's synchronisation.
+    pub comm_us: f64,
+    /// Which sync the (possibly adaptive) strategy actually used.
+    pub sync_used: SyncMode,
+    /// Vertices moved.
+    pub num_moved: usize,
+    /// Vertices active.
+    pub num_active: usize,
+    /// Per-device tallies (diagnostics).
+    pub device_tallies: Vec<MemTally>,
+}
+
+/// Result of a multi-device phase-1 run.
+#[derive(Clone, Debug)]
+pub struct MultiGpuResult {
+    /// Final communities.
+    pub partition: Partition,
+    /// Final modularity.
+    pub modularity: f64,
+    /// Per-superstep records.
+    pub iterations: Vec<MultiGpuIteration>,
+}
+
+impl MultiGpuResult {
+    /// Total modelled compute time (µs).
+    pub fn compute_us(&self) -> f64 {
+        self.iterations.iter().map(|i| i.compute_us).sum()
+    }
+
+    /// Total modelled communication time (µs).
+    pub fn comm_us(&self) -> f64 {
+        self.iterations.iter().map(|i| i.comm_us).sum()
+    }
+
+    /// Total modelled time (µs).
+    pub fn total_us(&self) -> f64 {
+        self.compute_us() + self.comm_us()
+    }
+}
+
+/// Splits `0..n` into `p` contiguous ranges of roughly equal *arc* counts,
+/// the standard edge-balanced 1-D partition for vertex-centric workloads.
+pub fn partition_by_arcs(graph: &Graph, p: usize) -> Vec<std::ops::Range<VertexId>> {
+    assert!(p >= 1);
+    let n = graph.num_vertices();
+    let total_arcs = graph.num_arcs().max(1);
+    let per_device = total_arcs.div_ceil(p);
+    let mut ranges = Vec::with_capacity(p);
+    let mut start = 0usize;
+    let mut acc = 0usize;
+    for v in 0..n {
+        acc += graph.degree(v as VertexId);
+        if acc >= per_device && ranges.len() < p - 1 {
+            ranges.push(start as VertexId..(v + 1) as VertexId);
+            start = v + 1;
+            acc = 0;
+        }
+    }
+    ranges.push(start as VertexId..n as VertexId);
+    while ranges.len() < p {
+        ranges.push(n as VertexId..n as VertexId); // idle devices on tiny graphs
+    }
+    ranges
+}
+
+/// Runs phase 1 on `num_devices` simulated devices.
+pub fn run_phase1(graph: &Graph, config: MultiGpuConfig) -> MultiGpuResult {
+    let cfg = config;
+    let group = DeviceGroup::new(cfg.num_devices);
+    let cost = CostModel::default();
+    let ranges = partition_by_arcs(graph, cfg.num_devices);
+    let mut state = BspState::new(graph);
+    let mut rng = ChaCha8Rng::seed_from_u64(cfg.seed);
+    let mut iterations = Vec::new();
+    // Dip-tolerant convergence, mirroring louvain.rs.
+    const PATIENCE: usize = 8;
+    let mut best_q = state.modularity(graph);
+    let mut best_state = state.clone();
+    let mut stagnant = 0usize;
+    let n = graph.num_vertices();
+    let cycles_per_us = cfg.clock_ghz * 1000.0 * cfg.effective_parallelism;
+
+    for iteration in 0..cfg.max_iterations {
+        let active = pruning::classify(cfg.pruning, graph, &state, &mut rng);
+        let num_active = active.iter().filter(|&&a| a).count();
+
+        // Each device decides over its owned range.
+        let mut next_comm = state.comm.clone();
+        let mut device_tallies = Vec::with_capacity(cfg.num_devices);
+        for range in &ranges {
+            let mut device_active = vec![false; n];
+            for v in range.clone() {
+                device_active[v as usize] = active[v as usize];
+            }
+            let out = kernels::decide(cfg.kernel, graph, &state, &device_active);
+            for v in range.clone() {
+                next_comm[v as usize] = out.next_comm[v as usize];
+            }
+            device_tallies.push(out.tally);
+        }
+        let compute_us = device_tallies
+            .iter()
+            .map(|t| cost.cycles(t) / cycles_per_us)
+            .fold(0.0, f64::max);
+
+        // Synchronise the decisions.
+        let num_moved = next_comm
+            .iter()
+            .zip(&state.comm)
+            .filter(|(a, b)| a != b)
+            .count();
+        let dense_us = group.all_reduce_time_us(n as u64 * DENSE_BYTES_PER_VERTEX);
+        let sparse_us =
+            group.all_gather_time_us(num_moved as u64 * SPARSE_BYTES_PER_MOVE);
+        let (sync_used, comm_us) = match cfg.sync {
+            SyncMode::Dense => (SyncMode::Dense, dense_us),
+            SyncMode::Sparse => (SyncMode::Sparse, sparse_us),
+            SyncMode::Adaptive => {
+                if sparse_us <= dense_us {
+                    (SyncMode::Sparse, sparse_us)
+                } else {
+                    (SyncMode::Dense, dense_us)
+                }
+            }
+        };
+
+        let summary = state.apply_moves(graph, &next_comm);
+        let weight_tally = weight::update(cfg.weight_update, graph, &mut state, &summary);
+        // Weight maintenance is itself a device kernel, split evenly.
+        let compute_us = compute_us
+            + cost.cycles(&weight_tally) / (cfg.num_devices as f64) / cycles_per_us;
+        let q = state.modularity(graph);
+        iterations.push(MultiGpuIteration {
+            iteration,
+            compute_us,
+            comm_us,
+            sync_used,
+            num_moved: summary.num_moved(),
+            num_active,
+            device_tallies,
+        });
+        // Progress measured against the best state (see louvain.rs).
+        if q > best_q {
+            best_state = state.clone();
+            if q > best_q + cfg.theta {
+                stagnant = 0;
+            } else {
+                stagnant += 1;
+            }
+            best_q = q;
+        } else {
+            stagnant += 1;
+        }
+        if summary.num_moved() == 0 || stagnant > PATIENCE {
+            break;
+        }
+    }
+    if state.modularity(graph) < best_q {
+        state = best_state;
+    }
+
+    MultiGpuResult {
+        partition: state.partition(),
+        modularity: best_q,
+        iterations,
+    }
+}
+
+/// Result of a full multi-round multi-device run.
+#[derive(Clone, Debug)]
+pub struct MultiGpuFullResult {
+    /// Final communities on the original graph.
+    pub partition: Partition,
+    /// Final modularity.
+    pub modularity: f64,
+    /// Per-round phase-1 results (the coarsening between rounds runs on
+    /// the host, as in the paper: phase 1 dominates and is what scales).
+    pub rounds: Vec<MultiGpuResult>,
+}
+
+impl MultiGpuFullResult {
+    /// Total modelled device time across rounds (µs).
+    pub fn total_us(&self) -> f64 {
+        self.rounds.iter().map(|r| r.total_us()).sum()
+    }
+}
+
+/// Runs the complete Louvain hierarchy with every phase 1 executed on the
+/// simulated devices.
+pub fn run_full(graph: &Graph, config: MultiGpuConfig) -> MultiGpuFullResult {
+    let mut current: Option<Graph> = None;
+    let mut flat: Option<Partition> = None;
+    let mut rounds = Vec::new();
+    let mut last_q = f64::NEG_INFINITY;
+    for _ in 0..20 {
+        let g = current.as_ref().unwrap_or(graph);
+        let round = run_phase1(g, config);
+        let q = round.modularity;
+        let coarse = gala_graph::coarsen::coarsen(g, &round.partition);
+        let stalled = coarse.num_communities == g.num_vertices();
+        flat = Some(match flat {
+            None => coarse.renumbered.clone(),
+            Some(prev) => prev.compose(&coarse.renumbered),
+        });
+        rounds.push(round);
+        if stalled || q - last_q < config.theta {
+            break;
+        }
+        last_q = q;
+        current = Some(coarse.graph);
+    }
+    let partition = flat.unwrap_or_else(|| Partition::singletons(graph.num_vertices()));
+    let modularity = crate::modularity::modularity(graph, &partition);
+    MultiGpuFullResult {
+        partition,
+        modularity,
+        rounds,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gala_graph::generators::fixtures;
+
+    #[test]
+    fn ranges_cover_all_vertices() {
+        let g = fixtures::ring_of_cliques(7, 5);
+        for p in [1, 2, 3, 8] {
+            let ranges = partition_by_arcs(&g, p);
+            assert_eq!(ranges.len(), p);
+            let mut v = 0u32;
+            for r in &ranges {
+                assert_eq!(r.start, v);
+                v = r.end;
+            }
+            assert_eq!(v as usize, g.num_vertices());
+        }
+    }
+
+    #[test]
+    fn multi_device_matches_single_device() {
+        let g = fixtures::ring_of_cliques(8, 6);
+        let base = run_phase1(&g, MultiGpuConfig::default());
+        for p in [2, 4, 8] {
+            let multi = run_phase1(
+                &g,
+                MultiGpuConfig {
+                    num_devices: p,
+                    ..MultiGpuConfig::default()
+                },
+            );
+            assert_eq!(
+                multi.partition, base.partition,
+                "device count {p} changed the result"
+            );
+            assert!((multi.modularity - base.modularity).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn single_device_pays_no_communication() {
+        let g = fixtures::two_cliques(6);
+        let r = run_phase1(&g, MultiGpuConfig::default());
+        assert_eq!(r.comm_us(), 0.0);
+    }
+
+    #[test]
+    fn adaptive_switches_to_sparse_late() {
+        let g = fixtures::ring_of_cliques(10, 8);
+        let r = run_phase1(
+            &g,
+            MultiGpuConfig {
+                num_devices: 4,
+                sync: SyncMode::Adaptive,
+                ..MultiGpuConfig::default()
+            },
+        );
+        // The final iterations move almost nothing: sparse must win there.
+        let last = r.iterations.last().unwrap();
+        assert_eq!(last.sync_used, SyncMode::Sparse);
+        // And adaptive must never cost more than either pure mode.
+        let dense = run_phase1(
+            &g,
+            MultiGpuConfig {
+                num_devices: 4,
+                sync: SyncMode::Dense,
+                ..MultiGpuConfig::default()
+            },
+        );
+        assert!(r.comm_us() <= dense.comm_us() + 1e-9);
+    }
+
+    #[test]
+    fn full_run_matches_single_device_louvain_quality() {
+        let g = fixtures::ring_of_cliques(8, 5);
+        let multi = run_full(
+            &g,
+            MultiGpuConfig {
+                num_devices: 4,
+                ..MultiGpuConfig::default()
+            },
+        );
+        let single = crate::louvain::Louvain::new(crate::louvain::LouvainConfig::default())
+            .run(&g);
+        assert!(
+            (multi.modularity - single.modularity).abs() < 1e-9,
+            "multi {} vs single {}",
+            multi.modularity,
+            single.modularity
+        );
+        assert_eq!(multi.partition.num_communities(), 8);
+        assert!(multi.rounds.len() >= 2);
+        assert!(multi.total_us() > 0.0);
+    }
+
+    #[test]
+    fn more_devices_reduce_compute_time() {
+        let g = fixtures::ring_of_cliques(12, 8);
+        let one = run_phase1(&g, MultiGpuConfig::default());
+        let four = run_phase1(
+            &g,
+            MultiGpuConfig {
+                num_devices: 4,
+                ..MultiGpuConfig::default()
+            },
+        );
+        assert!(
+            four.compute_us() < one.compute_us(),
+            "4-device compute {} vs 1-device {}",
+            four.compute_us(),
+            one.compute_us()
+        );
+    }
+}

@@ -1,0 +1,307 @@
+//! Unmoved-vertex prediction (paper Section 3).
+//!
+//! Before each BSP superstep a pruning strategy splits the vertices into an
+//! *active set* (processed by DecideAndMove) and an *inactive set*
+//! (skipped). The four strategies from the paper:
+//!
+//! | Strategy | Inactive when… | FN-free? |
+//! |---|---|---|
+//! | [`strict`] (SM) | `C[v]` and every neighbor's community kept the exact same member set | yes (Lemma 3) |
+//! | [`relaxed`] (RM) | `v` and every neighbor kept their community *id* | **no** (Lemma 4) |
+//! | [`probabilistic`] (PM) | `v` kept its id across two iterations → prune with probability α | no |
+//! | [`gain`] (MG) | the modularity-gain upper bound (Eq. 6) shows no move can win | yes (Theorem 6) |
+//!
+//! plus [`PruningKind::None`] (the unpruned baseline) and
+//! [`PruningKind::GainRelaxed`] (MG ∧ RM, the paper's MG+RM combination —
+//! inactive if *either* strategy says inactive).
+//!
+//! Iteration 0 is always fully active: no history exists yet.
+
+pub mod gain;
+pub mod probabilistic;
+pub mod relaxed;
+pub mod strict;
+
+use crate::state::BspState;
+use gala_graph::Graph;
+use rand_chacha::ChaCha8Rng;
+
+/// Which pruning strategy to apply before each superstep.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum PruningKind {
+    /// No pruning: every vertex is active every iteration (the baseline).
+    None,
+    /// Strict movement-based (SM).
+    Strict,
+    /// Relaxed movement-based (RM) — may lose modularity.
+    Relaxed,
+    /// Probabilistic movement-based (PM, Vite) with pruning probability α.
+    Probabilistic {
+        /// Probability of pruning an id-consistent vertex (paper: 0.25).
+        alpha: f64,
+    },
+    /// Modularity-gain–based (MG) — GALA's strategy, FN-free.
+    Gain,
+    /// MG ∧ RM combined: inactive if either marks it inactive.
+    GainRelaxed,
+}
+
+impl PruningKind {
+    /// The paper's default PM configuration (α = 0.25).
+    pub fn probabilistic_default() -> Self {
+        PruningKind::Probabilistic { alpha: 0.25 }
+    }
+
+    /// Short label used by the experiment harness tables.
+    pub fn label(&self) -> &'static str {
+        match self {
+            PruningKind::None => "Baseline",
+            PruningKind::Strict => "SM",
+            PruningKind::Relaxed => "RM",
+            PruningKind::Probabilistic { .. } => "PM",
+            PruningKind::Gain => "MG",
+            PruningKind::GainRelaxed => "MG+RM",
+        }
+    }
+}
+
+/// Classifies every vertex: `true` = active (process), `false` = inactive
+/// (skip). Iteration 0 activates everything.
+pub fn classify(
+    kind: PruningKind,
+    graph: &Graph,
+    state: &BspState,
+    rng: &mut ChaCha8Rng,
+) -> Vec<bool> {
+    let n = graph.num_vertices();
+    if state.iteration == 0 {
+        return vec![true; n];
+    }
+    match kind {
+        PruningKind::None => vec![true; n],
+        PruningKind::Strict => strict::classify(graph, state),
+        PruningKind::Relaxed => relaxed::classify(graph, state),
+        PruningKind::Probabilistic { alpha } => probabilistic::classify(state, alpha, rng),
+        PruningKind::Gain => gain::classify(graph, state),
+        PruningKind::GainRelaxed => {
+            let rm = relaxed::classify(graph, state);
+            let mg = gain::classify(graph, state);
+            rm.iter().zip(&mg).map(|(&a, &b)| a && b).collect()
+        }
+    }
+}
+
+/// Misprediction counts for one superstep, comparing a prediction against
+/// the ground-truth decisions of a full (unpruned) DecideAndMove pass.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct PredictionStats {
+    /// Vertices that moved but were predicted inactive (modularity risk).
+    pub false_negatives: usize,
+    /// Vertices that stayed but were predicted active (wasted work).
+    pub false_positives: usize,
+    /// Ground-truth moved vertices.
+    pub actual_moved: usize,
+    /// Ground-truth unmoved vertices.
+    pub actual_unmoved: usize,
+}
+
+impl PredictionStats {
+    /// Compares a predicted active set against ground-truth moves.
+    pub fn evaluate(active: &[bool], moved: &[bool]) -> Self {
+        assert_eq!(active.len(), moved.len());
+        let mut s = Self::default();
+        for (&a, &m) in active.iter().zip(moved) {
+            match (a, m) {
+                (false, true) => {
+                    s.false_negatives += 1;
+                    s.actual_moved += 1;
+                }
+                (true, false) => {
+                    s.false_positives += 1;
+                    s.actual_unmoved += 1;
+                }
+                (true, true) => s.actual_moved += 1,
+                (false, false) => s.actual_unmoved += 1,
+            }
+        }
+        s
+    }
+
+    /// False-negative rate: misclassified fraction of the moved vertices.
+    pub fn fnr(&self) -> f64 {
+        if self.actual_moved == 0 {
+            0.0
+        } else {
+            self.false_negatives as f64 / self.actual_moved as f64
+        }
+    }
+
+    /// False-positive rate: misclassified fraction of the unmoved vertices.
+    pub fn fpr(&self) -> f64 {
+        if self.actual_unmoved == 0 {
+            0.0
+        } else {
+            self.false_positives as f64 / self.actual_unmoved as f64
+        }
+    }
+
+    /// Accumulates another superstep's counts.
+    pub fn merge(&mut self, other: &PredictionStats) {
+        self.false_negatives += other.false_negatives;
+        self.false_positives += other.false_positives;
+        self.actual_moved += other.actual_moved;
+        self.actual_unmoved += other.actual_unmoved;
+    }
+}
+
+/// Evaluates several strategies side by side on the *baseline trajectory*:
+/// every superstep processes all vertices (no strategy influences the run),
+/// and each strategy's prediction is scored against the ground-truth moves
+/// of that superstep — the methodology behind the paper's Table 1.
+///
+/// Returns per-strategy accumulated stats plus the per-iteration records.
+pub fn evaluate_on_baseline(
+    graph: &Graph,
+    kinds: &[PruningKind],
+    theta: f64,
+    max_iterations: usize,
+    seed: u64,
+) -> Vec<(PruningKind, PredictionStats, Vec<PredictionStats>)> {
+    use crate::kernels::cpu;
+    use crate::weight::{self, WeightUpdateMode};
+    use rand::SeedableRng;
+
+    let mut state = crate::state::BspState::new(graph);
+    let mut rngs: Vec<ChaCha8Rng> = (0..kinds.len())
+        .map(|i| ChaCha8Rng::seed_from_u64(seed ^ (i as u64) << 32))
+        .collect();
+    let mut totals = vec![PredictionStats::default(); kinds.len()];
+    let mut per_iter: Vec<Vec<PredictionStats>> = vec![Vec::new(); kinds.len()];
+    let mut prev_q = state.modularity(graph);
+    for _ in 0..max_iterations {
+        let predictions: Vec<Vec<bool>> = kinds
+            .iter()
+            .zip(rngs.iter_mut())
+            .map(|(&k, rng)| classify(k, graph, &state, rng))
+            .collect();
+        let all_active = vec![true; graph.num_vertices()];
+        let out = cpu::decide(graph, &state, &all_active);
+        let moved: Vec<bool> = out
+            .next_comm
+            .iter()
+            .zip(&state.comm)
+            .map(|(a, b)| a != b)
+            .collect();
+        // Iteration 0 is trivially all-active for every strategy; skip it in
+        // the scoring (the paper averages over the informative iterations).
+        if state.iteration > 0 {
+            for (i, pred) in predictions.iter().enumerate() {
+                let s = PredictionStats::evaluate(pred, &moved);
+                totals[i].merge(&s);
+                per_iter[i].push(s);
+            }
+        }
+        let summary = state.apply_moves(graph, &out.next_comm);
+        weight::update(WeightUpdateMode::Delta, graph, &mut state, &summary);
+        let q = state.modularity(graph);
+        if summary.num_moved() == 0 || q - prev_q < theta {
+            break;
+        }
+        prev_q = q;
+    }
+    kinds
+        .iter()
+        .zip(totals)
+        .zip(per_iter)
+        .map(|((&k, t), p)| (k, t, p))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gala_graph::generators::fixtures;
+    use rand::SeedableRng;
+
+    #[test]
+    fn iteration_zero_activates_everything() {
+        let g = fixtures::two_cliques(4);
+        let s = BspState::new(&g);
+        let mut rng = ChaCha8Rng::seed_from_u64(0);
+        for kind in [
+            PruningKind::None,
+            PruningKind::Strict,
+            PruningKind::Relaxed,
+            PruningKind::probabilistic_default(),
+            PruningKind::Gain,
+            PruningKind::GainRelaxed,
+        ] {
+            let active = classify(kind, &g, &s, &mut rng);
+            assert!(active.iter().all(|&a| a), "{kind:?}");
+        }
+    }
+
+    #[test]
+    fn prediction_stats_rates() {
+        let active = vec![true, false, true, false];
+        let moved = vec![true, true, false, false];
+        let s = PredictionStats::evaluate(&active, &moved);
+        assert_eq!(s.false_negatives, 1);
+        assert_eq!(s.false_positives, 1);
+        assert_eq!(s.fnr(), 0.5);
+        assert_eq!(s.fpr(), 0.5);
+    }
+
+    #[test]
+    fn prediction_stats_merge() {
+        let mut a = PredictionStats::evaluate(&[true], &[true]);
+        let b = PredictionStats::evaluate(&[false], &[true]);
+        a.merge(&b);
+        assert_eq!(a.actual_moved, 2);
+        assert_eq!(a.false_negatives, 1);
+        assert_eq!(a.fnr(), 0.5);
+    }
+
+    #[test]
+    fn sound_strategies_have_zero_fnr_on_baseline_trajectory() {
+        let g = gala_graph::generators::sbm::PlantedPartition {
+            num_communities: 8,
+            community_size: 40,
+            internal_degree: 8.0,
+            mixing: 0.15,
+        }
+        .generate(11)
+        .graph;
+        let kinds = [
+            PruningKind::Strict,
+            PruningKind::Relaxed,
+            PruningKind::probabilistic_default(),
+            PruningKind::Gain,
+        ];
+        let results = evaluate_on_baseline(&g, &kinds, 1e-6, 50, 3);
+        for (kind, total, _) in &results {
+            match kind {
+                PruningKind::Strict | PruningKind::Gain => {
+                    assert_eq!(total.false_negatives, 0, "{kind:?} produced FNs");
+                }
+                _ => {}
+            }
+        }
+        // MG must prune more than SM (lower FPR), the paper's headline.
+        let sm = &results[0].1;
+        let mg = &results[3].1;
+        assert!(
+            mg.fpr() <= sm.fpr(),
+            "MG fpr {} vs SM fpr {}",
+            mg.fpr(),
+            sm.fpr()
+        );
+    }
+
+    #[test]
+    fn labels_match_paper() {
+        assert_eq!(PruningKind::Gain.label(), "MG");
+        assert_eq!(PruningKind::probabilistic_default().label(), "PM");
+        assert_eq!(PruningKind::GainRelaxed.label(), "MG+RM");
+    }
+}

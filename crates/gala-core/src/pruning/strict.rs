@@ -1,0 +1,61 @@
+//! Strict movement-based pruning (SM, paper Section 3.2).
+//!
+//! A vertex is inactive only if its own community and every neighbor's
+//! community kept the *exact same member set* in the previous superstep —
+//! i.e. no vertex moved into or out of any of them. This eliminates all
+//! false negatives (Lemma 3: nothing in the vertex's gain inputs changed,
+//! so its previous decision still stands) but almost never fires on graphs
+//! where communities evolve, producing the paper's ~92% FPR.
+
+use crate::state::BspState;
+use gala_graph::{Graph, VertexId};
+use rayon::prelude::*;
+
+/// Classifies vertices under SM. `true` = active.
+pub fn classify(graph: &Graph, state: &BspState) -> Vec<bool> {
+    (0..graph.num_vertices() as VertexId)
+        .into_par_iter()
+        .map(|v| {
+            if state.comm_changed[state.comm[v as usize] as usize] {
+                return true;
+            }
+            graph
+                .neighbor_ids(v)
+                .iter()
+                .any(|&u| u != v && state.comm_changed[state.comm[u as usize] as usize])
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gala_graph::generators::fixtures;
+
+    #[test]
+    fn quiet_neighborhood_is_inactive() {
+        let g = fixtures::two_cliques(3);
+        let mut s = BspState::new(&g);
+        // One iteration with no moves: everything quiet.
+        let next = s.comm.clone();
+        s.apply_moves(&g, &next);
+        let active = classify(&g, &s);
+        assert!(active.iter().all(|&a| !a));
+    }
+
+    #[test]
+    fn changed_community_activates_members_and_neighbors() {
+        let g = fixtures::two_cliques(3);
+        let mut s = BspState::new(&g);
+        let mut next = s.comm.clone();
+        next[1] = 0; // community 0 and 1 both change sets
+        s.apply_moves(&g, &next);
+        let active = classify(&g, &s);
+        // Vertices 0/1 are in changed communities; vertex 2 neighbors them.
+        assert!(active[0] && active[1] && active[2]);
+        // Vertex 4 (far clique interior) sees no changed community... but
+        // vertex 3 neighbors vertex 2 whose community (2) did NOT change.
+        assert!(!active[4]);
+        assert!(!active[3]);
+    }
+}

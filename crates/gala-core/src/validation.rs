@@ -1,0 +1,179 @@
+//! Partition-quality diagnostics beyond modularity and NMI: coverage,
+//! conductance, and the Adjusted Rand Index. These are the standard
+//! companion measures in community-detection evaluations, and they guard
+//! the test suite against "high Q but nonsense communities" regressions.
+
+use gala_graph::partition::CommunityId;
+use gala_graph::{Graph, Partition};
+use std::collections::HashMap;
+
+/// Coverage: the fraction of total edge weight that falls inside
+/// communities. 1.0 when no edge crosses a community boundary.
+pub fn coverage(graph: &Graph, partition: &Partition) -> f64 {
+    assert_eq!(partition.len(), graph.num_vertices());
+    let m2 = graph.total_weight();
+    if m2 == 0.0 {
+        return 1.0;
+    }
+    let mut internal = 0.0;
+    for v in graph.vertices() {
+        let cv = partition.community_of(v);
+        for (u, w) in graph.neighbors(v) {
+            if u == v || partition.community_of(u) == cv {
+                internal += w;
+            }
+        }
+    }
+    internal / m2
+}
+
+/// Conductance of one community `C`: `cut(C) / min(vol(C), vol(V∖C))`,
+/// the classic "how leaky is this cluster" measure; 0 = perfectly sealed.
+/// Returns `None` for empty or whole-graph communities (undefined).
+pub fn conductance(graph: &Graph, partition: &Partition, community: CommunityId) -> Option<f64> {
+    assert_eq!(partition.len(), graph.num_vertices());
+    let m2 = graph.total_weight();
+    let mut cut = 0.0;
+    let mut vol = 0.0;
+    let mut members = 0usize;
+    for v in graph.vertices() {
+        if partition.community_of(v) != community {
+            continue;
+        }
+        members += 1;
+        vol += graph.degree_w(v);
+        for (u, w) in graph.neighbors(v) {
+            if u != v && partition.community_of(u) != community {
+                cut += w;
+            }
+        }
+    }
+    if members == 0 || members == graph.num_vertices() {
+        return None;
+    }
+    let denom = vol.min(m2 - vol);
+    if denom == 0.0 {
+        return Some(0.0);
+    }
+    Some(cut / denom)
+}
+
+/// Mean conductance over all communities (skipping undefined ones).
+pub fn mean_conductance(graph: &Graph, partition: &Partition) -> f64 {
+    let (ids, _) = partition.groups();
+    let values: Vec<f64> = ids
+        .iter()
+        .filter_map(|&c| conductance(graph, partition, c))
+        .collect();
+    if values.is_empty() {
+        0.0
+    } else {
+        values.iter().sum::<f64>() / values.len() as f64
+    }
+}
+
+/// Adjusted Rand Index between two partitions: 1 for identical clusterings,
+/// ~0 for independent ones, negative for worse-than-chance agreement.
+pub fn adjusted_rand_index(a: &Partition, b: &Partition) -> f64 {
+    assert_eq!(a.len(), b.len(), "partitions must cover the same vertices");
+    let n = a.len();
+    if n < 2 {
+        return 1.0;
+    }
+    let mut joint: HashMap<(u32, u32), u64> = HashMap::new();
+    let mut ca: HashMap<u32, u64> = HashMap::new();
+    let mut cb: HashMap<u32, u64> = HashMap::new();
+    for v in 0..n {
+        let x = a.community_of(v as u32);
+        let y = b.community_of(v as u32);
+        *joint.entry((x, y)).or_insert(0) += 1;
+        *ca.entry(x).or_insert(0) += 1;
+        *cb.entry(y).or_insert(0) += 1;
+    }
+    let c2 = |x: u64| (x * x.saturating_sub(1) / 2) as f64;
+    let sum_joint: f64 = joint.values().map(|&x| c2(x)).sum();
+    let sum_a: f64 = ca.values().map(|&x| c2(x)).sum();
+    let sum_b: f64 = cb.values().map(|&x| c2(x)).sum();
+    let total = c2(n as u64);
+    let expected = sum_a * sum_b / total;
+    let max = 0.5 * (sum_a + sum_b);
+    if (max - expected).abs() < 1e-12 {
+        return 1.0; // both trivial (all-singletons or all-one): identical
+    }
+    (sum_joint - expected) / (max - expected)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gala_graph::generators::fixtures;
+
+    #[test]
+    fn coverage_bounds() {
+        let g = fixtures::two_cliques(4);
+        let truth = fixtures::two_cliques_truth(4);
+        let all_in_one = Partition::from_assignment(vec![0; 8]);
+        let singles = Partition::singletons(8);
+        assert_eq!(coverage(&g, &all_in_one), 1.0);
+        // Only the bridge crosses under the truth partition.
+        let c = coverage(&g, &truth);
+        assert!(c > 0.9 && c < 1.0, "coverage = {c}");
+        assert_eq!(coverage(&g, &singles), 0.0);
+    }
+
+    #[test]
+    fn conductance_of_sealed_and_leaky_communities() {
+        let g = fixtures::two_cliques(4);
+        let truth = fixtures::two_cliques_truth(4);
+        let phi = conductance(&g, &truth, 0).unwrap();
+        // One bridge edge of weight 1, volume = 13 per clique side.
+        assert!((phi - 1.0 / 13.0).abs() < 1e-12, "phi = {phi}");
+        // A community made of half of each clique leaks heavily.
+        let bad = Partition::from_assignment(vec![0, 0, 1, 1, 0, 0, 1, 1]);
+        assert!(conductance(&g, &bad, 0).unwrap() > 0.5);
+    }
+
+    #[test]
+    fn conductance_undefined_cases() {
+        let g = fixtures::two_cliques(3);
+        let all = Partition::from_assignment(vec![7; 6]);
+        assert_eq!(conductance(&g, &all, 7), None); // whole graph
+        assert_eq!(conductance(&g, &all, 3), None); // empty community
+    }
+
+    #[test]
+    fn mean_conductance_prefers_truth() {
+        let g = fixtures::ring_of_cliques(6, 5);
+        let truth = fixtures::ring_of_cliques_truth(6, 5);
+        let random = Partition::from_assignment(
+            (0..30).map(|v| (v % 6) as u32).collect::<Vec<_>>(),
+        );
+        assert!(mean_conductance(&g, &truth) < mean_conductance(&g, &random));
+    }
+
+    #[test]
+    fn ari_identities() {
+        let a = Partition::from_assignment(vec![0, 0, 1, 1, 2, 2]);
+        assert!((adjusted_rand_index(&a, &a) - 1.0).abs() < 1e-12);
+        let relabel = Partition::from_assignment(vec![5, 5, 9, 9, 1, 1]);
+        assert!((adjusted_rand_index(&a, &relabel) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ari_symmetric_and_low_for_mismatch() {
+        let a = Partition::from_assignment(vec![0, 0, 0, 0, 1, 1, 1, 1]);
+        let b = Partition::from_assignment(vec![0, 1, 0, 1, 0, 1, 0, 1]);
+        let ab = adjusted_rand_index(&a, &b);
+        let ba = adjusted_rand_index(&b, &a);
+        assert!((ab - ba).abs() < 1e-12);
+        assert!(ab < 0.2, "ari = {ab}");
+    }
+
+    #[test]
+    fn ari_degenerate_partitions() {
+        let one = Partition::from_assignment(vec![0; 5]);
+        assert_eq!(adjusted_rand_index(&one, &one), 1.0);
+        let single = Partition::from_assignment(vec![0]);
+        assert_eq!(adjusted_rand_index(&single, &single), 1.0);
+    }
+}

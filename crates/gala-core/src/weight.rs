@@ -1,0 +1,189 @@
+//! Community-weight maintenance (paper Section 3.5, Figure 8's "P2").
+//!
+//! After moves are applied, `d_self[v] = d_{C[v]}(v)` must reflect the new
+//! assignment (the MG pruning bound and the O(n) modularity check both read
+//! it). Two implementations:
+//!
+//! * [`WeightUpdateMode::Naive`] — rescan every vertex's neighbors, `O(m)`:
+//!   as expensive as DecideAndMove itself, the bottleneck the paper's
+//!   Figure 8 shows appearing once DecideAndMove is pruned (stage P1).
+//! * [`WeightUpdateMode::Delta`] — each *moved* vertex informs its
+//!   neighbors: an unmoved neighbor `u` adjusts its `d_self[u]` by `±w(u,v)`
+//!   depending on whether `v` left or joined `u`'s community; moved vertices
+//!   rescan only themselves. Cost is proportional to the moved vertices'
+//!   edges — the stage-P2 fix.
+
+use crate::state::{BspState, MoveSummary};
+use gala_graph::{Graph, VertexId};
+use gala_gpu::memory::{MemTally, Space};
+use rayon::prelude::*;
+
+/// How to maintain `d_self` after each superstep.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum WeightUpdateMode {
+    /// Full rescan of every vertex (`O(m)`).
+    Naive,
+    /// Delta propagation from moved vertices (GALA's optimisation).
+    #[default]
+    Delta,
+}
+
+/// Updates `state.d_self` for the moves of the just-applied superstep.
+/// `state.comm` must already hold the *new* assignment.
+///
+/// Returns the simulated memory tally of the maintenance kernel — on the
+/// GPU this phase is a kernel like any other, and Figure 8's breakdown is
+/// about exactly this cost: the naive rescan reads 3 globals per arc (the
+/// same traffic as DecideAndMove's input phase), the delta update touches
+/// only the moved vertices' arcs.
+pub fn update(
+    mode: WeightUpdateMode,
+    graph: &Graph,
+    state: &mut BspState,
+    summary: &MoveSummary,
+) -> MemTally {
+    let mut tally = MemTally::new();
+    match mode {
+        WeightUpdateMode::Naive => {
+            state.recompute_d_self(graph);
+            // Per arc: neighbor id + weight + C[u]; per vertex: one store.
+            tally.load(Space::Global, 3 * graph.num_arcs() as u64);
+            tally.store(Space::Global, graph.num_vertices() as u64);
+        }
+        WeightUpdateMode::Delta => {
+            // Delta traffic is proportional to the moved vertices' arcs
+            // (notify + own rescan), paid partly in atomics. When most of
+            // the graph moved — the first supersteps — a full rescan is
+            // cheaper, so fall back to it; the delta path wins exactly in
+            // the pruning-heavy late iterations Figure 8 is about.
+            let moved_arcs: u64 = summary
+                .moves
+                .iter()
+                .map(|&(v, _, _)| graph.degree(v) as u64)
+                .sum();
+            if 2 * moved_arcs >= graph.num_arcs() as u64 {
+                state.recompute_d_self(graph);
+                tally.load(Space::Global, 3 * graph.num_arcs() as u64);
+                tally.store(Space::Global, graph.num_vertices() as u64);
+            } else {
+                let deltas = update_delta(graph, state, summary);
+                // Two passes over the moved vertices' adjacency (notify +
+                // own rescan), 3 loads per arc; an atomicAdd only for the
+                // neighbors whose d_self actually changes.
+                tally.load(Space::Global, 6 * moved_arcs);
+                tally.atomic(Space::Global, deltas);
+                tally.store(Space::Global, summary.num_moved() as u64);
+            }
+        }
+    }
+    tally
+}
+
+/// Applies the delta update; returns the number of neighbor `d_self`
+/// adjustments actually performed.
+fn update_delta(graph: &Graph, state: &mut BspState, summary: &MoveSummary) -> u64 {
+    // Phase 1: moved vertices notify their *unmoved* neighbors. Deltas are
+    // gathered per move in parallel, then applied in deterministic vertex
+    // order (float addition order is fixed regardless of thread schedule).
+    let moved = &state.moved;
+    let comm = &state.comm;
+    let deltas: Vec<(VertexId, f64)> = summary
+        .moves
+        .par_iter()
+        .flat_map_iter(|&(v, old, new)| {
+            graph.neighbors(v).filter_map(move |(u, w)| {
+                if u == v || moved[u as usize] {
+                    return None; // moved neighbors rescan themselves in phase 2
+                }
+                let cu = comm[u as usize];
+                let mut delta = 0.0;
+                if cu == old {
+                    delta -= w;
+                }
+                if cu == new {
+                    delta += w;
+                }
+                (delta != 0.0).then_some((u, delta))
+            })
+        })
+        .collect();
+    let mut sorted = deltas;
+    sorted.sort_unstable_by_key(|&(u, _)| u);
+    let num_deltas = sorted.len() as u64;
+    for (u, delta) in sorted {
+        state.d_self[u as usize] += delta;
+    }
+
+    // Phase 2: moved vertices recompute their own d_self from scratch.
+    let comm = &state.comm;
+    let fresh: Vec<(VertexId, f64)> = summary
+        .moves
+        .par_iter()
+        .map(|&(v, _, _)| {
+            let cv = comm[v as usize];
+            let d: f64 = graph
+                .neighbors(v)
+                .filter(|&(u, _)| u != v && comm[u as usize] == cv)
+                .map(|(_, w)| w)
+                .sum();
+            (v, d)
+        })
+        .collect();
+    for (v, d) in fresh {
+        state.d_self[v as usize] = d;
+    }
+
+    num_deltas
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::kernels::cpu;
+    use gala_graph::generators::fixtures;
+
+    /// Delta maintenance must agree exactly with a full rescan after any
+    /// sequence of real supersteps.
+    #[test]
+    fn delta_matches_naive_over_iterations() {
+        let g = fixtures::ring_of_cliques(6, 5);
+        let mut s = BspState::new(&g);
+        for _ in 0..6 {
+            let active = vec![true; g.num_vertices()];
+            let out = cpu::decide(&g, &s, &active);
+            let summary = s.apply_moves(&g, &out.next_comm);
+            update(WeightUpdateMode::Delta, &g, &mut s, &summary);
+            let mut reference = s.clone();
+            reference.recompute_d_self(&g);
+            assert_eq!(s.d_self, reference.d_self, "divergence at iter {}", s.iteration);
+            if summary.num_moved() == 0 {
+                break;
+            }
+        }
+    }
+
+    #[test]
+    fn no_moves_is_a_no_op() {
+        let g = fixtures::two_cliques(4);
+        let mut s = BspState::new(&g);
+        let next = s.comm.clone();
+        let summary = s.apply_moves(&g, &next);
+        let before = s.d_self.clone();
+        update(WeightUpdateMode::Delta, &g, &mut s, &summary);
+        assert_eq!(s.d_self, before);
+    }
+
+    #[test]
+    fn join_and_leave_deltas() {
+        let g = fixtures::two_cliques(3);
+        let mut s = BspState::new(&g);
+        // Move vertices 1 and 2 into community 0.
+        let next: Vec<u32> = vec![0, 0, 0, 3, 4, 5];
+        let summary = s.apply_moves(&g, &next);
+        update(WeightUpdateMode::Delta, &g, &mut s, &summary);
+        let mut reference = s.clone();
+        reference.recompute_d_self(&g);
+        assert_eq!(s.d_self, reference.d_self);
+        assert_eq!(s.d_self[0], 2.0);
+    }
+}

@@ -1,0 +1,155 @@
+//! Device atomics with access accounting.
+//!
+//! Within one simulated block the logical threads execute in a fixed order,
+//! so atomics are trivially linearisable; what matters for the reproduction
+//! is that each `atomicCAS` / `atomicAdd` is *counted* against the right
+//! memory space, because atomics on global memory are the dominant cost the
+//! hierarchical hashtable avoids. For genuinely concurrent host-side
+//! accumulation (e.g. applying moves across rayon workers) this module also
+//! provides [`AtomicF64Cell`], a CAS-loop `f64` add on `AtomicU64`.
+
+use crate::memory::{MemTally, Space};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// `atomicCAS` on a `u32` slot: writes `val` iff the current value equals
+/// `compare`; returns the value observed before the operation.
+#[inline]
+pub fn atomic_cas_u32(
+    mem: &mut [u32],
+    idx: usize,
+    compare: u32,
+    val: u32,
+    space: Space,
+    tally: &mut MemTally,
+) -> u32 {
+    tally.atomic(space, 1);
+    let old = mem[idx];
+    if old == compare {
+        mem[idx] = val;
+    }
+    old
+}
+
+/// `atomicAdd` on an `f64` slot; returns the value before the add.
+#[inline]
+pub fn atomic_add_f64(
+    mem: &mut [f64],
+    idx: usize,
+    val: f64,
+    space: Space,
+    tally: &mut MemTally,
+) -> f64 {
+    tally.atomic(space, 1);
+    let old = mem[idx];
+    mem[idx] = old + val;
+    old
+}
+
+/// `atomicAdd` on a `u64` counter; returns the value before the add.
+#[inline]
+pub fn atomic_add_u64(
+    mem: &mut [u64],
+    idx: usize,
+    val: u64,
+    space: Space,
+    tally: &mut MemTally,
+) -> u64 {
+    tally.atomic(space, 1);
+    let old = mem[idx];
+    mem[idx] = old + val;
+    old
+}
+
+/// A lock-free `f64` accumulator usable from many host threads at once,
+/// mirroring CUDA's `atomicAdd(double*)` (which compiles to a CAS loop on
+/// pre-Pascal hardware and is the textbook pattern in Rust).
+#[derive(Debug, Default)]
+pub struct AtomicF64Cell {
+    bits: AtomicU64,
+}
+
+impl AtomicF64Cell {
+    /// Creates a cell holding `value`.
+    pub fn new(value: f64) -> Self {
+        Self {
+            bits: AtomicU64::new(value.to_bits()),
+        }
+    }
+
+    /// Current value.
+    pub fn load(&self) -> f64 {
+        f64::from_bits(self.bits.load(Ordering::Relaxed))
+    }
+
+    /// Atomically adds `delta`, returning the previous value.
+    pub fn fetch_add(&self, delta: f64) -> f64 {
+        let mut cur = self.bits.load(Ordering::Relaxed);
+        loop {
+            let new = (f64::from_bits(cur) + delta).to_bits();
+            match self
+                .bits
+                .compare_exchange_weak(cur, new, Ordering::AcqRel, Ordering::Relaxed)
+            {
+                Ok(old) => return f64::from_bits(old),
+                Err(actual) => cur = actual,
+            }
+        }
+    }
+
+    /// Stores `value` unconditionally.
+    pub fn store(&self, value: f64) {
+        self.bits.store(value.to_bits(), Ordering::Relaxed);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cas_success_and_failure() {
+        let mut mem = vec![0u32, 5];
+        let mut t = MemTally::new();
+        assert_eq!(atomic_cas_u32(&mut mem, 0, 0, 9, Space::Shared, &mut t), 0);
+        assert_eq!(mem[0], 9);
+        assert_eq!(atomic_cas_u32(&mut mem, 1, 0, 9, Space::Global, &mut t), 5);
+        assert_eq!(mem[1], 5); // unchanged on mismatch
+        assert_eq!(t.shared_atomics, 1);
+        assert_eq!(t.global_atomics, 1);
+    }
+
+    #[test]
+    fn add_returns_previous() {
+        let mut mem = vec![1.5f64];
+        let mut t = MemTally::new();
+        assert_eq!(atomic_add_f64(&mut mem, 0, 2.0, Space::Shared, &mut t), 1.5);
+        assert_eq!(mem[0], 3.5);
+    }
+
+    #[test]
+    fn atomic_f64_cell_concurrent_sum() {
+        use std::sync::Arc;
+        let cell = Arc::new(AtomicF64Cell::new(0.0));
+        let threads: Vec<_> = (0..8)
+            .map(|_| {
+                let c = Arc::clone(&cell);
+                std::thread::spawn(move || {
+                    for _ in 0..1000 {
+                        c.fetch_add(0.5);
+                    }
+                })
+            })
+            .collect();
+        for t in threads {
+            t.join().unwrap();
+        }
+        assert_eq!(cell.load(), 4000.0);
+    }
+
+    #[test]
+    fn atomic_f64_cell_store_load() {
+        let c = AtomicF64Cell::new(1.0);
+        c.store(-2.25);
+        assert_eq!(c.load(), -2.25);
+    }
+}

@@ -1,0 +1,101 @@
+//! Kernel launch: fan a work list out over host threads, one simulated
+//! warp/block per item, and reduce the per-item memory tallies.
+//!
+//! The launcher guarantees determinism of *results* (output `i` is always
+//! the kernel applied to item `i`) and of *tallies* (integer counters summed
+//! in any order are associative), so a parallel launch and a sequential
+//! launch are observationally identical — a property the test suite checks.
+
+use crate::memory::MemTally;
+use rayon::prelude::*;
+
+/// Outcome of a kernel launch: per-item results plus the summed tally.
+#[derive(Clone, Debug)]
+pub struct LaunchResult<R> {
+    /// Kernel output per work item, in input order.
+    pub outputs: Vec<R>,
+    /// Total memory-access tally across all items.
+    pub tally: MemTally,
+}
+
+/// Launches `kernel` over `items` in parallel (one rayon task per item).
+///
+/// The kernel receives the item and a fresh [`MemTally`] to count into.
+pub fn launch<I, R, K>(items: &[I], kernel: K) -> LaunchResult<R>
+where
+    I: Sync,
+    R: Send,
+    K: Fn(&I, &mut MemTally) -> R + Sync,
+{
+    let (outputs, tally): (Vec<R>, MemTally) = items
+        .par_iter()
+        .map(|item| {
+            let mut tally = MemTally::new();
+            let out = kernel(item, &mut tally);
+            (out, tally)
+        })
+        .fold(
+            || (Vec::new(), MemTally::new()),
+            |(mut outs, t), (o, ot)| {
+                outs.push(o);
+                (outs, t + ot)
+            },
+        )
+        .reduce(
+            || (Vec::new(), MemTally::new()),
+            |(mut a, ta), (b, tb)| {
+                a.extend(b);
+                (a, ta + tb)
+            },
+        );
+    LaunchResult { outputs, tally }
+}
+
+/// Sequential reference launch with identical semantics to [`launch`].
+pub fn launch_seq<I, R, K>(items: &[I], mut kernel: K) -> LaunchResult<R>
+where
+    K: FnMut(&I, &mut MemTally) -> R,
+{
+    let mut outputs = Vec::with_capacity(items.len());
+    let mut tally = MemTally::new();
+    for item in items {
+        let mut t = MemTally::new();
+        outputs.push(kernel(item, &mut t));
+        tally += t;
+    }
+    LaunchResult { outputs, tally }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::memory::Space;
+
+    #[test]
+    fn parallel_matches_sequential() {
+        let items: Vec<u64> = (0..500).collect();
+        let kernel = |i: &u64, t: &mut MemTally| {
+            t.load(Space::Global, *i % 3);
+            i * 2
+        };
+        let par = launch(&items, kernel);
+        let seq = launch_seq(&items, kernel);
+        assert_eq!(par.outputs, seq.outputs);
+        assert_eq!(par.tally, seq.tally);
+    }
+
+    #[test]
+    fn outputs_preserve_input_order() {
+        let items: Vec<u32> = (0..1000).rev().collect();
+        let res = launch(&items, |i, _| *i);
+        assert_eq!(res.outputs, items);
+    }
+
+    #[test]
+    fn empty_launch() {
+        let items: Vec<u32> = vec![];
+        let res = launch(&items, |i, _| *i);
+        assert!(res.outputs.is_empty());
+        assert_eq!(res.tally, MemTally::new());
+    }
+}

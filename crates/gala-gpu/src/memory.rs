@@ -1,0 +1,224 @@
+//! Memory-space access accounting and the latency cost model.
+//!
+//! Every simulated kernel carries a [`MemTally`] and attributes each load,
+//! store, atomic, and warp primitive to a [`Space`]. Tallies are plain
+//! counters (no atomics) so counting is nearly free on the host; the grid
+//! launcher reduces per-task tallies into one total. A [`CostModel`] then
+//! converts a tally into *simulated cycles*, which is what the experiment
+//! harness reports alongside host wall-clock.
+
+use std::iter::Sum;
+use std::ops::{Add, AddAssign};
+
+/// A GPU memory space, ordered fastest to slowest.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Space {
+    /// Per-thread registers (the shuffle kernel's state home).
+    Register,
+    /// Per-block shared memory (the hierarchical hashtable's fast level).
+    Shared,
+    /// Device global memory (DRAM/HBM).
+    Global,
+}
+
+/// Access counts per memory space plus warp-primitive and atomic counts.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct MemTally {
+    /// Register accesses (reads + writes).
+    pub register_ops: u64,
+    /// Shared-memory loads.
+    pub shared_loads: u64,
+    /// Shared-memory stores.
+    pub shared_stores: u64,
+    /// Global-memory loads.
+    pub global_loads: u64,
+    /// Global-memory stores.
+    pub global_stores: u64,
+    /// Atomic operations on shared memory.
+    pub shared_atomics: u64,
+    /// Atomic operations on global memory.
+    pub global_atomics: u64,
+    /// Warp-level primitive invocations (match/reduce/shfl/ballot).
+    pub warp_primitives: u64,
+}
+
+impl MemTally {
+    /// A zeroed tally.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records `n` loads from `space`.
+    #[inline]
+    pub fn load(&mut self, space: Space, n: u64) {
+        match space {
+            Space::Register => self.register_ops += n,
+            Space::Shared => self.shared_loads += n,
+            Space::Global => self.global_loads += n,
+        }
+    }
+
+    /// Records `n` stores to `space`.
+    #[inline]
+    pub fn store(&mut self, space: Space, n: u64) {
+        match space {
+            Space::Register => self.register_ops += n,
+            Space::Shared => self.shared_stores += n,
+            Space::Global => self.global_stores += n,
+        }
+    }
+
+    /// Records `n` atomic operations on `space` (registers have no atomics).
+    #[inline]
+    pub fn atomic(&mut self, space: Space, n: u64) {
+        match space {
+            Space::Register => panic!("no atomics on registers"),
+            Space::Shared => self.shared_atomics += n,
+            Space::Global => self.global_atomics += n,
+        }
+    }
+
+    /// Records `n` warp-primitive invocations.
+    #[inline]
+    pub fn warp_primitive(&mut self, n: u64) {
+        self.warp_primitives += n;
+    }
+
+    /// Total accesses touching shared memory (loads + stores + atomics).
+    pub fn shared_total(&self) -> u64 {
+        self.shared_loads + self.shared_stores + self.shared_atomics
+    }
+
+    /// Total accesses touching global memory (loads + stores + atomics).
+    pub fn global_total(&self) -> u64 {
+        self.global_loads + self.global_stores + self.global_atomics
+    }
+}
+
+impl Add for MemTally {
+    type Output = MemTally;
+    fn add(self, rhs: MemTally) -> MemTally {
+        MemTally {
+            register_ops: self.register_ops + rhs.register_ops,
+            shared_loads: self.shared_loads + rhs.shared_loads,
+            shared_stores: self.shared_stores + rhs.shared_stores,
+            global_loads: self.global_loads + rhs.global_loads,
+            global_stores: self.global_stores + rhs.global_stores,
+            shared_atomics: self.shared_atomics + rhs.shared_atomics,
+            global_atomics: self.global_atomics + rhs.global_atomics,
+            warp_primitives: self.warp_primitives + rhs.warp_primitives,
+        }
+    }
+}
+
+impl AddAssign for MemTally {
+    fn add_assign(&mut self, rhs: MemTally) {
+        *self = *self + rhs;
+    }
+}
+
+impl Sum for MemTally {
+    fn sum<I: Iterator<Item = MemTally>>(iter: I) -> Self {
+        iter.fold(MemTally::default(), |a, b| a + b)
+    }
+}
+
+/// Latency model translating a [`MemTally`] into simulated cycles.
+///
+/// Defaults follow published A100 microbenchmarks to the right order of
+/// magnitude: registers ~1 cycle, shared ~25, global ~400 (uncached),
+/// atomics costlier than plain accesses, warp primitives a handful of
+/// cycles. Only the *ratios* matter for the reproduced figures.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct CostModel {
+    /// Cycles per register access.
+    pub register: f64,
+    /// Cycles per shared-memory access.
+    pub shared: f64,
+    /// Cycles per global-memory access.
+    pub global: f64,
+    /// Cycles per shared-memory atomic.
+    pub shared_atomic: f64,
+    /// Cycles per global-memory atomic.
+    pub global_atomic: f64,
+    /// Cycles per warp primitive.
+    pub warp_primitive: f64,
+}
+
+impl Default for CostModel {
+    fn default() -> Self {
+        Self {
+            register: 1.0,
+            shared: 25.0,
+            global: 400.0,
+            shared_atomic: 40.0,
+            global_atomic: 600.0,
+            warp_primitive: 8.0,
+        }
+    }
+}
+
+impl CostModel {
+    /// Simulated cycles for `tally` under this model.
+    pub fn cycles(&self, tally: &MemTally) -> f64 {
+        tally.register_ops as f64 * self.register
+            + (tally.shared_loads + tally.shared_stores) as f64 * self.shared
+            + (tally.global_loads + tally.global_stores) as f64 * self.global
+            + tally.shared_atomics as f64 * self.shared_atomic
+            + tally.global_atomics as f64 * self.global_atomic
+            + tally.warp_primitives as f64 * self.warp_primitive
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tally_accumulates_per_space() {
+        let mut t = MemTally::new();
+        t.load(Space::Global, 3);
+        t.store(Space::Shared, 2);
+        t.atomic(Space::Global, 1);
+        t.load(Space::Register, 5);
+        t.warp_primitive(4);
+        assert_eq!(t.global_loads, 3);
+        assert_eq!(t.shared_stores, 2);
+        assert_eq!(t.global_atomics, 1);
+        assert_eq!(t.register_ops, 5);
+        assert_eq!(t.warp_primitives, 4);
+        assert_eq!(t.global_total(), 4);
+        assert_eq!(t.shared_total(), 2);
+    }
+
+    #[test]
+    fn tallies_sum() {
+        let mut a = MemTally::new();
+        a.load(Space::Global, 1);
+        let mut b = MemTally::new();
+        b.load(Space::Global, 2);
+        b.atomic(Space::Shared, 7);
+        let s: MemTally = [a, b].into_iter().sum();
+        assert_eq!(s.global_loads, 3);
+        assert_eq!(s.shared_atomics, 7);
+    }
+
+    #[test]
+    fn cost_model_orders_spaces() {
+        let m = CostModel::default();
+        let mut reg = MemTally::new();
+        reg.load(Space::Register, 100);
+        let mut sh = MemTally::new();
+        sh.load(Space::Shared, 100);
+        let mut gl = MemTally::new();
+        gl.load(Space::Global, 100);
+        assert!(m.cycles(&reg) < m.cycles(&sh));
+        assert!(m.cycles(&sh) < m.cycles(&gl));
+    }
+
+    #[test]
+    #[should_panic(expected = "no atomics on registers")]
+    fn register_atomics_rejected() {
+        MemTally::new().atomic(Space::Register, 1);
+    }
+}

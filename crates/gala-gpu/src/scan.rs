@@ -1,0 +1,180 @@
+//! Prefix-scan primitives and stream compaction.
+//!
+//! GPU graph frameworks implement the *filter* operation (paper Section
+//! 3.1: "we integrate the filter operation in popular GPU graph processing
+//! framework to prune inactive vertices") as an exclusive prefix sum over
+//! predicate flags followed by a scatter. This module provides the
+//! warp-level Hillis–Steele scan, a block-level scan built from warp scans,
+//! and the [`compact`] work-list builder on top — each charged to the cost
+//! model like every other simulated primitive.
+
+use crate::memory::{MemTally, Space};
+use crate::warp::{Warp, WARP_SIZE};
+
+/// Warp-level *inclusive* prefix sum over the active lanes (Hillis–Steele,
+/// `log2(32) = 5` shuffle rounds). Inactive lanes pass through unchanged.
+pub fn warp_inclusive_scan(
+    warp: &mut Warp<'_>,
+    values: &[u64; WARP_SIZE],
+) -> [u64; WARP_SIZE] {
+    let active = warp.active();
+    let mut out = *values;
+    let mut offset = 1usize;
+    while offset < WARP_SIZE {
+        // One shuffle round: lane i reads lane i - offset.
+        warp.tally().warp_primitive(1);
+        let prev = out;
+        for i in 0..WARP_SIZE {
+            if active & (1 << i) == 0 {
+                continue;
+            }
+            if i >= offset && active & (1 << (i - offset)) != 0 {
+                out[i] = prev[i] + prev[i - offset];
+            }
+        }
+        offset <<= 1;
+    }
+    out
+}
+
+/// Exclusive prefix sum of arbitrary length, simulated as a block-per-tile
+/// scan: each 32-element tile is warp-scanned, tile totals are scanned
+/// recursively, and the offsets are added back. Returns `(prefixes, total)`.
+///
+/// Loads/stores are charged to `space` (the scan's working buffer lives in
+/// shared memory inside a block, global memory across blocks).
+pub fn exclusive_scan(
+    values: &[u64],
+    space: Space,
+    tally: &mut MemTally,
+) -> (Vec<u64>, u64) {
+    let n = values.len();
+    let mut out = vec![0u64; n];
+    let mut tile_totals = Vec::with_capacity(n.div_ceil(WARP_SIZE));
+    for (tile_idx, tile) in values.chunks(WARP_SIZE).enumerate() {
+        tally.load(space, tile.len() as u64);
+        let mut lanes = [0u64; WARP_SIZE];
+        lanes[..tile.len()].copy_from_slice(tile);
+        let active = if tile.len() == WARP_SIZE {
+            u32::MAX
+        } else {
+            (1u32 << tile.len()) - 1
+        };
+        let mut warp = Warp::new(active, tally);
+        let inclusive = warp_inclusive_scan(&mut warp, &lanes);
+        let base = tile_idx * WARP_SIZE;
+        for i in 0..tile.len() {
+            // Exclusive = inclusive shifted right by one element.
+            out[base + i] = if i == 0 { 0 } else { inclusive[i - 1] };
+        }
+        tile_totals.push(if tile.is_empty() {
+            0
+        } else {
+            inclusive[tile.len() - 1]
+        });
+        tally.store(space, tile.len() as u64);
+    }
+    // Scan the tile totals (recursively for > 32 tiles).
+    let (tile_offsets, total) = if tile_totals.len() <= 1 {
+        (vec![0u64; tile_totals.len()], tile_totals.first().copied().unwrap_or(0))
+    } else {
+        exclusive_scan(&tile_totals, space, tally)
+    };
+    for (tile_idx, &offset) in tile_offsets.iter().enumerate() {
+        if offset == 0 {
+            continue;
+        }
+        let base = tile_idx * WARP_SIZE;
+        let end = (base + WARP_SIZE).min(n);
+        for x in &mut out[base..end] {
+            *x += offset;
+        }
+    }
+    (out, total)
+}
+
+/// Stream compaction: the indices whose flag is set, built with an
+/// exclusive scan + scatter — the GPU framework "filter" that turns the
+/// pruning classification into a dense work list.
+pub fn compact(flags: &[bool], tally: &mut MemTally) -> Vec<u32> {
+    let ones: Vec<u64> = flags.iter().map(|&f| f as u64).collect();
+    let (prefixes, total) = exclusive_scan(&ones, Space::Global, tally);
+    let mut out = vec![0u32; total as usize];
+    for (i, &f) in flags.iter().enumerate() {
+        if f {
+            out[prefixes[i] as usize] = i as u32;
+            tally.store(Space::Global, 1);
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::warp::FULL_MASK;
+
+    #[test]
+    fn warp_scan_matches_scalar() {
+        let mut tally = MemTally::new();
+        let values: [u64; WARP_SIZE] = std::array::from_fn(|i| (i as u64 * 7 + 3) % 11);
+        let mut warp = Warp::new(FULL_MASK, &mut tally);
+        let scanned = warp_inclusive_scan(&mut warp, &values);
+        let mut acc = 0u64;
+        for i in 0..WARP_SIZE {
+            acc += values[i];
+            assert_eq!(scanned[i], acc, "lane {i}");
+        }
+    }
+
+    #[test]
+    fn warp_scan_partial_mask() {
+        let mut tally = MemTally::new();
+        let values: [u64; WARP_SIZE] = std::array::from_fn(|i| i as u64);
+        let mut warp = Warp::new(0b1111, &mut tally);
+        let scanned = warp_inclusive_scan(&mut warp, &values);
+        assert_eq!(&scanned[..4], &[0, 1, 3, 6]);
+    }
+
+    #[test]
+    fn exclusive_scan_matches_scalar_across_tiles() {
+        let mut tally = MemTally::new();
+        let values: Vec<u64> = (0..1000).map(|i| (i * 13 + 5) % 17).collect();
+        let (prefixes, total) = exclusive_scan(&values, Space::Global, &mut tally);
+        let mut acc = 0u64;
+        for i in 0..values.len() {
+            assert_eq!(prefixes[i], acc, "index {i}");
+            acc += values[i];
+        }
+        assert_eq!(total, acc);
+        assert!(tally.warp_primitives > 0);
+    }
+
+    #[test]
+    fn exclusive_scan_empty_and_single() {
+        let mut tally = MemTally::new();
+        let (p, t) = exclusive_scan(&[], Space::Shared, &mut tally);
+        assert!(p.is_empty());
+        assert_eq!(t, 0);
+        let (p, t) = exclusive_scan(&[42], Space::Shared, &mut tally);
+        assert_eq!(p, vec![0]);
+        assert_eq!(t, 42);
+    }
+
+    #[test]
+    fn compact_builds_the_work_list() {
+        let mut tally = MemTally::new();
+        let flags: Vec<bool> = (0..100).map(|i| i % 3 == 0).collect();
+        let list = compact(&flags, &mut tally);
+        let expected: Vec<u32> = (0..100).filter(|i| i % 3 == 0).collect();
+        assert_eq!(list, expected);
+    }
+
+    #[test]
+    fn compact_all_and_none() {
+        let mut tally = MemTally::new();
+        assert_eq!(compact(&[true; 5], &mut tally), vec![0, 1, 2, 3, 4]);
+        assert!(compact(&[false; 5], &mut tally).is_empty());
+        assert!(compact(&[], &mut tally).is_empty());
+    }
+}

@@ -1,0 +1,131 @@
+//! A simulated bitonic sorting network with memory accounting.
+//!
+//! Sort-based DecideAndMove strategies (the cuGraph family the paper's
+//! Section 2.4 critiques) pay for a device sort of the `(community,
+//! weight)` pairs. Bitonic sort is the canonical data-independent network
+//! used inside GPU sort kernels: `log²(n)` stages of compare-exchange
+//! passes, each touching every element — so its traffic is a *measured*
+//! quantity here, not a closed-form estimate.
+
+use crate::memory::{MemTally, Space};
+
+/// Sorts `items` by key with a bitonic network over the next power of two,
+/// charging every compare-exchange's two loads (and the stores of actual
+/// swaps) to `space`. Padding elements (`u32::MAX` keys) are free — a real
+/// kernel masks them the same way.
+pub fn bitonic_sort_by_key<T: Copy>(
+    items: &mut [(u32, T)],
+    space: Space,
+    tally: &mut MemTally,
+) {
+    let n = items.len();
+    if n <= 1 {
+        return;
+    }
+    debug_assert!(
+        items.iter().all(|&(k, _)| k != u32::MAX),
+        "u32::MAX keys are reserved for padding"
+    );
+    // The network is only correct over power-of-two sizes: pad with
+    // `u32::MAX` sentinels (they sink to the tail of the final ascending
+    // order) and run the full network, as a device kernel would.
+    let padded_len = n.next_power_of_two();
+    let dummy = items[0].1;
+    let mut buf: Vec<(u32, T)> = Vec::with_capacity(padded_len);
+    buf.extend_from_slice(items);
+    buf.resize(padded_len, (u32::MAX, dummy));
+    let mut k = 2;
+    while k <= padded_len {
+        let mut j = k / 2;
+        while j > 0 {
+            for i in 0..padded_len {
+                let partner = i ^ j;
+                if partner <= i {
+                    continue; // each pair once
+                }
+                // Pure-padding compares are masked out on device; compares
+                // touching at least one live element execute and count.
+                if i < n || partner < n {
+                    tally.load(space, 2);
+                }
+                let ascending = i & k == 0;
+                let out_of_order = if ascending {
+                    buf[i].0 > buf[partner].0
+                } else {
+                    buf[i].0 < buf[partner].0
+                };
+                if out_of_order {
+                    buf.swap(i, partner);
+                    if i < n || partner < n {
+                        tally.store(space, 2);
+                    }
+                }
+            }
+            j /= 2;
+        }
+        k *= 2;
+    }
+    items.copy_from_slice(&buf[..n]);
+    debug_assert!(items.windows(2).all(|w| w[0].0 <= w[1].0));
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn check_sorted(mut input: Vec<(u32, u64)>) {
+        let mut tally = MemTally::new();
+        let mut expected = input.clone();
+        expected.sort_by_key(|&(k, _)| k);
+        let expected_keys: Vec<u32> = expected.iter().map(|&(k, _)| k).collect();
+        bitonic_sort_by_key(&mut input, Space::Global, &mut tally);
+        let keys: Vec<u32> = input.iter().map(|&(k, _)| k).collect();
+        assert_eq!(keys, expected_keys);
+    }
+
+    #[test]
+    fn sorts_power_of_two_sizes() {
+        check_sorted((0..64u32).rev().map(|k| (k, k as u64)).collect());
+    }
+
+    #[test]
+    fn sorts_ragged_sizes() {
+        for n in [0usize, 1, 2, 3, 5, 17, 33, 100] {
+            check_sorted((0..n as u32).map(|k| ((k * 7919) % 101, k as u64)).collect());
+        }
+    }
+
+    #[test]
+    fn sorts_with_duplicates() {
+        check_sorted(vec![(3, 0), (1, 1), (3, 2), (1, 3), (2, 4), (3, 5)]);
+    }
+
+    #[test]
+    fn traffic_scales_as_n_log_squared() {
+        let mut t_small = MemTally::new();
+        let mut small: Vec<(u32, u8)> = (0..64u32).rev().map(|k| (k, 0)).collect();
+        bitonic_sort_by_key(&mut small, Space::Global, &mut t_small);
+        let mut t_big = MemTally::new();
+        let mut big: Vec<(u32, u8)> = (0..1024u32).rev().map(|k| (k, 0)).collect();
+        bitonic_sort_by_key(&mut big, Space::Global, &mut t_big);
+        // n log² n ratio: (1024·100) / (64·36) ≈ 44; loads must scale
+        // super-linearly but well below quadratically (256x).
+        let ratio = t_big.global_loads as f64 / t_small.global_loads as f64;
+        assert!(
+            (16.0..120.0).contains(&ratio),
+            "ratio {ratio}, small {}, big {}",
+            t_small.global_loads,
+            t_big.global_loads
+        );
+    }
+
+    #[test]
+    fn values_follow_their_keys() {
+        let mut items = vec![(9u32, "nine"), (1, "one"), (5, "five")];
+        let mut tally = MemTally::new();
+        bitonic_sort_by_key(&mut items, Space::Shared, &mut tally);
+        assert_eq!(items, vec![(1, "one"), (5, "five"), (9, "nine")]);
+        assert!(tally.shared_loads > 0);
+        assert_eq!(tally.global_loads, 0);
+    }
+}

@@ -1,0 +1,288 @@
+//! 32-lane warps and the CUDA warp-level primitives GALA's shuffle-based
+//! kernel relies on.
+//!
+//! Primitives are modelled lane-array style: a "warp" is a set of 32 lane
+//! values plus an active mask, and each primitive is a pure function over
+//! those arrays with the same semantics as the CUDA intrinsic. This keeps
+//! the simulated kernel code close to Algorithm 2 of the paper while staying
+//! deterministic and data-race free on the host.
+
+use crate::memory::MemTally;
+
+/// Number of lanes per warp, matching NVIDIA hardware.
+pub const WARP_SIZE: usize = 32;
+
+/// Full active mask (all 32 lanes participating).
+pub const FULL_MASK: u32 = u32::MAX;
+
+/// A warp execution context: an active-lane mask plus a tally for primitive
+/// accounting. Lane *values* live in plain `[T; 32]` arrays owned by the
+/// kernel (its "registers").
+#[derive(Debug)]
+pub struct Warp<'t> {
+    active: u32,
+    tally: &'t mut MemTally,
+}
+
+impl<'t> Warp<'t> {
+    /// Creates a warp with the given active mask.
+    pub fn new(active: u32, tally: &'t mut MemTally) -> Self {
+        Self { active, tally }
+    }
+
+    /// The active-lane mask.
+    #[inline]
+    pub fn active(&self) -> u32 {
+        self.active
+    }
+
+    /// Number of active lanes.
+    #[inline]
+    pub fn num_active(&self) -> u32 {
+        self.active.count_ones()
+    }
+
+    /// Mutable access to the tally (for kernels counting their own loads).
+    #[inline]
+    pub fn tally(&mut self) -> &mut MemTally {
+        self.tally
+    }
+
+    /// `__match_any_sync`: for each active lane `i`, returns the mask of
+    /// active lanes whose value equals `values[i]`. Inactive lanes get 0.
+    pub fn match_any_sync(&mut self, values: &[u32; WARP_SIZE]) -> [u32; WARP_SIZE] {
+        self.tally.warp_primitive(1);
+        let mut out = [0u32; WARP_SIZE];
+        for i in 0..WARP_SIZE {
+            if self.active & (1 << i) == 0 {
+                continue;
+            }
+            let mut mask = 0u32;
+            for j in 0..WARP_SIZE {
+                if self.active & (1 << j) != 0 && values[j] == values[i] {
+                    mask |= 1 << j;
+                }
+            }
+            out[i] = mask;
+        }
+        out
+    }
+
+    /// Grouped `__reduce_add_sync`: each active lane `i` receives the sum of
+    /// `values[j]` over the lanes `j` in `groups[i]` (the mask produced by
+    /// [`Self::match_any_sync`]). This is how Algorithm 2 aggregates
+    /// `d_C(v)` per neighboring community.
+    pub fn reduce_add_grouped(
+        &mut self,
+        groups: &[u32; WARP_SIZE],
+        values: &[f64; WARP_SIZE],
+    ) -> [f64; WARP_SIZE] {
+        self.tally.warp_primitive(1);
+        let mut out = [0.0f64; WARP_SIZE];
+        for i in 0..WARP_SIZE {
+            if self.active & (1 << i) == 0 {
+                continue;
+            }
+            let mut sum = 0.0;
+            let mut m = groups[i] & self.active;
+            while m != 0 {
+                let j = m.trailing_zeros() as usize;
+                sum += values[j];
+                m &= m - 1;
+            }
+            out[i] = sum;
+        }
+        out
+    }
+
+    /// `__reduce_max_sync` over all active lanes: every active lane receives
+    /// the maximum of the active values. Returns `f64::NEG_INFINITY` when no
+    /// lane is active.
+    pub fn reduce_max_sync(&mut self, values: &[f64; WARP_SIZE]) -> f64 {
+        self.tally.warp_primitive(1);
+        let mut max = f64::NEG_INFINITY;
+        for i in 0..WARP_SIZE {
+            if self.active & (1 << i) != 0 && values[i] > max {
+                max = values[i];
+            }
+        }
+        max
+    }
+
+    /// `__reduce_min_sync` over `u32` values on active lanes, used for the
+    /// deterministic min-community-id tie break. Returns `u32::MAX` when no
+    /// lane is active.
+    pub fn reduce_min_u32_sync(&mut self, values: &[u32; WARP_SIZE]) -> u32 {
+        self.tally.warp_primitive(1);
+        let mut min = u32::MAX;
+        for i in 0..WARP_SIZE {
+            if self.active & (1 << i) != 0 && values[i] < min {
+                min = values[i];
+            }
+        }
+        min
+    }
+
+    /// `__ballot_sync`: bitmask of active lanes whose predicate is true.
+    pub fn ballot_sync(&mut self, predicate: &[bool; WARP_SIZE]) -> u32 {
+        self.tally.warp_primitive(1);
+        let mut mask = 0u32;
+        for i in 0..WARP_SIZE {
+            if self.active & (1 << i) != 0 && predicate[i] {
+                mask |= 1 << i;
+            }
+        }
+        mask
+    }
+
+    /// `__shfl_sync`: every active lane reads the value held by `src_lane`.
+    /// Returns `None` if `src_lane` is inactive or out of range (undefined
+    /// behaviour in CUDA; an error here).
+    pub fn shfl_sync<T: Copy>(&mut self, values: &[T; WARP_SIZE], src_lane: usize) -> Option<T> {
+        self.tally.warp_primitive(1);
+        if src_lane >= WARP_SIZE || self.active & (1 << src_lane) == 0 {
+            return None;
+        }
+        Some(values[src_lane])
+    }
+}
+
+/// Builds a lane array from a slice shorter than or equal to the warp size,
+/// returning the array (padded with `fill`) and the active mask covering the
+/// populated lanes.
+pub fn lanes_from_slice<T: Copy>(slice: &[T], fill: T) -> ([T; WARP_SIZE], u32) {
+    assert!(slice.len() <= WARP_SIZE, "slice exceeds warp size");
+    let mut lanes = [fill; WARP_SIZE];
+    lanes[..slice.len()].copy_from_slice(slice);
+    let active = if slice.len() == WARP_SIZE {
+        FULL_MASK
+    } else {
+        (1u32 << slice.len()) - 1
+    };
+    (lanes, active)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn with_warp<R>(active: u32, f: impl FnOnce(&mut Warp) -> R) -> (R, MemTally) {
+        let mut tally = MemTally::new();
+        let r = {
+            let mut w = Warp::new(active, &mut tally);
+            f(&mut w)
+        };
+        (r, tally)
+    }
+
+    #[test]
+    fn match_any_groups_equal_values() {
+        let mut vals = [0u32; WARP_SIZE];
+        vals[0] = 7;
+        vals[1] = 9;
+        vals[2] = 7;
+        vals[3] = 9;
+        let ((), _) = with_warp(0b1111, |w| {
+            let m = w.match_any_sync(&vals);
+            assert_eq!(m[0], 0b0101);
+            assert_eq!(m[2], 0b0101);
+            assert_eq!(m[1], 0b1010);
+            assert_eq!(m[3], 0b1010);
+        });
+    }
+
+    #[test]
+    fn match_any_respects_active_mask() {
+        let vals = [5u32; WARP_SIZE];
+        let ((), _) = with_warp(0b1011, |w| {
+            let m = w.match_any_sync(&vals);
+            assert_eq!(m[0], 0b1011);
+            assert_eq!(m[2], 0); // inactive lane
+            assert_eq!(m[3], 0b1011);
+        });
+    }
+
+    #[test]
+    fn grouped_reduce_add_sums_per_group() {
+        let mut comm = [0u32; WARP_SIZE];
+        let mut w_ = [0.0f64; WARP_SIZE];
+        comm[0] = 1;
+        comm[1] = 2;
+        comm[2] = 1;
+        w_[0] = 1.5;
+        w_[1] = 2.0;
+        w_[2] = 0.5;
+        let ((), _) = with_warp(0b111, |w| {
+            let groups = w.match_any_sync(&comm);
+            let sums = w.reduce_add_grouped(&groups, &w_);
+            assert_eq!(sums[0], 2.0);
+            assert_eq!(sums[2], 2.0);
+            assert_eq!(sums[1], 2.0f64.max(2.0)); // lone group: its own value
+            assert_eq!(sums[1], 2.0);
+        });
+    }
+
+    #[test]
+    fn reduce_max_over_active_lanes() {
+        let mut vals = [f64::NEG_INFINITY; WARP_SIZE];
+        vals[0] = 1.0;
+        vals[1] = 99.0; // inactive, must be ignored
+        vals[2] = 3.0;
+        let (max, _) = with_warp(0b101, |w| w.reduce_max_sync(&vals));
+        assert_eq!(max, 3.0);
+    }
+
+    #[test]
+    fn reduce_max_empty_mask() {
+        let vals = [1.0f64; WARP_SIZE];
+        let (max, _) = with_warp(0, |w| w.reduce_max_sync(&vals));
+        assert_eq!(max, f64::NEG_INFINITY);
+    }
+
+    #[test]
+    fn ballot_collects_predicates() {
+        let mut pred = [false; WARP_SIZE];
+        pred[1] = true;
+        pred[3] = true;
+        pred[5] = true; // inactive
+        let (mask, _) = with_warp(0b01111, |w| w.ballot_sync(&pred));
+        assert_eq!(mask, 0b01010);
+    }
+
+    #[test]
+    fn shfl_reads_source_lane() {
+        let mut vals = [0u32; WARP_SIZE];
+        vals[4] = 42;
+        let (v, _) = with_warp(FULL_MASK, |w| w.shfl_sync(&vals, 4));
+        assert_eq!(v, Some(42));
+        let (v, _) = with_warp(0b1, |w| w.shfl_sync(&vals, 4));
+        assert_eq!(v, None);
+    }
+
+    #[test]
+    fn primitives_are_tallied() {
+        let vals = [0u32; WARP_SIZE];
+        let ((), tally) = with_warp(FULL_MASK, |w| {
+            w.match_any_sync(&vals);
+            w.reduce_min_u32_sync(&vals);
+        });
+        assert_eq!(tally.warp_primitives, 2);
+    }
+
+    #[test]
+    fn lanes_from_slice_pads_and_masks() {
+        let (lanes, active) = lanes_from_slice(&[1u32, 2, 3], 0);
+        assert_eq!(active, 0b111);
+        assert_eq!(&lanes[..4], &[1, 2, 3, 0]);
+        let full: Vec<u32> = (0..32).collect();
+        let (_, active) = lanes_from_slice(&full, 0);
+        assert_eq!(active, FULL_MASK);
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds warp size")]
+    fn lanes_from_slice_rejects_oversize() {
+        let big = [0u32; 33];
+        lanes_from_slice(&big, 0);
+    }
+}

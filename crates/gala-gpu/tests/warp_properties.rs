@@ -1,0 +1,106 @@
+//! Property tests for the warp primitives: each must agree with a scalar
+//! specification for arbitrary lane values and active masks.
+
+use gala_gpu::memory::MemTally;
+use gala_gpu::warp::{Warp, WARP_SIZE};
+use proptest::prelude::*;
+
+fn lanes_u32() -> impl Strategy<Value = [u32; WARP_SIZE]> {
+    proptest::collection::vec(0u32..8, WARP_SIZE).prop_map(|v| v.try_into().unwrap())
+}
+
+fn lanes_f64() -> impl Strategy<Value = [f64; WARP_SIZE]> {
+    proptest::collection::vec(0u32..100, WARP_SIZE)
+        .prop_map(|v| {
+            let mut out = [0.0; WARP_SIZE];
+            for (o, x) in out.iter_mut().zip(v) {
+                *o = x as f64;
+            }
+            out
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// match_any partitions the active lanes into equivalence classes:
+    /// masks are reflexive, symmetric, value-consistent, within the active
+    /// mask, and identical for equal values.
+    #[test]
+    fn match_any_is_an_equivalence_partition(values in lanes_u32(), active in any::<u32>()) {
+        let mut tally = MemTally::new();
+        let mut warp = Warp::new(active, &mut tally);
+        let groups = warp.match_any_sync(&values);
+        for i in 0..WARP_SIZE {
+            if active & (1 << i) == 0 {
+                prop_assert_eq!(groups[i], 0);
+                continue;
+            }
+            prop_assert!(groups[i] & (1 << i) != 0, "reflexive at {}", i);
+            prop_assert_eq!(groups[i] & !active, 0, "mask escapes active set");
+            for j in 0..WARP_SIZE {
+                if active & (1 << j) == 0 { continue; }
+                let same = values[i] == values[j];
+                prop_assert_eq!(groups[i] & (1 << j) != 0, same,
+                    "lanes {} {} membership mismatch", i, j);
+            }
+        }
+    }
+
+    /// Grouped reduce-add equals the scalar per-group sums.
+    #[test]
+    fn grouped_reduce_matches_scalar(comms in lanes_u32(), weights in lanes_f64(),
+                                     active in any::<u32>()) {
+        let mut tally = MemTally::new();
+        let mut warp = Warp::new(active, &mut tally);
+        let groups = warp.match_any_sync(&comms);
+        let sums = warp.reduce_add_grouped(&groups, &weights);
+        for i in 0..WARP_SIZE {
+            if active & (1 << i) == 0 { continue; }
+            let expected: f64 = (0..WARP_SIZE)
+                .filter(|&j| active & (1 << j) != 0 && comms[j] == comms[i])
+                .map(|j| weights[j])
+                .sum();
+            prop_assert!((sums[i] - expected).abs() < 1e-12);
+        }
+    }
+
+    /// reduce_max equals the scalar max over active lanes.
+    #[test]
+    fn reduce_max_matches_scalar(values in lanes_f64(), active in any::<u32>()) {
+        let mut tally = MemTally::new();
+        let mut warp = Warp::new(active, &mut tally);
+        let max = warp.reduce_max_sync(&values);
+        let expected = (0..WARP_SIZE)
+            .filter(|&i| active & (1 << i) != 0)
+            .map(|i| values[i])
+            .fold(f64::NEG_INFINITY, f64::max);
+        prop_assert_eq!(max, expected);
+    }
+
+    /// ballot's bit i is set iff lane i is active and its predicate holds.
+    #[test]
+    fn ballot_matches_scalar(bits in any::<u32>(), active in any::<u32>()) {
+        let mut pred = [false; WARP_SIZE];
+        for (i, p) in pred.iter_mut().enumerate() {
+            *p = bits & (1 << i) != 0;
+        }
+        let mut tally = MemTally::new();
+        let mut warp = Warp::new(active, &mut tally);
+        prop_assert_eq!(warp.ballot_sync(&pred), bits & active);
+    }
+
+    /// reduce_min over u32 matches the scalar min.
+    #[test]
+    fn reduce_min_matches_scalar(values in lanes_u32(), active in any::<u32>()) {
+        let mut tally = MemTally::new();
+        let mut warp = Warp::new(active, &mut tally);
+        let min = warp.reduce_min_u32_sync(&values);
+        let expected = (0..WARP_SIZE)
+            .filter(|&i| active & (1 << i) != 0)
+            .map(|i| values[i])
+            .min()
+            .unwrap_or(u32::MAX);
+        prop_assert_eq!(min, expected);
+    }
+}

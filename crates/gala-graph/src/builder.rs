@@ -1,0 +1,192 @@
+//! Accumulating graph builder: edge list → symmetric weighted CSR.
+//!
+//! The builder is forgiving where [`crate::Graph::from_csr`] is strict: it
+//! accepts edges in any order and direction, merges duplicates by summing
+//! their weights, symmetrises automatically, and doubles self-loop input
+//! weights so that the stored graph obeys the crate's self-loop convention.
+
+use crate::csr::{Graph, VertexId};
+
+/// Builds a [`Graph`] from an arbitrary stream of undirected edges.
+///
+/// ```
+/// use gala_graph::GraphBuilder;
+/// let mut b = GraphBuilder::new(4);
+/// b.add_edge(0, 1, 1.0);
+/// b.add_edge(1, 0, 1.0); // duplicate, merged: weight becomes 2.0
+/// b.add_edge(2, 3, 0.5);
+/// let g = b.build();
+/// assert_eq!(g.edge_weight(0, 1), Some(2.0));
+/// assert_eq!(g.num_edges(), 2);
+/// ```
+#[derive(Clone, Debug, Default)]
+pub struct GraphBuilder {
+    num_vertices: usize,
+    /// One entry per *directed arc*; self-loops appear once with doubled
+    /// weight. Sorted and merged at `build()` time.
+    arcs: Vec<(VertexId, VertexId, f64)>,
+}
+
+impl GraphBuilder {
+    /// Creates a builder for a graph with at least `num_vertices` vertices.
+    /// The count grows automatically if a larger endpoint id is added.
+    pub fn new(num_vertices: usize) -> Self {
+        Self {
+            num_vertices,
+            arcs: Vec::new(),
+        }
+    }
+
+    /// Creates a builder with pre-reserved space for `num_edges` edges.
+    pub fn with_capacity(num_vertices: usize, num_edges: usize) -> Self {
+        Self {
+            num_vertices,
+            arcs: Vec::with_capacity(num_edges * 2),
+        }
+    }
+
+    /// Current vertex count (grows with added endpoints).
+    pub fn num_vertices(&self) -> usize {
+        self.num_vertices
+    }
+
+    /// Ensures the built graph has at least `n` vertices (for isolated
+    /// trailing vertices that no edge mentions).
+    pub fn reserve_vertices(&mut self, n: usize) {
+        self.num_vertices = self.num_vertices.max(n);
+    }
+
+    /// Adds an undirected edge `{u, v}` of weight `w`.
+    ///
+    /// A self-loop (`u == v`) is stored once with weight `2w` per the crate
+    /// convention. Duplicate edges are merged by summing weights at build
+    /// time, so calling this twice with weight 1 is equivalent to calling it
+    /// once with weight 2.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `w` is not finite or is negative (modularity is undefined
+    /// for negative weights).
+    pub fn add_edge(&mut self, u: VertexId, v: VertexId, w: f64) {
+        assert!(w.is_finite() && w >= 0.0, "edge weight must be finite and >= 0, got {w}");
+        self.num_vertices = self.num_vertices.max(u.max(v) as usize + 1);
+        if u == v {
+            self.arcs.push((u, v, 2.0 * w));
+        } else {
+            self.arcs.push((u, v, w));
+            self.arcs.push((v, u, w));
+        }
+    }
+
+    /// Adds every edge from an iterator of `(u, v, w)` triples.
+    pub fn extend_edges<I: IntoIterator<Item = (VertexId, VertexId, f64)>>(&mut self, iter: I) {
+        for (u, v, w) in iter {
+            self.add_edge(u, v, w);
+        }
+    }
+
+    /// Adds every edge from an iterator of unweighted `(u, v)` pairs with
+    /// weight 1.
+    pub fn extend_unweighted<I: IntoIterator<Item = (VertexId, VertexId)>>(&mut self, iter: I) {
+        for (u, v) in iter {
+            self.add_edge(u, v, 1.0);
+        }
+    }
+
+    /// Number of arcs accumulated so far (before dedup).
+    pub fn num_arcs(&self) -> usize {
+        self.arcs.len()
+    }
+
+    /// Finalises the builder into a CSR [`Graph`], merging duplicates.
+    pub fn build(mut self) -> Graph {
+        let n = self.num_vertices;
+        // Sort by (source, target) then merge duplicates by summing weight.
+        self.arcs
+            .sort_unstable_by_key(|a| (a.0, a.1));
+        let mut merged: Vec<(VertexId, VertexId, f64)> = Vec::with_capacity(self.arcs.len());
+        for (u, v, w) in self.arcs {
+            match merged.last_mut() {
+                Some(last) if last.0 == u && last.1 == v => last.2 += w,
+                _ => merged.push((u, v, w)),
+            }
+        }
+        let mut offsets = vec![0usize; n + 1];
+        for &(u, _, _) in &merged {
+            offsets[u as usize + 1] += 1;
+        }
+        for i in 0..n {
+            offsets[i + 1] += offsets[i];
+        }
+        let mut targets = Vec::with_capacity(merged.len());
+        let mut weights = Vec::with_capacity(merged.len());
+        for (_, v, w) in merged {
+            targets.push(v);
+            weights.push(w);
+        }
+        Graph::from_csr(offsets, targets, weights)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn merges_duplicate_edges() {
+        let mut b = GraphBuilder::new(2);
+        b.add_edge(0, 1, 1.0);
+        b.add_edge(1, 0, 2.5);
+        let g = b.build();
+        assert_eq!(g.edge_weight(0, 1), Some(3.5));
+        assert_eq!(g.num_edges(), 1);
+    }
+
+    #[test]
+    fn grows_vertex_count() {
+        let mut b = GraphBuilder::new(0);
+        b.add_edge(5, 7, 1.0);
+        let g = b.build();
+        assert_eq!(g.num_vertices(), 8);
+        assert_eq!(g.degree(6), 0);
+    }
+
+    #[test]
+    fn self_loop_doubled() {
+        let mut b = GraphBuilder::new(1);
+        b.add_edge(0, 0, 3.0);
+        let g = b.build();
+        assert_eq!(g.self_loop(0), 6.0);
+        assert_eq!(g.total_weight(), 6.0);
+    }
+
+    #[test]
+    fn extend_unweighted_defaults_to_one() {
+        let mut b = GraphBuilder::new(3);
+        b.extend_unweighted([(0, 1), (1, 2)]);
+        let g = b.build();
+        assert_eq!(g.edge_weight(0, 1), Some(1.0));
+        assert_eq!(g.total_weight(), 4.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "finite")]
+    fn rejects_nan_weight() {
+        let mut b = GraphBuilder::new(2);
+        b.add_edge(0, 1, f64::NAN);
+    }
+
+    #[test]
+    #[should_panic(expected = ">= 0")]
+    fn rejects_negative_weight() {
+        let mut b = GraphBuilder::new(2);
+        b.add_edge(0, 1, -1.0);
+    }
+
+    #[test]
+    fn build_empty() {
+        let g = GraphBuilder::new(4).build();
+        assert_eq!(g.num_vertices(), 4);
+        assert_eq!(g.num_edges(), 0);
+    }
+}

@@ -1,0 +1,132 @@
+//! Clustering coefficients and triangle counts.
+//!
+//! The local clustering coefficient is the structural signal community
+//! detection feeds on: the paper's strong-community graphs (UK, HW) are
+//! triangle-dense, the weak one (TW) is not. The experiment harness uses
+//! these to characterise stand-ins against their originals.
+
+use crate::csr::{Graph, VertexId};
+use rayon::prelude::*;
+
+/// Number of triangles through vertex `v` (pairs of neighbors that are
+/// themselves adjacent), ignoring weights and self-loops.
+pub fn triangles_at(graph: &Graph, v: VertexId) -> u64 {
+    let ids = graph.neighbor_ids(v);
+    let mut count = 0u64;
+    for (i, &a) in ids.iter().enumerate() {
+        if a == v {
+            continue;
+        }
+        for &b in &ids[i + 1..] {
+            if b == v || b == a {
+                continue;
+            }
+            if graph.edge_weight(a, b).is_some() {
+                count += 1;
+            }
+        }
+    }
+    count
+}
+
+/// Local clustering coefficient of `v`: triangles / possible neighbor
+/// pairs. 0 for degree < 2.
+pub fn local_clustering(graph: &Graph, v: VertexId) -> f64 {
+    let deg = graph
+        .neighbor_ids(v)
+        .iter()
+        .filter(|&&u| u != v)
+        .count() as u64;
+    if deg < 2 {
+        return 0.0;
+    }
+    let possible = deg * (deg - 1) / 2;
+    triangles_at(graph, v) as f64 / possible as f64
+}
+
+/// Mean local clustering coefficient (Watts–Strogatz definition).
+pub fn average_clustering(graph: &Graph) -> f64 {
+    let n = graph.num_vertices();
+    if n == 0 {
+        return 0.0;
+    }
+    let sum: f64 = (0..n as VertexId)
+        .into_par_iter()
+        .map(|v| local_clustering(graph, v))
+        .sum();
+    sum / n as f64
+}
+
+/// Total triangle count of the graph (each triangle once).
+pub fn triangle_count(graph: &Graph) -> u64 {
+    let per_vertex: u64 = (0..graph.num_vertices() as VertexId)
+        .into_par_iter()
+        .map(|v| triangles_at(graph, v))
+        .sum();
+    per_vertex / 3
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators::fixtures;
+    use crate::GraphBuilder;
+
+    #[test]
+    fn triangle_counts_on_cliques() {
+        // K4: C(4,3) = 4 triangles; each vertex sees C(3,2) = 3.
+        let g = fixtures::two_cliques(4);
+        assert_eq!(triangles_at(&g, 0), 3);
+        assert_eq!(triangle_count(&g), 8); // two K4s, bridge adds none
+    }
+
+    #[test]
+    fn clique_clustering_is_one() {
+        let g = fixtures::two_cliques(5);
+        // Interior vertex: all neighbor pairs adjacent.
+        assert_eq!(local_clustering(&g, 0), 1.0);
+        // Bridge endpoint 4: neighbors are its clique (4 of them) + vertex 5.
+        let c = local_clustering(&g, 4);
+        assert!(c < 1.0 && c > 0.5, "c = {c}");
+    }
+
+    #[test]
+    fn path_has_no_triangles() {
+        let g = fixtures::path(6);
+        assert_eq!(triangle_count(&g), 0);
+        assert_eq!(average_clustering(&g), 0.0);
+    }
+
+    #[test]
+    fn self_loops_do_not_count() {
+        let mut b = GraphBuilder::new(3);
+        b.add_edge(0, 1, 1.0);
+        b.add_edge(1, 2, 1.0);
+        b.add_edge(0, 2, 1.0);
+        b.add_edge(0, 0, 5.0);
+        let g = b.build();
+        assert_eq!(triangle_count(&g), 1);
+        assert_eq!(local_clustering(&g, 0), 1.0);
+    }
+
+    #[test]
+    fn small_world_beats_random_on_clustering() {
+        use crate::generators::{gnp::gnp, ws::watts_strogatz};
+        let ws = watts_strogatz(400, 8, 0.05, 1);
+        let er = gnp(400, 8.0 / 399.0, 1);
+        assert!(
+            average_clustering(&ws) > 3.0 * average_clustering(&er),
+            "ws {} vs er {}",
+            average_clustering(&ws),
+            average_clustering(&er)
+        );
+    }
+
+    #[test]
+    fn degenerate_vertices() {
+        let g = fixtures::star(3);
+        assert_eq!(local_clustering(&g, 1), 0.0); // degree 1
+        let empty = GraphBuilder::new(0).build();
+        assert_eq!(average_clustering(&empty), 0.0);
+    }
+}

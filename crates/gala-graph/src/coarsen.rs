@@ -1,0 +1,140 @@
+//! Louvain phase 2: build the compressed (coarsened) graph.
+//!
+//! Each community of the input partition becomes a super-vertex. Edge
+//! weights between two different communities are aggregated into one super
+//! edge; weights *within* a community (each internal undirected edge counted
+//! twice, plus existing self-loops) become the super-vertex's self-loop,
+//! i.e. `D_C(C)` in the paper's notation. This makes the coarse graph's
+//! modularity over singleton communities equal the fine graph's modularity
+//! over the input partition — the invariant the Louvain hierarchy relies on.
+
+use crate::builder::GraphBuilder;
+use crate::csr::{Graph, VertexId};
+use crate::partition::Partition;
+use std::collections::HashMap;
+
+/// Result of coarsening: the super-graph plus the dense renumbering used,
+/// so callers can compose hierarchy levels.
+#[derive(Clone, Debug)]
+pub struct Coarsened {
+    /// The compressed graph; vertex `c` corresponds to community `c` of
+    /// `renumbered`.
+    pub graph: Graph,
+    /// The input partition with community ids renumbered to `0..k`.
+    pub renumbered: Partition,
+    /// Number of super-vertices `k`.
+    pub num_communities: usize,
+}
+
+/// Coarsens `graph` according to `partition` (Louvain phase 2).
+pub fn coarsen(graph: &Graph, partition: &Partition) -> Coarsened {
+    assert_eq!(
+        partition.len(),
+        graph.num_vertices(),
+        "partition covers {} vertices, graph has {}",
+        partition.len(),
+        graph.num_vertices()
+    );
+    let (renumbered, k) = partition.renumbered();
+    let comm = renumbered.assignment();
+
+    // Aggregate arc weights between community pairs. For cu != cv we see the
+    // arc from both endpoints, so halve when emitting undirected edges. For
+    // cu == cv (internal), the arc sum already equals the doubled internal
+    // weight (each internal edge seen from both sides, self-loops stored
+    // doubled), which is exactly the super self-loop's stored value — and the
+    // builder doubles self-loop input, so emit half and let it double back.
+    let mut agg: HashMap<(VertexId, VertexId), f64> = HashMap::new();
+    for v in graph.vertices() {
+        let cv = comm[v as usize];
+        for (u, w) in graph.neighbors(v) {
+            let cu = comm[u as usize];
+            let key = if cv <= cu { (cv, cu) } else { (cu, cv) };
+            *agg.entry(key).or_insert(0.0) += w;
+        }
+    }
+
+    // `with_capacity(k, _)` pins the vertex count, so isolated communities
+    // keep their super-vertex slot even with no incident super edges.
+    let mut b = GraphBuilder::with_capacity(k, agg.len());
+    for ((c1, c2), w) in agg {
+        // Every pair weight was accumulated from both directions: halve.
+        b.add_edge(c1, c2, w / 2.0);
+    }
+
+    Coarsened {
+        graph: b.build(),
+        renumbered,
+        num_communities: k,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::GraphBuilder;
+
+    /// Two triangles joined by one bridge edge.
+    fn two_triangles() -> Graph {
+        let mut b = GraphBuilder::new(6);
+        for (u, v) in [(0, 1), (1, 2), (0, 2), (3, 4), (4, 5), (3, 5), (2, 3)] {
+            b.add_edge(u, v, 1.0);
+        }
+        b.build()
+    }
+
+    #[test]
+    fn coarsen_two_triangles() {
+        let g = two_triangles();
+        let p = Partition::from_assignment(vec![0, 0, 0, 1, 1, 1]);
+        let c = coarsen(&g, &p);
+        assert_eq!(c.num_communities, 2);
+        assert_eq!(c.graph.num_vertices(), 2);
+        // Each triangle: 3 internal edges counted twice = self-loop 6.
+        assert_eq!(c.graph.self_loop(0), 6.0);
+        assert_eq!(c.graph.self_loop(1), 6.0);
+        // One bridge edge of weight 1 between the super vertices.
+        assert_eq!(c.graph.edge_weight(0, 1), Some(1.0));
+    }
+
+    #[test]
+    fn total_weight_preserved() {
+        let g = two_triangles();
+        let p = Partition::from_assignment(vec![0, 0, 1, 1, 2, 2]);
+        let c = coarsen(&g, &p);
+        assert!((c.graph.total_weight() - g.total_weight()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn noncontiguous_ids_renumbered() {
+        let g = two_triangles();
+        let p = Partition::from_assignment(vec![10, 10, 10, 42, 42, 42]);
+        let c = coarsen(&g, &p);
+        assert_eq!(c.num_communities, 2);
+        assert_eq!(c.renumbered.assignment(), &[0, 0, 0, 1, 1, 1]);
+    }
+
+    #[test]
+    fn singleton_partition_is_identity_shape() {
+        let g = two_triangles();
+        let p = Partition::singletons(6);
+        let c = coarsen(&g, &p);
+        assert_eq!(c.graph.num_vertices(), 6);
+        assert!((c.graph.total_weight() - g.total_weight()).abs() < 1e-9);
+        assert_eq!(c.graph.edge_weight(2, 3), Some(1.0));
+    }
+
+    #[test]
+    fn existing_self_loops_fold_in() {
+        let mut b = GraphBuilder::new(2);
+        b.add_edge(0, 1, 1.0);
+        b.add_edge(0, 0, 2.0); // stored as 4.0
+        let g = b.build();
+        let p = Partition::from_assignment(vec![0, 0]);
+        let c = coarsen(&g, &p);
+        assert_eq!(c.graph.num_vertices(), 1);
+        // Internal: edge {0,1} doubled (2) + loop (4) = 6.
+        assert_eq!(c.graph.self_loop(0), 6.0);
+        assert!((c.graph.total_weight() - g.total_weight()).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,88 @@
+//! Barabási–Albert preferential attachment: heavy-tailed degree
+//! distributions with genuine hubs, used for stress-testing the
+//! large-degree kernel path (the paper's Fig. 9(b) regime) without
+//! planting any community structure.
+
+use crate::builder::GraphBuilder;
+use crate::csr::{Graph, VertexId};
+use rand::Rng;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+/// Generates a Barabási–Albert graph: starts from a small clique of
+/// `m + 1` vertices, then each new vertex attaches `m` edges to existing
+/// vertices with probability proportional to their degree (implemented with
+/// the standard repeated-endpoint trick: sample uniformly from the list of
+/// edge endpoints seen so far).
+pub fn barabasi_albert(n: usize, m: usize, seed: u64) -> Graph {
+    assert!(m >= 1, "attachment count m must be >= 1");
+    assert!(n > m, "need n > m, got n = {n}, m = {m}");
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let mut b = GraphBuilder::with_capacity(n, n * m);
+    // Endpoint multiset: each edge contributes both endpoints, making
+    // uniform sampling from it degree-proportional.
+    let mut endpoints: Vec<VertexId> = Vec::with_capacity(2 * n * m);
+    // Seed clique on m + 1 vertices.
+    for u in 0..=(m as VertexId) {
+        for v in (u + 1)..=(m as VertexId) {
+            b.add_edge(u, v, 1.0);
+            endpoints.push(u);
+            endpoints.push(v);
+        }
+    }
+    for v in (m + 1)..n {
+        let v = v as VertexId;
+        let mut chosen: Vec<VertexId> = Vec::with_capacity(m);
+        let mut guard = 0;
+        while chosen.len() < m && guard < 50 * m {
+            guard += 1;
+            let t = endpoints[rng.gen_range(0..endpoints.len())];
+            if t != v && !chosen.contains(&t) {
+                chosen.push(t);
+            }
+        }
+        for &t in &chosen {
+            b.add_edge(v, t, 1.0);
+            endpoints.push(v);
+            endpoints.push(t);
+        }
+    }
+    b.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shape_and_counts() {
+        let g = barabasi_albert(2_000, 4, 1);
+        assert_eq!(g.num_vertices(), 2_000);
+        // ~ m edges per added vertex plus the seed clique.
+        let m = g.num_edges();
+        assert!((4 * (2_000 - 5)..=4 * 2_000 + 10).contains(&m), "m = {m}");
+    }
+
+    #[test]
+    fn produces_hubs() {
+        let g = barabasi_albert(5_000, 3, 2);
+        let mean = g.num_arcs() as f64 / g.num_vertices() as f64;
+        assert!(
+            g.max_degree() as f64 > 10.0 * mean,
+            "max {} vs mean {mean}",
+            g.max_degree()
+        );
+    }
+
+    #[test]
+    fn deterministic() {
+        assert_eq!(barabasi_albert(500, 2, 7), barabasi_albert(500, 2, 7));
+        assert_ne!(barabasi_albert(500, 2, 7), barabasi_albert(500, 2, 8));
+    }
+
+    #[test]
+    #[should_panic(expected = "n > m")]
+    fn rejects_tiny_n() {
+        barabasi_albert(3, 3, 0);
+    }
+}

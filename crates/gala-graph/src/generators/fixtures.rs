@@ -1,0 +1,149 @@
+//! Small deterministic graphs for tests, docs, and examples.
+
+use crate::builder::GraphBuilder;
+use crate::csr::{Graph, VertexId};
+use crate::partition::Partition;
+
+/// Two cliques of size `k` joined by a single unit-weight bridge edge
+/// between vertex `k - 1` and vertex `k`. The canonical "obvious
+/// communities" fixture: Louvain must find the two cliques.
+pub fn two_cliques(k: usize) -> Graph {
+    assert!(k >= 2, "cliques need k >= 2");
+    let mut b = GraphBuilder::new(2 * k);
+    for base in [0, k] {
+        for i in base..base + k {
+            for j in (i + 1)..base + k {
+                b.add_edge(i as VertexId, j as VertexId, 1.0);
+            }
+        }
+    }
+    b.add_edge(k as VertexId - 1, k as VertexId, 1.0);
+    b.build()
+}
+
+/// The ground-truth partition for [`two_cliques`].
+pub fn two_cliques_truth(k: usize) -> Partition {
+    Partition::from_assignment((0..2 * k).map(|v| (v / k) as u32).collect())
+}
+
+/// A ring of `num` cliques of size `size`, adjacent cliques joined by one
+/// bridge edge. The classic fixture where greedy modularity methods find
+/// each clique as a community (or merge pairs when `num` is large — the
+/// resolution limit).
+pub fn ring_of_cliques(num: usize, size: usize) -> Graph {
+    assert!(num >= 2 && size >= 2);
+    let n = num * size;
+    let mut b = GraphBuilder::new(n);
+    for c in 0..num {
+        let base = c * size;
+        for i in base..base + size {
+            for j in (i + 1)..base + size {
+                b.add_edge(i as VertexId, j as VertexId, 1.0);
+            }
+        }
+        let next_base = ((c + 1) % num) * size;
+        b.add_edge(base as VertexId, next_base as VertexId, 1.0);
+    }
+    b.build()
+}
+
+/// The ground-truth partition for [`ring_of_cliques`].
+pub fn ring_of_cliques_truth(num: usize, size: usize) -> Partition {
+    Partition::from_assignment((0..num * size).map(|v| (v / size) as u32).collect())
+}
+
+/// A simple path graph `0 - 1 - ... - (n-1)` with unit weights.
+pub fn path(n: usize) -> Graph {
+    let mut b = GraphBuilder::new(n);
+    for v in 1..n {
+        b.add_edge(v as VertexId - 1, v as VertexId, 1.0);
+    }
+    b.build()
+}
+
+/// A star graph: vertex 0 connected to `leaves` leaves.
+pub fn star(leaves: usize) -> Graph {
+    let mut b = GraphBuilder::new(leaves + 1);
+    for v in 1..=leaves {
+        b.add_edge(0, v as VertexId, 1.0);
+    }
+    b.build()
+}
+
+/// Zachary's karate club (34 vertices, 78 edges), the canonical community
+/// detection benchmark. Vertex ids are 0-based.
+pub fn karate_club() -> Graph {
+    const EDGES: [(u32, u32); 78] = [
+        (0, 1), (0, 2), (0, 3), (0, 4), (0, 5), (0, 6), (0, 7), (0, 8), (0, 10),
+        (0, 11), (0, 12), (0, 13), (0, 17), (0, 19), (0, 21), (0, 31), (1, 2),
+        (1, 3), (1, 7), (1, 13), (1, 17), (1, 19), (1, 21), (1, 30), (2, 3),
+        (2, 7), (2, 8), (2, 9), (2, 13), (2, 27), (2, 28), (2, 32), (3, 7),
+        (3, 12), (3, 13), (4, 6), (4, 10), (5, 6), (5, 10), (5, 16), (6, 16),
+        (8, 30), (8, 32), (8, 33), (9, 33), (13, 33), (14, 32), (14, 33),
+        (15, 32), (15, 33), (18, 32), (18, 33), (19, 33), (20, 32), (20, 33),
+        (22, 32), (22, 33), (23, 25), (23, 27), (23, 29), (23, 32), (23, 33),
+        (24, 25), (24, 27), (24, 31), (25, 31), (26, 29), (26, 33), (27, 33),
+        (28, 31), (28, 33), (29, 32), (29, 33), (30, 32), (30, 33), (31, 32),
+        (31, 33), (32, 33),
+    ];
+    let mut b = GraphBuilder::new(34);
+    b.extend_unweighted(EDGES.iter().copied());
+    b.build()
+}
+
+/// The two-faction split of the karate club observed after the real-world
+/// fission (Mr. Hi's faction = 0, the officer's faction = 1).
+pub fn karate_club_factions() -> Partition {
+    const OFFICER: [u32; 17] = [
+        9, 14, 15, 18, 20, 22, 23, 24, 25, 26, 27, 28, 29, 30, 31, 32, 33,
+    ];
+    let mut a = vec![0u32; 34];
+    for &v in &OFFICER {
+        a[v as usize] = 1;
+    }
+    Partition::from_assignment(a)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn two_cliques_shape() {
+        let g = two_cliques(4);
+        assert_eq!(g.num_vertices(), 8);
+        assert_eq!(g.num_edges(), 6 + 6 + 1);
+        assert_eq!(g.degree(3), 4); // bridge endpoint
+        assert_eq!(g.degree(0), 3);
+    }
+
+    #[test]
+    fn ring_of_cliques_shape() {
+        let g = ring_of_cliques(5, 4);
+        assert_eq!(g.num_vertices(), 20);
+        assert_eq!(g.num_edges(), 5 * 6 + 5);
+    }
+
+    #[test]
+    fn karate_stats() {
+        let g = karate_club();
+        assert_eq!(g.num_vertices(), 34);
+        assert_eq!(g.num_edges(), 78);
+        assert_eq!(g.degree(33), 17);
+        assert_eq!(g.degree(0), 16);
+    }
+
+    #[test]
+    fn karate_factions_partition() {
+        let p = karate_club_factions();
+        assert_eq!(p.num_communities(), 2);
+        assert_eq!(p.sizes()[&0], 17);
+        assert_eq!(p.sizes()[&1], 17);
+    }
+
+    #[test]
+    fn path_and_star() {
+        assert_eq!(path(5).num_edges(), 4);
+        assert_eq!(star(6).degree(0), 6);
+    }
+}

@@ -1,0 +1,160 @@
+//! Random geometric graphs: vertices scattered in the unit square, edges
+//! between pairs closer than a radius.
+//!
+//! The paper's introduction motivates community detection on transportation
+//! networks [19, 49]; RGGs are the standard synthetic model for such
+//! spatially embedded systems — communities are literal neighborhoods, and
+//! the detected partition should align with space.
+
+use crate::builder::GraphBuilder;
+use crate::csr::{Graph, VertexId};
+use rand::Rng;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+/// A generated geometric graph with its vertex coordinates.
+#[derive(Clone, Debug)]
+pub struct GeometricGraph {
+    /// The graph (edge weight 1 per contact; use
+    /// [`geometric_weighted`] for distance-decaying weights).
+    pub graph: Graph,
+    /// `(x, y)` in the unit square per vertex.
+    pub positions: Vec<(f64, f64)>,
+}
+
+/// Generates a random geometric graph: `n` uniform points, edges where
+/// Euclidean distance < `radius`. Uses a grid index, so expected time is
+/// `O(n + m)` rather than `O(n²)`.
+pub fn geometric(n: usize, radius: f64, seed: u64) -> GeometricGraph {
+    geometric_impl(n, radius, seed, false)
+}
+
+/// Like [`geometric`], but edge weights decay linearly with distance
+/// (`w = 1 − d/radius`), modelling stronger ties between closer nodes.
+pub fn geometric_weighted(n: usize, radius: f64, seed: u64) -> GeometricGraph {
+    geometric_impl(n, radius, seed, true)
+}
+
+fn geometric_impl(n: usize, radius: f64, seed: u64, weighted: bool) -> GeometricGraph {
+    assert!(radius > 0.0 && radius <= 1.0, "radius must be in (0, 1]");
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let positions: Vec<(f64, f64)> = (0..n).map(|_| (rng.gen(), rng.gen())).collect();
+    // Grid of cell size `radius`: neighbors live in the 3×3 surrounding
+    // cells.
+    let cells_per_side = (1.0 / radius).floor().max(1.0) as usize;
+    let cell_of = |x: f64, y: f64| {
+        let cx = ((x * cells_per_side as f64) as usize).min(cells_per_side - 1);
+        let cy = ((y * cells_per_side as f64) as usize).min(cells_per_side - 1);
+        cy * cells_per_side + cx
+    };
+    let mut grid: Vec<Vec<VertexId>> = vec![Vec::new(); cells_per_side * cells_per_side];
+    for (v, &(x, y)) in positions.iter().enumerate() {
+        grid[cell_of(x, y)].push(v as VertexId);
+    }
+    let mut b = GraphBuilder::new(n);
+    let r2 = radius * radius;
+    for (v, &(x, y)) in positions.iter().enumerate() {
+        let v = v as VertexId;
+        let cx = ((x * cells_per_side as f64) as usize).min(cells_per_side - 1) as isize;
+        let cy = ((y * cells_per_side as f64) as usize).min(cells_per_side - 1) as isize;
+        for dy in -1..=1isize {
+            for dx in -1..=1isize {
+                let (nx, ny) = (cx + dx, cy + dy);
+                if nx < 0 || ny < 0 || nx >= cells_per_side as isize || ny >= cells_per_side as isize
+                {
+                    continue;
+                }
+                for &u in &grid[ny as usize * cells_per_side + nx as usize] {
+                    if u <= v {
+                        continue; // each pair once
+                    }
+                    let (ux, uy) = positions[u as usize];
+                    let d2 = (x - ux) * (x - ux) + (y - uy) * (y - uy);
+                    if d2 < r2 {
+                        let w = if weighted { 1.0 - d2.sqrt() / radius } else { 1.0 };
+                        if w > 0.0 {
+                            b.add_edge(v, u, w);
+                        }
+                    }
+                }
+            }
+        }
+    }
+    GeometricGraph {
+        graph: b.build(),
+        positions,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn edges_respect_the_radius() {
+        let g = geometric(500, 0.08, 1);
+        for v in g.graph.vertices() {
+            let (x, y) = g.positions[v as usize];
+            for (u, _) in g.graph.neighbors(v) {
+                let (ux, uy) = g.positions[u as usize];
+                let d = ((x - ux).powi(2) + (y - uy).powi(2)).sqrt();
+                assert!(d < 0.08, "edge ({v},{u}) spans {d}");
+            }
+        }
+    }
+
+    #[test]
+    fn all_close_pairs_are_connected() {
+        let g = geometric(300, 0.1, 2);
+        for v in 0..300u32 {
+            let (x, y) = g.positions[v as usize];
+            for u in (v + 1)..300 {
+                let (ux, uy) = g.positions[u as usize];
+                let d2 = (x - ux).powi(2) + (y - uy).powi(2);
+                if d2 < 0.1 * 0.1 {
+                    assert!(
+                        g.graph.edge_weight(v, u).is_some(),
+                        "missing edge ({v},{u})"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn edge_count_near_expectation() {
+        // E[m] = C(n,2) · π r² (minus boundary effects, so allow slack low).
+        let (n, r) = (2000, 0.05);
+        let g = geometric(n, r, 3);
+        let expected = (n * (n - 1) / 2) as f64 * std::f64::consts::PI * r * r;
+        let m = g.graph.num_edges() as f64;
+        assert!(m > 0.7 * expected && m < 1.1 * expected, "m = {m}, E = {expected}");
+    }
+
+    #[test]
+    fn weighted_variant_decays_with_distance() {
+        let g = geometric_weighted(400, 0.1, 4);
+        for v in g.graph.vertices() {
+            let (x, y) = g.positions[v as usize];
+            for (u, w) in g.graph.neighbors(v) {
+                let (ux, uy) = g.positions[u as usize];
+                let d = ((x - ux).powi(2) + (y - uy).powi(2)).sqrt();
+                let expected = 1.0 - d / 0.1;
+                assert!((w - expected).abs() < 1e-9);
+            }
+        }
+    }
+
+    #[test]
+    fn deterministic() {
+        assert_eq!(geometric(200, 0.1, 5).graph, geometric(200, 0.1, 5).graph);
+        assert_ne!(geometric(200, 0.1, 5).graph, geometric(200, 0.1, 6).graph);
+    }
+
+    #[test]
+    fn grid_handles_large_radius() {
+        let g = geometric(50, 0.9, 7);
+        // Nearly complete graph.
+        assert!(g.graph.num_edges() > 50 * 49 / 4);
+    }
+}

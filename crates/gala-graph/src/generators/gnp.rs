@@ -1,0 +1,127 @@
+//! Erdős–Rényi G(n, p) generation via geometric skipping.
+//!
+//! Instead of flipping a coin per vertex pair (O(n²)), we jump between
+//! selected pairs with geometrically-distributed gaps, giving O(n + m)
+//! expected time — the standard fast-G(n,p) technique.
+
+use crate::builder::GraphBuilder;
+use crate::csr::{Graph, VertexId};
+use rand::Rng;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+/// Generates an undirected G(n, p) graph (no self-loops), weight 1 edges.
+pub fn gnp(n: usize, p: f64, seed: u64) -> Graph {
+    assert!((0.0..=1.0).contains(&p), "p must be in [0,1], got {p}");
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let mut b = GraphBuilder::new(n);
+    if p == 0.0 || n < 2 {
+        return b.build();
+    }
+    if p >= 1.0 {
+        for u in 0..n as VertexId {
+            for v in (u + 1)..n as VertexId {
+                b.add_edge(u, v, 1.0);
+            }
+        }
+        return b.build();
+    }
+    // Enumerate pairs (u, v), u < v, as a flat index and skip geometrically.
+    let log_q = (1.0 - p).ln();
+    let total_pairs = n as u128 * (n as u128 - 1) / 2;
+    let mut idx: u128 = 0;
+    loop {
+        let u: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
+        let skip = (u.ln() / log_q).floor() as u128 + 1;
+        idx = match idx.checked_add(skip) {
+            Some(i) => i,
+            None => break,
+        };
+        if idx > total_pairs {
+            break;
+        }
+        let (a, bv) = unrank_pair(idx - 1, n);
+        b.add_edge(a, bv, 1.0);
+    }
+    b.build()
+}
+
+/// Maps a flat pair index `k` in `0..n(n-1)/2` to the `k`-th pair `(u, v)`
+/// with `u < v` in row-major order (u = 0 pairs first).
+fn unrank_pair(k: u128, n: usize) -> (VertexId, VertexId) {
+    // Row u holds (n - 1 - u) pairs. Find u by accumulating; binary search
+    // on the closed form keeps this O(log n).
+    let n = n as u128;
+    let mut lo = 0u128;
+    let mut hi = n - 1;
+    // prefix(u) = number of pairs before row u = u*n - u(u+1)/2
+    let prefix = |u: u128| u * n - u * (u + 1) / 2;
+    while lo < hi {
+        let mid = (lo + hi).div_ceil(2);
+        if prefix(mid) <= k {
+            lo = mid;
+        } else {
+            hi = mid - 1;
+        }
+    }
+    let u = lo;
+    let v = u + 1 + (k - prefix(u));
+    (u as VertexId, v as VertexId)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unrank_enumerates_all_pairs() {
+        let n = 6;
+        let total = n * (n - 1) / 2;
+        let mut seen = std::collections::HashSet::new();
+        for k in 0..total as u128 {
+            let (u, v) = unrank_pair(k, n);
+            assert!(u < v && (v as usize) < n);
+            assert!(seen.insert((u, v)));
+        }
+        assert_eq!(seen.len(), total);
+    }
+
+    #[test]
+    fn p_zero_gives_no_edges() {
+        let g = gnp(100, 0.0, 1);
+        assert_eq!(g.num_edges(), 0);
+    }
+
+    #[test]
+    fn p_one_gives_complete_graph() {
+        let g = gnp(10, 1.0, 1);
+        assert_eq!(g.num_edges(), 45);
+    }
+
+    #[test]
+    fn edge_count_near_expectation() {
+        let n = 2000;
+        let p = 0.005;
+        let g = gnp(n, p, 42);
+        let expected = p * (n * (n - 1) / 2) as f64;
+        let m = g.num_edges() as f64;
+        assert!(
+            (m - expected).abs() < 5.0 * expected.sqrt(),
+            "m = {m}, expected ~{expected}"
+        );
+    }
+
+    #[test]
+    fn deterministic_for_seed() {
+        assert_eq!(gnp(500, 0.01, 7), gnp(500, 0.01, 7));
+        assert_ne!(gnp(500, 0.01, 7), gnp(500, 0.01, 8));
+    }
+
+    #[test]
+    fn no_self_loops() {
+        let g = gnp(200, 0.05, 3);
+        for v in g.vertices() {
+            assert_eq!(g.self_loop(v), 0.0);
+        }
+    }
+}

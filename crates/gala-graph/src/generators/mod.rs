@@ -1,0 +1,93 @@
+//! Seeded synthetic graph generators.
+//!
+//! Every generator takes an explicit `u64` seed and uses `ChaCha8Rng`, so
+//! each experiment graph is bit-reproducible across runs and platforms.
+//!
+//! * [`gnp`] — Erdős–Rényi G(n, p) via geometric edge skipping.
+//! * [`sbm`] — planted-partition / stochastic-block-model graphs with
+//!   tunable community strength; the backbone of the paper-graph stand-ins.
+//! * [`rmat`] — R-MAT power-law graphs (the Twitter-like stand-in).
+//! * [`lfr`] — LFR-style benchmark with ground-truth communities (Table 4).
+//! * [`fixtures`] — tiny deterministic graphs for tests and examples,
+//!   including Zachary's karate club.
+
+pub mod ba;
+pub mod fixtures;
+pub mod geometric;
+pub mod gnp;
+pub mod lfr;
+pub mod rmat;
+pub mod sbm;
+pub mod ws;
+
+use rand::distributions::Distribution;
+use rand::Rng;
+
+/// Samples from a bounded discrete power law `P(x) ∝ x^-exponent` over
+/// `[min, max]` by inverse-CDF of the continuous law, rounded down.
+///
+/// Used for LFR degree sequences and community-size sequences.
+#[derive(Clone, Copy, Debug)]
+pub struct BoundedPowerLaw {
+    min: f64,
+    max: f64,
+    exponent: f64,
+}
+
+impl BoundedPowerLaw {
+    /// Creates the distribution. `exponent` must be > 1 and `min <= max`.
+    pub fn new(min: u32, max: u32, exponent: f64) -> Self {
+        assert!(min >= 1 && min <= max, "need 1 <= min <= max, got [{min}, {max}]");
+        assert!(exponent > 1.0, "power-law exponent must be > 1, got {exponent}");
+        Self {
+            min: min as f64,
+            max: max as f64 + 1.0, // sample continuous on [min, max+1) then floor
+            exponent,
+        }
+    }
+}
+
+impl Distribution<u32> for BoundedPowerLaw {
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> u32 {
+        let a = 1.0 - self.exponent;
+        let lo = self.min.powf(a);
+        let hi = self.max.powf(a);
+        let u: f64 = rng.gen();
+        let x = (lo + u * (hi - lo)).powf(1.0 / a);
+        (x.floor() as u32).clamp(self.min as u32, self.max as u32 - 1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    #[test]
+    fn power_law_stays_in_bounds() {
+        let d = BoundedPowerLaw::new(5, 50, 2.5);
+        let mut rng = ChaCha8Rng::seed_from_u64(1);
+        for _ in 0..10_000 {
+            let x = d.sample(&mut rng);
+            assert!((5..=50).contains(&x));
+        }
+    }
+
+    #[test]
+    fn power_law_skews_low() {
+        let d = BoundedPowerLaw::new(2, 100, 3.0);
+        let mut rng = ChaCha8Rng::seed_from_u64(2);
+        let samples: Vec<u32> = (0..20_000).map(|_| d.sample(&mut rng)).collect();
+        let low = samples.iter().filter(|&&x| x <= 4).count();
+        // With exponent 3 the mass below 2x the minimum dominates.
+        assert!(low as f64 > 0.6 * samples.len() as f64, "low fraction {low}");
+    }
+
+    #[test]
+    fn degenerate_single_value() {
+        let d = BoundedPowerLaw::new(7, 7, 2.0);
+        let mut rng = ChaCha8Rng::seed_from_u64(3);
+        assert_eq!(d.sample(&mut rng), 7);
+    }
+}

@@ -1,0 +1,141 @@
+//! R-MAT recursive-matrix power-law graph generation (Chakrabarti et al.).
+//!
+//! R-MAT graphs have the heavy-tailed degree distribution and weak community
+//! structure of social-media follower graphs; we use it as the stand-in for
+//! the paper's twitter-2010 graph (low modularity, blurred communities).
+
+use crate::builder::GraphBuilder;
+use crate::csr::{Graph, VertexId};
+use rand::Rng;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+/// R-MAT parameters. `a + b + c + d` must sum to 1.
+#[derive(Clone, Copy, Debug)]
+pub struct RmatParams {
+    /// log2 of the vertex count.
+    pub scale: u32,
+    /// Average (directed) edges per vertex before symmetrisation.
+    pub edge_factor: f64,
+    /// Quadrant probabilities; the classic skew is (0.57, 0.19, 0.19, 0.05).
+    pub a: f64,
+    /// Upper-right quadrant probability.
+    pub b: f64,
+    /// Lower-left quadrant probability.
+    pub c: f64,
+    /// Lower-right quadrant probability.
+    pub d: f64,
+}
+
+impl Default for RmatParams {
+    fn default() -> Self {
+        Self {
+            scale: 14,
+            edge_factor: 16.0,
+            a: 0.57,
+            b: 0.19,
+            c: 0.19,
+            d: 0.05,
+        }
+    }
+}
+
+/// Generates an undirected R-MAT graph. Self-loops are dropped; duplicate
+/// edges are merged by the builder (weights accumulate, matching how the
+/// paper folds directed multi-edges into weighted undirected ones).
+pub fn rmat(params: &RmatParams, seed: u64) -> Graph {
+    let RmatParams { scale, edge_factor, a, b, c, d } = *params;
+    assert!(
+        ((a + b + c + d) - 1.0).abs() < 1e-9,
+        "quadrant probabilities must sum to 1"
+    );
+    assert!(scale <= 31, "scale too large for u32 vertex ids");
+    let n = 1usize << scale;
+    let m = (n as f64 * edge_factor) as usize;
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let mut builder = GraphBuilder::with_capacity(n, m);
+    // Add a small per-level noise to the quadrant probabilities, the standard
+    // trick that prevents artificial degree staircase patterns.
+    for _ in 0..m {
+        let (mut u, mut v) = (0usize, 0usize);
+        for _ in 0..scale {
+            let (mut pa, mut pb, mut pc) = (a, b, c);
+            let noise = 0.9 + 0.2 * rng.gen::<f64>();
+            pa *= noise;
+            let noise = 0.9 + 0.2 * rng.gen::<f64>();
+            pb *= noise;
+            let noise = 0.9 + 0.2 * rng.gen::<f64>();
+            pc *= noise;
+            let noise = 0.9 + 0.2 * rng.gen::<f64>();
+            let pd = d * noise;
+            let total = pa + pb + pc + pd;
+            let r = rng.gen::<f64>() * total;
+            u <<= 1;
+            v <<= 1;
+            if r < pa {
+                // upper-left
+            } else if r < pa + pb {
+                v |= 1;
+            } else if r < pa + pb + pc {
+                u |= 1;
+            } else {
+                u |= 1;
+                v |= 1;
+            }
+        }
+        if u != v {
+            builder.add_edge(u as VertexId, v as VertexId, 1.0);
+        }
+    }
+    builder.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small() -> RmatParams {
+        RmatParams {
+            scale: 10,
+            edge_factor: 8.0,
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn vertex_count_is_power_of_two() {
+        let g = rmat(&small(), 1);
+        assert_eq!(g.num_vertices(), 1024);
+    }
+
+    #[test]
+    fn deterministic() {
+        assert_eq!(rmat(&small(), 5), rmat(&small(), 5));
+        assert_ne!(rmat(&small(), 5), rmat(&small(), 6));
+    }
+
+    #[test]
+    fn heavy_tail_degrees() {
+        let g = rmat(&small(), 2);
+        let max = g.max_degree() as f64;
+        let mean = g.num_arcs() as f64 / g.num_vertices() as f64;
+        // R-MAT's hub should dwarf the mean degree.
+        assert!(max > 8.0 * mean, "max = {max}, mean = {mean}");
+    }
+
+    #[test]
+    fn no_self_loops() {
+        let g = rmat(&small(), 3);
+        for v in g.vertices() {
+            assert_eq!(g.self_loop(v), 0.0);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "sum to 1")]
+    fn rejects_bad_probabilities() {
+        let mut p = small();
+        p.a = 0.9;
+        rmat(&p, 1);
+    }
+}

@@ -1,0 +1,264 @@
+//! Stochastic-block-model style generators with planted communities.
+//!
+//! Parametrised the way the Louvain experiments need it: by *expected
+//! internal degree* and a *mixing parameter* `mu` (the fraction of a
+//! vertex's edges that leave its community), rather than by raw block
+//! probabilities. `mu → 0` yields near-perfect communities (the paper's
+//! UK graph, Q ≈ 0.99); `mu → 0.5+` blurs them (the TW graph, Q ≈ 0.47).
+
+use crate::builder::GraphBuilder;
+use crate::csr::{Graph, VertexId};
+use crate::generators::BoundedPowerLaw;
+use crate::partition::Partition;
+use rand::distributions::Distribution;
+use rand::Rng;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use std::collections::HashSet;
+
+/// Parameters for a planted-partition graph.
+#[derive(Clone, Debug)]
+pub struct PlantedPartition {
+    /// Number of communities.
+    pub num_communities: usize,
+    /// Vertices per community (uniform sizes).
+    pub community_size: usize,
+    /// Expected number of *internal* neighbors per vertex.
+    pub internal_degree: f64,
+    /// Fraction of a vertex's edges that cross community boundaries,
+    /// in `[0, 1)`.
+    pub mixing: f64,
+}
+
+/// A generated graph together with its planted ground-truth communities.
+#[derive(Clone, Debug)]
+pub struct GroundTruthGraph {
+    /// The generated graph.
+    pub graph: Graph,
+    /// The planted community of each vertex.
+    pub ground_truth: Partition,
+}
+
+impl PlantedPartition {
+    /// Generates the graph with the given seed.
+    pub fn generate(&self, seed: u64) -> GroundTruthGraph {
+        assert!(self.community_size >= 2, "communities need >= 2 vertices");
+        assert!((0.0..1.0).contains(&self.mixing), "mixing must be in [0,1)");
+        let sizes = vec![self.community_size; self.num_communities];
+        generate_blocks(&sizes, self.internal_degree, self.mixing, seed)
+    }
+}
+
+/// Parameters for an SBM whose community sizes follow a bounded power law —
+/// closer to real social graphs where a few huge communities dominate.
+#[derive(Clone, Debug)]
+pub struct PowerLawSbm {
+    /// Total number of vertices (approximate; rounded to fill communities).
+    pub num_vertices: usize,
+    /// Minimum community size.
+    pub min_community: u32,
+    /// Maximum community size.
+    pub max_community: u32,
+    /// Community-size power-law exponent (τ₂ in LFR terms), > 1.
+    pub size_exponent: f64,
+    /// Expected internal degree per vertex.
+    pub internal_degree: f64,
+    /// Mixing parameter in `[0, 1)`.
+    pub mixing: f64,
+}
+
+impl PowerLawSbm {
+    /// Generates the graph with the given seed.
+    pub fn generate(&self, seed: u64) -> GroundTruthGraph {
+        assert!(self.min_community >= 2);
+        let mut rng = ChaCha8Rng::seed_from_u64(seed ^ 0x5b3d_0a11);
+        let dist = BoundedPowerLaw::new(self.min_community, self.max_community, self.size_exponent);
+        let mut sizes: Vec<usize> = Vec::new();
+        let mut total = 0usize;
+        while total < self.num_vertices {
+            let s = dist.sample(&mut rng) as usize;
+            let s = s.min(self.num_vertices - total).max(2.min(self.num_vertices - total));
+            if self.num_vertices - total < 2 {
+                // Fold the last straggler vertex into the previous community.
+                if let Some(last) = sizes.last_mut() {
+                    *last += self.num_vertices - total;
+                } else {
+                    sizes.push(self.num_vertices - total);
+                }
+                break;
+            }
+            sizes.push(s);
+            total += s;
+        }
+        generate_blocks(&sizes, self.internal_degree, self.mixing, seed)
+    }
+}
+
+/// Core block wiring shared by the SBM flavours: given community sizes,
+/// draw `size·d_in/2` distinct internal edges per community and
+/// `n·d_out/2` distinct cross edges globally, where
+/// `d_out = d_in · mu / (1 - mu)`.
+pub fn generate_blocks(sizes: &[usize], internal_degree: f64, mixing: f64, seed: u64) -> GroundTruthGraph {
+    let n: usize = sizes.iter().sum();
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let mut assignment = vec![0u32; n];
+    let mut starts = Vec::with_capacity(sizes.len());
+    let mut at = 0usize;
+    for (c, &s) in sizes.iter().enumerate() {
+        starts.push(at);
+        for v in at..at + s {
+            assignment[v] = c as u32;
+        }
+        at += s;
+    }
+
+    let mut b = GraphBuilder::with_capacity(n, (n as f64 * internal_degree) as usize);
+    let mut seen: HashSet<u64> = HashSet::new();
+    let key = |u: VertexId, v: VertexId| {
+        let (a, bb) = if u < v { (u, v) } else { (v, u) };
+        (a as u64) << 32 | bb as u64
+    };
+
+    // Internal edges per community.
+    for (c, &s) in sizes.iter().enumerate() {
+        if s < 2 {
+            continue;
+        }
+        let start = starts[c] as VertexId;
+        let max_edges = s * (s - 1) / 2;
+        let want = (((s as f64) * internal_degree / 2.0).round() as usize).min(max_edges);
+        let mut placed = 0usize;
+        let mut attempts = 0usize;
+        while placed < want && attempts < want * 20 + 64 {
+            attempts += 1;
+            let u = start + rng.gen_range(0..s) as VertexId;
+            let v = start + rng.gen_range(0..s) as VertexId;
+            if u == v {
+                continue;
+            }
+            if seen.insert(key(u, v)) {
+                b.add_edge(u, v, 1.0);
+                placed += 1;
+            }
+        }
+    }
+
+    // Cross edges, uniform over vertex pairs in different communities.
+    if mixing > 0.0 && sizes.len() > 1 {
+        let d_out = internal_degree * mixing / (1.0 - mixing);
+        let want = ((n as f64) * d_out / 2.0).round() as usize;
+        let mut placed = 0usize;
+        let mut attempts = 0usize;
+        while placed < want && attempts < want * 20 + 64 {
+            attempts += 1;
+            let u = rng.gen_range(0..n) as VertexId;
+            let v = rng.gen_range(0..n) as VertexId;
+            if u == v || assignment[u as usize] == assignment[v as usize] {
+                continue;
+            }
+            if seen.insert(key(u, v)) {
+                b.add_edge(u, v, 1.0);
+                placed += 1;
+            }
+        }
+    }
+
+    GroundTruthGraph {
+        graph: b.build(),
+        ground_truth: Partition::from_assignment(assignment),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn planted_partition_shape() {
+        let g = PlantedPartition {
+            num_communities: 10,
+            community_size: 50,
+            internal_degree: 8.0,
+            mixing: 0.1,
+        }
+        .generate(1);
+        assert_eq!(g.graph.num_vertices(), 500);
+        assert_eq!(g.ground_truth.num_communities(), 10);
+        let m = g.graph.num_edges() as f64;
+        // want ~ 10 * 50*8/2 internal + 500 * (8*0.1/0.9)/2 cross ≈ 2222
+        assert!((1800.0..2500.0).contains(&m), "m = {m}");
+    }
+
+    #[test]
+    fn zero_mixing_gives_disconnected_blocks() {
+        let g = PlantedPartition {
+            num_communities: 4,
+            community_size: 30,
+            internal_degree: 6.0,
+            mixing: 0.0,
+        }
+        .generate(2);
+        for v in g.graph.vertices() {
+            let cv = g.ground_truth.community_of(v);
+            for (u, _) in g.graph.neighbors(v) {
+                assert_eq!(g.ground_truth.community_of(u), cv);
+            }
+        }
+    }
+
+    #[test]
+    fn deterministic() {
+        let p = PlantedPartition {
+            num_communities: 5,
+            community_size: 40,
+            internal_degree: 5.0,
+            mixing: 0.2,
+        };
+        assert_eq!(p.generate(9).graph, p.generate(9).graph);
+        assert_ne!(p.generate(9).graph, p.generate(10).graph);
+    }
+
+    #[test]
+    fn power_law_sbm_covers_all_vertices() {
+        let g = PowerLawSbm {
+            num_vertices: 3000,
+            min_community: 10,
+            max_community: 300,
+            size_exponent: 2.0,
+            internal_degree: 6.0,
+            mixing: 0.25,
+        }
+        .generate(3);
+        assert_eq!(g.graph.num_vertices(), 3000);
+        assert_eq!(g.ground_truth.len(), 3000);
+        assert!(g.ground_truth.num_communities() > 5);
+    }
+
+    #[test]
+    fn mixing_raises_cross_edge_fraction() {
+        let count_cross = |mixing: f64| {
+            let g = PlantedPartition {
+                num_communities: 8,
+                community_size: 60,
+                internal_degree: 8.0,
+                mixing,
+            }
+            .generate(4);
+            let mut cross = 0usize;
+            let mut total = 0usize;
+            for v in g.graph.vertices() {
+                for (u, _) in g.graph.neighbors(v) {
+                    total += 1;
+                    if g.ground_truth.community_of(u) != g.ground_truth.community_of(v) {
+                        cross += 1;
+                    }
+                }
+            }
+            cross as f64 / total as f64
+        };
+        let low = count_cross(0.05);
+        let high = count_cross(0.4);
+        assert!(low < 0.1, "low = {low}");
+        assert!(high > 0.3, "high = {high}");
+    }
+}

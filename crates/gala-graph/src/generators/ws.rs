@@ -1,0 +1,107 @@
+//! Watts–Strogatz small-world graphs: a ring lattice with random rewiring.
+//! Low rewiring probability keeps strong local clustering (community-like
+//! neighborhoods); high rewiring approaches a random graph — a useful
+//! robustness axis for the pruning strategies.
+
+use crate::builder::GraphBuilder;
+use crate::csr::{Graph, VertexId};
+use rand::Rng;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use std::collections::HashSet;
+
+/// Generates a Watts–Strogatz graph: `n` vertices on a ring, each joined to
+/// its `k` nearest neighbors (`k` even), then each lattice edge is rewired
+/// to a uniform random endpoint with probability `beta`.
+pub fn watts_strogatz(n: usize, k: usize, beta: f64, seed: u64) -> Graph {
+    assert!(k >= 2 && k.is_multiple_of(2), "k must be even and >= 2, got {k}");
+    assert!(n > k, "need n > k");
+    assert!((0.0..=1.0).contains(&beta), "beta must be in [0,1]");
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let mut edges: HashSet<(VertexId, VertexId)> = HashSet::with_capacity(n * k / 2);
+    let key = |u: VertexId, v: VertexId| if u < v { (u, v) } else { (v, u) };
+    for v in 0..n {
+        for j in 1..=(k / 2) {
+            let u = ((v + j) % n) as VertexId;
+            edges.insert(key(v as VertexId, u));
+        }
+    }
+    let lattice: Vec<(VertexId, VertexId)> = {
+        let mut l: Vec<_> = edges.iter().copied().collect();
+        l.sort_unstable();
+        l
+    };
+    for (u, v) in lattice {
+        if rng.gen::<f64>() >= beta {
+            continue;
+        }
+        // Rewire the (u, v) edge: keep u, pick a fresh random target.
+        let mut guard = 0;
+        loop {
+            guard += 1;
+            if guard > 100 {
+                break; // dense corner case: keep the original edge
+            }
+            let w = rng.gen_range(0..n) as VertexId;
+            if w != u && !edges.contains(&key(u, w)) {
+                edges.remove(&key(u, v));
+                edges.insert(key(u, w));
+                break;
+            }
+        }
+    }
+    let mut b = GraphBuilder::with_capacity(n, edges.len());
+    let mut sorted: Vec<_> = edges.into_iter().collect();
+    sorted.sort_unstable();
+    for (u, v) in sorted {
+        b.add_edge(u, v, 1.0);
+    }
+    b.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_beta_is_the_ring_lattice() {
+        let g = watts_strogatz(20, 4, 0.0, 1);
+        assert_eq!(g.num_edges(), 20 * 2);
+        for v in g.vertices() {
+            assert_eq!(g.degree(v), 4);
+        }
+        assert_eq!(g.edge_weight(0, 1), Some(1.0));
+        assert_eq!(g.edge_weight(0, 2), Some(1.0));
+        assert_eq!(g.edge_weight(0, 3), None);
+    }
+
+    #[test]
+    fn edge_count_is_preserved_by_rewiring() {
+        let g = watts_strogatz(200, 6, 0.3, 2);
+        assert_eq!(g.num_edges(), 200 * 3);
+    }
+
+    #[test]
+    fn rewiring_breaks_the_lattice() {
+        let g = watts_strogatz(100, 4, 1.0, 3);
+        // With full rewiring most lattice edges should be gone.
+        let surviving = (0..100u32)
+            .filter(|&v| g.edge_weight(v, (v + 1) % 100).is_some())
+            .count();
+        assert!(surviving < 70, "surviving lattice edges: {surviving}");
+    }
+
+    #[test]
+    fn deterministic() {
+        assert_eq!(
+            watts_strogatz(100, 4, 0.2, 9),
+            watts_strogatz(100, 4, 0.2, 9)
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "even")]
+    fn rejects_odd_k() {
+        watts_strogatz(10, 3, 0.1, 0);
+    }
+}

@@ -1,0 +1,224 @@
+//! Graph IO: whitespace-separated edge-list text and a compact binary format.
+//!
+//! The text format is the de-facto standard used by SNAP / KONECT dumps:
+//! one `u v [w]` triple per line, `#` or `%` comment lines ignored, weight
+//! defaulting to 1. Directed inputs are symmetrised by the builder (the
+//! paper converts directed graphs such as TW and EW to undirected ones).
+//!
+//! The binary format is a simple little-endian container (magic, counts,
+//! raw CSR arrays) for fast reload of generated stand-ins.
+
+use crate::builder::GraphBuilder;
+use crate::csr::{Graph, VertexId};
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+use std::fs::File;
+use std::io::{self, BufRead, BufReader, BufWriter, Read, Write};
+use std::path::Path;
+
+/// Magic bytes identifying the binary graph container.
+const MAGIC: &[u8; 8] = b"GALAGRF1";
+
+/// Parses an edge-list from a reader. Lines starting with `#` or `%` are
+/// comments; each data line is `u v` or `u v w`.
+pub fn read_edge_list<R: BufRead>(reader: R) -> io::Result<Graph> {
+    let mut b = GraphBuilder::new(0);
+    for (lineno, line) in reader.lines().enumerate() {
+        let line = line?;
+        let t = line.trim();
+        if t.is_empty() || t.starts_with('#') || t.starts_with('%') {
+            // Honor our own writer's vertex-count directive so isolated
+            // trailing vertices survive a round-trip.
+            if let Some(rest) = t.strip_prefix("#vertices") {
+                if let Ok(n) = rest.trim().parse::<usize>() {
+                    b.reserve_vertices(n);
+                }
+            }
+            continue;
+        }
+        let mut it = t.split_whitespace();
+        fn parse<'a>(s: Option<&'a str>, what: &str, lineno: usize) -> io::Result<&'a str> {
+            s.ok_or_else(|| {
+                io::Error::new(
+                    io::ErrorKind::InvalidData,
+                    format!("line {}: missing {what}", lineno + 1),
+                )
+            })
+        }
+        let u: VertexId = parse(it.next(), "source", lineno)?
+            .parse()
+            .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, format!("line {}: {e}", lineno + 1)))?;
+        let v: VertexId = parse(it.next(), "target", lineno)?
+            .parse()
+            .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, format!("line {}: {e}", lineno + 1)))?;
+        let w: f64 = match it.next() {
+            Some(s) => s
+                .parse()
+                .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, format!("line {}: {e}", lineno + 1)))?,
+            None => 1.0,
+        };
+        b.add_edge(u, v, w);
+    }
+    Ok(b.build())
+}
+
+/// Loads an edge-list file. See [`read_edge_list`].
+pub fn load_edge_list<P: AsRef<Path>>(path: P) -> io::Result<Graph> {
+    read_edge_list(BufReader::new(File::open(path)?))
+}
+
+/// Writes the graph as an edge list (each undirected edge once, `u <= v`).
+pub fn write_edge_list<W: Write>(graph: &Graph, mut w: W) -> io::Result<()> {
+    writeln!(w, "#vertices {}", graph.num_vertices())?;
+    for v in graph.vertices() {
+        for (u, wt) in graph.neighbors(v) {
+            if u >= v {
+                // Self-loop stored weight is doubled; write the user-facing value.
+                let out = if u == v { wt / 2.0 } else { wt };
+                writeln!(w, "{v} {u} {out}")?;
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Saves an edge-list file. See [`write_edge_list`].
+pub fn save_edge_list<P: AsRef<Path>>(graph: &Graph, path: P) -> io::Result<()> {
+    write_edge_list(graph, BufWriter::new(File::create(path)?))
+}
+
+/// Serialises the graph into the compact binary container.
+pub fn to_bytes(graph: &Graph) -> Bytes {
+    let n = graph.num_vertices();
+    let arcs = graph.num_arcs();
+    let mut buf = BytesMut::with_capacity(8 + 16 + (n + 1) * 8 + arcs * 12);
+    buf.put_slice(MAGIC);
+    buf.put_u64_le(n as u64);
+    buf.put_u64_le(arcs as u64);
+    for &o in graph.offsets() {
+        buf.put_u64_le(o as u64);
+    }
+    for &t in graph.targets() {
+        buf.put_u32_le(t);
+    }
+    for &w in graph.weights() {
+        buf.put_f64_le(w);
+    }
+    buf.freeze()
+}
+
+/// Deserialises a graph from the binary container.
+pub fn from_bytes(mut data: &[u8]) -> io::Result<Graph> {
+    let bad = |msg: &str| io::Error::new(io::ErrorKind::InvalidData, msg.to_string());
+    if data.len() < 24 || &data[..8] != MAGIC {
+        return Err(bad("bad magic"));
+    }
+    data.advance(8);
+    let n = data.get_u64_le() as usize;
+    let arcs = data.get_u64_le() as usize;
+    let need = (n + 1) * 8 + arcs * 4 + arcs * 8;
+    if data.remaining() < need {
+        return Err(bad("truncated graph container"));
+    }
+    let mut offsets = Vec::with_capacity(n + 1);
+    for _ in 0..=n {
+        offsets.push(data.get_u64_le() as usize);
+    }
+    let mut targets = Vec::with_capacity(arcs);
+    for _ in 0..arcs {
+        targets.push(data.get_u32_le());
+    }
+    let mut weights = Vec::with_capacity(arcs);
+    for _ in 0..arcs {
+        weights.push(data.get_f64_le());
+    }
+    Ok(Graph::from_csr(offsets, targets, weights))
+}
+
+/// Saves the binary container to a file.
+pub fn save_binary<P: AsRef<Path>>(graph: &Graph, path: P) -> io::Result<()> {
+    let mut f = BufWriter::new(File::create(path)?);
+    f.write_all(&to_bytes(graph))
+}
+
+/// Loads the binary container from a file.
+pub fn load_binary<P: AsRef<Path>>(path: P) -> io::Result<Graph> {
+    let mut buf = Vec::new();
+    File::open(path)?.read_to_end(&mut buf)?;
+    from_bytes(&buf)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Cursor;
+
+    fn sample() -> Graph {
+        let mut b = GraphBuilder::new(4);
+        b.add_edge(0, 1, 1.5);
+        b.add_edge(1, 2, 2.0);
+        b.add_edge(3, 3, 1.0);
+        b.build()
+    }
+
+    #[test]
+    fn text_roundtrip() {
+        let g = sample();
+        let mut out = Vec::new();
+        write_edge_list(&g, &mut out).unwrap();
+        let g2 = read_edge_list(Cursor::new(out)).unwrap();
+        assert_eq!(g, g2);
+    }
+
+    #[test]
+    fn text_parses_comments_and_default_weight() {
+        let text = "# header\n% konect style\n0 1\n1 2 3.5\n";
+        let g = read_edge_list(Cursor::new(text)).unwrap();
+        assert_eq!(g.edge_weight(0, 1), Some(1.0));
+        assert_eq!(g.edge_weight(1, 2), Some(3.5));
+    }
+
+    #[test]
+    fn text_rejects_garbage() {
+        let text = "0 x\n";
+        assert!(read_edge_list(Cursor::new(text)).is_err());
+    }
+
+    #[test]
+    fn text_rejects_missing_target() {
+        assert!(read_edge_list(Cursor::new("7\n")).is_err());
+    }
+
+    #[test]
+    fn binary_roundtrip() {
+        let g = sample();
+        let bytes = to_bytes(&g);
+        let g2 = from_bytes(&bytes).unwrap();
+        assert_eq!(g, g2);
+    }
+
+    #[test]
+    fn binary_rejects_bad_magic() {
+        assert!(from_bytes(b"NOTAGRAPHXXXXXXXXXXXXXXXXX").is_err());
+    }
+
+    #[test]
+    fn binary_rejects_truncation() {
+        let g = sample();
+        let bytes = to_bytes(&g);
+        assert!(from_bytes(&bytes[..bytes.len() - 4]).is_err());
+    }
+
+    #[test]
+    fn file_roundtrip() {
+        let g = sample();
+        let dir = std::env::temp_dir();
+        let p1 = dir.join("gala_io_test.txt");
+        let p2 = dir.join("gala_io_test.bin");
+        save_edge_list(&g, &p1).unwrap();
+        save_binary(&g, &p2).unwrap();
+        assert_eq!(load_edge_list(&p1).unwrap(), g);
+        assert_eq!(load_binary(&p2).unwrap(), g);
+        let _ = std::fs::remove_file(p1);
+        let _ = std::fs::remove_file(p2);
+    }
+}

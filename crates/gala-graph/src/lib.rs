@@ -1,0 +1,49 @@
+//! # gala-graph — graph substrate for the GALA reproduction
+//!
+//! This crate provides everything the Louvain layers need from a graph:
+//!
+//! * a compact weighted undirected [`Graph`] in CSR form ([`csr`]),
+//! * an accumulating [`builder::GraphBuilder`] (edge list → CSR),
+//! * text / binary IO ([`io`]),
+//! * seeded synthetic generators ([`generators`]): stochastic block models,
+//!   R-MAT, LFR-style benchmarks with ground truth, G(n, p), and small test
+//!   fixtures,
+//! * scaled-down stand-ins for the seven graphs of the paper's Table 2
+//!   ([`datasets`]),
+//! * Louvain phase-2 aggregation ([`coarsen`]), and
+//! * community-assignment containers ([`partition`]).
+//!
+//! ## Conventions
+//!
+//! Graphs are **undirected** and **weighted**. Each edge `{u, v}` with
+//! `u != v` appears in both endpoint adjacency lists. A self-loop `{v, v}`
+//! appears **once** in `v`'s list, and its stored weight is its *doubled*
+//! contribution (the convention used by Grappolo and by Louvain phase-2
+//! coarsening, where a super-vertex self-loop carries `D_C(C)`, i.e. every
+//! internal edge counted twice). Under this convention:
+//!
+//! * `d(v)` — the weighted degree — is simply the sum of `v`'s incident
+//!   stored weights, and
+//! * `2|E| = Σ_v d(v)` holds exactly, which is the normaliser the modularity
+//!   formula needs.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod builder;
+pub mod clustering;
+pub mod coarsen;
+pub mod csr;
+pub mod datasets;
+pub mod generators;
+pub mod io;
+pub mod metis;
+pub mod partition;
+pub mod reorder;
+pub mod stats;
+pub mod subgraph;
+pub mod traversal;
+
+pub use builder::GraphBuilder;
+pub use csr::{Graph, VertexId};
+pub use partition::Partition;

@@ -1,0 +1,48 @@
+//! Consensus clustering demo: on a noisy graph, individual (relabelled)
+//! GALA runs disagree; the consensus procedure extracts the stable core.
+//!
+//! ```sh
+//! cargo run --release --example consensus_stability
+//! ```
+
+use gala::core::consensus::{consensus, ConsensusConfig};
+use gala::core::metrics::nmi;
+use gala::core::louvain::LouvainConfig;
+use gala::graph::generators::sbm::PlantedPartition;
+
+fn main() {
+    let gt = PlantedPartition {
+        num_communities: 12,
+        community_size: 50,
+        internal_degree: 6.0,
+        mixing: 0.3,
+    }
+    .generate(33);
+    println!(
+        "noisy planted graph: {} vertices, {} edges, mixing 0.3\n",
+        gt.graph.num_vertices(),
+        gt.graph.num_edges()
+    );
+
+    let result = consensus(
+        &gt.graph,
+        ConsensusConfig {
+            runs: 8,
+            threshold: 0.5,
+            max_rounds: 4,
+            base: LouvainConfig::default(),
+        },
+    );
+    println!(
+        "consensus: {} rounds, converged = {}, Q = {:.4}",
+        result.rounds, result.converged, result.modularity
+    );
+    println!(
+        "NMI vs planted truth: {:.4}",
+        nmi(&result.partition, &gt.ground_truth)
+    );
+    println!(
+        "{} communities (planted: 12)",
+        result.partition.num_communities()
+    );
+}

@@ -1,0 +1,42 @@
+//! The resolution limit, and the adjustable-resolution extension: classic
+//! modularity (γ = 1) cannot separate small communities in large networks
+//! (paper Section 1, limitation 1); sweeping γ shows the ring-of-cliques
+//! fixture snapping from merged pairs to one-community-per-clique.
+//!
+//! ```sh
+//! cargo run --release --example resolution
+//! ```
+
+use gala::core::metrics::nmi;
+use gala::core::louvain::{Louvain, LouvainConfig};
+use gala::prelude::fixtures;
+
+fn main() {
+    let cliques = 30;
+    let size = 4;
+    let graph = fixtures::ring_of_cliques(cliques, size);
+    let truth = fixtures::ring_of_cliques_truth(cliques, size);
+    println!(
+        "ring of {cliques} cliques of {size} ({} vertices, {} edges)\n",
+        graph.num_vertices(),
+        graph.num_edges()
+    );
+    println!("{:<6} {:>12} {:>10} {:>8}", "gamma", "communities", "Q_gamma", "NMI");
+    for gamma in [0.5, 1.0, 2.0, 4.0, 8.0] {
+        let result = Louvain::new(LouvainConfig {
+            resolution: gamma,
+            ..LouvainConfig::default()
+        })
+        .run(&graph);
+        println!(
+            "{gamma:<6} {:>12} {:>10.4} {:>8.3}",
+            result.partition.num_communities(),
+            result.modularity,
+            nmi(&result.partition, &truth)
+        );
+    }
+    println!(
+        "\nexpect: low γ merges adjacent cliques (the resolution limit); \
+         γ ≥ 2 recovers all {cliques} cliques with NMI = 1."
+    );
+}

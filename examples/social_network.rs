@@ -1,0 +1,62 @@
+//! Community detection on a synthetic social network with known ground
+//! truth: generate a power-law SBM (the LiveJournal stand-in personality),
+//! run GALA under several pruning strategies, and compare quality (Q, NMI)
+//! and work (active vertices processed).
+//!
+//! ```sh
+//! cargo run --release --example social_network
+//! ```
+
+use gala::core::metrics::nmi;
+use gala::core::louvain::{Louvain, LouvainConfig};
+use gala::core::pruning::PruningKind;
+use gala::graph::generators::sbm::PowerLawSbm;
+
+fn main() {
+    let gt = PowerLawSbm {
+        num_vertices: 20_000,
+        min_community: 15,
+        max_community: 800,
+        size_exponent: 2.0,
+        internal_degree: 10.0,
+        mixing: 0.25,
+    }
+    .generate(7);
+    println!(
+        "social network: {} vertices, {} edges, {} planted communities\n",
+        gt.graph.num_vertices(),
+        gt.graph.num_edges(),
+        gt.ground_truth.num_communities()
+    );
+
+    for kind in [
+        PruningKind::None,
+        PruningKind::Gain,
+        PruningKind::Relaxed,
+        PruningKind::GainRelaxed,
+    ] {
+        let result = Louvain::new(LouvainConfig {
+            pruning: kind,
+            ..LouvainConfig::default()
+        })
+        .run(&gt.graph);
+        let processed: usize = result
+            .rounds
+            .iter()
+            .flat_map(|r| r.iterations.iter())
+            .map(|i| i.num_active)
+            .sum();
+        println!(
+            "{:<9} Q = {:.5}  NMI = {:.4}  communities = {:>5}  vertices processed = {}",
+            kind.label(),
+            result.modularity,
+            nmi(&result.partition, &gt.ground_truth),
+            result.partition.num_communities(),
+            processed
+        );
+    }
+    println!(
+        "\nexpect: MG matches the baseline's Q exactly while processing fewer \
+         vertices; RM processes the fewest but may lose a little Q."
+    );
+}

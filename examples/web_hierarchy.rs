@@ -1,0 +1,43 @@
+//! Hierarchical community structure of a web-like graph: run the full
+//! multi-round Louvain on the uk-2002 stand-in (near-perfect community
+//! structure, paper Q ≈ 0.99) and walk the hierarchy it builds.
+//!
+//! ```sh
+//! cargo run --release --example web_hierarchy
+//! ```
+
+use gala::core::louvain::{Louvain, LouvainConfig};
+use gala::core::metrics::summarize;
+use gala::prelude::{Dataset, Scale};
+
+fn main() {
+    let graph = Dataset::UK.generate(Scale::Test);
+    println!(
+        "web graph stand-in: {} vertices, {} edges\n",
+        graph.num_vertices(),
+        graph.num_edges()
+    );
+    let result = Louvain::new(LouvainConfig::default()).run(&graph);
+
+    println!("hierarchy rounds:");
+    for round in &result.rounds {
+        println!(
+            "  round {}: {:>6} vertices, {:>2} supersteps, Q = {:.5}",
+            round.round,
+            round.num_vertices,
+            round.iterations.len(),
+            round.modularity
+        );
+    }
+    let summary = summarize(&result.partition);
+    println!(
+        "\nfinal: Q = {:.5}, {} communities (sizes {}..{}, mean {:.1})",
+        result.modularity,
+        summary.num_communities,
+        summary.min_size,
+        summary.max_size,
+        summary.mean_size
+    );
+    println!("paper reports Q = 0.99056 on the real uk-2002.");
+    assert!(result.modularity > 0.9, "web stand-in should be near-modular");
+}

@@ -1,0 +1,39 @@
+//! # GALA — GPU-Accelerated Louvain Algorithm, reproduced in Rust
+//!
+//! Facade crate re-exporting the whole workspace:
+//!
+//! * [`graph`] — graph substrate (CSR, generators, datasets, coarsening),
+//! * [`gpu`] — deterministic SIMT GPU simulator (warps, shared/global
+//!   memory, atomics, collectives),
+//! * [`core`] — the paper's contribution: BSP Louvain with modularity-gain
+//!   pruning, workload-aware kernels, and multi-GPU scaling.
+//!
+//! ```
+//! use gala::prelude::*;
+//!
+//! let graph = fixtures::two_cliques(8);
+//! let result = Louvain::new(LouvainConfig::default()).run(&graph);
+//! assert!(result.modularity > 0.3);
+//! assert_eq!(result.partition.num_communities(), 2);
+//! ```
+
+pub use gala_core as core;
+pub use gala_gpu as gpu;
+pub use gala_graph as graph;
+
+/// Convenient re-exports covering the common workflow: build or generate a
+/// graph, run Louvain (or Leiden / label propagation), inspect the result.
+pub mod prelude {
+    pub use gala_core::hierarchy::Dendrogram;
+    pub use gala_core::kernels::KernelKind;
+    pub use gala_core::label_prop::{label_propagation, LabelPropConfig};
+    pub use gala_core::leiden::{leiden, LeidenConfig};
+    pub use gala_core::louvain::{Louvain, LouvainConfig, LouvainResult};
+    pub use gala_core::metrics::nmi;
+    pub use gala_core::modularity::{modularity, modularity_with_resolution};
+    pub use gala_core::pruning::PruningKind;
+    pub use gala_core::validation::{adjusted_rand_index, coverage, mean_conductance};
+    pub use gala_graph::datasets::{Dataset, Scale};
+    pub use gala_graph::generators::fixtures;
+    pub use gala_graph::{Graph, GraphBuilder, Partition};
+}

@@ -1,0 +1,133 @@
+//! End-to-end integration tests: GALA recovers planted community structure
+//! on realistic generated graphs and behaves like the paper's system.
+
+use gala::core::louvain::{Louvain, LouvainConfig};
+use gala::core::metrics::nmi;
+use gala::core::modularity::modularity;
+use gala::core::pruning::PruningKind;
+use gala::graph::datasets::{Dataset, Scale};
+use gala::graph::generators::lfr::LfrParams;
+use gala::graph::generators::sbm::PlantedPartition;
+
+#[test]
+fn recovers_planted_partition_with_high_nmi() {
+    let gt = PlantedPartition {
+        num_communities: 20,
+        community_size: 50,
+        internal_degree: 10.0,
+        mixing: 0.15,
+    }
+    .generate(3);
+    let result = Louvain::new(LouvainConfig::default()).run(&gt.graph);
+    let score = nmi(&result.partition, &gt.ground_truth);
+    assert!(score > 0.85, "NMI = {score}");
+    assert!(result.modularity > 0.5);
+}
+
+#[test]
+fn recovers_lfr_communities() {
+    let gt = LfrParams {
+        num_vertices: 2_000,
+        min_degree: 8,
+        max_degree: 40,
+        degree_exponent: 2.5,
+        min_community: 30,
+        max_community: 150,
+        community_exponent: 1.5,
+        mixing: 0.2,
+    }
+    .generate(5);
+    let result = Louvain::new(LouvainConfig::default()).run(&gt.graph);
+    let score = nmi(&result.partition, &gt.ground_truth);
+    assert!(score > 0.7, "NMI = {score}");
+}
+
+#[test]
+fn hierarchy_rounds_never_lose_modularity() {
+    let g = Dataset::LJ.generate(Scale::Test);
+    let result = Louvain::new(LouvainConfig::default()).run(&g);
+    let mut prev = f64::NEG_INFINITY;
+    for round in &result.rounds {
+        assert!(
+            round.modularity >= prev - 1e-9,
+            "round {} lost modularity: {} -> {}",
+            round.round,
+            prev,
+            round.modularity
+        );
+        prev = round.modularity;
+    }
+    assert!(result.rounds.len() >= 2, "expected multi-round hierarchy");
+}
+
+#[test]
+fn dataset_standins_have_paper_like_modularity_ordering() {
+    // Exact Q values differ from the originals, but the ordering that
+    // drives the paper's analysis must hold: UK (web) is near-perfectly
+    // modular, TW (twitter) is by far the weakest.
+    let runner = Louvain::new(LouvainConfig::default());
+    let q = |d: Dataset| runner.run(&d.generate(Scale::Test)).modularity;
+    let (uk, tw, lj) = (q(Dataset::UK), q(Dataset::TW), q(Dataset::LJ));
+    assert!(uk > 0.9, "UK stand-in q = {uk}");
+    assert!(tw < 0.6, "TW stand-in q = {tw}");
+    assert!(lj > tw, "LJ ({lj}) should beat TW ({tw})");
+    assert!(uk > lj, "UK ({uk}) should beat LJ ({lj})");
+}
+
+#[test]
+fn final_modularity_is_consistent_with_partition() {
+    for d in [Dataset::OR, Dataset::EW] {
+        let g = d.generate(Scale::Test);
+        let result = Louvain::new(LouvainConfig::default()).run(&g);
+        let q = modularity(&g, &result.partition);
+        assert!(
+            (q - result.modularity).abs() < 1e-9,
+            "{}: reported {} vs recomputed {}",
+            d.abbr(),
+            result.modularity,
+            q
+        );
+    }
+}
+
+#[test]
+fn mg_pruning_matches_baseline_on_every_standin() {
+    // Theorem 6 at system level: MG never changes the result's quality.
+    for d in [Dataset::LJ, Dataset::UK, Dataset::HW] {
+        let g = d.generate(Scale::Test);
+        let base = Louvain::new(LouvainConfig {
+            pruning: PruningKind::None,
+            ..LouvainConfig::default()
+        })
+        .run(&g);
+        let mg = Louvain::new(LouvainConfig {
+            pruning: PruningKind::Gain,
+            ..LouvainConfig::default()
+        })
+        .run(&g);
+        assert!(
+            (base.modularity - mg.modularity).abs() < 1e-9,
+            "{}: baseline {} vs MG {}",
+            d.abbr(),
+            base.modularity,
+            mg.modularity
+        );
+    }
+}
+
+#[test]
+fn relaxed_pruning_cost_is_bounded() {
+    // RM may lose modularity, but only a little (paper: ~0.001 average).
+    let g = Dataset::LJ.generate(Scale::Test);
+    let base = Louvain::new(LouvainConfig {
+        pruning: PruningKind::None,
+        ..LouvainConfig::default()
+    })
+    .run(&g);
+    let rm = Louvain::new(LouvainConfig {
+        pruning: PruningKind::Relaxed,
+        ..LouvainConfig::default()
+    })
+    .run(&g);
+    assert!(base.modularity - rm.modularity < 0.02, "RM lost too much");
+}

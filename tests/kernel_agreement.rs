@@ -1,0 +1,91 @@
+//! Cross-kernel agreement: on unit-weight graphs every DecideAndMove
+//! kernel (CPU reference, warp shuffle, block hash with all three tables,
+//! sort-based, and the workload-aware dispatcher) must produce identical
+//! decisions — they are different *memory layouts* of the same function.
+
+use gala::core::kernels::hashtable::{HashConfig, HashTableKind};
+use gala::core::kernels::{self, KernelKind};
+use gala::core::state::BspState;
+use gala::core::weight::{self, WeightUpdateMode};
+use gala::graph::datasets::{Dataset, Scale};
+use gala::graph::Graph;
+
+fn all_kernel_kinds() -> Vec<KernelKind> {
+    vec![
+        KernelKind::Cpu,
+        KernelKind::Shuffle,
+        KernelKind::Hash(HashConfig {
+            kind: HashTableKind::GlobalOnly,
+            shared_buckets: 0,
+        }),
+        KernelKind::Hash(HashConfig {
+            kind: HashTableKind::Unified,
+            shared_buckets: 64,
+        }),
+        KernelKind::Hash(HashConfig {
+            kind: HashTableKind::Hierarchical,
+            shared_buckets: 64,
+        }),
+        KernelKind::Sort,
+        KernelKind::Replicated,
+        KernelKind::WorkloadAware(HashConfig::default()),
+    ]
+}
+
+/// Drives several supersteps with the CPU kernel and checks that every
+/// other kernel agrees with it on every superstep's decisions.
+fn assert_agreement_over_iterations(graph: &Graph, supersteps: usize) {
+    let mut state = BspState::new(graph);
+    for step in 0..supersteps {
+        let active = vec![true; graph.num_vertices()];
+        let reference = kernels::decide(KernelKind::Cpu, graph, &state, &active);
+        for kind in all_kernel_kinds() {
+            let out = kernels::decide(kind, graph, &state, &active);
+            assert_eq!(
+                out.next_comm, reference.next_comm,
+                "{kind:?} diverged at superstep {step}"
+            );
+        }
+        let summary = state.apply_moves(graph, &reference.next_comm);
+        if summary.num_moved() == 0 {
+            break;
+        }
+        weight::update(WeightUpdateMode::Delta, graph, &mut state, &summary);
+    }
+}
+
+#[test]
+fn kernels_agree_on_lj_standin() {
+    let g = Dataset::LJ.generate(Scale::Test);
+    assert_agreement_over_iterations(&g, 4);
+}
+
+#[test]
+fn kernels_agree_on_heavy_tailed_tw_standin() {
+    // R-MAT hubs exercise the multi-chunk shuffle path and large tables.
+    let g = Dataset::TW.generate(Scale::Test);
+    assert_agreement_over_iterations(&g, 3);
+}
+
+#[test]
+fn kernels_agree_on_dense_hw_standin() {
+    let g = Dataset::HW.generate(Scale::Test);
+    assert_agreement_over_iterations(&g, 3);
+}
+
+#[test]
+fn kernels_agree_with_partial_active_sets() {
+    let g = Dataset::OR.generate(Scale::Test);
+    let state = BspState::new(&g);
+    // Odd-indexed vertices only.
+    let active: Vec<bool> = (0..g.num_vertices()).map(|v| v % 2 == 1).collect();
+    let reference = kernels::decide(KernelKind::Cpu, &g, &state, &active);
+    for kind in all_kernel_kinds() {
+        let out = kernels::decide(kind, &g, &state, &active);
+        assert_eq!(out.next_comm, reference.next_comm, "{kind:?} diverged");
+        // Inactive vertices must be untouched.
+        for v in (0..g.num_vertices()).step_by(2) {
+            assert_eq!(out.next_comm[v], state.comm[v]);
+        }
+    }
+}

@@ -1,0 +1,122 @@
+//! Integration tests for the GPU-simulation layer's *fidelity claims*: the
+//! cost-model orderings that the paper's figures depend on must emerge from
+//! the implemented designs, not be hard-coded anywhere.
+
+use gala::core::kernels::hashtable::{HashConfig, HashTableKind};
+use gala::core::kernels::{self, KernelKind};
+use gala::core::louvain::{Louvain, LouvainConfig};
+use gala::core::pruning::PruningKind;
+use gala::core::state::BspState;
+use gala::core::weight::WeightUpdateMode;
+use gala::graph::datasets::{Dataset, Scale};
+use gala::gpu::memory::CostModel;
+
+fn cycles(kind: KernelKind, g: &gala::graph::Graph, active: &[bool]) -> f64 {
+    let state = BspState::new(g);
+    let out = kernels::decide(kind, g, &state, active);
+    CostModel::default().cycles(&out.tally)
+}
+
+#[test]
+fn shuffle_beats_hash_on_small_degrees() {
+    // Fig 9(a): registers beat any hashtable for warp-sized neighborhoods.
+    let g = Dataset::LJ.generate(Scale::Test);
+    let small: Vec<bool> = (0..g.num_vertices())
+        .map(|v| (1..32).contains(&g.degree(v as u32)))
+        .collect();
+    let shuffle = cycles(KernelKind::Shuffle, &g, &small);
+    let hier = cycles(
+        KernelKind::Hash(HashConfig::default()),
+        &g,
+        &small,
+    );
+    let glob = cycles(
+        KernelKind::Hash(HashConfig {
+            kind: HashTableKind::GlobalOnly,
+            shared_buckets: 0,
+        }),
+        &g,
+        &small,
+    );
+    assert!(shuffle < hier, "shuffle {shuffle} vs hierarchical {hier}");
+    assert!(hier < glob, "hierarchical {hier} vs global {glob}");
+}
+
+#[test]
+fn hierarchical_table_beats_unified_beats_global_on_hubs() {
+    // Fig 9(b): the three hashtable designs on the heavy vertices.
+    let g = Dataset::TW.generate(Scale::Test);
+    let hubs: Vec<bool> = (0..g.num_vertices())
+        .map(|v| g.degree(v as u32) >= 64)
+        .collect();
+    assert!(hubs.iter().any(|&h| h), "TW stand-in must have hubs");
+    let mk = |kind, s| {
+        cycles(
+            KernelKind::Hash(HashConfig {
+                kind,
+                shared_buckets: s,
+            }),
+            &g,
+            &hubs,
+        )
+    };
+    let hier = mk(HashTableKind::Hierarchical, 256);
+    let unif = mk(HashTableKind::Unified, 256);
+    let glob = mk(HashTableKind::GlobalOnly, 0);
+    assert!(hier < unif, "hierarchical {hier} vs unified {unif}");
+    assert!(unif < glob, "unified {unif} vs global-only {glob}");
+}
+
+#[test]
+fn sort_kernel_is_the_most_expensive() {
+    // Fig 5's mechanism: the cuGraph-style sort strategy moves each pair
+    // O(log d) times through global memory.
+    let g = Dataset::OR.generate(Scale::Test);
+    let active = vec![true; g.num_vertices()];
+    let sort = cycles(KernelKind::Sort, &g, &active);
+    let hash = cycles(KernelKind::Hash(HashConfig::default()), &g, &active);
+    let gala = cycles(KernelKind::WorkloadAware(HashConfig::default()), &g, &active);
+    assert!(sort > hash, "sort {sort} vs hash {hash}");
+    assert!(gala <= hash * 1.01, "workload-aware {gala} vs hash {hash}");
+}
+
+#[test]
+fn mg_pruning_reduces_total_simulated_work() {
+    // Fig 6's MG bar: same kernel, pruned vs unpruned, over a full phase 1.
+    let g = Dataset::LJ.generate(Scale::Test);
+    let run = |pruning| {
+        let (_, stats) = Louvain::new(LouvainConfig {
+            pruning,
+            weight_update: WeightUpdateMode::Delta,
+            ..LouvainConfig::default()
+        })
+        .run_phase1(&g);
+        CostModel::default().cycles(&stats.total_tally())
+    };
+    let base = run(PruningKind::None);
+    let mg = run(PruningKind::Gain);
+    assert!(
+        mg < base,
+        "MG pruning did not reduce simulated work: {mg} vs {base}"
+    );
+}
+
+#[test]
+fn workload_aware_dispatch_beats_pure_hash_end_to_end() {
+    // Fig 6's MM bar on a graph with many small-degree vertices.
+    let g = Dataset::LJ.generate(Scale::Test);
+    let run = |kernel| {
+        let (_, stats) = Louvain::new(LouvainConfig {
+            kernel,
+            ..LouvainConfig::default()
+        })
+        .run_phase1(&g);
+        CostModel::default().cycles(&stats.total_tally())
+    };
+    let mm = run(KernelKind::WorkloadAware(HashConfig::default()));
+    let pure_global = run(KernelKind::Hash(HashConfig {
+        kind: HashTableKind::GlobalOnly,
+        shared_buckets: 0,
+    }));
+    assert!(mm < pure_global, "MM {mm} vs global hash {pure_global}");
+}
