@@ -22,14 +22,7 @@ fn bench_kernels(c: &mut Criterion) {
         b.iter(|| kernels::decide(KernelKind::Shuffle, &g, &state, &small))
     });
     group.bench_function("hash_hierarchical", |b| {
-        b.iter(|| {
-            kernels::decide(
-                KernelKind::Hash(HashConfig::default()),
-                &g,
-                &state,
-                &small,
-            )
-        })
+        b.iter(|| kernels::decide(KernelKind::Hash(HashConfig::default()), &g, &state, &small))
     });
     group.bench_function("hash_global", |b| {
         b.iter(|| {

@@ -40,7 +40,11 @@ fn bench_pruning(c: &mut Criterion) {
 
     let mut group = c.benchmark_group("phase1_by_strategy");
     group.sample_size(10);
-    for kind in [PruningKind::None, PruningKind::Gain, PruningKind::GainRelaxed] {
+    for kind in [
+        PruningKind::None,
+        PruningKind::Gain,
+        PruningKind::GainRelaxed,
+    ] {
         group.bench_function(kind.label(), |b| {
             let runner = Louvain::new(LouvainConfig {
                 pruning: kind,

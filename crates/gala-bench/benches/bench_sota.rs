@@ -21,15 +21,19 @@ fn bench_sota(c: &mut Criterion) {
             let runner = Louvain::new(LouvainConfig::default());
             b.iter(|| runner.run_phase1(g))
         });
-        group.bench_with_input(BenchmarkId::new("sort_kernel", dataset.abbr()), &g, |b, g| {
-            let runner = Louvain::new(LouvainConfig {
-                pruning: PruningKind::None,
-                kernel: KernelKind::Sort,
-                weight_update: WeightUpdateMode::Naive,
-                ..LouvainConfig::default()
-            });
-            b.iter(|| runner.run_phase1(g))
-        });
+        group.bench_with_input(
+            BenchmarkId::new("sort_kernel", dataset.abbr()),
+            &g,
+            |b, g| {
+                let runner = Louvain::new(LouvainConfig {
+                    pruning: PruningKind::None,
+                    kernel: KernelKind::Sort,
+                    weight_update: WeightUpdateMode::Naive,
+                    ..LouvainConfig::default()
+                });
+                b.iter(|| runner.run_phase1(g))
+            },
+        );
         group.bench_with_input(
             BenchmarkId::new("global_hash", dataset.abbr()),
             &g,

@@ -4,14 +4,14 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use gala_core::multi_gpu::{run_phase1, MultiGpuConfig, SyncMode};
-use gala_graph::coarsen::coarsen;
-use gala_graph::datasets::{Dataset, Scale};
-use gala_graph::generators::sbm::PlantedPartition;
-use gala_graph::GraphBuilder;
 use gala_gpu::block::SharedMem;
 use gala_gpu::comm::DeviceGroup;
 use gala_gpu::memory::MemTally;
 use gala_gpu::warp::{Warp, FULL_MASK, WARP_SIZE};
+use gala_graph::coarsen::coarsen;
+use gala_graph::datasets::{Dataset, Scale};
+use gala_graph::generators::sbm::PlantedPartition;
+use gala_graph::GraphBuilder;
 
 fn bench_substrates(c: &mut Criterion) {
     // Graph building.
@@ -82,7 +82,9 @@ fn bench_substrates(c: &mut Criterion) {
 
     // Bitonic sorting network (the sort kernel's engine).
     c.bench_function("bitonic_sort_4k", |b| {
-        let items: Vec<(u32, f64)> = (0..4096u32).map(|k| ((k * 2654435761) % 9973, 1.0)).collect();
+        let items: Vec<(u32, f64)> = (0..4096u32)
+            .map(|k| ((k * 2654435761) % 9973, 1.0))
+            .collect();
         b.iter(|| {
             let mut copy = items.clone();
             let mut tally = MemTally::new();

@@ -7,7 +7,7 @@
 //! conductance, whether every community is internally connected, and wall
 //! time.
 
-use gala_bench::{scale_from_env, time, Table};
+use gala_bench::{new_report, scale_from_env, time, write_report_if_requested, Table};
 use gala_core::label_prop::{label_propagation, LabelPropConfig};
 use gala_core::leiden::{communities_are_connected, leiden, LeidenConfig};
 use gala_core::louvain::{Louvain, LouvainConfig};
@@ -25,6 +25,7 @@ fn main() {
         Scale::Test => 3_000,
         Scale::Full => 30_000,
     };
+    let mut report = new_report("algos_quality");
     for mixing in [0.15, 0.35, 0.5] {
         let gt = LfrParams {
             num_vertices: n,
@@ -42,7 +43,14 @@ fn main() {
             gt.graph.num_edges()
         );
         let mut table = Table::new(&[
-            "Algorithm", "Q", "NMI", "ARI", "Coverage", "MeanCond", "Connected", "ms",
+            "Algorithm",
+            "Q",
+            "NMI",
+            "ARI",
+            "Coverage",
+            "MeanCond",
+            "Connected",
+            "ms",
         ]);
         let runs: Vec<(&str, Partition, f64)> = vec![
             run("GALA", &gt.graph, |g| {
@@ -76,12 +84,19 @@ fn main() {
                 format!("{:.4}", adjusted_rand_index(&partition, &gt.ground_truth)),
                 format!("{:.4}", coverage(&gt.graph, &partition)),
                 format!("{:.4}", mean_conductance(&gt.graph, &partition)),
-                if communities_are_connected(&gt.graph, &partition) { "yes" } else { "NO" }.into(),
+                if communities_are_connected(&gt.graph, &partition) {
+                    "yes"
+                } else {
+                    "NO"
+                }
+                .into(),
                 format!("{ms:.0}"),
             ]);
         }
         table.print();
+        table.add_to_report(&mut report, &format!("mu{mixing}"));
     }
+    write_report_if_requested(&report);
     println!(
         "\nexpect: Leiden always connected; modularity methods beat LPA as mu \
          grows; LPA collapses to few giant communities at high mu."

@@ -1,0 +1,78 @@
+//! CI smoke benchmark: deterministic simulated-cycle totals for a small
+//! matrix of configurations, diffable against a checked-in baseline.
+//!
+//! The simulator is deterministic, so the cycle counts below are exact
+//! functions of the code — any drift is a real behaviour change. CI runs
+//!
+//! ```text
+//! GALA_SCALE=test bench_smoke --report current.json \
+//!     --check results/baseline_cycles.json
+//! ```
+//!
+//! and fails when any metric moves more than ±10% against the baseline
+//! (both directions: an unexplained improvement usually means the workload
+//! changed, not the code getting faster). Refresh the baseline with
+//! `GALA_SCALE=test bench_smoke --report results/baseline_cycles.json`
+//! and commit the diff alongside the change that explains it.
+
+use gala_bench::{
+    all_datasets, arg_value, eng, new_report, scale_from_env, write_report_if_requested, Table,
+};
+use gala_core::louvain::{Louvain, LouvainConfig};
+use gala_gpu::memory::CostModel;
+use gala_telemetry::Report;
+
+fn main() {
+    let scale = scale_from_env();
+    let cost = CostModel::default();
+    let configs: [(&str, LouvainConfig); 2] = [
+        ("gala", LouvainConfig::default()),
+        ("baseline", LouvainConfig::baseline()),
+    ];
+
+    println!("bench_smoke — deterministic phase-1 cycle totals\n");
+    let mut table = Table::new(&["Run", "Steps", "Decide cyc", "Weight cyc", "Total cyc", "Q"]);
+    // The first three stand-in datasets keep the smoke run fast; the full
+    // experiment binaries cover the rest.
+    for (d, g) in all_datasets(scale).iter().take(3) {
+        for (cname, cfg) in &configs {
+            let (_, stats) = Louvain::new(*cfg).run_phase1(g);
+            let decide = cost.cycles(&stats.decide_tally());
+            let weight = cost.cycles(&stats.weight_tally());
+            table.row(vec![
+                format!("{}/{cname}", d.abbr()),
+                stats.iterations.len().to_string(),
+                eng(decide),
+                eng(weight),
+                eng(decide + weight),
+                format!("{:.4}", stats.modularity),
+            ]);
+        }
+    }
+    table.print();
+
+    let mut report = new_report("bench_smoke");
+    table.add_to_report(&mut report, "smoke");
+    write_report_if_requested(&report);
+
+    if let Some(path) = arg_value("check") {
+        let baseline = match Report::read_from(&path) {
+            Ok(b) => b,
+            Err(e) => {
+                eprintln!("cannot read baseline {path}: {e}");
+                std::process::exit(1);
+            }
+        };
+        let regressions = report.compare(&baseline, 0.10);
+        if regressions.is_empty() {
+            let metrics: usize = baseline.rows.iter().map(|r| r.metrics.len()).sum();
+            println!("\ncheck OK: {metrics} metrics within \u{b1}10% of {path}");
+        } else {
+            eprintln!("\ncheck FAILED against {path}:");
+            for r in &regressions {
+                eprintln!("  {r}");
+            }
+            std::process::exit(1);
+        }
+    }
+}

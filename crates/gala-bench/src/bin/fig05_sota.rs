@@ -16,7 +16,10 @@
 //! strategies (paper: 17–53× vs. cuGraph/Gunrock); CPU baselines far behind
 //! (222× vs. Grappolo CPU on wall time at the paper's scale).
 
-use gala_bench::{all_datasets, eng, ms, run_phase1_timed, scale_from_env, time, Table};
+use gala_bench::{
+    all_datasets, eng, ms, new_report, run_phase1_timed, scale_from_env, time,
+    write_report_if_requested, Table,
+};
 use gala_core::grappolo;
 use gala_core::kernels::hashtable::{HashConfig, HashTableKind};
 use gala_core::kernels::KernelKind;
@@ -98,6 +101,9 @@ fn main() {
         count += 1;
     }
     table.print();
+    let mut report = new_report("fig05_sota");
+    table.add_to_report(&mut report, "sota");
+    write_report_if_requested(&report);
     let n = count as f64;
     println!(
         "\nGALA speedups (avg, simulated device cycles): {:.1}x vs sort-kernel \

@@ -1,15 +1,18 @@
 //! Figure 6: impact of GALA's two optimisations on every graph.
 //!
 //! * `Baseline` — no pruning, global-only hashtable, naive weight update.
-//! * `+MG`      — adds modularity-gain pruning (and the Section 3.5 delta
-//!                weight update that makes it pay off).
-//! * `+MG+MM`   — adds the memory-management optimisation (workload-aware
-//!                shuffle/hash dispatch with the hierarchical hashtable).
+//! * `+MG` — adds modularity-gain pruning (and the Section 3.5 delta
+//!   weight update that makes it pay off).
+//! * `+MG+MM` — adds the memory-management optimisation (workload-aware
+//!   shuffle/hash dispatch with the hierarchical hashtable).
 //!
 //! Paper claims to reproduce: MG alone ≈2.4× (better on larger graphs);
 //! MM adds ≈1.4×; combined ≈3.4×.
 
-use gala_bench::{all_datasets, ms, run_phase1_timed, scale_from_env, Table};
+use gala_bench::{
+    all_datasets, ms, new_report, run_phase1_timed, scale_from_env, write_report_if_requested,
+    Table,
+};
 use gala_core::kernels::hashtable::HashConfig;
 use gala_core::kernels::KernelKind;
 use gala_core::louvain::LouvainConfig;
@@ -22,7 +25,13 @@ fn main() {
     let cost = CostModel::default();
     println!("Figure 6 — impact of the MG and MM optimisations ({scale:?} scale)\n");
     let mut table = Table::new(&[
-        "Graph", "Base ms", "+MG ms", "+MG+MM ms", "MG x (cyc)", "MM x (cyc)", "Total x (cyc)",
+        "Graph",
+        "Base ms",
+        "+MG ms",
+        "+MG+MM ms",
+        "MG x (cyc)",
+        "MM x (cyc)",
+        "Total x (cyc)",
     ]);
     let mut sums = [0.0f64; 3];
     let mut count = 0usize;
@@ -62,6 +71,9 @@ fn main() {
         count += 1;
     }
     table.print();
+    let mut report = new_report("fig06_ablation");
+    table.add_to_report(&mut report, "ablation");
+    write_report_if_requested(&report);
     let n = count as f64;
     println!(
         "\navg speedups (simulated cycles): MG {:.2}x, MM {:.2}x, total {:.2}x \

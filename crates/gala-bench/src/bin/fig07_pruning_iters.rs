@@ -6,7 +6,7 @@
 //! terminate earlier (it over-prunes), and MG+RM should show the highest
 //! pruning rates.
 
-use gala_bench::{run_phase1_timed, scale_from_env, Table};
+use gala_bench::{new_report, run_phase1_timed, scale_from_env, write_report_if_requested, Table};
 use gala_core::louvain::LouvainConfig;
 use gala_core::pruning::PruningKind;
 use gala_graph::datasets::Dataset;
@@ -20,6 +20,7 @@ fn main() {
         PruningKind::Gain,
         PruningKind::GainRelaxed,
     ];
+    let mut report = new_report("fig07_pruning_iters");
     for d in Dataset::figure7() {
         let g = d.generate(scale);
         let n = g.num_vertices() as f64;
@@ -54,6 +55,7 @@ fn main() {
             table.row(row);
         }
         table.print();
+        table.add_to_report(&mut report, d.abbr());
         let avg = |idx: usize| -> f64 {
             let r = &runs[idx];
             let s: f64 = r
@@ -72,5 +74,8 @@ fn main() {
             avg(4)
         );
     }
-    println!("\npaper shape: SM lowest (<4%), MG+RM highest (up to 91.9%), rates rise over iterations.");
+    write_report_if_requested(&report);
+    println!(
+        "\npaper shape: SM lowest (<4%), MG+RM highest (up to 91.9%), rates rise over iterations."
+    );
 }

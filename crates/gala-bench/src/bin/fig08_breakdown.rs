@@ -2,20 +2,20 @@
 //!
 //! Three configurations on each graph:
 //!
-//! * `B`  — baseline: no pruning, naive weight maintenance.
+//! * `B` — baseline: no pruning, naive weight maintenance.
 //! * `P1` — MG pruning of DecideAndMove, still naive weight maintenance:
-//!          the weight update becomes the new bottleneck (paper: 45.7% of
-//!          runtime).
+//!   the weight update becomes the new bottleneck (paper: 45.7% of
+//!   runtime).
 //! * `P2` — MG pruning *and* the delta weight update: maintenance collapses
-//!          (paper: 7.3× faster weight updating), DecideAndMove dominates
-//!          again.
+//!   (paper: 7.3× faster weight updating), DecideAndMove dominates
+//!   again.
 //!
 //! Reported: % of *simulated device cycles* spent in DecideAndMove vs. the
 //! weight-maintenance kernel (both phases are GPU kernels in GALA; host
 //! wall-clock would mis-weigh them because the host-side weight scan pays
 //! no simulation overhead).
 
-use gala_bench::{run_phase1_timed, scale_from_env, Table};
+use gala_bench::{new_report, run_phase1_timed, scale_from_env, write_report_if_requested, Table};
 use gala_core::louvain::{LouvainConfig, RoundStats};
 use gala_core::pruning::PruningKind;
 use gala_core::weight::WeightUpdateMode;
@@ -32,6 +32,7 @@ fn breakdown(stats: &RoundStats) -> (f64, f64, f64) {
 
 fn main() {
     let scale = scale_from_env();
+    let mut report = new_report("fig08_breakdown");
     for d in [Dataset::LJ, Dataset::OR] {
         let g = d.generate(scale);
         println!(
@@ -40,21 +41,30 @@ fn main() {
             g.num_vertices()
         );
         let configs = [
-            ("B", LouvainConfig {
-                pruning: PruningKind::None,
-                weight_update: WeightUpdateMode::Naive,
-                ..LouvainConfig::default()
-            }),
-            ("P1", LouvainConfig {
-                pruning: PruningKind::Gain,
-                weight_update: WeightUpdateMode::Naive,
-                ..LouvainConfig::default()
-            }),
-            ("P2", LouvainConfig {
-                pruning: PruningKind::Gain,
-                weight_update: WeightUpdateMode::Delta,
-                ..LouvainConfig::default()
-            }),
+            (
+                "B",
+                LouvainConfig {
+                    pruning: PruningKind::None,
+                    weight_update: WeightUpdateMode::Naive,
+                    ..LouvainConfig::default()
+                },
+            ),
+            (
+                "P1",
+                LouvainConfig {
+                    pruning: PruningKind::Gain,
+                    weight_update: WeightUpdateMode::Naive,
+                    ..LouvainConfig::default()
+                },
+            ),
+            (
+                "P2",
+                LouvainConfig {
+                    pruning: PruningKind::Gain,
+                    weight_update: WeightUpdateMode::Delta,
+                    ..LouvainConfig::default()
+                },
+            ),
         ];
         let mut table = Table::new(&["Stage", "DecideAndMove%", "WeightUpdate%", "Total Gcyc"]);
         let mut weight_cycles = Vec::new();
@@ -71,6 +81,7 @@ fn main() {
             ]);
         }
         table.print();
+        table.add_to_report(&mut report, d.abbr());
         if weight_cycles[2] > 0.0 {
             println!(
                 "weight-update speedup P1 -> P2: {:.1}x (paper: 7.3x)",
@@ -78,5 +89,6 @@ fn main() {
             );
         }
     }
+    write_report_if_requested(&report);
     println!("\npaper shape: B decide-dominated (65.5%), P1 weight-update-heavy (45.7%), P2 decide-dominated again.");
 }

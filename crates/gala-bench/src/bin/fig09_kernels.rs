@@ -13,14 +13,14 @@
 //! One DecideAndMove pass over the selected vertex class, simulated cycles
 //! under the default cost model.
 
-use gala_bench::{all_datasets, eng, scale_from_env, Table};
+use gala_bench::{all_datasets, eng, new_report, scale_from_env, write_report_if_requested, Table};
 use gala_core::kernels::hashtable::{HashConfig, HashTableKind};
 use gala_core::kernels::{self, KernelKind};
 use gala_core::state::BspState;
+use gala_gpu::memory::CostModel;
 use gala_graph::datasets::Scale;
 use gala_graph::generators::ba::barabasi_albert;
 use gala_graph::Graph;
-use gala_gpu::memory::CostModel;
 
 fn main() {
     let scale = scale_from_env();
@@ -34,10 +34,17 @@ fn main() {
         Scale::Full => 50_000,
     };
     datasets.push(("BA-hub".to_string(), barabasi_albert(ba_n, 16, 0xBA)));
+    let mut report = new_report("fig09_kernels");
 
     println!("Figure 9(a) — small-degree vertices (< 32): kernel comparison\n");
     let mut table = Table::new(&[
-        "Graph", "#Small", "Shuffle cyc", "HashShared cyc", "HashGlobal cyc", "vs glob", "vs shar",
+        "Graph",
+        "#Small",
+        "Shuffle cyc",
+        "HashShared cyc",
+        "HashGlobal cyc",
+        "vs glob",
+        "vs shar",
     ]);
     let mut avg = (0.0f64, 0.0f64);
     let mut small_rows = 0usize;
@@ -69,8 +76,14 @@ fn main() {
             &state,
             &small,
         );
-        assert_eq!(shuffle.next_comm, hash_shared.next_comm, "kernel disagreement");
-        assert_eq!(shuffle.next_comm, hash_global.next_comm, "kernel disagreement");
+        assert_eq!(
+            shuffle.next_comm, hash_shared.next_comm,
+            "kernel disagreement"
+        );
+        assert_eq!(
+            shuffle.next_comm, hash_global.next_comm,
+            "kernel disagreement"
+        );
         let (sc, hs, hg) = (
             cost.cycles(&shuffle.tally),
             cost.cycles(&hash_shared.tally),
@@ -90,6 +103,7 @@ fn main() {
         small_rows += 1;
     }
     table.print();
+    table.add_to_report(&mut report, "fig9a");
     println!(
         "avg: shuffle {:.2}x vs hash-global, {:.2}x vs hash-shared (paper: 1.9x / 1.2x)\n",
         avg.0 / small_rows.max(1) as f64,
@@ -98,7 +112,15 @@ fn main() {
 
     println!("Figure 9(b) — large-degree vertices: hashtable comparison\n");
     let mut table = Table::new(&[
-        "Graph", "#Large", "MinDeg", "MaxDeg", "Hier cyc", "Unified cyc", "Global cyc", "vs glob", "vs unif",
+        "Graph",
+        "#Large",
+        "MinDeg",
+        "MaxDeg",
+        "Hier cyc",
+        "Unified cyc",
+        "Global cyc",
+        "vs glob",
+        "vs unif",
     ]);
     let mut avg = (0.0f64, 0.0f64);
     let mut counted = 0usize;
@@ -156,6 +178,8 @@ fn main() {
         counted += 1;
     }
     table.print();
+    table.add_to_report(&mut report, "fig9b");
+    write_report_if_requested(&report);
     if counted > 0 {
         println!(
             "avg: hierarchical {:.2}x vs global-only, {:.2}x vs unified (paper: 1.5x / 1.2x)",

@@ -5,7 +5,7 @@
 //!   stays roughly constant while compute shrinks).
 //! * (b) compute vs. communication breakdown on the OR graph.
 
-use gala_bench::{all_datasets, scale_from_env, Table};
+use gala_bench::{all_datasets, new_report, scale_from_env, write_report_if_requested, Table};
 use gala_core::multi_gpu::{run_phase1, MultiGpuConfig, SyncMode};
 use gala_graph::datasets::Dataset;
 
@@ -39,6 +39,8 @@ fn main() {
         table.row(row);
     }
     table.print();
+    let mut report = new_report("fig10_scaling");
+    table.add_to_report(&mut report, "fig10a");
     println!(
         "\navg speedup at 8 devices: {:.2}x (paper: 2.5x)\n",
         avg8 / datasets.len() as f64
@@ -66,6 +68,8 @@ fn main() {
         ]);
     }
     table.print();
+    table.add_to_report(&mut report, "fig10b");
+    write_report_if_requested(&report);
     println!(
         "\ncompute reduction 1 -> 8 devices: {:.1}x (paper: 4.4x); \
          paper: comm ~constant, 43% of runtime at 8 GPUs.",

@@ -7,11 +7,12 @@
 //! cargo run --release -p gala-bench --bin stress_large
 //! ```
 
-use gala_bench::time;
+use gala_bench::{new_report, time, write_report_if_requested};
 use gala_core::louvain::{Louvain, LouvainConfig};
 use gala_core::multi_gpu::{run_phase1, MultiGpuConfig, SyncMode};
 use gala_graph::generators::sbm::PowerLawSbm;
 use gala_graph::stats::GraphStats;
+use gala_telemetry::MetricRow;
 
 fn main() {
     let n = match std::env::var("GALA_SCALE").as_deref() {
@@ -68,5 +69,26 @@ fn main() {
         multi.comm_us(),
         multi.modularity
     );
+    let mut report = new_report("stress_large");
+    report.push(
+        MetricRow::new("graph")
+            .metric("vertices", s.num_vertices as f64)
+            .metric("edges", s.num_edges as f64)
+            .metric("max_degree", s.max_degree as f64),
+    );
+    report.push(
+        MetricRow::new("single_device")
+            .metric("supersteps", stats.iterations.len() as f64)
+            .metric("modularity", stats.modularity)
+            .metric("communities", state.partition().num_communities() as f64),
+    );
+    report.push(
+        MetricRow::new("multi_8dev")
+            .metric("total_us", multi.total_us())
+            .metric("compute_us", multi.compute_us())
+            .metric("comm_us", multi.comm_us())
+            .metric("modularity", multi.modularity),
+    );
+    write_report_if_requested(&report);
     println!("\npaper: uk-2007-02 (3.4B edges) phase 1 in 43 s on 8 A100s.");
 }

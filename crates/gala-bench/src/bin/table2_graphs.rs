@@ -4,14 +4,21 @@
 //! stand-ins are deterministic synthetic graphs with each original's
 //! community *personality* at laptop scale (see `gala_graph::datasets`).
 
-use gala_bench::{all_datasets, eng, scale_from_env, Table};
+use gala_bench::{all_datasets, eng, new_report, scale_from_env, write_report_if_requested, Table};
 use gala_graph::stats::GraphStats;
 
 fn main() {
     let scale = scale_from_env();
     println!("Table 2 — graph stand-in statistics ({scale:?} scale)\n");
     let mut table = Table::new(&[
-        "Graph", "Abbr", "#Vertices", "#Edges", "MeanDeg", "MaxDeg", "Deg<32", "PaperQ",
+        "Graph",
+        "Abbr",
+        "#Vertices",
+        "#Edges",
+        "MeanDeg",
+        "MaxDeg",
+        "Deg<32",
+        "PaperQ",
     ]);
     for (d, g) in all_datasets(scale) {
         let s = GraphStats::compute(&g);
@@ -27,4 +34,7 @@ fn main() {
         ]);
     }
     table.print();
+    let mut report = new_report("table2_graphs");
+    table.add_to_report(&mut report, "table2");
+    write_report_if_requested(&report);
 }

@@ -6,7 +6,7 @@
 //! reproduce: baseline = MG = SM NMI; RM and PM slightly lower (paper:
 //! −0.2% / −0.3% on average).
 
-use gala_bench::{scale_from_env, Table};
+use gala_bench::{new_report, scale_from_env, write_report_if_requested, Table};
 use gala_core::louvain::{Louvain, LouvainConfig};
 use gala_core::metrics::nmi;
 use gala_core::pruning::PruningKind;
@@ -22,36 +22,45 @@ fn main() {
     // Graph1: sparse, weak communities (paper Q 0.35); Graph2: strong
     // communities (Q 0.92); Graph3: dense but blurred (Q 0.43).
     let configs = [
-        ("Graph1", LfrParams {
-            num_vertices: n,
-            min_degree: 5,
-            max_degree: 50,
-            degree_exponent: 2.5,
-            min_community: 20,
-            max_community: 200,
-            community_exponent: 1.5,
-            mixing: 0.55,
-        }),
-        ("Graph2", LfrParams {
-            num_vertices: n,
-            min_degree: 15,
-            max_degree: 80,
-            degree_exponent: 2.5,
-            min_community: 30,
-            max_community: 300,
-            community_exponent: 1.5,
-            mixing: 0.05,
-        }),
-        ("Graph3", LfrParams {
-            num_vertices: n,
-            min_degree: 15,
-            max_degree: 80,
-            degree_exponent: 2.5,
-            min_community: 30,
-            max_community: 300,
-            community_exponent: 1.5,
-            mixing: 0.45,
-        }),
+        (
+            "Graph1",
+            LfrParams {
+                num_vertices: n,
+                min_degree: 5,
+                max_degree: 50,
+                degree_exponent: 2.5,
+                min_community: 20,
+                max_community: 200,
+                community_exponent: 1.5,
+                mixing: 0.55,
+            },
+        ),
+        (
+            "Graph2",
+            LfrParams {
+                num_vertices: n,
+                min_degree: 15,
+                max_degree: 80,
+                degree_exponent: 2.5,
+                min_community: 30,
+                max_community: 300,
+                community_exponent: 1.5,
+                mixing: 0.05,
+            },
+        ),
+        (
+            "Graph3",
+            LfrParams {
+                num_vertices: n,
+                min_degree: 15,
+                max_degree: 80,
+                degree_exponent: 2.5,
+                min_community: 30,
+                max_community: 300,
+                community_exponent: 1.5,
+                mixing: 0.45,
+            },
+        ),
     ];
     let kinds = [
         PruningKind::None,
@@ -62,7 +71,14 @@ fn main() {
     ];
     println!("Table 4 — NMI vs LFR ground truth ({scale:?} scale, n = {n})\n");
     let mut table = Table::new(&[
-        "Graph", "#Vertices", "#Edges", "Baseline", "MG", "SM", "RM", "PM",
+        "Graph",
+        "#Vertices",
+        "#Edges",
+        "Baseline",
+        "MG",
+        "SM",
+        "RM",
+        "PM",
     ]);
     for (name, params) in configs {
         let gt = params.generate(0x1F2);
@@ -82,5 +98,8 @@ fn main() {
         table.row(row);
     }
     table.print();
+    let mut report = new_report("table4_nmi");
+    table.add_to_report(&mut report, "table4");
+    write_report_if_requested(&report);
     println!("\npaper: Baseline/MG/SM identical; RM −0.2% and PM −0.3% on average.");
 }

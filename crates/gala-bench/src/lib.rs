@@ -8,6 +8,7 @@
 use gala_core::louvain::{Louvain, LouvainConfig};
 use gala_graph::datasets::{Dataset, Scale};
 use gala_graph::Graph;
+use gala_telemetry::{MetricRow, Report};
 use std::time::{Duration, Instant};
 
 /// Returns the benchmark scale selected by the `GALA_SCALE` environment
@@ -103,6 +104,81 @@ impl Table {
     pub fn print(&self) {
         print!("{}", self.render());
     }
+
+    /// Adds this table to `report` as one [`MetricRow`] per data row,
+    /// labelled `section/<first cell>`, with one metric per *numeric*
+    /// column (see [`parse_cell`]); non-numeric cells are skipped — the
+    /// human-readable rendering keeps them.
+    pub fn add_to_report(&self, report: &mut Report, section: &str) {
+        for row in &self.rows {
+            let label = format!(
+                "{section}/{}",
+                row.first().map(String::as_str).unwrap_or("")
+            );
+            let mut out = MetricRow::new(label);
+            for (header, cell) in self.headers.iter().zip(row).skip(1) {
+                if let Some(v) = parse_cell(cell) {
+                    out.metrics.push((header.clone(), v));
+                }
+            }
+            report.push(out);
+        }
+    }
+}
+
+/// Parses a rendered table cell back to a number: plain integers/floats,
+/// [`eng`]-notation suffixes (`K`/`M`/`G`), ratios (`1.50x`), percentages
+/// (`12.3%`, kept as the printed number), and [`ms`] durations.
+pub fn parse_cell(cell: &str) -> Option<f64> {
+    let s = cell.trim();
+    if let Ok(v) = s.parse::<f64>() {
+        return v.is_finite().then_some(v);
+    }
+    let (head, mult) = match s.as_bytes().last()? {
+        b'K' => (&s[..s.len() - 1], 1e3),
+        b'M' => (&s[..s.len() - 1], 1e6),
+        b'G' => (&s[..s.len() - 1], 1e9),
+        b'x' | b'%' => (&s[..s.len() - 1], 1.0),
+        _ => return None,
+    };
+    let v = head.trim().parse::<f64>().ok()?;
+    (v.is_finite()).then_some(v * mult)
+}
+
+/// A fresh `"bench"` report named after the producing binary, stamped with
+/// the active [`scale_from_env`] scale.
+pub fn new_report(name: &str) -> Report {
+    Report::new("bench", name).meta(
+        "scale",
+        match scale_from_env() {
+            Scale::Test => "test",
+            Scale::Full => "full",
+        },
+    )
+}
+
+/// Value of `--<flag> <value>` in the process arguments, if present.
+pub fn arg_value(flag: &str) -> Option<String> {
+    let mut args = std::env::args();
+    while let Some(a) = args.next() {
+        if a == format!("--{flag}") {
+            return args.next();
+        }
+    }
+    None
+}
+
+/// Writes `report` to the path given by `--report <path>`, when the flag is
+/// present. Exits the process with an error message when writing fails —
+/// a bench invoked for its report must not silently drop it.
+pub fn write_report_if_requested(report: &Report) {
+    if let Some(path) = arg_value("report") {
+        if let Err(e) = report.write_to(&path) {
+            eprintln!("failed to write report to {path}: {e}");
+            std::process::exit(1);
+        }
+        println!("\nreport written to {path}");
+    }
 }
 
 /// Formats a duration as fractional milliseconds.
@@ -151,5 +227,46 @@ mod tests {
         assert_eq!(eng(2_500.0), "2.50K");
         assert_eq!(eng(3_000_000.0), "3.00M");
         assert_eq!(eng(7.2e9), "7.20G");
+    }
+
+    #[test]
+    fn parse_cell_inverts_renderings() {
+        assert_eq!(parse_cell("512"), Some(512.0));
+        assert_eq!(parse_cell("0.753"), Some(0.753));
+        assert_eq!(parse_cell("2.50K"), Some(2500.0));
+        assert_eq!(parse_cell("3.00M"), Some(3_000_000.0));
+        assert_eq!(parse_cell("7.20G"), Some(7.2e9));
+        assert_eq!(parse_cell("1.93x"), Some(1.93));
+        assert_eq!(parse_cell("41.5%"), Some(41.5));
+        assert_eq!(parse_cell("LJ"), None);
+        assert_eq!(parse_cell(""), None);
+        assert_eq!(parse_cell("hash/mg"), None);
+    }
+
+    #[test]
+    fn table_converts_to_report_rows() {
+        let mut t = Table::new(&["Graph", "Cycles", "Speedup", "Note"]);
+        t.row(vec![
+            "LJ".into(),
+            "2.50K".into(),
+            "1.90x".into(),
+            "best".into(),
+        ]);
+        t.row(vec![
+            "UK".into(),
+            "4.00M".into(),
+            "1.20x".into(),
+            "-".into(),
+        ]);
+        let mut report = new_report("test_bin");
+        t.add_to_report(&mut report, "fig");
+        assert_eq!(report.rows.len(), 2);
+        let lj = report.row("fig/LJ").unwrap();
+        assert_eq!(lj.get("Cycles"), Some(2500.0));
+        assert_eq!(lj.get("Speedup"), Some(1.9));
+        assert_eq!(lj.get("Note"), None); // non-numeric cell skipped
+                                          // And the whole thing round-trips through the JSON schema.
+        let back = Report::from_str(&report.to_json().render()).unwrap();
+        assert_eq!(back, report);
     }
 }

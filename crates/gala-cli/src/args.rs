@@ -13,6 +13,8 @@ usage:
       --format edgelist|metis|bin              (default: by extension)
       --output <file>                          write `vertex community` lines
       --devices <p>                            simulated GPUs (default: 1)
+      --trace <file>     write a JSONL superstep trace (gala algorithm)
+      --report <file>    write a machine-readable JSON run report
       --quiet                                  suppress the report
   gala stats <graph> [--format ...]   print graph statistics
   gala generate <kind> --out <file> [--n <v>] [--seed <s>] [--mixing <mu>]
@@ -128,6 +130,10 @@ pub struct DetectArgs {
     pub output: Option<String>,
     /// Simulated device count.
     pub devices: usize,
+    /// JSONL trace output path (per-superstep events; GALA algorithm).
+    pub trace: Option<String>,
+    /// Machine-readable JSON report output path.
+    pub report: Option<String>,
     /// Suppress the human-readable report.
     pub quiet: bool,
 }
@@ -193,11 +199,7 @@ impl fmt::Display for ParseError {
 
 impl std::error::Error for ParseError {}
 
-fn value<'a>(
-    args: &'a [String],
-    i: &mut usize,
-    flag: &str,
-) -> Result<&'a str, ParseError> {
+fn value<'a>(args: &'a [String], i: &mut usize, flag: &str) -> Result<&'a str, ParseError> {
     *i += 1;
     args.get(*i)
         .map(|s| s.as_str())
@@ -238,6 +240,8 @@ impl Command {
             resolution: 1.0,
             output: None,
             devices: 1,
+            trace: None,
+            report: None,
             quiet: false,
         };
         let mut i = 0;
@@ -253,7 +257,7 @@ impl Command {
                     out.resolution = v
                         .parse()
                         .map_err(|_| ParseError(format!("bad resolution `{v}`")))?;
-                    if !(out.resolution > 0.0) {
+                    if out.resolution.partial_cmp(&0.0) != Some(std::cmp::Ordering::Greater) {
                         return Err(ParseError("resolution must be > 0".into()));
                     }
                 }
@@ -267,6 +271,8 @@ impl Command {
                         return Err(ParseError("need at least one device".into()));
                     }
                 }
+                "--trace" => out.trace = Some(value(args, &mut i, "--trace")?.to_string()),
+                "--report" => out.report = Some(value(args, &mut i, "--report")?.to_string()),
                 "--quiet" => out.quiet = true,
                 flag if flag.starts_with("--") => {
                     return Err(ParseError(format!("unknown flag `{flag}`")))
@@ -301,7 +307,9 @@ impl Command {
             i += 1;
         }
         let [a, b] = positional.as_slice() else {
-            return Err(ParseError("compare needs exactly two assignment files".into()));
+            return Err(ParseError(
+                "compare needs exactly two assignment files".into(),
+            ));
         };
         Ok(Command::Compare {
             a: a.clone(),
@@ -349,11 +357,15 @@ impl Command {
                 "--out" => out.out = value(args, &mut i, "--out")?.to_string(),
                 "--n" => {
                     let v = value(args, &mut i, "--n")?;
-                    out.n = v.parse().map_err(|_| ParseError(format!("bad --n `{v}`")))?;
+                    out.n = v
+                        .parse()
+                        .map_err(|_| ParseError(format!("bad --n `{v}`")))?;
                 }
                 "--seed" => {
                     let v = value(args, &mut i, "--seed")?;
-                    out.seed = v.parse().map_err(|_| ParseError(format!("bad --seed `{v}`")))?;
+                    out.seed = v
+                        .parse()
+                        .map_err(|_| ParseError(format!("bad --seed `{v}`")))?;
                 }
                 "--mixing" => {
                     let v = value(args, &mut i, "--mixing")?;
@@ -374,7 +386,9 @@ impl Command {
             i += 1;
         }
         if out.kind.is_empty() {
-            return Err(ParseError("generate needs a kind (sbm|lfr|rmat|ba|ws|gnp)".into()));
+            return Err(ParseError(
+                "generate needs a kind (sbm|lfr|rmat|ba|ws|gnp)".into(),
+            ));
         }
         if out.out.is_empty() {
             return Err(ParseError("generate needs --out <file>".into()));
@@ -414,6 +428,19 @@ mod tests {
         assert_eq!(d.output.as_deref(), Some("out.txt"));
         assert_eq!(d.devices, 4);
         assert!(d.quiet);
+        assert_eq!(d.trace, None);
+        assert_eq!(d.report, None);
+    }
+
+    #[test]
+    fn parses_trace_and_report_flags() {
+        let cmd =
+            Command::parse(&argv("detect g.txt --trace run.jsonl --report report.json")).unwrap();
+        let Command::Detect(d) = cmd else { panic!() };
+        assert_eq!(d.trace.as_deref(), Some("run.jsonl"));
+        assert_eq!(d.report.as_deref(), Some("report.json"));
+        assert!(Command::parse(&argv("detect g.txt --trace")).is_err());
+        assert!(Command::parse(&argv("detect g.txt --report")).is_err());
     }
 
     #[test]

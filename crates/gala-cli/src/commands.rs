@@ -6,7 +6,7 @@ use gala_core::leiden::{leiden, LeidenConfig};
 use gala_core::louvain::LouvainConfig;
 use gala_core::metrics::summarize;
 use gala_core::modularity::modularity_with_resolution;
-use gala_core::multi_gpu::{run_phase1 as multi_gpu_phase1, MultiGpuConfig};
+use gala_core::multi_gpu::{run_phase1_traced as multi_gpu_phase1_traced, MultiGpuConfig};
 use gala_core::pruning::PruningKind;
 use gala_core::sequential::{sequential_louvain, SequentialConfig};
 use gala_core::validation::{coverage, mean_conductance};
@@ -18,6 +18,7 @@ use gala_graph::generators::sbm::PowerLawSbm;
 use gala_graph::generators::ws::watts_strogatz;
 use gala_graph::stats::GraphStats;
 use gala_graph::{io, metis, Graph, Partition};
+use gala_telemetry::{JsonlSink, MetricRow, NullSink, Report, TraceSink};
 use std::fs::File;
 use std::io::{BufWriter, Write};
 use std::time::Instant;
@@ -133,7 +134,10 @@ fn stats(input: &str, format: Option<Format>) -> Result<(), Error> {
     println!("vertices:        {}", s.num_vertices);
     println!("edges:           {}", s.num_edges);
     println!("total weight:    {}", s.total_weight);
-    println!("degree min/mean/max: {} / {:.2} / {}", s.min_degree, s.mean_degree, s.max_degree);
+    println!(
+        "degree min/mean/max: {} / {:.2} / {}",
+        s.min_degree, s.mean_degree, s.max_degree
+    );
     println!("degree < 32:     {:.1}%", s.small_degree_fraction * 100.0);
     let (_, components) = gala_graph::traversal::connected_components(&g);
     println!("components:      {components}");
@@ -152,7 +156,13 @@ fn convert(input: &str, output: &str) -> Result<(), Error> {
 }
 
 fn generate(args: GenerateArgs) -> Result<(), Error> {
-    let GenerateArgs { kind, out, n, seed, mixing } = args;
+    let GenerateArgs {
+        kind,
+        out,
+        n,
+        seed,
+        mixing,
+    } = args;
     let graph = match kind.as_str() {
         "sbm" => {
             PowerLawSbm {
@@ -207,6 +217,17 @@ fn generate(args: GenerateArgs) -> Result<(), Error> {
 
 fn detect(args: DetectArgs) -> Result<(), Error> {
     let graph = load(&args.input, args.format)?;
+    // --trace: JSONL superstep events (only the GALA drivers emit them;
+    // the other algorithms leave the file empty).
+    let mut jsonl = match &args.trace {
+        Some(path) => Some(JsonlSink::new(BufWriter::new(File::create(path)?))),
+        None => None,
+    };
+    let mut null = NullSink;
+    let sink: &mut dyn TraceSink = match jsonl.as_mut() {
+        Some(s) => s,
+        None => &mut null,
+    };
     let start = Instant::now();
     let (name, partition): (&str, Partition) = match args.algorithm {
         Algorithm::Gala => {
@@ -219,13 +240,14 @@ fn detect(args: DetectArgs) -> Result<(), Error> {
                 Pruning::None => PruningKind::None,
             };
             if args.devices > 1 {
-                let r = multi_gpu_phase1(
+                let r = multi_gpu_phase1_traced(
                     &graph,
                     MultiGpuConfig {
                         num_devices: args.devices,
                         pruning,
                         ..MultiGpuConfig::default()
                     },
+                    sink,
                 );
                 ("GALA (multi-device, phase 1)", r.partition)
             } else {
@@ -234,7 +256,7 @@ fn detect(args: DetectArgs) -> Result<(), Error> {
                     resolution: args.resolution,
                     ..LouvainConfig::default()
                 })
-                .run(&graph);
+                .run_traced(&graph, sink);
                 ("GALA", r.partition)
             }
         }
@@ -258,9 +280,31 @@ fn detect(args: DetectArgs) -> Result<(), Error> {
         }
     };
     let elapsed = start.elapsed();
+    if let Some(s) = jsonl {
+        // Flush the trace before anything else can fail.
+        s.into_inner();
+    }
+    let q = modularity_with_resolution(&graph, &partition, args.resolution);
+    let s = summarize(&partition);
+    if let Some(path) = &args.report {
+        let mut report = Report::new("run", "detect")
+            .meta("algorithm", name)
+            .meta("input", args.input.as_str())
+            .meta("resolution", format!("{}", args.resolution))
+            .meta("devices", format!("{}", args.devices));
+        report.push(
+            MetricRow::new("summary")
+                .metric("vertices", graph.num_vertices() as f64)
+                .metric("edges", graph.num_edges() as f64)
+                .metric("modularity", q)
+                .metric("communities", s.num_communities as f64)
+                .metric("coverage", coverage(&graph, &partition))
+                .metric("mean_conductance", mean_conductance(&graph, &partition))
+                .metric("seconds", elapsed.as_secs_f64()),
+        );
+        report.write_to(path)?;
+    }
     if !args.quiet {
-        let q = modularity_with_resolution(&graph, &partition, args.resolution);
-        let s = summarize(&partition);
         println!(
             "{name}: {} vertices, {} edges, {:.2}s",
             graph.num_vertices(),
@@ -345,6 +389,90 @@ mod tests {
     }
 
     #[test]
+    fn detect_writes_trace_and_report() {
+        let g = fixtures::ring_of_cliques(5, 4);
+        let graph_path = format!("{}.txt", tmp("tr"));
+        let trace_path = format!("{}.jsonl", tmp("tr"));
+        let report_path = format!("{}.json", tmp("tr"));
+        save(&g, &graph_path).unwrap();
+        let cmd = Command::parse(
+            &[
+                "detect",
+                graph_path.as_str(),
+                "--trace",
+                trace_path.as_str(),
+                "--report",
+                report_path.as_str(),
+                "--quiet",
+            ]
+            .map(String::from),
+        )
+        .unwrap();
+        execute(cmd).unwrap();
+
+        // Trace: valid JSONL, bracketed by run_start/run_end.
+        let text = std::fs::read_to_string(&trace_path).unwrap();
+        let events: Vec<_> = text
+            .lines()
+            .map(|l| gala_telemetry::json::parse(l).unwrap())
+            .collect();
+        assert!(events.len() >= 3);
+        assert_eq!(events[0].get("event").unwrap().as_str(), Some("run_start"));
+        assert_eq!(
+            events.last().unwrap().get("event").unwrap().as_str(),
+            Some("run_end")
+        );
+        assert!(events.iter().any(|e| {
+            e.get("event").unwrap().as_str() == Some("superstep")
+                && e.get("moved").unwrap().as_u64().unwrap() > 0
+        }));
+
+        // Report: parses back through the schema and carries the result.
+        let report = Report::read_from(&report_path).unwrap();
+        assert_eq!(report.kind, "run");
+        assert_eq!(report.meta_value("algorithm"), Some("GALA"));
+        let row = report.row("summary").unwrap();
+        assert_eq!(row.get("vertices"), Some(20.0));
+        assert_eq!(row.get("communities"), Some(5.0));
+        assert!(row.get("modularity").unwrap() > 0.5);
+        for p in [graph_path, trace_path, report_path] {
+            let _ = std::fs::remove_file(p);
+        }
+    }
+
+    #[test]
+    fn multi_device_detect_traces_sync_events() {
+        let g = fixtures::ring_of_cliques(4, 4);
+        let graph_path = format!("{}.txt", tmp("mdtr"));
+        let trace_path = format!("{}.jsonl", tmp("mdtr"));
+        save(&g, &graph_path).unwrap();
+        let cmd = Command::parse(
+            &[
+                "detect",
+                graph_path.as_str(),
+                "--devices",
+                "2",
+                "--trace",
+                trace_path.as_str(),
+                "--quiet",
+            ]
+            .map(String::from),
+        )
+        .unwrap();
+        execute(cmd).unwrap();
+        let text = std::fs::read_to_string(&trace_path).unwrap();
+        let syncs = text
+            .lines()
+            .map(|l| gala_telemetry::json::parse(l).unwrap())
+            .filter(|e| e.get("event").unwrap().as_str() == Some("sync"))
+            .count();
+        assert!(syncs > 0, "multi-device trace must contain sync events");
+        for p in [graph_path, trace_path] {
+            let _ = std::fs::remove_file(p);
+        }
+    }
+
+    #[test]
     fn generate_and_stats() {
         let path = format!("{}.bin", tmp("gen"));
         execute(
@@ -367,7 +495,14 @@ mod tests {
         save(&g, &graph_path).unwrap();
         for algo in ["gala", "leiden", "lpa", "sequential"] {
             let cmd = Command::parse(
-                &["detect", graph_path.as_str(), "--algorithm", algo, "--quiet"].map(String::from),
+                &[
+                    "detect",
+                    graph_path.as_str(),
+                    "--algorithm",
+                    algo,
+                    "--quiet",
+                ]
+                .map(String::from),
             )
             .unwrap();
             execute(cmd).unwrap_or_else(|e| panic!("{algo}: {e}"));
@@ -422,10 +557,8 @@ mod tests {
 
     #[test]
     fn unknown_generator_is_an_error() {
-        let cmd = Command::parse(
-            &["generate", "fractal", "--out", "/tmp/x.txt"].map(String::from),
-        )
-        .unwrap();
+        let cmd = Command::parse(&["generate", "fractal", "--out", "/tmp/x.txt"].map(String::from))
+            .unwrap();
         assert!(execute(cmd).is_err());
     }
 }

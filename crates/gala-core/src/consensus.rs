@@ -95,8 +95,7 @@ pub fn consensus(graph: &Graph, config: ConsensusConfig) -> ConsensusResult {
     // All runs agree (or the round budget is spent): report the first
     // run's partition, scored on the ORIGINAL graph.
     let partition = partitions.into_iter().next().expect("runs >= 2");
-    let modularity =
-        modularity_with_resolution(graph, &partition, config.base.resolution);
+    let modularity = modularity_with_resolution(graph, &partition, config.base.resolution);
     ConsensusResult {
         partition,
         modularity,

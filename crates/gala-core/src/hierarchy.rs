@@ -40,11 +40,7 @@ impl Dendrogram {
                 None => coarse.renumbered.clone(),
                 Some(prev) => prev.compose(&coarse.renumbered),
             };
-            modularities.push(modularity_with_resolution(
-                graph,
-                &level,
-                config.resolution,
-            ));
+            modularities.push(modularity_with_resolution(graph, &level, config.resolution));
             levels.push(level.clone());
             flat = Some(level);
             if !moved_any || coarse.num_communities == g.num_vertices() {

@@ -8,9 +8,9 @@
 
 use super::{choose, DecideOutput};
 use crate::state::BspState;
+use gala_gpu::memory::MemTally;
 use gala_graph::partition::CommunityId;
 use gala_graph::{Graph, VertexId};
-use gala_gpu::memory::MemTally;
 use rayon::prelude::*;
 use std::collections::HashMap;
 

@@ -11,19 +11,14 @@
 use super::hashtable::{HashConfig, TableStats, VertexTable};
 use super::{choose, DecideOutput};
 use crate::state::BspState;
-use gala_graph::partition::CommunityId;
-use gala_graph::{Graph, VertexId};
 use gala_gpu::block::SharedMem;
 use gala_gpu::grid;
 use gala_gpu::memory::{MemTally, Space};
+use gala_graph::partition::CommunityId;
+use gala_graph::{Graph, VertexId};
 
 /// Runs the hash-based kernel over the active vertices.
-pub fn decide(
-    graph: &Graph,
-    state: &BspState,
-    active: &[bool],
-    cfg: HashConfig,
-) -> DecideOutput {
+pub fn decide(graph: &Graph, state: &BspState, active: &[bool], cfg: HashConfig) -> DecideOutput {
     let work: Vec<VertexId> = (0..graph.num_vertices() as VertexId)
         .filter(|&v| active[v as usize])
         .collect();
@@ -85,9 +80,18 @@ mod tests {
 
     fn all_kinds() -> [HashConfig; 3] {
         [
-            HashConfig { kind: HashTableKind::GlobalOnly, shared_buckets: 0 },
-            HashConfig { kind: HashTableKind::Unified, shared_buckets: 64 },
-            HashConfig { kind: HashTableKind::Hierarchical, shared_buckets: 64 },
+            HashConfig {
+                kind: HashTableKind::GlobalOnly,
+                shared_buckets: 0,
+            },
+            HashConfig {
+                kind: HashTableKind::Unified,
+                shared_buckets: 64,
+            },
+            HashConfig {
+                kind: HashTableKind::Hierarchical,
+                shared_buckets: 64,
+            },
         ]
     }
 
@@ -112,13 +116,19 @@ mod tests {
             &g,
             &s,
             &active,
-            HashConfig { kind: HashTableKind::Hierarchical, shared_buckets: 32 },
+            HashConfig {
+                kind: HashTableKind::Hierarchical,
+                shared_buckets: 32,
+            },
         );
         let uni = decide(
             &g,
             &s,
             &active,
-            HashConfig { kind: HashTableKind::Unified, shared_buckets: 32 },
+            HashConfig {
+                kind: HashTableKind::Unified,
+                shared_buckets: 32,
+            },
         );
         assert!(
             hier.hash_stats.access_rate() > uni.hash_stats.access_rate(),
@@ -137,7 +147,10 @@ mod tests {
             &g,
             &s,
             &active,
-            HashConfig { kind: HashTableKind::GlobalOnly, shared_buckets: 0 },
+            HashConfig {
+                kind: HashTableKind::GlobalOnly,
+                shared_buckets: 0,
+            },
         );
         assert_eq!(out.tally.shared_atomics, 0);
         assert!(out.tally.global_atomics > 0);

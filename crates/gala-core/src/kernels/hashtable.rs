@@ -63,6 +63,12 @@ pub struct TableStats {
     pub shared_accesses: u64,
     /// Upserts served by a global-memory bucket.
     pub global_accesses: u64,
+    /// Shared buckets allocated (summed across tables), the denominator of
+    /// [`Self::occupancy`].
+    pub shared_capacity: u64,
+    /// Upserts that hashed to a shared bucket but were pushed to global by
+    /// a collision with a different key.
+    pub shared_evictions: u64,
 }
 
 impl TableStats {
@@ -85,6 +91,15 @@ impl TableStats {
             self.shared_accesses as f64 / total as f64
         }
     }
+
+    /// Fraction of allocated shared buckets holding a key.
+    pub fn occupancy(&self) -> f64 {
+        if self.shared_capacity == 0 {
+            0.0
+        } else {
+            self.shared_keys as f64 / self.shared_capacity as f64
+        }
+    }
 }
 
 impl Add for TableStats {
@@ -95,6 +110,8 @@ impl Add for TableStats {
             global_keys: self.global_keys + r.global_keys,
             shared_accesses: self.shared_accesses + r.shared_accesses,
             global_accesses: self.global_accesses + r.global_accesses,
+            shared_capacity: self.shared_capacity + r.shared_capacity,
+            shared_evictions: self.shared_evictions + r.shared_evictions,
         }
     }
 }
@@ -145,7 +162,10 @@ impl VertexTable {
             keys: vec![EMPTY; s + g],
             vals: vec![0.0; s + g],
             occupied: Vec::with_capacity(expected_keys.min(64)),
-            stats: TableStats::default(),
+            stats: TableStats {
+                shared_capacity: s as u64,
+                ..TableStats::default()
+            },
         }
     }
 
@@ -216,9 +236,14 @@ impl VertexTable {
     fn probe_unified(&mut self, key: u32, tally: &mut MemTally) -> usize {
         let total = self.s + self.g;
         let mut idx = hash0(key) as usize % total;
+        let started_shared = idx < self.s;
         for _ in 0..total {
             tally.atomic(self.space_of(idx), 1);
             if self.keys[idx] == EMPTY || self.keys[idx] == key {
+                if started_shared && idx >= self.s {
+                    // Hashed into shared but collided all the way to global.
+                    self.stats.shared_evictions += 1;
+                }
                 return idx;
             }
             idx = (idx + 1) % total;
@@ -234,8 +259,9 @@ impl VertexTable {
             if self.keys[i0] == EMPTY || self.keys[i0] == key {
                 return i0;
             }
+            // Collision in shared: this upsert is evicted to global.
+            self.stats.shared_evictions += 1;
         }
-        // Collision in shared (or no shared at all): overflow to global.
         self.probe_global_with(hash1(key), key, tally)
     }
 
@@ -308,7 +334,10 @@ mod tests {
             kind,
             shared_buckets: s,
         };
-        (VertexTable::new(cfg, expected, &mut shared), MemTally::new())
+        (
+            VertexTable::new(cfg, expected, &mut shared),
+            MemTally::new(),
+        )
     }
 
     #[test]
@@ -419,6 +448,33 @@ mod tests {
         for k in 0..40u32 {
             t.upsert_add(k, 1.0, &mut tally);
         }
+    }
+
+    #[test]
+    fn occupancy_and_evictions_track_shared_pressure() {
+        let (mut t, mut tally) = table(HashTableKind::Hierarchical, 2, 16);
+        assert_eq!(t.stats.shared_capacity, 2);
+        assert_eq!(t.stats.occupancy(), 0.0);
+        // Fill well past the two shared buckets: most upserts evict.
+        for k in 0..10u32 {
+            t.upsert_add(k, 1.0, &mut tally);
+        }
+        assert_eq!(t.stats.shared_keys, 2);
+        assert_eq!(t.stats.occupancy(), 1.0);
+        // Every key that ended up in global got there through an eviction.
+        assert_eq!(t.stats.global_keys, 8);
+        assert!(t.stats.shared_evictions >= 8);
+    }
+
+    #[test]
+    fn global_only_reports_zero_occupancy_and_evictions() {
+        let (mut t, mut tally) = table(HashTableKind::GlobalOnly, 256, 64);
+        for k in 0..50u32 {
+            t.upsert_add(k, 1.0, &mut tally);
+        }
+        assert_eq!(t.stats.shared_capacity, 0);
+        assert_eq!(t.stats.shared_evictions, 0);
+        assert_eq!(t.stats.occupancy(), 0.0);
     }
 
     #[test]

@@ -29,9 +29,9 @@ pub mod shuffle;
 pub mod sort;
 
 use crate::state::BspState;
+use gala_gpu::memory::MemTally;
 use gala_graph::partition::CommunityId;
 use gala_graph::{Graph, VertexId};
-use gala_gpu::memory::MemTally;
 use hashtable::{HashConfig, TableStats};
 
 /// Which DecideAndMove kernel to run.
@@ -76,12 +76,7 @@ pub struct DecideOutput {
 }
 
 /// Runs the selected kernel over all `active` vertices.
-pub fn decide(
-    kind: KernelKind,
-    graph: &Graph,
-    state: &BspState,
-    active: &[bool],
-) -> DecideOutput {
+pub fn decide(kind: KernelKind, graph: &Graph, state: &BspState, active: &[bool]) -> DecideOutput {
     match kind {
         KernelKind::Cpu => cpu::decide(graph, state, active),
         KernelKind::Shuffle => shuffle::decide(graph, state, active),
@@ -176,10 +171,7 @@ pub fn choose(
     }
     // Singleton-swap guard (Grappolo): singleton may only join a singleton
     // with a smaller id.
-    if state.comm_size[cv as usize] == 1
-        && state.comm_size[best_c as usize] == 1
-        && best_c > cv
-    {
+    if state.comm_size[cv as usize] == 1 && state.comm_size[best_c as usize] == 1 && best_c > cv {
         return cv;
     }
     best_c

@@ -12,10 +12,10 @@
 
 use super::{choose, DecideOutput};
 use crate::state::BspState;
-use gala_graph::partition::CommunityId;
-use gala_graph::{Graph, VertexId};
 use gala_gpu::grid;
 use gala_gpu::memory::{MemTally, Space};
+use gala_graph::partition::CommunityId;
+use gala_graph::{Graph, VertexId};
 
 /// Logical threads per block whose tables are replicated.
 pub const REPLICAS: usize = 32;

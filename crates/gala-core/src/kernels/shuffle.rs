@@ -16,11 +16,11 @@
 
 use super::DecideOutput;
 use crate::state::BspState;
-use gala_graph::partition::CommunityId;
-use gala_graph::{Graph, VertexId};
 use gala_gpu::grid;
 use gala_gpu::memory::{MemTally, Space};
 use gala_gpu::warp::{Warp, WARP_SIZE};
+use gala_graph::partition::CommunityId;
+use gala_graph::{Graph, VertexId};
 
 /// Runs the shuffle-based kernel over the active vertices.
 pub fn decide(graph: &Graph, state: &BspState, active: &[bool]) -> DecideOutput {
@@ -168,10 +168,7 @@ pub fn decide_one(
     if !wants_move {
         return cv;
     }
-    if state.comm_size[cv as usize] == 1
-        && state.comm_size[best_c as usize] == 1
-        && best_c > cv
-    {
+    if state.comm_size[cv as usize] == 1 && state.comm_size[best_c as usize] == 1 && best_c > cv {
         return cv;
     }
     best_c

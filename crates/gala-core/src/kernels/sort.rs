@@ -11,10 +11,10 @@
 
 use super::{choose, DecideOutput};
 use crate::state::BspState;
-use gala_graph::partition::CommunityId;
-use gala_graph::{Graph, VertexId};
 use gala_gpu::grid;
 use gala_gpu::memory::{MemTally, Space};
+use gala_graph::partition::CommunityId;
+use gala_graph::{Graph, VertexId};
 
 /// Runs the sort-based kernel over the active vertices.
 pub fn decide(graph: &Graph, state: &BspState, active: &[bool]) -> DecideOutput {

@@ -24,7 +24,9 @@ pub struct LabelPropConfig {
 
 impl Default for LabelPropConfig {
     fn default() -> Self {
-        Self { max_iterations: 100 }
+        Self {
+            max_iterations: 100,
+        }
     }
 }
 
@@ -69,7 +71,11 @@ pub fn label_propagation(graph: &Graph, config: LabelPropConfig) -> LabelPropRes
 fn best_label(graph: &Graph, labels: &[CommunityId], v: VertexId) -> CommunityId {
     let mut votes: HashMap<CommunityId, f64> = HashMap::with_capacity(graph.degree(v));
     for (u, w) in graph.neighbors(v) {
-        let label = if u == v { labels[v as usize] } else { labels[u as usize] };
+        let label = if u == v {
+            labels[v as usize]
+        } else {
+            labels[u as usize]
+        };
         *votes.entry(label).or_insert(0.0) += w;
     }
     if votes.is_empty() {

@@ -65,8 +65,9 @@ pub fn leiden(graph: &Graph, config: LeidenConfig) -> LeidenResult {
     let mut rounds = 0;
     for _ in 0..config.max_rounds {
         let g = current.as_ref().unwrap_or(graph);
-        let mut comm: Vec<CommunityId> =
-            labels.take().unwrap_or_else(|| (0..g.num_vertices() as CommunityId).collect());
+        let mut comm: Vec<CommunityId> = labels
+            .take()
+            .unwrap_or_else(|| (0..g.num_vertices() as CommunityId).collect());
         let moved = local_move(g, &mut comm, &config);
         rounds += 1;
         let partition = Partition::from_assignment(comm.clone());
@@ -318,7 +319,9 @@ mod tests {
     #[test]
     fn respects_resolution() {
         let g = fixtures::ring_of_cliques(20, 4);
-        let coarse = leiden(&g, LeidenConfig::default()).partition.num_communities();
+        let coarse = leiden(&g, LeidenConfig::default())
+            .partition
+            .num_communities();
         let fine = leiden(
             &g,
             LeidenConfig {

@@ -7,9 +7,10 @@ use crate::kernels::{self, KernelKind};
 use crate::pruning::{self, PruningKind};
 use crate::state::BspState;
 use crate::weight::{self, WeightUpdateMode};
+use gala_gpu::memory::{CostModel, MemTally};
 use gala_graph::coarsen::coarsen;
 use gala_graph::{Graph, Partition};
-use gala_gpu::memory::MemTally;
+use gala_telemetry::{NullSink, TraceEvent, TraceSink};
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
 use std::time::{Duration, Instant};
@@ -138,7 +139,10 @@ impl RoundStats {
     /// Total simulated memory tally of the round (DecideAndMove + weight
     /// maintenance).
     pub fn total_tally(&self) -> MemTally {
-        self.iterations.iter().map(|i| i.tally + i.weight_tally).sum()
+        self.iterations
+            .iter()
+            .map(|i| i.tally + i.weight_tally)
+            .sum()
     }
 
     /// Total simulated tally of the DecideAndMove passes only.
@@ -196,10 +200,26 @@ impl Louvain {
     /// of most of the paper's experiments ("phase 1 of the first round
     /// dominates the runtime"). Returns the final state and the stats.
     pub fn run_phase1(&self, graph: &Graph) -> (BspState, RoundStats) {
-        self.run_phase1_round(graph, 0)
+        self.run_phase1_traced(graph, &mut NullSink)
     }
 
-    fn run_phase1_round(&self, graph: &Graph, round: usize) -> (BspState, RoundStats) {
+    /// [`Self::run_phase1`] with a [`TraceSink`] receiving one
+    /// [`TraceEvent::Superstep`] per BSP superstep. With a disabled sink
+    /// the instrumentation costs one branch per superstep.
+    pub fn run_phase1_traced(
+        &self,
+        graph: &Graph,
+        sink: &mut dyn TraceSink,
+    ) -> (BspState, RoundStats) {
+        self.run_phase1_round(graph, 0, sink)
+    }
+
+    fn run_phase1_round(
+        &self,
+        graph: &Graph,
+        round: usize,
+        sink: &mut dyn TraceSink,
+    ) -> (BspState, RoundStats) {
         let cfg = &self.config;
         let mut state = BspState::with_resolution(graph, cfg.resolution);
         let mut rng = ChaCha8Rng::seed_from_u64(cfg.seed ^ round as u64);
@@ -213,6 +233,7 @@ impl Louvain {
         let mut best_q = state.modularity(graph);
         let mut best_state = state.clone(); // a round may never beat its start
         let mut stagnant = 0usize;
+        let mut prev_q = best_q;
         for iteration in 0..cfg.max_iterations {
             let t0 = Instant::now();
             let active = pruning::classify(cfg.pruning, graph, &state, &mut rng);
@@ -238,6 +259,24 @@ impl Louvain {
                 weight_time: t4 - t3,
                 other_time: (t1 - t0) + (t3 - t2) + (t5 - t4),
             });
+            if sink.enabled() {
+                let moved = summary.num_moved();
+                sink.emit(TraceEvent::Superstep {
+                    round: round as u32,
+                    superstep: iteration as u32,
+                    active: num_active as u64,
+                    moved: moved as u64,
+                    pruned: (graph.num_vertices() - num_active) as u64,
+                    unmoved: num_active.saturating_sub(moved) as u64,
+                    modularity: q,
+                    delta_q: q - prev_q,
+                    decide_tally: out.tally,
+                    weight_tally,
+                    hash_occupancy: out.hash_stats.occupancy(),
+                    hash_evictions: out.hash_stats.shared_evictions,
+                });
+            }
+            prev_q = q;
             // Progress is measured against the best state, never against
             // the previous (possibly oscillating) superstep: a θ-sized
             // up-tick inside an oscillation must not read as convergence.
@@ -271,7 +310,22 @@ impl Louvain {
     /// Runs the full multi-round Louvain (phase 1 + phase 2 repetitions)
     /// and returns the flattened hierarchy result.
     pub fn run(&self, graph: &Graph) -> LouvainResult {
+        self.run_traced(graph, &mut NullSink)
+    }
+
+    /// [`Self::run`] with a [`TraceSink`] receiving the full event stream:
+    /// `run_start`, one `superstep` per BSP superstep, one `round_end` per
+    /// hierarchy round, and a final `run_end`.
+    pub fn run_traced(&self, graph: &Graph, sink: &mut dyn TraceSink) -> LouvainResult {
         let cfg = &self.config;
+        if sink.enabled() {
+            sink.emit(TraceEvent::RunStart {
+                algorithm: "louvain".to_string(),
+                n: graph.num_vertices() as u64,
+                m: graph.num_edges() as u64,
+                devices: 1,
+            });
+        }
         let mut rounds = Vec::new();
         let mut current: Option<Graph> = None; // None = original graph
         let mut flat: Option<Partition> = None;
@@ -279,7 +333,7 @@ impl Louvain {
         let mut last_q = f64::NEG_INFINITY;
         for round in 0..cfg.max_rounds {
             let g = current.as_ref().unwrap_or(graph);
-            let (state, stats) = self.run_phase1_round(g, round);
+            let (state, stats) = self.run_phase1_round(g, round, sink);
             let q = stats.modularity;
             let moved_any = stats.iterations.iter().any(|i| i.num_moved > 0);
             rounds.push(stats);
@@ -304,32 +358,43 @@ impl Louvain {
             // Track the best flattened partition on the *original* graph —
             // refinement may transiently lower Q before the next round
             // recovers it, and the caller should never see that dip.
-            let q_flat = crate::modularity::modularity_with_resolution(
-                graph,
-                &composed,
-                cfg.resolution,
-            );
+            let q_flat =
+                crate::modularity::modularity_with_resolution(graph, &composed, cfg.resolution);
             if best.as_ref().is_none_or(|(_, bq)| q_flat > *bq) {
                 best = Some((composed.clone(), q_flat));
             }
             flat = Some(composed);
+            if sink.enabled() {
+                let stats = rounds.last().expect("round just pushed");
+                sink.emit(TraceEvent::RoundEnd {
+                    round: round as u32,
+                    supersteps: stats.iterations.len() as u32,
+                    modularity: q,
+                    communities: coarse.num_communities as u64,
+                });
+            }
             // Stop when phase 1 stopped merging or the round gained < θ.
-            if !moved_any
-                || coarse.num_communities == g.num_vertices()
-                || q - last_q < cfg.theta
-            {
+            if !moved_any || coarse.num_communities == g.num_vertices() || q - last_q < cfg.theta {
                 break;
             }
             last_q = q;
             current = Some(coarse.graph);
         }
-        let (partition, modularity) = best
-            .unwrap_or_else(|| (Partition::singletons(graph.num_vertices()), 0.0));
-        LouvainResult {
+        let (partition, modularity) =
+            best.unwrap_or_else(|| (Partition::singletons(graph.num_vertices()), 0.0));
+        let result = LouvainResult {
             partition,
             modularity,
             rounds,
+        };
+        if sink.enabled() {
+            sink.emit(TraceEvent::RunEnd {
+                modularity,
+                rounds: result.rounds.len() as u32,
+                total_cycles: CostModel::default().cycles(&result.total_tally()),
+            });
         }
+        result
     }
 }
 
@@ -479,6 +544,70 @@ mod tests {
         })
         .run(&g);
         assert_eq!(a.partition.num_communities(), b.partition.num_communities());
+    }
+
+    #[test]
+    fn traced_run_equals_untraced_run() {
+        use gala_telemetry::VecSink;
+        let g = fixtures::ring_of_cliques(6, 5);
+        let runner = Louvain::new(LouvainConfig::default());
+        let plain = runner.run(&g);
+        let mut sink = VecSink::default();
+        let traced = runner.run_traced(&g, &mut sink);
+        assert_eq!(traced.partition, plain.partition);
+        assert_eq!(traced.modularity, plain.modularity);
+
+        // The stream is bracketed and internally consistent.
+        let events = &sink.events;
+        assert_eq!(events.first().unwrap().kind(), "run_start");
+        assert_eq!(events.last().unwrap().kind(), "run_end");
+        let supersteps: Vec<_> = events
+            .iter()
+            .filter_map(|e| match e {
+                TraceEvent::Superstep {
+                    active,
+                    moved,
+                    pruned,
+                    unmoved,
+                    ..
+                } => Some((*active, *moved, *pruned, *unmoved)),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(
+            supersteps.len(),
+            traced.num_iterations(),
+            "one superstep event per recorded iteration"
+        );
+        for (active, moved, _pruned, unmoved) in supersteps {
+            assert_eq!(active, moved + unmoved);
+        }
+        let round_ends = events.iter().filter(|e| e.kind() == "round_end").count();
+        assert_eq!(round_ends, traced.rounds.len());
+        match events.last().unwrap() {
+            TraceEvent::RunEnd {
+                modularity,
+                rounds,
+                total_cycles,
+            } => {
+                assert_eq!(*modularity, traced.modularity);
+                assert_eq!(*rounds as usize, traced.rounds.len());
+                assert!(*total_cycles > 0.0);
+            }
+            other => panic!("unexpected final event {other:?}"),
+        }
+    }
+
+    #[test]
+    fn disabled_sink_sees_no_events_and_changes_nothing() {
+        // NullSink::emit debug-asserts it is never called: running under it
+        // proves the drivers gate every emission on `sink.enabled()`.
+        let g = fixtures::ring_of_cliques(5, 4);
+        let runner = Louvain::new(LouvainConfig::default());
+        let plain = runner.run(&g);
+        let traced = runner.run_traced(&g, &mut gala_telemetry::NullSink);
+        assert_eq!(traced.partition, plain.partition);
+        assert_eq!(traced.modularity, plain.modularity);
     }
 
     #[test]

@@ -77,7 +77,11 @@ pub fn summarize(p: &Partition) -> PartitionSummary {
         num_communities: k,
         min_size,
         max_size,
-        mean_size: if k == 0 { 0.0 } else { p.len() as f64 / k as f64 },
+        mean_size: if k == 0 {
+            0.0
+        } else {
+            p.len() as f64 / k as f64
+        },
     }
 }
 

@@ -220,17 +220,17 @@ mod tests {
         let score = gain_score(d_vc, d_v, d_tot1, m2);
         let predicted = delta_q_from_score(score, m2);
         let actual = modularity(&g, &after) - modularity(&g, &before);
-        assert!((actual - predicted).abs() < 1e-12, "{actual} vs {predicted}");
+        assert!(
+            (actual - predicted).abs() < 1e-12,
+            "{actual} vs {predicted}"
+        );
     }
 
     #[test]
     fn resolution_one_matches_classic() {
         let g = fixtures::ring_of_cliques(4, 5);
         let p = fixtures::ring_of_cliques_truth(4, 5);
-        assert_eq!(
-            modularity(&g, &p),
-            modularity_with_resolution(&g, &p, 1.0)
-        );
+        assert_eq!(modularity(&g, &p), modularity_with_resolution(&g, &p, 1.0));
     }
 
     #[test]

@@ -25,9 +25,10 @@ use crate::kernels::{self, KernelKind};
 use crate::pruning::{self, PruningKind};
 use crate::state::BspState;
 use crate::weight::{self, WeightUpdateMode};
-use gala_graph::{Graph, Partition, VertexId};
 use gala_gpu::comm::DeviceGroup;
 use gala_gpu::memory::{CostModel, MemTally};
+use gala_graph::{Graph, Partition, VertexId};
+use gala_telemetry::{NullSink, TraceEvent, TraceSink};
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
 
@@ -168,6 +169,18 @@ pub fn partition_by_arcs(graph: &Graph, p: usize) -> Vec<std::ops::Range<VertexI
 
 /// Runs phase 1 on `num_devices` simulated devices.
 pub fn run_phase1(graph: &Graph, config: MultiGpuConfig) -> MultiGpuResult {
+    run_phase1_traced(graph, config, &mut NullSink)
+}
+
+/// [`run_phase1`] with a [`TraceSink`] receiving `run_start`, one
+/// `superstep` + one `sync` event per BSP superstep (the sync event carries
+/// the dense-vs-sparse decision and the modelled byte volume), and a final
+/// `run_end`. A disabled sink costs one branch per superstep.
+pub fn run_phase1_traced(
+    graph: &Graph,
+    config: MultiGpuConfig,
+    sink: &mut dyn TraceSink,
+) -> MultiGpuResult {
     let cfg = config;
     let group = DeviceGroup::new(cfg.num_devices);
     let cost = CostModel::default();
@@ -182,6 +195,15 @@ pub fn run_phase1(graph: &Graph, config: MultiGpuConfig) -> MultiGpuResult {
     let mut stagnant = 0usize;
     let n = graph.num_vertices();
     let cycles_per_us = cfg.clock_ghz * 1000.0 * cfg.effective_parallelism;
+    let mut prev_q = best_q;
+    if sink.enabled() {
+        sink.emit(TraceEvent::RunStart {
+            algorithm: "multi-gpu".to_string(),
+            n: n as u64,
+            m: graph.num_edges() as u64,
+            devices: cfg.num_devices as u32,
+        });
+    }
 
     for iteration in 0..cfg.max_iterations {
         let active = pruning::classify(cfg.pruning, graph, &state, &mut rng);
@@ -213,8 +235,7 @@ pub fn run_phase1(graph: &Graph, config: MultiGpuConfig) -> MultiGpuResult {
             .filter(|(a, b)| a != b)
             .count();
         let dense_us = group.all_reduce_time_us(n as u64 * DENSE_BYTES_PER_VERTEX);
-        let sparse_us =
-            group.all_gather_time_us(num_moved as u64 * SPARSE_BYTES_PER_MOVE);
+        let sparse_us = group.all_gather_time_us(num_moved as u64 * SPARSE_BYTES_PER_MOVE);
         let (sync_used, comm_us) = match cfg.sync {
             SyncMode::Dense => (SyncMode::Dense, dense_us),
             SyncMode::Sparse => (SyncMode::Sparse, sparse_us),
@@ -230,9 +251,41 @@ pub fn run_phase1(graph: &Graph, config: MultiGpuConfig) -> MultiGpuResult {
         let summary = state.apply_moves(graph, &next_comm);
         let weight_tally = weight::update(cfg.weight_update, graph, &mut state, &summary);
         // Weight maintenance is itself a device kernel, split evenly.
-        let compute_us = compute_us
-            + cost.cycles(&weight_tally) / (cfg.num_devices as f64) / cycles_per_us;
+        let compute_us =
+            compute_us + cost.cycles(&weight_tally) / (cfg.num_devices as f64) / cycles_per_us;
         let q = state.modularity(graph);
+        if sink.enabled() {
+            let moved = summary.num_moved();
+            sink.emit(TraceEvent::Superstep {
+                round: 0,
+                superstep: iteration as u32,
+                active: num_active as u64,
+                moved: moved as u64,
+                pruned: (n - num_active) as u64,
+                unmoved: num_active.saturating_sub(moved) as u64,
+                modularity: q,
+                delta_q: q - prev_q,
+                decide_tally: device_tallies.iter().copied().sum(),
+                weight_tally,
+                hash_occupancy: 0.0,
+                hash_evictions: 0,
+            });
+            sink.emit(TraceEvent::Sync {
+                superstep: iteration as u32,
+                mode: match sync_used {
+                    SyncMode::Dense => "dense".to_string(),
+                    _ => "sparse".to_string(),
+                },
+                bytes: match sync_used {
+                    SyncMode::Dense => n as u64 * DENSE_BYTES_PER_VERTEX,
+                    // Same count the sparse cost above was modelled with.
+                    _ => num_moved as u64 * SPARSE_BYTES_PER_MOVE,
+                },
+                comm_us,
+                devices: cfg.num_devices as u32,
+            });
+        }
+        prev_q = q;
         iterations.push(MultiGpuIteration {
             iteration,
             compute_us,
@@ -262,6 +315,17 @@ pub fn run_phase1(graph: &Graph, config: MultiGpuConfig) -> MultiGpuResult {
         state = best_state;
     }
 
+    if sink.enabled() {
+        let total: MemTally = iterations
+            .iter()
+            .flat_map(|i| i.device_tallies.iter().copied())
+            .sum();
+        sink.emit(TraceEvent::RunEnd {
+            modularity: best_q,
+            rounds: 1,
+            total_cycles: cost.cycles(&total),
+        });
+    }
     MultiGpuResult {
         partition: state.partition(),
         modularity: best_q,
@@ -404,8 +468,7 @@ mod tests {
                 ..MultiGpuConfig::default()
             },
         );
-        let single = crate::louvain::Louvain::new(crate::louvain::LouvainConfig::default())
-            .run(&g);
+        let single = crate::louvain::Louvain::new(crate::louvain::LouvainConfig::default()).run(&g);
         assert!(
             (multi.modularity - single.modularity).abs() < 1e-9,
             "multi {} vs single {}",
@@ -415,6 +478,53 @@ mod tests {
         assert_eq!(multi.partition.num_communities(), 8);
         assert!(multi.rounds.len() >= 2);
         assert!(multi.total_us() > 0.0);
+    }
+
+    #[test]
+    fn trace_carries_sync_decision_and_bytes() {
+        use gala_telemetry::{TraceEvent, VecSink};
+        let g = fixtures::ring_of_cliques(10, 8);
+        let cfg = MultiGpuConfig {
+            num_devices: 4,
+            sync: SyncMode::Adaptive,
+            ..MultiGpuConfig::default()
+        };
+        let mut sink = VecSink::default();
+        let traced = run_phase1_traced(&g, cfg, &mut sink);
+        assert_eq!(traced.partition, run_phase1(&g, cfg).partition);
+
+        let syncs: Vec<_> = sink
+            .events
+            .iter()
+            .filter_map(|e| match e {
+                TraceEvent::Sync {
+                    mode,
+                    bytes,
+                    comm_us,
+                    devices,
+                    ..
+                } => Some((mode.clone(), *bytes, *comm_us, *devices)),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(syncs.len(), traced.iterations.len());
+        let n = g.num_vertices() as u64;
+        for ((mode, bytes, comm_us, devices), it) in syncs.iter().zip(&traced.iterations) {
+            assert_eq!(*devices, 4);
+            assert!((comm_us - it.comm_us).abs() < 1e-12);
+            match it.sync_used {
+                SyncMode::Dense => {
+                    assert_eq!(mode, "dense");
+                    assert_eq!(*bytes, n * DENSE_BYTES_PER_VERTEX);
+                }
+                _ => {
+                    assert_eq!(mode, "sparse");
+                    assert_eq!(*bytes % SPARSE_BYTES_PER_MOVE, 0);
+                }
+            }
+        }
+        // Adaptive runs end sparse; the trace must show the switch.
+        assert_eq!(syncs.last().unwrap().0, "sparse");
     }
 
     #[test]

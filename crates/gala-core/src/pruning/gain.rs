@@ -106,8 +106,8 @@ mod tests {
             // Check MG's claims against the *next* full pass.
             let mg_active = classify(&g, &s);
             let truth = cpu::decide(&g, &s, &vec![true; g.num_vertices()]);
-            for v in 0..g.num_vertices() {
-                if !mg_active[v] && truth.next_comm[v] != s.comm[v] {
+            for (v, &kept_active) in mg_active.iter().enumerate() {
+                if !kept_active && truth.next_comm[v] != s.comm[v] {
                     // A pruned vertex wanted to move: only legal if it is a
                     // zero-gain tie-break (checked by the property tests);
                     // here on unit weights it must simply not happen.

@@ -99,7 +99,12 @@ fn phase1(graph: &Graph, theta: f64, max_sweeps: usize) -> Vec<CommunityId> {
             }
             // Extract v from its community.
             d_tot[cv as usize] -= d_v;
-            let stay = gain_score(agg.get(&cv).copied().unwrap_or(0.0), d_v, d_tot[cv as usize], m2);
+            let stay = gain_score(
+                agg.get(&cv).copied().unwrap_or(0.0),
+                d_v,
+                d_tot[cv as usize],
+                m2,
+            );
             let mut best_c = cv;
             let mut best = stay;
             for (&c, &d_vc) in agg.iter() {

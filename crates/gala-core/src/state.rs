@@ -145,9 +145,8 @@ impl BspState {
         assert_eq!(next_comm.len(), self.comm.len());
         let mut moves = Vec::new();
         self.comm_changed.iter_mut().for_each(|c| *c = false);
-        for v in 0..self.comm.len() {
+        for (v, &new) in next_comm.iter().enumerate() {
             let old = self.comm[v];
-            let new = next_comm[v];
             if old != new {
                 moves.push((v as VertexId, old, new));
                 self.moved[v] = true;
@@ -257,7 +256,10 @@ mod tests {
         s.recompute_d_self(&g);
         let q_state = s.modularity(&g);
         let q_scratch = modularity(&g, &s.partition());
-        assert!((q_state - q_scratch).abs() < 1e-12, "{q_state} vs {q_scratch}");
+        assert!(
+            (q_state - q_scratch).abs() < 1e-12,
+            "{q_state} vs {q_scratch}"
+        );
     }
 
     #[test]

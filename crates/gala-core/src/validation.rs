@@ -145,9 +145,8 @@ mod tests {
     fn mean_conductance_prefers_truth() {
         let g = fixtures::ring_of_cliques(6, 5);
         let truth = fixtures::ring_of_cliques_truth(6, 5);
-        let random = Partition::from_assignment(
-            (0..30).map(|v| (v % 6) as u32).collect::<Vec<_>>(),
-        );
+        let random =
+            Partition::from_assignment((0..30).map(|v| (v % 6) as u32).collect::<Vec<_>>());
         assert!(mean_conductance(&g, &truth) < mean_conductance(&g, &random));
     }
 

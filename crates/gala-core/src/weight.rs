@@ -14,8 +14,8 @@
 //!   edges — the stage-P2 fix.
 
 use crate::state::{BspState, MoveSummary};
-use gala_graph::{Graph, VertexId};
 use gala_gpu::memory::{MemTally, Space};
+use gala_graph::{Graph, VertexId};
 use rayon::prelude::*;
 
 /// How to maintain `d_self` after each superstep.
@@ -155,7 +155,11 @@ mod tests {
             update(WeightUpdateMode::Delta, &g, &mut s, &summary);
             let mut reference = s.clone();
             reference.recompute_d_self(&g);
-            assert_eq!(s.d_self, reference.d_self, "divergence at iter {}", s.iteration);
+            assert_eq!(
+                s.d_self, reference.d_self,
+                "divergence at iter {}",
+                s.iteration
+            );
             if summary.num_moved() == 0 {
                 break;
             }

@@ -156,7 +156,11 @@ impl DeviceGroup {
     /// AllGather: concatenates each device's items; every device receives
     /// the concatenation (returned once — devices share the host here).
     /// `item_bytes` is the wire size of one item.
-    pub fn all_gather<T: Clone>(&self, per_device: &[Vec<T>], item_bytes: usize) -> (Vec<T>, CommEvent) {
+    pub fn all_gather<T: Clone>(
+        &self,
+        per_device: &[Vec<T>],
+        item_bytes: usize,
+    ) -> (Vec<T>, CommEvent) {
         assert_eq!(per_device.len(), self.num_devices, "one buffer per device");
         let total: usize = per_device.iter().map(|v| v.len()).sum();
         let mut out = Vec::with_capacity(total);

@@ -7,6 +7,7 @@
 //! launch are observationally identical — a property the test suite checks.
 
 use crate::memory::MemTally;
+use crate::profile::Profiler;
 use rayon::prelude::*;
 
 /// Outcome of a kernel launch: per-item results plus the summed tally.
@@ -66,6 +67,46 @@ where
     LaunchResult { outputs, tally }
 }
 
+/// [`launch`], recorded as a span named `name` on `prof`: the summed tally
+/// lands on the span along with an `"items"` counter.
+pub fn launch_profiled<I, R, K>(
+    name: &str,
+    items: &[I],
+    kernel: K,
+    prof: &mut Profiler,
+) -> LaunchResult<R>
+where
+    I: Sync,
+    R: Send,
+    K: Fn(&I, &mut MemTally) -> R + Sync,
+{
+    let res = launch(items, kernel);
+    prof.scope(name, |p| {
+        p.record(&res.tally);
+        p.count("items", items.len() as u64);
+    });
+    res
+}
+
+/// [`launch_seq`], recorded as a span exactly like [`launch_profiled`] — the
+/// two produce identical span trees for the same inputs.
+pub fn launch_seq_profiled<I, R, K>(
+    name: &str,
+    items: &[I],
+    kernel: K,
+    prof: &mut Profiler,
+) -> LaunchResult<R>
+where
+    K: FnMut(&I, &mut MemTally) -> R,
+{
+    let res = launch_seq(items, kernel);
+    prof.scope(name, |p| {
+        p.record(&res.tally);
+        p.count("items", items.len() as u64);
+    });
+    res
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -82,6 +123,29 @@ mod tests {
         let seq = launch_seq(&items, kernel);
         assert_eq!(par.outputs, seq.outputs);
         assert_eq!(par.tally, seq.tally);
+    }
+
+    #[test]
+    fn parallel_matches_sequential_spans() {
+        // The determinism guarantee extends to profiling spans: a parallel
+        // and a sequential launch of the same kernel leave identical span
+        // trees behind.
+        let items: Vec<u64> = (0..2000).collect();
+        let kernel = |i: &u64, t: &mut MemTally| {
+            t.load(Space::Global, *i % 5);
+            t.atomic(Space::Shared, 1);
+            i + 1
+        };
+        let mut par_prof = Profiler::new();
+        let mut seq_prof = Profiler::new();
+        let par = launch_profiled("k", &items, kernel, &mut par_prof);
+        let seq = launch_seq_profiled("k", &items, kernel, &mut seq_prof);
+        assert_eq!(par.outputs, seq.outputs);
+        let (par_root, seq_root) = (par_prof.finish(), seq_prof.finish());
+        assert_eq!(par_root, seq_root);
+        let span = par_root.child("k").unwrap();
+        assert_eq!(span.counter("items"), items.len() as u64);
+        assert_eq!(span.tally, par.tally);
     }
 
     #[test]

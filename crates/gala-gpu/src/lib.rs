@@ -17,6 +17,8 @@
 //!   (rayon), one simulated block/warp per item, tallies reduced at the end.
 //! * [`comm`] — multi-device collectives (`AllReduce`, `AllGather`) under a
 //!   ring α–β cost model, standing in for NCCL over NVLink.
+//! * [`profile`] — named profiling spans attributing tallies, counters and
+//!   simulated cycles to phases of a run (zero-cost when disabled).
 //!
 //! The simulator is *functional + cost-counting*, not cycle-accurate: kernels
 //! execute their real algorithm (so results are exact) while every memory
@@ -32,10 +34,12 @@ pub mod block;
 pub mod comm;
 pub mod grid;
 pub mod memory;
+pub mod profile;
 pub mod scan;
 pub mod sorting;
 pub mod warp;
 
 pub use block::SharedMem;
 pub use memory::{CostModel, MemTally, Space};
+pub use profile::{Profiler, SpanRecord};
 pub use warp::{Warp, WARP_SIZE};

@@ -13,10 +13,7 @@ use crate::warp::{Warp, WARP_SIZE};
 
 /// Warp-level *inclusive* prefix sum over the active lanes (Hillis–Steele,
 /// `log2(32) = 5` shuffle rounds). Inactive lanes pass through unchanged.
-pub fn warp_inclusive_scan(
-    warp: &mut Warp<'_>,
-    values: &[u64; WARP_SIZE],
-) -> [u64; WARP_SIZE] {
+pub fn warp_inclusive_scan(warp: &mut Warp<'_>, values: &[u64; WARP_SIZE]) -> [u64; WARP_SIZE] {
     let active = warp.active();
     let mut out = *values;
     let mut offset = 1usize;
@@ -43,11 +40,7 @@ pub fn warp_inclusive_scan(
 ///
 /// Loads/stores are charged to `space` (the scan's working buffer lives in
 /// shared memory inside a block, global memory across blocks).
-pub fn exclusive_scan(
-    values: &[u64],
-    space: Space,
-    tally: &mut MemTally,
-) -> (Vec<u64>, u64) {
+pub fn exclusive_scan(values: &[u64], space: Space, tally: &mut MemTally) -> (Vec<u64>, u64) {
     let n = values.len();
     let mut out = vec![0u64; n];
     let mut tile_totals = Vec::with_capacity(n.div_ceil(WARP_SIZE));
@@ -76,7 +69,10 @@ pub fn exclusive_scan(
     }
     // Scan the tile totals (recursively for > 32 tiles).
     let (tile_offsets, total) = if tile_totals.len() <= 1 {
-        (vec![0u64; tile_totals.len()], tile_totals.first().copied().unwrap_or(0))
+        (
+            vec![0u64; tile_totals.len()],
+            tile_totals.first().copied().unwrap_or(0),
+        )
     } else {
         exclusive_scan(&tile_totals, space, tally)
     };

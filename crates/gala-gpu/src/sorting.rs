@@ -13,11 +13,7 @@ use crate::memory::{MemTally, Space};
 /// charging every compare-exchange's two loads (and the stores of actual
 /// swaps) to `space`. Padding elements (`u32::MAX` keys) are free — a real
 /// kernel masks them the same way.
-pub fn bitonic_sort_by_key<T: Copy>(
-    items: &mut [(u32, T)],
-    space: Space,
-    tally: &mut MemTally,
-) {
+pub fn bitonic_sort_by_key<T: Copy>(items: &mut [(u32, T)], space: Space, tally: &mut MemTally) {
     let n = items.len();
     if n <= 1 {
         return;
@@ -91,7 +87,11 @@ mod tests {
     #[test]
     fn sorts_ragged_sizes() {
         for n in [0usize, 1, 2, 3, 5, 17, 33, 100] {
-            check_sorted((0..n as u32).map(|k| ((k * 7919) % 101, k as u64)).collect());
+            check_sorted(
+                (0..n as u32)
+                    .map(|k| ((k * 7919) % 101, k as u64))
+                    .collect(),
+            );
         }
     }
 

@@ -101,9 +101,9 @@ impl<'t> Warp<'t> {
     pub fn reduce_max_sync(&mut self, values: &[f64; WARP_SIZE]) -> f64 {
         self.tally.warp_primitive(1);
         let mut max = f64::NEG_INFINITY;
-        for i in 0..WARP_SIZE {
-            if self.active & (1 << i) != 0 && values[i] > max {
-                max = values[i];
+        for (i, &v) in values.iter().enumerate() {
+            if self.active & (1 << i) != 0 && v > max {
+                max = v;
             }
         }
         max
@@ -115,9 +115,9 @@ impl<'t> Warp<'t> {
     pub fn reduce_min_u32_sync(&mut self, values: &[u32; WARP_SIZE]) -> u32 {
         self.tally.warp_primitive(1);
         let mut min = u32::MAX;
-        for i in 0..WARP_SIZE {
-            if self.active & (1 << i) != 0 && values[i] < min {
-                min = values[i];
+        for (i, &v) in values.iter().enumerate() {
+            if self.active & (1 << i) != 0 && v < min {
+                min = v;
             }
         }
         min
@@ -127,8 +127,8 @@ impl<'t> Warp<'t> {
     pub fn ballot_sync(&mut self, predicate: &[bool; WARP_SIZE]) -> u32 {
         self.tally.warp_primitive(1);
         let mut mask = 0u32;
-        for i in 0..WARP_SIZE {
-            if self.active & (1 << i) != 0 && predicate[i] {
+        for (i, &p) in predicate.iter().enumerate() {
+            if self.active & (1 << i) != 0 && p {
                 mask |= 1 << i;
             }
         }

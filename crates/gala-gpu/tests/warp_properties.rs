@@ -10,14 +10,13 @@ fn lanes_u32() -> impl Strategy<Value = [u32; WARP_SIZE]> {
 }
 
 fn lanes_f64() -> impl Strategy<Value = [f64; WARP_SIZE]> {
-    proptest::collection::vec(0u32..100, WARP_SIZE)
-        .prop_map(|v| {
-            let mut out = [0.0; WARP_SIZE];
-            for (o, x) in out.iter_mut().zip(v) {
-                *o = x as f64;
-            }
-            out
-        })
+    proptest::collection::vec(0u32..100, WARP_SIZE).prop_map(|v| {
+        let mut out = [0.0; WARP_SIZE];
+        for (o, x) in out.iter_mut().zip(v) {
+            *o = x as f64;
+        }
+        out
+    })
 }
 
 proptest! {

@@ -68,7 +68,10 @@ impl GraphBuilder {
     /// Panics if `w` is not finite or is negative (modularity is undefined
     /// for negative weights).
     pub fn add_edge(&mut self, u: VertexId, v: VertexId, w: f64) {
-        assert!(w.is_finite() && w >= 0.0, "edge weight must be finite and >= 0, got {w}");
+        assert!(
+            w.is_finite() && w >= 0.0,
+            "edge weight must be finite and >= 0, got {w}"
+        );
         self.num_vertices = self.num_vertices.max(u.max(v) as usize + 1);
         if u == v {
             self.arcs.push((u, v, 2.0 * w));
@@ -102,8 +105,7 @@ impl GraphBuilder {
     pub fn build(mut self) -> Graph {
         let n = self.num_vertices;
         // Sort by (source, target) then merge duplicates by summing weight.
-        self.arcs
-            .sort_unstable_by_key(|a| (a.0, a.1));
+        self.arcs.sort_unstable_by_key(|a| (a.0, a.1));
         let mut merged: Vec<(VertexId, VertexId, f64)> = Vec::with_capacity(self.arcs.len());
         for (u, v, w) in self.arcs {
             match merged.last_mut() {

@@ -32,11 +32,7 @@ pub fn triangles_at(graph: &Graph, v: VertexId) -> u64 {
 /// Local clustering coefficient of `v`: triangles / possible neighbor
 /// pairs. 0 for degree < 2.
 pub fn local_clustering(graph: &Graph, v: VertexId) -> f64 {
-    let deg = graph
-        .neighbor_ids(v)
-        .iter()
-        .filter(|&&u| u != v)
-        .count() as u64;
+    let deg = graph.neighbor_ids(v).iter().filter(|&&u| u != v).count() as u64;
     if deg < 2 {
         return 0.0;
     }

@@ -49,12 +49,22 @@ impl Graph {
             targets.len(),
             "offsets must end at targets.len()"
         );
-        assert_eq!(targets.len(), weights.len(), "targets/weights length mismatch");
+        assert_eq!(
+            targets.len(),
+            weights.len(),
+            "targets/weights length mismatch"
+        );
         for v in 0..n {
-            assert!(offsets[v] <= offsets[v + 1], "offsets must be nondecreasing");
+            assert!(
+                offsets[v] <= offsets[v + 1],
+                "offsets must be nondecreasing"
+            );
             let adj = &targets[offsets[v]..offsets[v + 1]];
             for pair in adj.windows(2) {
-                assert!(pair[0] < pair[1], "adjacency of {v} must be strictly sorted");
+                assert!(
+                    pair[0] < pair[1],
+                    "adjacency of {v} must be strictly sorted"
+                );
             }
             for &u in adj {
                 assert!((u as usize) < n, "target {u} out of range (n = {n})");

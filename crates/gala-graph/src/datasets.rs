@@ -119,36 +119,42 @@ impl Dataset {
     /// Generates the stand-in graph at the given scale. Deterministic.
     pub fn generate(self, scale: Scale) -> Graph {
         match self {
-            Dataset::FR => PowerLawSbm {
-                num_vertices: scale.div(60_000),
-                min_community: 20,
-                max_community: 1500,
-                size_exponent: 2.0,
-                internal_degree: 12.0,
-                mixing: 0.33,
+            Dataset::FR => {
+                PowerLawSbm {
+                    num_vertices: scale.div(60_000),
+                    min_community: 20,
+                    max_community: 1500,
+                    size_exponent: 2.0,
+                    internal_degree: 12.0,
+                    mixing: 0.33,
+                }
+                .generate(0xF12)
+                .graph
             }
-            .generate(0xF12)
-            .graph,
-            Dataset::LJ => PowerLawSbm {
-                num_vertices: scale.div(40_000),
-                min_community: 15,
-                max_community: 1200,
-                size_exponent: 2.1,
-                internal_degree: 9.0,
-                mixing: 0.20,
+            Dataset::LJ => {
+                PowerLawSbm {
+                    num_vertices: scale.div(40_000),
+                    min_community: 15,
+                    max_community: 1200,
+                    size_exponent: 2.1,
+                    internal_degree: 9.0,
+                    mixing: 0.20,
+                }
+                .generate(0x17)
+                .graph
             }
-            .generate(0x17)
-            .graph,
-            Dataset::OR => PowerLawSbm {
-                num_vertices: scale.div(30_000),
-                min_community: 25,
-                max_community: 2000,
-                size_exponent: 1.9,
-                internal_degree: 22.0,
-                mixing: 0.30,
+            Dataset::OR => {
+                PowerLawSbm {
+                    num_vertices: scale.div(30_000),
+                    min_community: 25,
+                    max_community: 2000,
+                    size_exponent: 1.9,
+                    internal_degree: 22.0,
+                    mixing: 0.30,
+                }
+                .generate(0x08)
+                .graph
             }
-            .generate(0x08)
-            .graph,
             // twitter-2010: weak-but-present communities (paper Q 0.473)
             // under an extreme hub tail (celebrities). A pure R-MAT has the
             // tail but almost no community signal (Louvain Q ~ 0.1), so the
@@ -170,36 +176,42 @@ impl Dataset {
                 };
                 with_hub_overlay(base, 0.001, hub_degree, 0x731)
             }
-            Dataset::UK => PowerLawSbm {
-                num_vertices: scale.div(40_000),
-                min_community: 10,
-                max_community: 600,
-                size_exponent: 1.8,
-                internal_degree: 10.0,
-                mixing: 0.006,
+            Dataset::UK => {
+                PowerLawSbm {
+                    num_vertices: scale.div(40_000),
+                    min_community: 10,
+                    max_community: 600,
+                    size_exponent: 1.8,
+                    internal_degree: 10.0,
+                    mixing: 0.006,
+                }
+                .generate(0x2002)
+                .graph
             }
-            .generate(0x2002)
-            .graph,
-            Dataset::EW => PowerLawSbm {
-                num_vertices: scale.div(30_000),
-                min_community: 12,
-                max_community: 2500,
-                size_exponent: 1.7,
-                internal_degree: 16.0,
-                mixing: 0.30,
+            Dataset::EW => {
+                PowerLawSbm {
+                    num_vertices: scale.div(30_000),
+                    min_community: 12,
+                    max_community: 2500,
+                    size_exponent: 1.7,
+                    internal_degree: 16.0,
+                    mixing: 0.30,
+                }
+                .generate(0xE5)
+                .graph
             }
-            .generate(0xE5)
-            .graph,
-            Dataset::HW => PowerLawSbm {
-                num_vertices: scale.div(20_000),
-                min_community: 30,
-                max_community: 2000,
-                size_exponent: 2.0,
-                internal_degree: 30.0,
-                mixing: 0.20,
+            Dataset::HW => {
+                PowerLawSbm {
+                    num_vertices: scale.div(20_000),
+                    min_community: 30,
+                    max_community: 2000,
+                    size_exponent: 2.0,
+                    internal_degree: 30.0,
+                    mixing: 0.20,
+                }
+                .generate(0x40)
+                .graph
             }
-            .generate(0x40)
-            .graph,
         }
     }
 }
@@ -243,7 +255,12 @@ mod tests {
     fn test_scale_sizes_are_small() {
         for d in Dataset::all() {
             let g = d.generate(Scale::Test);
-            assert!(g.num_vertices() <= 8192, "{} too big: {}", d.abbr(), g.num_vertices());
+            assert!(
+                g.num_vertices() <= 8192,
+                "{} too big: {}",
+                d.abbr(),
+                g.num_vertices()
+            );
             assert!(g.num_edges() > 100, "{} too sparse", d.abbr());
         }
     }

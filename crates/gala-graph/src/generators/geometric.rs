@@ -60,7 +60,10 @@ fn geometric_impl(n: usize, radius: f64, seed: u64, weighted: bool) -> Geometric
         for dy in -1..=1isize {
             for dx in -1..=1isize {
                 let (nx, ny) = (cx + dx, cy + dy);
-                if nx < 0 || ny < 0 || nx >= cells_per_side as isize || ny >= cells_per_side as isize
+                if nx < 0
+                    || ny < 0
+                    || nx >= cells_per_side as isize
+                    || ny >= cells_per_side as isize
                 {
                     continue;
                 }
@@ -71,7 +74,11 @@ fn geometric_impl(n: usize, radius: f64, seed: u64, weighted: bool) -> Geometric
                     let (ux, uy) = positions[u as usize];
                     let d2 = (x - ux) * (x - ux) + (y - uy) * (y - uy);
                     if d2 < r2 {
-                        let w = if weighted { 1.0 - d2.sqrt() / radius } else { 1.0 };
+                        let w = if weighted {
+                            1.0 - d2.sqrt() / radius
+                        } else {
+                            1.0
+                        };
                         if w > 0.0 {
                             b.add_edge(v, u, w);
                         }
@@ -128,7 +135,10 @@ mod tests {
         let g = geometric(n, r, 3);
         let expected = (n * (n - 1) / 2) as f64 * std::f64::consts::PI * r * r;
         let m = g.graph.num_edges() as f64;
-        assert!(m > 0.7 * expected && m < 1.1 * expected, "m = {m}, E = {expected}");
+        assert!(
+            m > 0.7 * expected && m < 1.1 * expected,
+            "m = {m}, E = {expected}"
+        );
     }
 
     #[test]

@@ -57,8 +57,11 @@ impl LfrParams {
         let degrees: Vec<u32> = (0..n).map(|_| ddist.sample(&mut rng)).collect();
 
         // 2. Community sizes covering all vertices.
-        let cdist =
-            BoundedPowerLaw::new(self.min_community, self.max_community, self.community_exponent);
+        let cdist = BoundedPowerLaw::new(
+            self.min_community,
+            self.max_community,
+            self.community_exponent,
+        );
         let mut sizes: Vec<usize> = Vec::new();
         let mut total = 0usize;
         while total < n {
@@ -132,7 +135,8 @@ impl LfrParams {
 
         // 5. Wire by stub pairing, rejecting self-loops / duplicates /
         //    (for external stubs) same-community pairs.
-        let mut b = GraphBuilder::with_capacity(n, degrees.iter().map(|&d| d as usize).sum::<usize>() / 2);
+        let mut b =
+            GraphBuilder::with_capacity(n, degrees.iter().map(|&d| d as usize).sum::<usize>() / 2);
         let mut seen: HashSet<u64> = HashSet::new();
         let key = |u: VertexId, v: VertexId| {
             let (a, bb) = if u < v { (u, v) } else { (v, u) };
@@ -143,9 +147,14 @@ impl LfrParams {
             pair_stubs(stubs, &mut b, &mut seen, key, &mut rng, |_, _| true);
         }
         external_stubs.shuffle(&mut rng);
-        pair_stubs(&mut external_stubs, &mut b, &mut seen, key, &mut rng, |u, v| {
-            assignment[u as usize] != assignment[v as usize]
-        });
+        pair_stubs(
+            &mut external_stubs,
+            &mut b,
+            &mut seen,
+            key,
+            &mut rng,
+            |u, v| assignment[u as usize] != assignment[v as usize],
+        );
 
         GroundTruthGraph {
             graph: b.build(),
@@ -157,7 +166,7 @@ impl LfrParams {
 /// Pairs consecutive stubs, retrying a bounded number of reshuffles of the
 /// tail when a pair is rejected. Leftovers are dropped.
 fn pair_stubs<F, K>(
-    stubs: &mut Vec<VertexId>,
+    stubs: &mut [VertexId],
     b: &mut GraphBuilder,
     seen: &mut HashSet<u64>,
     key: K,

@@ -37,8 +37,14 @@ pub struct BoundedPowerLaw {
 impl BoundedPowerLaw {
     /// Creates the distribution. `exponent` must be > 1 and `min <= max`.
     pub fn new(min: u32, max: u32, exponent: f64) -> Self {
-        assert!(min >= 1 && min <= max, "need 1 <= min <= max, got [{min}, {max}]");
-        assert!(exponent > 1.0, "power-law exponent must be > 1, got {exponent}");
+        assert!(
+            min >= 1 && min <= max,
+            "need 1 <= min <= max, got [{min}, {max}]"
+        );
+        assert!(
+            exponent > 1.0,
+            "power-law exponent must be > 1, got {exponent}"
+        );
         Self {
             min: min as f64,
             max: max as f64 + 1.0, // sample continuous on [min, max+1) then floor
@@ -81,7 +87,10 @@ mod tests {
         let samples: Vec<u32> = (0..20_000).map(|_| d.sample(&mut rng)).collect();
         let low = samples.iter().filter(|&&x| x <= 4).count();
         // With exponent 3 the mass below 2x the minimum dominates.
-        assert!(low as f64 > 0.6 * samples.len() as f64, "low fraction {low}");
+        assert!(
+            low as f64 > 0.6 * samples.len() as f64,
+            "low fraction {low}"
+        );
     }
 
     #[test]

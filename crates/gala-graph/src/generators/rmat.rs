@@ -44,7 +44,14 @@ impl Default for RmatParams {
 /// edges are merged by the builder (weights accumulate, matching how the
 /// paper folds directed multi-edges into weighted undirected ones).
 pub fn rmat(params: &RmatParams, seed: u64) -> Graph {
-    let RmatParams { scale, edge_factor, a, b, c, d } = *params;
+    let RmatParams {
+        scale,
+        edge_factor,
+        a,
+        b,
+        c,
+        d,
+    } = *params;
     assert!(
         ((a + b + c + d) - 1.0).abs() < 1e-9,
         "quadrant probabilities must sum to 1"

@@ -77,7 +77,9 @@ impl PowerLawSbm {
         let mut total = 0usize;
         while total < self.num_vertices {
             let s = dist.sample(&mut rng) as usize;
-            let s = s.min(self.num_vertices - total).max(2.min(self.num_vertices - total));
+            let s = s
+                .min(self.num_vertices - total)
+                .max(2.min(self.num_vertices - total));
             if self.num_vertices - total < 2 {
                 // Fold the last straggler vertex into the previous community.
                 if let Some(last) = sizes.last_mut() {
@@ -98,7 +100,12 @@ impl PowerLawSbm {
 /// draw `size·d_in/2` distinct internal edges per community and
 /// `n·d_out/2` distinct cross edges globally, where
 /// `d_out = d_in · mu / (1 - mu)`.
-pub fn generate_blocks(sizes: &[usize], internal_degree: f64, mixing: f64, seed: u64) -> GroundTruthGraph {
+pub fn generate_blocks(
+    sizes: &[usize],
+    internal_degree: f64,
+    mixing: f64,
+    seed: u64,
+) -> GroundTruthGraph {
     let n: usize = sizes.iter().sum();
     let mut rng = ChaCha8Rng::seed_from_u64(seed);
     let mut assignment = vec![0u32; n];
@@ -106,9 +113,7 @@ pub fn generate_blocks(sizes: &[usize], internal_degree: f64, mixing: f64, seed:
     let mut at = 0usize;
     for (c, &s) in sizes.iter().enumerate() {
         starts.push(at);
-        for v in at..at + s {
-            assignment[v] = c as u32;
-        }
+        assignment[at..at + s].fill(c as u32);
         at += s;
     }
 

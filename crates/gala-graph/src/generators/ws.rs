@@ -14,7 +14,10 @@ use std::collections::HashSet;
 /// its `k` nearest neighbors (`k` even), then each lattice edge is rewired
 /// to a uniform random endpoint with probability `beta`.
 pub fn watts_strogatz(n: usize, k: usize, beta: f64, seed: u64) -> Graph {
-    assert!(k >= 2 && k.is_multiple_of(2), "k must be even and >= 2, got {k}");
+    assert!(
+        k >= 2 && k.is_multiple_of(2),
+        "k must be even and >= 2, got {k}"
+    );
     assert!(n > k, "need n > k");
     assert!((0.0..=1.0).contains(&beta), "beta must be in [0,1]");
     let mut rng = ChaCha8Rng::seed_from_u64(seed);

@@ -44,16 +44,25 @@ pub fn read_edge_list<R: BufRead>(reader: R) -> io::Result<Graph> {
                 )
             })
         }
-        let u: VertexId = parse(it.next(), "source", lineno)?
-            .parse()
-            .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, format!("line {}: {e}", lineno + 1)))?;
-        let v: VertexId = parse(it.next(), "target", lineno)?
-            .parse()
-            .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, format!("line {}: {e}", lineno + 1)))?;
+        let u: VertexId = parse(it.next(), "source", lineno)?.parse().map_err(|e| {
+            io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("line {}: {e}", lineno + 1),
+            )
+        })?;
+        let v: VertexId = parse(it.next(), "target", lineno)?.parse().map_err(|e| {
+            io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("line {}: {e}", lineno + 1),
+            )
+        })?;
         let w: f64 = match it.next() {
-            Some(s) => s
-                .parse()
-                .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, format!("line {}: {e}", lineno + 1)))?,
+            Some(s) => s.parse().map_err(|e| {
+                io::Error::new(
+                    io::ErrorKind::InvalidData,
+                    format!("line {}: {e}", lineno + 1),
+                )
+            })?,
             None => 1.0,
         };
         b.add_edge(u, v, w);

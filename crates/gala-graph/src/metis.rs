@@ -16,7 +16,10 @@ use std::path::Path;
 /// supported and produce an error.
 pub fn read_metis<R: BufRead>(reader: R) -> io::Result<Graph> {
     let bad = |line: usize, msg: &str| {
-        io::Error::new(io::ErrorKind::InvalidData, format!("metis line {line}: {msg}"))
+        io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("metis line {line}: {msg}"),
+        )
     };
     // Comment lines are dropped everywhere; blank lines are dropped only
     // before the header — afterwards a blank line IS a vertex entry (an
@@ -42,7 +45,9 @@ pub fn read_metis<R: BufRead>(reader: R) -> io::Result<Graph> {
     if parts.len() < 2 {
         return Err(bad(hline, "header needs at least `n m`"));
     }
-    let n: usize = parts[0].parse().map_err(|_| bad(hline, "bad vertex count"))?;
+    let n: usize = parts[0]
+        .parse()
+        .map_err(|_| bad(hline, "bad vertex count"))?;
     let m: usize = parts[1].parse().map_err(|_| bad(hline, "bad edge count"))?;
     let weighted = match parts.get(2) {
         None => false,
@@ -62,16 +67,13 @@ pub fn read_metis<R: BufRead>(reader: R) -> io::Result<Graph> {
             return Err(bad(lno, "more vertex lines than the header's n"));
         }
         let mut it = line.split_whitespace();
-        loop {
-            let Some(tok) = it.next() else { break };
+        while let Some(tok) = it.next() {
             let u: usize = tok.parse().map_err(|_| bad(lno, "bad neighbor id"))?;
             if u == 0 || u > n {
                 return Err(bad(lno, "neighbor id out of range (1-indexed)"));
             }
             let w = if weighted {
-                let wt = it
-                    .next()
-                    .ok_or_else(|| bad(lno, "missing edge weight"))?;
+                let wt = it.next().ok_or_else(|| bad(lno, "missing edge weight"))?;
                 wt.parse::<f64>().map_err(|_| bad(lno, "bad edge weight"))?
             } else {
                 1.0

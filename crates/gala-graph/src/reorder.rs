@@ -193,10 +193,7 @@ mod tests {
         let ord = degree_order(&g);
         let p2 = ord.apply_to_partition(&p);
         for v in g.vertices() {
-            assert_eq!(
-                p.community_of(v),
-                p2.community_of(ord.new_id[v as usize])
-            );
+            assert_eq!(p.community_of(v), p2.community_of(ord.new_id[v as usize]));
         }
     }
 }

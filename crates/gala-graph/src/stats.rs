@@ -106,7 +106,11 @@ pub fn degree_histogram(graph: &Graph) -> Vec<(usize, usize)> {
     let mut buckets: Vec<usize> = Vec::new();
     for v in graph.vertices() {
         let d = graph.degree(v);
-        let b = if d == 0 { 0 } else { (usize::BITS - d.leading_zeros()) as usize };
+        let b = if d == 0 {
+            0
+        } else {
+            (usize::BITS - d.leading_zeros()) as usize
+        };
         if buckets.len() <= b {
             buckets.resize(b + 1, 0);
         }

@@ -1,0 +1,32 @@
+//! # gala-telemetry — structured tracing and machine-readable reports
+//!
+//! The observability layer of the workspace, sitting between the simulator
+//! (`gala-gpu`) and the drivers/binaries above it:
+//!
+//! * [`json`] — a dependency-free JSON value, writer and strict parser
+//!   (the build environment has no crates.io access, so no `serde_json`).
+//! * [`trace`] — [`TraceEvent`]s emitted per superstep / sync / round by
+//!   the `gala-core` drivers, consumed through the [`TraceSink`] trait.
+//!   The [`NullSink`] reports `enabled() == false`, so tracing costs one
+//!   branch when off.
+//! * [`report`] — schema-versioned [`Report`]s written by the bench
+//!   binaries and the CLI (`--report`), plus [`Report::compare`] for the
+//!   CI baseline gate (±10% simulated-cycle tolerance).
+//!
+//! Both formats carry [`SCHEMA_VERSION`] so downstream tooling can reject
+//! documents it does not understand.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod json;
+pub mod report;
+pub mod trace;
+
+pub use json::Value;
+pub use report::{MetricRow, Regression, Report, ReportError};
+pub use trace::{span_to_json, tally_to_json, JsonlSink, NullSink, TraceEvent, TraceSink, VecSink};
+
+/// Version of the trace-event and report JSON schemas. Bump on any
+/// incompatible change to field names or meanings.
+pub const SCHEMA_VERSION: u64 = 1;

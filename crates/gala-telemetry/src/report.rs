@@ -1,0 +1,426 @@
+//! Machine-readable run/bench reports and baseline comparison.
+//!
+//! Every figure/table binary in `gala-bench` (and `gala detect --report`)
+//! can serialise its results as one [`Report`]: named rows of numeric
+//! metrics plus free-form string metadata, wrapped in a schema-versioned
+//! JSON envelope. Reports parse back losslessly, so CI can diff a fresh
+//! `bench_smoke` report against the checked-in baseline with
+//! [`Report::compare`] and fail on simulated-cycle regressions.
+
+use std::fmt;
+use std::io;
+use std::path::Path;
+
+use crate::json::{parse, ParseError, Value};
+use crate::SCHEMA_VERSION;
+
+/// One labelled row of numeric metrics (mirrors one table row).
+#[derive(Clone, Debug, PartialEq)]
+pub struct MetricRow {
+    /// Row label, unique within the report (e.g. `"hash/mg"`).
+    pub label: String,
+    /// Named metric values, in insertion order.
+    pub metrics: Vec<(String, f64)>,
+}
+
+impl MetricRow {
+    /// A row with no metrics yet.
+    pub fn new(label: impl Into<String>) -> Self {
+        Self {
+            label: label.into(),
+            metrics: Vec::new(),
+        }
+    }
+
+    /// Adds one metric (builder style).
+    pub fn metric(mut self, name: impl Into<String>, value: f64) -> Self {
+        self.metrics.push((name.into(), value));
+        self
+    }
+
+    /// Looks up a metric by name.
+    pub fn get(&self, name: &str) -> Option<f64> {
+        self.metrics
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|&(_, v)| v)
+    }
+}
+
+/// A schema-versioned, machine-readable result report.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Report {
+    /// Report kind: `"bench"` for figure/table binaries, `"run"` for CLI
+    /// detections.
+    pub kind: String,
+    /// Producer name (binary or figure id, e.g. `"bench_smoke"`).
+    pub name: String,
+    /// String metadata (dataset scale, config, …), insertion-ordered.
+    pub meta: Vec<(String, String)>,
+    /// The numeric payload.
+    pub rows: Vec<MetricRow>,
+}
+
+impl Report {
+    /// An empty report.
+    pub fn new(kind: impl Into<String>, name: impl Into<String>) -> Self {
+        Self {
+            kind: kind.into(),
+            name: name.into(),
+            meta: Vec::new(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Adds one metadata entry (builder style).
+    pub fn meta(mut self, key: impl Into<String>, value: impl Into<String>) -> Self {
+        self.meta.push((key.into(), value.into()));
+        self
+    }
+
+    /// Appends a row.
+    pub fn push(&mut self, row: MetricRow) {
+        self.rows.push(row);
+    }
+
+    /// Looks up a row by label.
+    pub fn row(&self, label: &str) -> Option<&MetricRow> {
+        self.rows.iter().find(|r| r.label == label)
+    }
+
+    /// Looks up one metadata value.
+    pub fn meta_value(&self, key: &str) -> Option<&str> {
+        self.meta
+            .iter()
+            .find(|(k, _)| k == key)
+            .map(|(_, v)| v.as_str())
+    }
+
+    /// Serialises to the documented JSON envelope.
+    pub fn to_json(&self) -> Value {
+        let meta = self
+            .meta
+            .iter()
+            .fold(Value::object(), |v, (k, val)| v.set(k, val.as_str()));
+        let rows = self
+            .rows
+            .iter()
+            .map(|row| {
+                let metrics = row
+                    .metrics
+                    .iter()
+                    .fold(Value::object(), |v, (k, val)| v.set(k, *val));
+                Value::object()
+                    .set("label", row.label.as_str())
+                    .set("metrics", metrics)
+            })
+            .collect();
+        Value::object()
+            .set("schema", SCHEMA_VERSION)
+            .set("kind", self.kind.as_str())
+            .set("name", self.name.as_str())
+            .set("meta", meta)
+            .set("rows", Value::Array(rows))
+    }
+
+    /// Parses a report back from its JSON envelope.
+    pub fn from_json(v: &Value) -> Result<Report, ReportError> {
+        let schema = v
+            .get("schema")
+            .and_then(Value::as_u64)
+            .ok_or_else(|| ReportError::shape("missing `schema`"))?;
+        if schema != SCHEMA_VERSION {
+            return Err(ReportError::Shape(format!(
+                "unsupported schema version {schema} (expected {SCHEMA_VERSION})"
+            )));
+        }
+        let text = |key: &str| -> Result<String, ReportError> {
+            v.get(key)
+                .and_then(Value::as_str)
+                .map(str::to_string)
+                .ok_or_else(|| ReportError::Shape(format!("missing `{key}`")))
+        };
+        let mut report = Report::new(text("kind")?, text("name")?);
+        if let Some(meta) = v.get("meta").and_then(Value::as_object) {
+            for (k, val) in meta {
+                let val = val
+                    .as_str()
+                    .ok_or_else(|| ReportError::Shape(format!("meta `{k}` is not a string")))?;
+                report.meta.push((k.clone(), val.to_string()));
+            }
+        }
+        for row in v
+            .get("rows")
+            .and_then(Value::as_array)
+            .ok_or_else(|| ReportError::shape("missing `rows`"))?
+        {
+            let label = row
+                .get("label")
+                .and_then(Value::as_str)
+                .ok_or_else(|| ReportError::shape("row missing `label`"))?;
+            let mut out = MetricRow::new(label);
+            let metrics = row
+                .get("metrics")
+                .and_then(Value::as_object)
+                .ok_or_else(|| ReportError::shape("row missing `metrics`"))?;
+            for (name, val) in metrics {
+                let val = val.as_f64().ok_or_else(|| {
+                    ReportError::Shape(format!("metric `{name}` is not a number"))
+                })?;
+                out.metrics.push((name.clone(), val));
+            }
+            report.push(out);
+        }
+        Ok(report)
+    }
+
+    /// Parses a report from JSON text.
+    #[allow(clippy::should_implement_trait)] // fallible + custom error; no FromStr ergonomics lost
+    pub fn from_str(text: &str) -> Result<Report, ReportError> {
+        Report::from_json(&parse(text)?)
+    }
+
+    /// Writes the pretty-rendered JSON envelope to `path`.
+    pub fn write_to(&self, path: impl AsRef<Path>) -> io::Result<()> {
+        std::fs::write(path, self.to_json().render_pretty())
+    }
+
+    /// Reads and parses a report file.
+    pub fn read_from(path: impl AsRef<Path>) -> Result<Report, ReportError> {
+        let text = std::fs::read_to_string(path).map_err(ReportError::Io)?;
+        Report::from_str(&text)
+    }
+
+    /// Compares this report against `baseline`, flagging every metric whose
+    /// relative change exceeds `tolerance` (e.g. `0.10` for ±10%) and every
+    /// baseline row/metric missing here. Order of rows is irrelevant.
+    ///
+    /// Higher-is-worse semantics are *not* assumed: a metric is flagged on
+    /// deviation in either direction, which keeps the baseline honest (an
+    /// unexplained 30% "improvement" usually means the workload changed).
+    pub fn compare(&self, baseline: &Report, tolerance: f64) -> Vec<Regression> {
+        let mut out = Vec::new();
+        for base_row in &baseline.rows {
+            let Some(cur_row) = self.row(&base_row.label) else {
+                out.push(Regression {
+                    label: base_row.label.clone(),
+                    metric: "<row>".into(),
+                    baseline: f64::NAN,
+                    current: f64::NAN,
+                    change: f64::NAN,
+                });
+                continue;
+            };
+            for &(ref name, base) in &base_row.metrics {
+                let Some(cur) = cur_row.get(name) else {
+                    out.push(Regression {
+                        label: base_row.label.clone(),
+                        metric: name.clone(),
+                        baseline: base,
+                        current: f64::NAN,
+                        change: f64::NAN,
+                    });
+                    continue;
+                };
+                let change = if base == 0.0 {
+                    if cur == 0.0 {
+                        0.0
+                    } else {
+                        f64::INFINITY
+                    }
+                } else {
+                    (cur - base) / base
+                };
+                if change.abs() > tolerance {
+                    out.push(Regression {
+                        label: base_row.label.clone(),
+                        metric: name.clone(),
+                        baseline: base,
+                        current: cur,
+                        change,
+                    });
+                }
+            }
+        }
+        out
+    }
+}
+
+/// One out-of-tolerance metric found by [`Report::compare`].
+#[derive(Clone, Debug, PartialEq)]
+pub struct Regression {
+    /// Row label.
+    pub label: String,
+    /// Metric name (`"<row>"` when the whole row is missing).
+    pub metric: String,
+    /// Baseline value (NaN when missing).
+    pub baseline: f64,
+    /// Current value (NaN when missing).
+    pub current: f64,
+    /// Relative change `(current - baseline) / baseline` (NaN when either
+    /// side is missing).
+    pub change: f64,
+}
+
+impl fmt::Display for Regression {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.current.is_nan() {
+            write!(
+                f,
+                "{} / {}: missing from current report",
+                self.label, self.metric
+            )
+        } else {
+            write!(
+                f,
+                "{} / {}: {} -> {} ({:+.1}%)",
+                self.label,
+                self.metric,
+                self.baseline,
+                self.current,
+                self.change * 100.0
+            )
+        }
+    }
+}
+
+/// Failure reading or interpreting a report.
+#[derive(Debug)]
+pub enum ReportError {
+    /// Underlying I/O failure.
+    Io(io::Error),
+    /// The text is not valid JSON.
+    Json(ParseError),
+    /// The JSON does not match the report schema.
+    Shape(String),
+}
+
+impl ReportError {
+    fn shape(msg: &str) -> Self {
+        ReportError::Shape(msg.to_string())
+    }
+}
+
+impl fmt::Display for ReportError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ReportError::Io(e) => write!(f, "report I/O error: {e}"),
+            ReportError::Json(e) => write!(f, "report is not valid JSON: {e}"),
+            ReportError::Shape(msg) => write!(f, "report shape error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for ReportError {}
+
+impl From<ParseError> for ReportError {
+    fn from(e: ParseError) -> Self {
+        ReportError::Json(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Report {
+        let mut r = Report::new("bench", "bench_smoke").meta("scale", "test");
+        r.push(
+            MetricRow::new("hash/mg")
+                .metric("cycles", 1000.0)
+                .metric("moved", 40.0),
+        );
+        r.push(MetricRow::new("sort/mg").metric("cycles", 2000.0));
+        r
+    }
+
+    #[test]
+    fn json_round_trip_is_lossless() {
+        let r = sample();
+        let text = r.to_json().render_pretty();
+        let back = Report::from_str(&text).unwrap();
+        assert_eq!(back, r);
+        assert_eq!(back.meta_value("scale"), Some("test"));
+        assert_eq!(back.row("hash/mg").unwrap().get("cycles"), Some(1000.0));
+    }
+
+    #[test]
+    fn identical_reports_have_no_regressions() {
+        assert!(sample().compare(&sample(), 0.10).is_empty());
+    }
+
+    #[test]
+    fn compare_flags_out_of_tolerance_changes_both_ways() {
+        let base = sample();
+        let mut cur = sample();
+        cur.rows[0].metrics[0].1 = 1200.0; // +20% cycles: regression
+        cur.rows[1].metrics[0].1 = 1500.0; // -25% cycles: also flagged
+        let regs = cur.compare(&base, 0.10);
+        assert_eq!(regs.len(), 2);
+        assert_eq!(regs[0].label, "hash/mg");
+        assert!((regs[0].change - 0.2).abs() < 1e-12);
+        assert!(regs[1].change < 0.0);
+        assert!(regs[0].to_string().contains("+20.0%"));
+    }
+
+    #[test]
+    fn compare_tolerates_changes_within_tolerance() {
+        let base = sample();
+        let mut cur = sample();
+        cur.rows[0].metrics[0].1 = 1090.0; // +9%
+        assert!(cur.compare(&base, 0.10).is_empty());
+    }
+
+    #[test]
+    fn compare_flags_missing_rows_and_metrics() {
+        let base = sample();
+        let mut cur = sample();
+        cur.rows.remove(1); // drop sort/mg entirely
+        cur.rows[0].metrics.remove(1); // drop hash/mg moved
+        let regs = cur.compare(&base, 0.10);
+        assert_eq!(regs.len(), 2);
+        assert!(regs.iter().any(|r| r.metric == "moved"));
+        assert!(regs.iter().any(|r| r.metric == "<row>"));
+        assert!(regs.iter().all(|r| r.to_string().contains("missing")));
+    }
+
+    #[test]
+    fn extra_current_rows_are_not_regressions() {
+        let base = sample();
+        let mut cur = sample();
+        cur.push(MetricRow::new("new/row").metric("cycles", 5.0));
+        assert!(cur.compare(&base, 0.10).is_empty());
+    }
+
+    #[test]
+    fn zero_baseline_handled() {
+        let mut base = Report::new("bench", "b");
+        base.push(MetricRow::new("r").metric("x", 0.0));
+        let mut same = base.clone();
+        assert!(same.compare(&base, 0.10).is_empty());
+        same.rows[0].metrics[0].1 = 1.0;
+        let regs = same.compare(&base, 0.10);
+        assert_eq!(regs.len(), 1);
+        assert!(regs[0].change.is_infinite());
+    }
+
+    #[test]
+    fn schema_version_is_checked() {
+        let text = sample().to_json().set("schema", 999u64).render();
+        assert!(matches!(
+            Report::from_str(&text),
+            Err(ReportError::Shape(_))
+        ));
+    }
+
+    #[test]
+    fn file_round_trip() {
+        let dir = std::env::temp_dir().join("gala-telemetry-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("report.json");
+        let r = sample();
+        r.write_to(&path).unwrap();
+        assert_eq!(Report::read_from(&path).unwrap(), r);
+        std::fs::remove_file(&path).ok();
+    }
+}

@@ -1,0 +1,423 @@
+//! Structured trace events and the sinks that consume them.
+//!
+//! The Louvain and multi-GPU drivers in `gala-core` emit one
+//! [`TraceEvent`] per interesting moment of a run — run start/end, each
+//! BSP superstep with its move/prune counts and per-phase memory tallies,
+//! and each inter-device synchronisation with the dense-vs-sparse decision
+//! and modelled byte volume. Events flow into a [`TraceSink`]:
+//!
+//! * [`NullSink`] — reports `enabled() == false`, so instrumented code
+//!   skips even *building* events; tracing off costs one branch.
+//! * [`VecSink`] — buffers events in memory (tests, programmatic use).
+//! * [`JsonlSink`] — writes one compact JSON object per line, the format
+//!   `gala detect --trace out.jsonl` produces.
+
+use std::io::Write;
+
+use gala_gpu::memory::MemTally;
+use gala_gpu::profile::SpanRecord;
+
+use crate::json::Value;
+use crate::SCHEMA_VERSION;
+
+/// One structured event in a run's trace.
+#[derive(Clone, Debug, PartialEq)]
+pub enum TraceEvent {
+    /// Emitted once when a driver starts.
+    RunStart {
+        /// Driver name (`"louvain"`, `"multi-gpu"`, …).
+        algorithm: String,
+        /// Vertex count of the input graph.
+        n: u64,
+        /// Edge count of the input graph.
+        m: u64,
+        /// Number of simulated devices (1 for single-GPU runs).
+        devices: u32,
+    },
+    /// One BSP superstep of Louvain phase 1.
+    Superstep {
+        /// Coarsening round (phase-1/phase-2 pass) this superstep is in.
+        round: u32,
+        /// Superstep index within the round, from 0.
+        superstep: u32,
+        /// Vertices evaluated this superstep.
+        active: u64,
+        /// Vertices that changed community.
+        moved: u64,
+        /// Vertices skipped by the pruning strategy.
+        pruned: u64,
+        /// Vertices evaluated but kept in place.
+        unmoved: u64,
+        /// Modularity after the superstep's moves were applied.
+        modularity: f64,
+        /// Modularity gained over the previous superstep.
+        delta_q: f64,
+        /// Memory traffic of the decide-and-move kernel.
+        decide_tally: MemTally,
+        /// Memory traffic of the community-weight update.
+        weight_tally: MemTally,
+        /// Shared-memory hashtable occupancy (fraction of shared buckets
+        /// holding a key); 0 for kernels without hashtables.
+        hash_occupancy: f64,
+        /// Upserts evicted from shared to global hash buckets.
+        hash_evictions: u64,
+    },
+    /// One inter-device synchronisation (multi-GPU runs).
+    Sync {
+        /// Superstep index the sync follows.
+        superstep: u32,
+        /// `"dense"` or `"sparse"` — the mode actually used.
+        mode: String,
+        /// Modelled bytes exchanged per device under that mode.
+        bytes: u64,
+        /// Modelled communication time in microseconds.
+        comm_us: f64,
+        /// Devices participating.
+        devices: u32,
+    },
+    /// End of one coarsening round.
+    RoundEnd {
+        /// Round index, from 0.
+        round: u32,
+        /// Supersteps the round took.
+        supersteps: u32,
+        /// Modularity at the end of the round.
+        modularity: f64,
+        /// Communities remaining after aggregation.
+        communities: u64,
+    },
+    /// Emitted once when a driver finishes.
+    RunEnd {
+        /// Final modularity.
+        modularity: f64,
+        /// Coarsening rounds executed.
+        rounds: u32,
+        /// Total simulated cycles across all phases.
+        total_cycles: f64,
+    },
+}
+
+/// Serialises a [`MemTally`] as a flat JSON object.
+pub fn tally_to_json(t: &MemTally) -> Value {
+    Value::object()
+        .set("register_ops", t.register_ops)
+        .set("shared_loads", t.shared_loads)
+        .set("shared_stores", t.shared_stores)
+        .set("global_loads", t.global_loads)
+        .set("global_stores", t.global_stores)
+        .set("shared_atomics", t.shared_atomics)
+        .set("global_atomics", t.global_atomics)
+        .set("warp_primitives", t.warp_primitives)
+}
+
+/// Serialises a profiling span tree ([`SpanRecord`]) recursively.
+pub fn span_to_json(span: &SpanRecord) -> Value {
+    let counters = span
+        .counters
+        .iter()
+        .fold(Value::object(), |v, (k, n)| v.set(k, *n));
+    Value::object()
+        .set("name", span.name.as_str())
+        .set("invocations", span.invocations)
+        .set("tally", tally_to_json(&span.tally))
+        .set("counters", counters)
+        .set(
+            "children",
+            Value::Array(span.children.iter().map(span_to_json).collect()),
+        )
+}
+
+impl TraceEvent {
+    /// The event's `"event"` discriminator string.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            TraceEvent::RunStart { .. } => "run_start",
+            TraceEvent::Superstep { .. } => "superstep",
+            TraceEvent::Sync { .. } => "sync",
+            TraceEvent::RoundEnd { .. } => "round_end",
+            TraceEvent::RunEnd { .. } => "run_end",
+        }
+    }
+
+    /// Serialises the event to the documented JSON object form. Every
+    /// object carries `"event"` and `"schema"` so consumers can dispatch
+    /// and version-check line by line.
+    pub fn to_json(&self) -> Value {
+        let base = Value::object()
+            .set("event", self.kind())
+            .set("schema", SCHEMA_VERSION);
+        match self {
+            TraceEvent::RunStart {
+                algorithm,
+                n,
+                m,
+                devices,
+            } => base
+                .set("algorithm", algorithm.as_str())
+                .set("n", *n)
+                .set("m", *m)
+                .set("devices", *devices),
+            TraceEvent::Superstep {
+                round,
+                superstep,
+                active,
+                moved,
+                pruned,
+                unmoved,
+                modularity,
+                delta_q,
+                decide_tally,
+                weight_tally,
+                hash_occupancy,
+                hash_evictions,
+            } => base
+                .set("round", *round)
+                .set("superstep", *superstep)
+                .set("active", *active)
+                .set("moved", *moved)
+                .set("pruned", *pruned)
+                .set("unmoved", *unmoved)
+                .set("modularity", *modularity)
+                .set("delta_q", *delta_q)
+                .set("decide_tally", tally_to_json(decide_tally))
+                .set("weight_tally", tally_to_json(weight_tally))
+                .set("hash_occupancy", *hash_occupancy)
+                .set("hash_evictions", *hash_evictions),
+            TraceEvent::Sync {
+                superstep,
+                mode,
+                bytes,
+                comm_us,
+                devices,
+            } => base
+                .set("superstep", *superstep)
+                .set("mode", mode.as_str())
+                .set("bytes", *bytes)
+                .set("comm_us", *comm_us)
+                .set("devices", *devices),
+            TraceEvent::RoundEnd {
+                round,
+                supersteps,
+                modularity,
+                communities,
+            } => base
+                .set("round", *round)
+                .set("supersteps", *supersteps)
+                .set("modularity", *modularity)
+                .set("communities", *communities),
+            TraceEvent::RunEnd {
+                modularity,
+                rounds,
+                total_cycles,
+            } => base
+                .set("modularity", *modularity)
+                .set("rounds", *rounds)
+                .set("total_cycles", *total_cycles),
+        }
+    }
+}
+
+/// Consumer of [`TraceEvent`]s.
+///
+/// Instrumented code must gate on [`TraceSink::enabled`] before
+/// constructing events:
+///
+/// ```ignore
+/// if sink.enabled() {
+///     sink.emit(TraceEvent::RunEnd { .. });
+/// }
+/// ```
+///
+/// so a disabled sink costs one branch per emission site and nothing else.
+pub trait TraceSink {
+    /// Whether events should be built and emitted at all.
+    fn enabled(&self) -> bool {
+        true
+    }
+
+    /// Consumes one event. Never called by well-behaved instrumentation
+    /// when [`TraceSink::enabled`] is false.
+    fn emit(&mut self, event: TraceEvent);
+}
+
+/// The disabled sink: `enabled()` is false and `emit` panics in debug
+/// builds (instrumentation must check `enabled()` first).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct NullSink;
+
+impl TraceSink for NullSink {
+    fn enabled(&self) -> bool {
+        false
+    }
+
+    fn emit(&mut self, _event: TraceEvent) {
+        debug_assert!(false, "emit on a disabled sink: gate on sink.enabled()");
+    }
+}
+
+/// Buffers events in memory.
+#[derive(Clone, Debug, Default)]
+pub struct VecSink {
+    /// Every event emitted so far, in order.
+    pub events: Vec<TraceEvent>,
+}
+
+impl TraceSink for VecSink {
+    fn emit(&mut self, event: TraceEvent) {
+        self.events.push(event);
+    }
+}
+
+/// Writes one compact JSON object per event, newline-terminated (JSONL).
+#[derive(Debug)]
+pub struct JsonlSink<W: Write> {
+    writer: W,
+}
+
+impl<W: Write> JsonlSink<W> {
+    /// Wraps `writer`; every emitted event becomes one line.
+    pub fn new(writer: W) -> Self {
+        Self { writer }
+    }
+
+    /// Unwraps the inner writer (flushing it).
+    pub fn into_inner(mut self) -> W {
+        let _ = self.writer.flush();
+        self.writer
+    }
+}
+
+impl<W: Write> TraceSink for JsonlSink<W> {
+    fn emit(&mut self, event: TraceEvent) {
+        // Trace emission failing must not abort a simulation; drop the line.
+        let _ = writeln!(self.writer, "{}", event.to_json());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::json::parse;
+    use gala_gpu::memory::Space;
+
+    fn sample_superstep() -> TraceEvent {
+        let mut decide = MemTally::new();
+        decide.load(Space::Global, 10);
+        decide.atomic(Space::Shared, 3);
+        let mut weight = MemTally::new();
+        weight.store(Space::Global, 5);
+        TraceEvent::Superstep {
+            round: 0,
+            superstep: 2,
+            active: 100,
+            moved: 40,
+            pruned: 10,
+            unmoved: 50,
+            modularity: 0.41,
+            delta_q: 0.02,
+            decide_tally: decide,
+            weight_tally: weight,
+            hash_occupancy: 0.75,
+            hash_evictions: 7,
+        }
+    }
+
+    #[test]
+    fn jsonl_lines_round_trip_through_own_parser() {
+        let mut sink = JsonlSink::new(Vec::new());
+        sink.emit(TraceEvent::RunStart {
+            algorithm: "louvain".into(),
+            n: 34,
+            m: 78,
+            devices: 1,
+        });
+        sink.emit(sample_superstep());
+        sink.emit(TraceEvent::RunEnd {
+            modularity: 0.42,
+            rounds: 3,
+            total_cycles: 123456.0,
+        });
+        let text = String::from_utf8(sink.into_inner()).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 3);
+        let events: Vec<_> = lines.iter().map(|l| parse(l).unwrap()).collect();
+        assert_eq!(events[0].get("event").unwrap().as_str(), Some("run_start"));
+        assert_eq!(
+            events[0].get("schema").unwrap().as_u64(),
+            Some(SCHEMA_VERSION)
+        );
+        assert_eq!(events[1].get("event").unwrap().as_str(), Some("superstep"));
+        assert_eq!(events[1].get("moved").unwrap().as_u64(), Some(40));
+        assert_eq!(
+            events[1]
+                .get("decide_tally")
+                .unwrap()
+                .get("global_loads")
+                .unwrap()
+                .as_u64(),
+            Some(10)
+        );
+        assert_eq!(
+            events[1].get("hash_occupancy").unwrap().as_f64(),
+            Some(0.75)
+        );
+        assert_eq!(events[2].get("event").unwrap().as_str(), Some("run_end"));
+        assert_eq!(events[2].get("rounds").unwrap().as_u64(), Some(3));
+    }
+
+    #[test]
+    fn null_sink_is_disabled() {
+        assert!(!NullSink.enabled());
+        assert!(VecSink::default().enabled());
+    }
+
+    #[test]
+    fn vec_sink_buffers_in_order() {
+        let mut sink = VecSink::default();
+        sink.emit(TraceEvent::RunEnd {
+            modularity: 0.1,
+            rounds: 1,
+            total_cycles: 1.0,
+        });
+        sink.emit(sample_superstep());
+        assert_eq!(sink.events.len(), 2);
+        assert_eq!(sink.events[0].kind(), "run_end");
+        assert_eq!(sink.events[1].kind(), "superstep");
+    }
+
+    #[test]
+    fn span_serialisation_covers_tree() {
+        use gala_gpu::profile::Profiler;
+        let mut p = Profiler::new();
+        p.scope("superstep", |p| {
+            p.scope("decide", |p| {
+                let mut t = MemTally::new();
+                t.load(Space::Global, 4);
+                p.record(&t);
+                p.count("moved", 2);
+            });
+        });
+        let v = span_to_json(&p.finish());
+        let step = &v.get("children").unwrap().as_array().unwrap()[0];
+        assert_eq!(step.get("name").unwrap().as_str(), Some("superstep"));
+        let decide = &step.get("children").unwrap().as_array().unwrap()[0];
+        assert_eq!(
+            decide
+                .get("counters")
+                .unwrap()
+                .get("moved")
+                .unwrap()
+                .as_u64(),
+            Some(2)
+        );
+        assert_eq!(
+            decide
+                .get("tally")
+                .unwrap()
+                .get("global_loads")
+                .unwrap()
+                .as_u64(),
+            Some(4)
+        );
+    }
+}

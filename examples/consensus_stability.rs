@@ -6,8 +6,8 @@
 //! ```
 
 use gala::core::consensus::{consensus, ConsensusConfig};
-use gala::core::metrics::nmi;
 use gala::core::louvain::LouvainConfig;
+use gala::core::metrics::nmi;
 use gala::graph::generators::sbm::PlantedPartition;
 
 fn main() {

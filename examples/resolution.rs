@@ -7,8 +7,8 @@
 //! cargo run --release --example resolution
 //! ```
 
-use gala::core::metrics::nmi;
 use gala::core::louvain::{Louvain, LouvainConfig};
+use gala::core::metrics::nmi;
 use gala::prelude::fixtures;
 
 fn main() {
@@ -21,7 +21,10 @@ fn main() {
         graph.num_vertices(),
         graph.num_edges()
     );
-    println!("{:<6} {:>12} {:>10} {:>8}", "gamma", "communities", "Q_gamma", "NMI");
+    println!(
+        "{:<6} {:>12} {:>10} {:>8}",
+        "gamma", "communities", "Q_gamma", "NMI"
+    );
     for gamma in [0.5, 1.0, 2.0, 4.0, 8.0] {
         let result = Louvain::new(LouvainConfig {
             resolution: gamma,

@@ -7,8 +7,8 @@
 //! cargo run --release --example social_network
 //! ```
 
-use gala::core::metrics::nmi;
 use gala::core::louvain::{Louvain, LouvainConfig};
+use gala::core::metrics::nmi;
 use gala::core::pruning::PruningKind;
 use gala::graph::generators::sbm::PowerLawSbm;
 

@@ -47,9 +47,7 @@ fn main() {
     let within = within / count as f64;
     // Reference: expected distance of a uniform point to the square's
     // centre is ~0.3826.
-    println!(
-        "mean distance to community centroid: {within:.4} (uniform reference ~0.38)"
-    );
+    println!("mean distance to community centroid: {within:.4} (uniform reference ~0.38)");
     assert!(
         within < 0.1,
         "communities should be spatially tight, got {within}"

@@ -39,5 +39,8 @@ fn main() {
         summary.mean_size
     );
     println!("paper reports Q = 0.99056 on the real uk-2002.");
-    assert!(result.modularity > 0.9, "web stand-in should be near-modular");
+    assert!(
+        result.modularity > 0.9,
+        "web stand-in should be near-modular"
+    );
 }

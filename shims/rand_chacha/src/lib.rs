@@ -1,0 +1,152 @@
+//! Offline vendored [`ChaCha8Rng`]: a genuine ChaCha stream cipher with 8
+//! rounds driving the workspace's `rand` shim traits.
+//!
+//! The keystream is the standard RFC 8439 ChaCha block function (with 8
+//! instead of 20 double-round... quarter-round pairs), so the generator has
+//! the same statistical quality as upstream `rand_chacha`. Streams are
+//! deterministic per seed but not bit-compatible with upstream (seeding
+//! differs); nothing in the workspace depends on upstream streams.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use rand::{RngCore, SeedableRng};
+
+const ROUNDS: usize = 8;
+
+/// A deterministic ChaCha8-based random number generator.
+#[derive(Clone, Debug)]
+pub struct ChaCha8Rng {
+    /// Key + counter + nonce state template (RFC 8439 layout).
+    state: [u32; 16],
+    /// Current 64-byte output block, as sixteen u32 words.
+    block: [u32; 16],
+    /// Next unread word index in `block` (16 = exhausted).
+    word_pos: usize,
+}
+
+#[inline(always)]
+fn quarter_round(s: &mut [u32; 16], a: usize, b: usize, c: usize, d: usize) {
+    s[a] = s[a].wrapping_add(s[b]);
+    s[d] = (s[d] ^ s[a]).rotate_left(16);
+    s[c] = s[c].wrapping_add(s[d]);
+    s[b] = (s[b] ^ s[c]).rotate_left(12);
+    s[a] = s[a].wrapping_add(s[b]);
+    s[d] = (s[d] ^ s[a]).rotate_left(8);
+    s[c] = s[c].wrapping_add(s[d]);
+    s[b] = (s[b] ^ s[c]).rotate_left(7);
+}
+
+impl ChaCha8Rng {
+    fn refill(&mut self) {
+        let mut working = self.state;
+        for _ in 0..ROUNDS / 2 {
+            // Column round.
+            quarter_round(&mut working, 0, 4, 8, 12);
+            quarter_round(&mut working, 1, 5, 9, 13);
+            quarter_round(&mut working, 2, 6, 10, 14);
+            quarter_round(&mut working, 3, 7, 11, 15);
+            // Diagonal round.
+            quarter_round(&mut working, 0, 5, 10, 15);
+            quarter_round(&mut working, 1, 6, 11, 12);
+            quarter_round(&mut working, 2, 7, 8, 13);
+            quarter_round(&mut working, 3, 4, 9, 14);
+        }
+        for (out, (&w, &s)) in self
+            .block
+            .iter_mut()
+            .zip(working.iter().zip(self.state.iter()))
+        {
+            *out = w.wrapping_add(s);
+        }
+        // 64-bit block counter in words 12–13.
+        let counter = (self.state[12] as u64 | ((self.state[13] as u64) << 32)).wrapping_add(1);
+        self.state[12] = counter as u32;
+        self.state[13] = (counter >> 32) as u32;
+        self.word_pos = 0;
+    }
+}
+
+impl SeedableRng for ChaCha8Rng {
+    type Seed = [u8; 32];
+
+    fn from_seed(seed: Self::Seed) -> Self {
+        let mut state = [0u32; 16];
+        // "expand 32-byte k" constants.
+        state[0] = 0x6170_7865;
+        state[1] = 0x3320_646e;
+        state[2] = 0x7962_2d32;
+        state[3] = 0x6b20_6574;
+        for i in 0..8 {
+            state[4 + i] = u32::from_le_bytes(seed[i * 4..i * 4 + 4].try_into().unwrap());
+        }
+        // Counter and nonce start at zero.
+        Self {
+            state,
+            block: [0u32; 16],
+            word_pos: 16,
+        }
+    }
+}
+
+impl RngCore for ChaCha8Rng {
+    fn next_u32(&mut self) -> u32 {
+        if self.word_pos >= 16 {
+            self.refill();
+        }
+        let w = self.block[self.word_pos];
+        self.word_pos += 1;
+        w
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        let lo = self.next_u32() as u64;
+        let hi = self.next_u32() as u64;
+        lo | (hi << 32)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::Rng;
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = ChaCha8Rng::seed_from_u64(123);
+        let mut b = ChaCha8Rng::seed_from_u64(123);
+        for _ in 0..1000 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn seeds_decorrelate() {
+        let mut a = ChaCha8Rng::seed_from_u64(1);
+        let mut b = ChaCha8Rng::seed_from_u64(2);
+        let same = (0..64).filter(|_| a.next_u64() == b.next_u64()).count();
+        assert_eq!(same, 0);
+    }
+
+    #[test]
+    fn output_looks_balanced() {
+        // Crude sanity check: bit frequency near 1/2 over 64K words.
+        let mut rng = ChaCha8Rng::seed_from_u64(0xDEAD_BEEF);
+        let mut ones = 0u64;
+        const WORDS: u64 = 65_536;
+        for _ in 0..WORDS {
+            ones += rng.next_u32().count_ones() as u64;
+        }
+        let frac = ones as f64 / (WORDS as f64 * 32.0);
+        assert!((frac - 0.5).abs() < 0.01, "bit fraction {frac}");
+    }
+
+    #[test]
+    fn works_with_rng_trait() {
+        let mut rng = ChaCha8Rng::seed_from_u64(7);
+        let f: f64 = rng.gen();
+        assert!((0.0..1.0).contains(&f));
+        let x = rng.gen_range(0..10u32);
+        assert!(x < 10);
+    }
+}

@@ -1,0 +1,303 @@
+//! Offline vendored subset of the `rayon` API.
+//!
+//! The build container has no access to crates.io, so the workspace vendors
+//! the slice of `rayon` it uses: `par_iter` / `into_par_iter` over slices,
+//! `Vec`s and integer ranges, with `map`, `flat_map_iter`, `filter`,
+//! `fold` + `reduce`, `sum`, `collect`, and `for_each`.
+//!
+//! Unlike upstream's lazy work-stealing iterators, this shim evaluates each
+//! adaptor eagerly: the expensive stage (`map` / `flat_map_iter` / `fold`)
+//! fans its items out over `std::thread::scope` threads in contiguous
+//! chunks, then results are recombined in input order. Semantics match
+//! rayon for the deterministic, associative pipelines this workspace runs —
+//! outputs are always in input order, and `fold`/`reduce` see the same
+//! chunked shape rayon's splitter would produce.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::iter::Sum;
+
+/// Items below this count run sequentially: thread spawn costs more than
+/// the work it would parallelise.
+const MIN_PAR_LEN: usize = 1024;
+
+fn num_threads() -> usize {
+    std::thread::available_parallelism().map_or(1, |n| n.get())
+}
+
+/// Runs `f` over `items` in parallel chunks, preserving input order.
+fn par_map_vec<T, R, F>(items: Vec<T>, f: F) -> Vec<R>
+where
+    T: Send,
+    R: Send,
+    F: Fn(T) -> R + Sync,
+{
+    let threads = num_threads();
+    if threads <= 1 || items.len() < MIN_PAR_LEN {
+        return items.into_iter().map(f).collect();
+    }
+    let chunk_len = items.len().div_ceil(threads);
+    let mut chunks: Vec<Vec<T>> = Vec::with_capacity(threads);
+    let mut it = items.into_iter();
+    loop {
+        let chunk: Vec<T> = it.by_ref().take(chunk_len).collect();
+        if chunk.is_empty() {
+            break;
+        }
+        chunks.push(chunk);
+    }
+    let f = &f;
+    let mut results: Vec<Vec<R>> = Vec::with_capacity(chunks.len());
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = chunks
+            .into_iter()
+            .map(|chunk| scope.spawn(move || chunk.into_iter().map(f).collect::<Vec<R>>()))
+            .collect();
+        for h in handles {
+            results.push(h.join().expect("parallel worker panicked"));
+        }
+    });
+    results.into_iter().flatten().collect()
+}
+
+/// Folds `items` chunk-wise in parallel, returning one accumulator per
+/// chunk, in input order.
+fn par_fold_chunks<T, A, ID, F>(items: Vec<T>, identity: ID, fold: F) -> Vec<A>
+where
+    T: Send,
+    A: Send,
+    ID: Fn() -> A + Sync,
+    F: Fn(A, T) -> A + Sync,
+{
+    let threads = num_threads();
+    if threads <= 1 || items.len() < MIN_PAR_LEN {
+        return vec![items.into_iter().fold(identity(), fold)];
+    }
+    let chunk_len = items.len().div_ceil(threads);
+    let mut chunks: Vec<Vec<T>> = Vec::with_capacity(threads);
+    let mut it = items.into_iter();
+    loop {
+        let chunk: Vec<T> = it.by_ref().take(chunk_len).collect();
+        if chunk.is_empty() {
+            break;
+        }
+        chunks.push(chunk);
+    }
+    let identity = &identity;
+    let fold = &fold;
+    let mut results: Vec<A> = Vec::with_capacity(chunks.len());
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = chunks
+            .into_iter()
+            .map(|chunk| scope.spawn(move || chunk.into_iter().fold(identity(), fold)))
+            .collect();
+        for h in handles {
+            results.push(h.join().expect("parallel worker panicked"));
+        }
+    });
+    results
+}
+
+/// An eagerly-evaluated stand-in for rayon's parallel iterator.
+pub struct ParIter<T> {
+    items: Vec<T>,
+}
+
+impl<T: Send> ParIter<T> {
+    /// Applies `f` to every item in parallel, preserving order.
+    pub fn map<R, F>(self, f: F) -> ParIter<R>
+    where
+        R: Send,
+        F: Fn(T) -> R + Sync,
+    {
+        ParIter {
+            items: par_map_vec(self.items, f),
+        }
+    }
+
+    /// Maps each item to a serial iterator and concatenates the results in
+    /// input order.
+    pub fn flat_map_iter<U, F>(self, f: F) -> ParIter<U::Item>
+    where
+        U: IntoIterator,
+        U::Item: Send,
+        F: Fn(T) -> U + Sync,
+    {
+        let nested = par_map_vec(self.items, |x| f(x).into_iter().collect::<Vec<_>>());
+        ParIter {
+            items: nested.into_iter().flatten().collect(),
+        }
+    }
+
+    /// Keeps the items satisfying `pred`.
+    pub fn filter<F>(self, pred: F) -> ParIter<T>
+    where
+        F: Fn(&T) -> bool + Sync,
+    {
+        ParIter {
+            items: self.items.into_iter().filter(|x| pred(x)).collect(),
+        }
+    }
+
+    /// Chunk-wise fold: returns a parallel iterator over one accumulator
+    /// per chunk (rayon's `fold` contract).
+    pub fn fold<A, ID, F>(self, identity: ID, fold: F) -> ParIter<A>
+    where
+        A: Send,
+        ID: Fn() -> A + Sync,
+        F: Fn(A, T) -> A + Sync,
+    {
+        ParIter {
+            items: par_fold_chunks(self.items, identity, fold),
+        }
+    }
+
+    /// Reduces all items to one value with an associative operation.
+    pub fn reduce<ID, F>(self, identity: ID, reduce: F) -> T
+    where
+        ID: Fn() -> T + Sync,
+        F: Fn(T, T) -> T + Sync,
+    {
+        self.items.into_iter().fold(identity(), reduce)
+    }
+
+    /// Sums the items.
+    pub fn sum<S>(self) -> S
+    where
+        S: Sum<T>,
+    {
+        self.items.into_iter().sum()
+    }
+
+    /// Collects the items in input order.
+    pub fn collect<C>(self) -> C
+    where
+        C: FromIterator<T>,
+    {
+        self.items.into_iter().collect()
+    }
+
+    /// Runs `f` on every item in parallel.
+    pub fn for_each<F>(self, f: F)
+    where
+        F: Fn(T) + Sync,
+    {
+        par_map_vec(self.items, f);
+    }
+
+    /// Number of items.
+    pub fn count(self) -> usize {
+        self.items.len()
+    }
+}
+
+/// Conversion into a parallel iterator (by value).
+pub trait IntoParallelIterator {
+    /// The element type.
+    type Item: Send;
+
+    /// Converts `self` into a parallel iterator.
+    fn into_par_iter(self) -> ParIter<Self::Item>;
+}
+
+impl<T: Send> IntoParallelIterator for Vec<T> {
+    type Item = T;
+    fn into_par_iter(self) -> ParIter<T> {
+        ParIter { items: self }
+    }
+}
+
+impl<'a, T: Sync> IntoParallelIterator for &'a [T] {
+    type Item = &'a T;
+    fn into_par_iter(self) -> ParIter<&'a T> {
+        ParIter {
+            items: self.iter().collect(),
+        }
+    }
+}
+
+impl<'a, T: Sync> IntoParallelIterator for &'a Vec<T> {
+    type Item = &'a T;
+    fn into_par_iter(self) -> ParIter<&'a T> {
+        self.as_slice().into_par_iter()
+    }
+}
+
+macro_rules! range_into_par_iter {
+    ($($t:ty),*) => {$(
+        impl IntoParallelIterator for core::ops::Range<$t> {
+            type Item = $t;
+            fn into_par_iter(self) -> ParIter<$t> {
+                ParIter { items: self.collect() }
+            }
+        }
+    )*};
+}
+
+range_into_par_iter!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+/// Borrowing conversion (`par_iter`), mirroring rayon's
+/// `IntoParallelRefIterator`.
+pub trait IntoParallelRefIterator<'data> {
+    /// The element type (a reference).
+    type Item: Send + 'data;
+
+    /// Returns a parallel iterator over references to `self`'s items.
+    fn par_iter(&'data self) -> ParIter<Self::Item>;
+}
+
+impl<'data, C: ?Sized + 'data> IntoParallelRefIterator<'data> for C
+where
+    &'data C: IntoParallelIterator,
+{
+    type Item = <&'data C as IntoParallelIterator>::Item;
+    fn par_iter(&'data self) -> ParIter<Self::Item> {
+        self.into_par_iter()
+    }
+}
+
+/// Common re-exports, mirroring `rayon::prelude`.
+pub mod prelude {
+    pub use crate::{IntoParallelIterator, IntoParallelRefIterator, ParIter};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn map_preserves_order_across_chunks() {
+        // Large enough to cross the parallel threshold.
+        let items: Vec<u64> = (0..100_000).collect();
+        let doubled: Vec<u64> = items.par_iter().map(|&x| x * 2).collect();
+        assert_eq!(doubled.len(), items.len());
+        assert!(doubled.iter().enumerate().all(|(i, &x)| x == 2 * i as u64));
+    }
+
+    #[test]
+    fn fold_reduce_matches_sequential() {
+        let items: Vec<u64> = (0..50_000).collect();
+        let total = items
+            .par_iter()
+            .map(|&x| x)
+            .fold(|| 0u64, |a, b| a + b)
+            .reduce(|| 0u64, |a, b| a + b);
+        assert_eq!(total, items.iter().sum::<u64>());
+    }
+
+    #[test]
+    fn flat_map_iter_concatenates_in_order() {
+        let out: Vec<u32> = vec![1u32, 2, 3]
+            .into_par_iter()
+            .flat_map_iter(|x| 0..x)
+            .collect();
+        assert_eq!(out, vec![0, 0, 1, 0, 1, 2]);
+    }
+
+    #[test]
+    fn ranges_and_sums() {
+        let s: u64 = (0u64..1000).into_par_iter().map(|x| x).sum();
+        assert_eq!(s, 499_500);
+    }
+}

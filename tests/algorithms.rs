@@ -27,7 +27,9 @@ fn strong_lfr() -> gala::graph::generators::sbm::GroundTruthGraph {
 #[test]
 fn all_families_recover_strong_communities() {
     let gt = strong_lfr();
-    let gala = Louvain::new(LouvainConfig::default()).run(&gt.graph).partition;
+    let gala = Louvain::new(LouvainConfig::default())
+        .run(&gt.graph)
+        .partition;
     let leid = leiden(&gt.graph, LeidenConfig::default()).partition;
     let lpa = label_propagation(&gt.graph, LabelPropConfig::default()).partition;
     for (name, p) in [("gala", &gala), ("leiden", &leid), ("lpa", &lpa)] {
@@ -56,12 +58,13 @@ fn leiden_guarantee_holds_where_it_matters() {
 #[test]
 fn validation_metrics_rank_partitions_sensibly() {
     let gt = strong_lfr();
-    let good = Louvain::new(LouvainConfig::default()).run(&gt.graph).partition;
+    let good = Louvain::new(LouvainConfig::default())
+        .run(&gt.graph)
+        .partition;
     // A deliberately shuffled partition: same sizes, wrong members.
     let n = gt.graph.num_vertices();
-    let bad = gala::graph::Partition::from_assignment(
-        (0..n).map(|v| ((v * 7919) % 40) as u32).collect(),
-    );
+    let bad =
+        gala::graph::Partition::from_assignment((0..n).map(|v| ((v * 7919) % 40) as u32).collect());
     assert!(coverage(&gt.graph, &good) > coverage(&gt.graph, &bad));
     assert!(mean_conductance(&gt.graph, &good) < mean_conductance(&gt.graph, &bad));
     assert!(

@@ -19,8 +19,11 @@ use rand_chacha::ChaCha8Rng;
 /// Strategy: a random undirected unit-weight graph with up to `n` vertices
 /// and `m` candidate edges (duplicates merge, so weights stay integral).
 fn arb_graph(n: usize, m: usize) -> impl Strategy<Value = Graph> {
-    (2..n, proptest::collection::vec((0..n as u32, 0..n as u32), 1..m)).prop_map(
-        |(nv, edges)| {
+    (
+        2..n,
+        proptest::collection::vec((0..n as u32, 0..n as u32), 1..m),
+    )
+        .prop_map(|(nv, edges)| {
             let mut b = GraphBuilder::new(nv);
             for (u, v) in edges {
                 let (u, v) = (u % nv as u32, v % nv as u32);
@@ -29,8 +32,7 @@ fn arb_graph(n: usize, m: usize) -> impl Strategy<Value = Graph> {
                 }
             }
             b.build()
-        },
-    )
+        })
 }
 
 /// Advances `steps` full (unpruned) BSP supersteps, keeping d_self exact.
@@ -66,8 +68,8 @@ proptest! {
             return Ok(());
         }
         let truth = cpu::decide(&graph, &state, &vec![true; graph.num_vertices()]);
-        for v in 0..graph.num_vertices() {
-            if active[v] || truth.next_comm[v] == state.comm[v] {
+        for (v, &kept_active) in active.iter().enumerate() {
+            if kept_active || truth.next_comm[v] == state.comm[v] {
                 continue;
             }
             // MG pruned v but the kernel wanted to move it: verify the move
@@ -91,8 +93,8 @@ proptest! {
         let mut rng = ChaCha8Rng::seed_from_u64(2);
         let active = classify(PruningKind::Strict, &graph, &state, &mut rng);
         let truth = cpu::decide(&graph, &state, &vec![true; graph.num_vertices()]);
-        for v in 0..graph.num_vertices() {
-            if !active[v] {
+        for (v, &kept_active) in active.iter().enumerate() {
+            if !kept_active {
                 prop_assert_eq!(
                     truth.next_comm[v], state.comm[v],
                     "SM false negative at {}", v

@@ -76,7 +76,10 @@ fn scenario1_rm_produces_false_negative_mg_does_not() {
     let rm = classify(PruningKind::Relaxed, &g, &s, &mut rng());
     let mg = classify(PruningKind::Gain, &g, &s, &mut rng());
     // Neither v nor its neighbors moved -> RM wrongly prunes v.
-    assert!(!rm[0], "RM should misclassify v as inactive (the paper's FN)");
+    assert!(
+        !rm[0],
+        "RM should misclassify v as inactive (the paper's FN)"
+    );
     // MG sees the changed community totals through the gain bound.
     assert!(mg[0], "MG must keep v active");
 }

@@ -8,8 +8,8 @@ use gala::core::louvain::{Louvain, LouvainConfig};
 use gala::core::pruning::PruningKind;
 use gala::core::state::BspState;
 use gala::core::weight::WeightUpdateMode;
-use gala::graph::datasets::{Dataset, Scale};
 use gala::gpu::memory::CostModel;
+use gala::graph::datasets::{Dataset, Scale};
 
 fn cycles(kind: KernelKind, g: &gala::graph::Graph, active: &[bool]) -> f64 {
     let state = BspState::new(g);
@@ -25,11 +25,7 @@ fn shuffle_beats_hash_on_small_degrees() {
         .map(|v| (1..32).contains(&g.degree(v as u32)))
         .collect();
     let shuffle = cycles(KernelKind::Shuffle, &g, &small);
-    let hier = cycles(
-        KernelKind::Hash(HashConfig::default()),
-        &g,
-        &small,
-    );
+    let hier = cycles(KernelKind::Hash(HashConfig::default()), &g, &small);
     let glob = cycles(
         KernelKind::Hash(HashConfig {
             kind: HashTableKind::GlobalOnly,
@@ -75,7 +71,11 @@ fn sort_kernel_is_the_most_expensive() {
     let active = vec![true; g.num_vertices()];
     let sort = cycles(KernelKind::Sort, &g, &active);
     let hash = cycles(KernelKind::Hash(HashConfig::default()), &g, &active);
-    let gala = cycles(KernelKind::WorkloadAware(HashConfig::default()), &g, &active);
+    let gala = cycles(
+        KernelKind::WorkloadAware(HashConfig::default()),
+        &g,
+        &active,
+    );
     assert!(sort > hash, "sort {sort} vs hash {hash}");
     assert!(gala <= hash * 1.01, "workload-aware {gala} vs hash {hash}");
 }
