@@ -14,13 +14,23 @@
 //! changed, not the code getting faster). Refresh the baseline with
 //! `GALA_SCALE=test bench_smoke --report results/baseline_cycles.json`
 //! and commit the diff alongside the change that explains it.
+//!
+//! Beyond the per-config cycle totals the matrix gates hashtable eviction
+//! counts and, in a second table, the multi-device sync byte volumes
+//! (dense vs. sparse mode decisions included). `--trace <file>` also
+//! writes a full instrumented trace (superstep + span events) of the
+//! first dataset's run — CI feeds that to `gala analyze --check`.
 
 use gala_bench::{
     all_datasets, arg_value, eng, new_report, scale_from_env, write_report_if_requested, Table,
 };
 use gala_core::louvain::{Louvain, LouvainConfig};
+use gala_core::multi_gpu::{run_phase1_traced as multi_gpu_phase1, MultiGpuConfig};
 use gala_gpu::memory::CostModel;
-use gala_telemetry::Report;
+use gala_gpu::profile::Profiler;
+use gala_telemetry::{JsonlSink, Report, TraceEvent, VecSink};
+use std::fs::File;
+use std::io::BufWriter;
 
 fn main() {
     let scale = scale_from_env();
@@ -31,29 +41,100 @@ fn main() {
     ];
 
     println!("bench_smoke — deterministic phase-1 cycle totals\n");
-    let mut table = Table::new(&["Run", "Steps", "Decide cyc", "Weight cyc", "Total cyc", "Q"]);
+    let mut table = Table::new(&[
+        "Run",
+        "Steps",
+        "Decide cyc",
+        "Weight cyc",
+        "Total cyc",
+        "Evictions",
+        "Q",
+    ]);
     // The first three stand-in datasets keep the smoke run fast; the full
     // experiment binaries cover the rest.
-    for (d, g) in all_datasets(scale).iter().take(3) {
+    let datasets = all_datasets(scale);
+    for (d, g) in datasets.iter().take(3) {
         for (cname, cfg) in &configs {
             let (_, stats) = Louvain::new(*cfg).run_phase1(g);
             let decide = cost.cycles(&stats.decide_tally());
             let weight = cost.cycles(&stats.weight_tally());
+            let evictions: u64 = stats
+                .iterations
+                .iter()
+                .map(|i| i.hash_stats.shared_evictions)
+                .sum();
             table.row(vec![
                 format!("{}/{cname}", d.abbr()),
                 stats.iterations.len().to_string(),
                 eng(decide),
                 eng(weight),
                 eng(decide + weight),
+                evictions.to_string(),
                 format!("{:.4}", stats.modularity),
             ]);
         }
     }
     table.print();
 
+    // Multi-device smoke: total sync traffic must stay put too — a shift
+    // in the dense/sparse decision or the per-move byte model shows up
+    // here before it shows up in end-to-end numbers.
+    println!("\nmulti-device sync traffic\n");
+    let mut sync_table = Table::new(&["Run", "Steps", "Sync bytes", "Dense", "Sparse"]);
+    for (d, g) in datasets.iter().take(2) {
+        for devices in [2usize, 4] {
+            let mut sink = VecSink::default();
+            let r = multi_gpu_phase1(
+                g,
+                MultiGpuConfig {
+                    num_devices: devices,
+                    ..MultiGpuConfig::default()
+                },
+                &mut sink,
+            );
+            let (mut bytes, mut dense, mut sparse) = (0u64, 0u64, 0u64);
+            for ev in &sink.events {
+                if let TraceEvent::Sync { bytes: b, mode, .. } = ev {
+                    bytes += b;
+                    match mode.as_str() {
+                        "dense" => dense += 1,
+                        _ => sparse += 1,
+                    }
+                }
+            }
+            sync_table.row(vec![
+                format!("{}/d{devices}", d.abbr()),
+                r.iterations.len().to_string(),
+                eng(bytes as f64),
+                dense.to_string(),
+                sparse.to_string(),
+            ]);
+        }
+    }
+    sync_table.print();
+
     let mut report = new_report("bench_smoke");
     table.add_to_report(&mut report, "smoke");
+    sync_table.add_to_report(&mut report, "sync");
     write_report_if_requested(&report);
+
+    // --trace: write an instrumented single-device trace of the first
+    // dataset under the default config (superstep, span, round events).
+    if let Some(path) = arg_value("trace") {
+        let (d, g) = &datasets[0];
+        let file = match File::create(&path) {
+            Ok(f) => f,
+            Err(e) => {
+                eprintln!("cannot write trace {path}: {e}");
+                std::process::exit(1);
+            }
+        };
+        let mut sink = JsonlSink::new(BufWriter::new(file));
+        let mut prof = Profiler::disabled();
+        Louvain::new(LouvainConfig::default()).run_instrumented(g, &mut sink, &mut prof);
+        sink.into_inner();
+        println!("\ntrace of {} written to {path}", d.abbr());
+    }
 
     if let Some(path) = arg_value("check") {
         let baseline = match Report::read_from(&path) {

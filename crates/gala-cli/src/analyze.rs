@@ -1,0 +1,794 @@
+//! `gala analyze`: offline inspection of `--trace` JSONL files.
+//!
+//! Loads one trace and renders per-superstep curves (modularity, moved and
+//! pruned rates, hashtable occupancy and evictions, warp divergence,
+//! coalescing efficiency, sync traffic) as aligned sparkline rows, plus a
+//! flamegraph-style top-N summary of the merged profiling span tree. With a
+//! second (baseline) trace it diffs a watched-metric set and reports
+//! regressions beyond `--threshold`; `--check` validates the trace's
+//! structural invariants instead (the CI smoke job runs this on a freshly
+//! produced trace).
+//!
+//! Every renderer returns a `String` so golden tests can pin output
+//! byte-for-byte; [`run`] only adds the printing.
+
+use crate::args::AnalyzeArgs;
+use crate::commands::Error;
+use gala_gpu::memory::{CostModel, MemTally};
+use gala_gpu::profile::{Profiler, SpanRecord};
+use gala_telemetry::{json, span_from_json, tally_from_json, SCHEMA_VERSION};
+
+/// One `superstep` event, decoded.
+#[derive(Clone, Debug)]
+struct Superstep {
+    round: u64,
+    superstep: u64,
+    active: u64,
+    moved: u64,
+    pruned: u64,
+    unmoved: u64,
+    modularity: f64,
+    hash_occupancy: f64,
+    hash_evictions: u64,
+    decide_tally: MemTally,
+    weight_tally: MemTally,
+}
+
+/// One `sync` event, decoded (multi-device traces only).
+#[derive(Clone, Debug)]
+struct SyncEvent {
+    superstep: u64,
+    mode: String,
+    bytes: u64,
+}
+
+/// One `span` event, decoded: a profiling tree for one superstep or pass.
+#[derive(Clone, Debug)]
+struct SpanEvent {
+    phase: String,
+    root: SpanRecord,
+}
+
+/// The `run_end` summary.
+#[derive(Clone, Copy, Debug)]
+struct RunEnd {
+    modularity: f64,
+    rounds: u64,
+    total_cycles: f64,
+}
+
+/// A fully decoded trace file.
+#[derive(Clone, Debug, Default)]
+struct Trace {
+    algorithm: String,
+    n: u64,
+    m: u64,
+    devices: u64,
+    supersteps: Vec<Superstep>,
+    syncs: Vec<SyncEvent>,
+    spans: Vec<SpanEvent>,
+    round_ends: u64,
+    run_end: Option<RunEnd>,
+    events: usize,
+}
+
+fn field_u64(v: &json::Value, key: &str, line: usize) -> Result<u64, Error> {
+    v.get(key)
+        .and_then(|x| x.as_u64())
+        .ok_or_else(|| format!("line {line}: missing or non-integer `{key}`").into())
+}
+
+fn field_f64(v: &json::Value, key: &str, line: usize) -> Result<f64, Error> {
+    v.get(key)
+        .and_then(|x| x.as_f64())
+        .ok_or_else(|| format!("line {line}: missing or non-numeric `{key}`").into())
+}
+
+fn field_str(v: &json::Value, key: &str, line: usize) -> Result<String, Error> {
+    Ok(v.get(key)
+        .and_then(|x| x.as_str())
+        .ok_or_else(|| format!("line {line}: missing or non-string `{key}`"))?
+        .to_string())
+}
+
+fn field_tally(v: &json::Value, key: &str, line: usize) -> Result<MemTally, Error> {
+    v.get(key)
+        .and_then(tally_from_json)
+        .ok_or_else(|| format!("line {line}: bad `{key}` tally").into())
+}
+
+/// Parses a trace JSONL file, rejecting unknown schemas, unknown event
+/// kinds and malformed lines (line numbers in every error).
+fn load_trace(path: &str) -> Result<Trace, Error> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+    let mut trace = Trace::default();
+    for (idx, raw) in text.lines().enumerate() {
+        let line = idx + 1;
+        if raw.trim().is_empty() {
+            continue;
+        }
+        let v = json::parse(raw).map_err(|e| format!("{path} line {line}: {e}"))?;
+        let schema = field_u64(&v, "schema", line)?;
+        if schema != SCHEMA_VERSION {
+            return Err(format!(
+                "{path} line {line}: schema {schema} (this build reads {SCHEMA_VERSION})"
+            )
+            .into());
+        }
+        trace.events += 1;
+        match field_str(&v, "event", line)?.as_str() {
+            "run_start" => {
+                trace.algorithm = field_str(&v, "algorithm", line)?;
+                trace.n = field_u64(&v, "n", line)?;
+                trace.m = field_u64(&v, "m", line)?;
+                trace.devices = field_u64(&v, "devices", line)?;
+            }
+            "superstep" => trace.supersteps.push(Superstep {
+                round: field_u64(&v, "round", line)?,
+                superstep: field_u64(&v, "superstep", line)?,
+                active: field_u64(&v, "active", line)?,
+                moved: field_u64(&v, "moved", line)?,
+                pruned: field_u64(&v, "pruned", line)?,
+                unmoved: field_u64(&v, "unmoved", line)?,
+                modularity: field_f64(&v, "modularity", line)?,
+                hash_occupancy: field_f64(&v, "hash_occupancy", line)?,
+                hash_evictions: field_u64(&v, "hash_evictions", line)?,
+                decide_tally: field_tally(&v, "decide_tally", line)?,
+                weight_tally: field_tally(&v, "weight_tally", line)?,
+            }),
+            "sync" => trace.syncs.push(SyncEvent {
+                superstep: field_u64(&v, "superstep", line)?,
+                mode: field_str(&v, "mode", line)?,
+                bytes: field_u64(&v, "bytes", line)?,
+            }),
+            "span" => trace.spans.push(SpanEvent {
+                phase: field_str(&v, "phase", line)?,
+                root: v
+                    .get("root")
+                    .and_then(span_from_json)
+                    .ok_or_else(|| format!("{path} line {line}: bad span tree"))?,
+            }),
+            "round_end" => trace.round_ends += 1,
+            "run_end" => {
+                trace.run_end = Some(RunEnd {
+                    modularity: field_f64(&v, "modularity", line)?,
+                    rounds: field_u64(&v, "rounds", line)?,
+                    total_cycles: field_f64(&v, "total_cycles", line)?,
+                });
+            }
+            other => {
+                return Err(format!("{path} line {line}: unknown event `{other}`").into());
+            }
+        }
+    }
+    if trace.events == 0 {
+        return Err(format!("{path}: empty trace").into());
+    }
+    Ok(trace)
+}
+
+/// Structural validation (`--check`): bracketing, per-superstep counting
+/// invariants, finite metrics, coherent tally counters.
+fn check(path: &str, trace: &Trace) -> Result<String, Error> {
+    if trace.algorithm.is_empty() {
+        return Err(format!("{path}: no run_start event").into());
+    }
+    let end = trace
+        .run_end
+        .ok_or_else(|| format!("{path}: no run_end event (truncated trace?)"))?;
+    if !end.modularity.is_finite() {
+        return Err(format!("{path}: non-finite final modularity").into());
+    }
+    for s in &trace.supersteps {
+        let at = format!("{path}: round {} superstep {}", s.round, s.superstep);
+        if s.active != s.moved + s.unmoved {
+            return Err(format!(
+                "{at}: active ({}) != moved ({}) + unmoved ({})",
+                s.active, s.moved, s.unmoved
+            )
+            .into());
+        }
+        if s.active + s.pruned > trace.n && trace.devices <= 1 && s.round == 0 {
+            return Err(format!(
+                "{at}: active + pruned ({}) exceeds n ({})",
+                s.active + s.pruned,
+                trace.n
+            )
+            .into());
+        }
+        if !s.modularity.is_finite() || !(0.0..=1.0).contains(&s.hash_occupancy) {
+            return Err(format!("{at}: non-finite modularity or occupancy out of [0,1]").into());
+        }
+        for (name, t) in [("decide", &s.decide_tally), ("weight", &s.weight_tally)] {
+            if t.simt_active_lanes > t.simt_steps * 32 {
+                return Err(format!("{at}: {name} tally has >32 active lanes per step").into());
+            }
+            if t.coalesce_ideal > t.coalesce_transactions {
+                return Err(format!("{at}: {name} tally coalesce ideal > transactions").into());
+            }
+        }
+    }
+    for y in &trace.syncs {
+        if y.mode != "dense" && y.mode != "sparse" {
+            return Err(format!(
+                "{path}: sync at superstep {} has unknown mode `{}`",
+                y.superstep, y.mode
+            )
+            .into());
+        }
+    }
+    for (i, ev) in trace.spans.iter().enumerate() {
+        if ev.phase != "phase1" && ev.phase != "contract" {
+            return Err(format!("{path}: span tree {i} has unknown phase `{}`", ev.phase).into());
+        }
+        let t = ev.root.total_tally();
+        if t.simt_active_lanes > t.simt_steps * 32 || t.coalesce_ideal > t.coalesce_transactions {
+            return Err(format!("{path}: span tree {i} has incoherent SIMT counters").into());
+        }
+    }
+    Ok(format!(
+        "ok: {} events ({} supersteps, {} rounds, {} span trees, {} syncs), final Q = {:.5}",
+        trace.events,
+        trace.supersteps.len(),
+        trace.round_ends.max(end.rounds),
+        trace.spans.len(),
+        trace.syncs.len(),
+        end.modularity,
+    ))
+}
+
+const SPARK: [char; 8] = ['▁', '▂', '▃', '▄', '▅', '▆', '▇', '█'];
+const SPARK_WIDTH: usize = 40;
+
+/// Renders a series as a fixed-width sparkline; longer series are bucketed
+/// by averaging so the rows of a table stay aligned.
+fn sparkline(values: &[f64]) -> String {
+    if values.is_empty() {
+        return String::new();
+    }
+    let buckets: Vec<f64> = if values.len() <= SPARK_WIDTH {
+        values.to_vec()
+    } else {
+        (0..SPARK_WIDTH)
+            .map(|b| {
+                let lo = b * values.len() / SPARK_WIDTH;
+                let hi = ((b + 1) * values.len() / SPARK_WIDTH).max(lo + 1);
+                values[lo..hi].iter().sum::<f64>() / (hi - lo) as f64
+            })
+            .collect()
+    };
+    let (mut min, mut max) = (f64::INFINITY, f64::NEG_INFINITY);
+    for &v in &buckets {
+        min = min.min(v);
+        max = max.max(v);
+    }
+    buckets
+        .iter()
+        .map(|&v| {
+            if max > min {
+                let i = ((v - min) / (max - min) * 7.0).round() as usize;
+                SPARK[i.min(7)]
+            } else {
+                SPARK[3]
+            }
+        })
+        .collect()
+}
+
+fn stats(values: &[f64]) -> (f64, f64, f64) {
+    if values.is_empty() {
+        return (0.0, 0.0, 0.0);
+    }
+    let min = values.iter().copied().fold(f64::INFINITY, f64::min);
+    let mean = values.iter().sum::<f64>() / values.len() as f64;
+    (min, mean, *values.last().unwrap())
+}
+
+fn curve_row(name: &str, values: &[f64]) -> String {
+    let (min, mean, last) = stats(values);
+    format!(
+        "  {name:<22} {:<w$}  {min:>10.4} {mean:>10.4} {last:>10.4}\n",
+        sparkline(values),
+        w = SPARK_WIDTH,
+    )
+}
+
+fn ratio(num: u64, den: u64) -> f64 {
+    if den == 0 {
+        0.0
+    } else {
+        num as f64 / den as f64
+    }
+}
+
+/// The per-superstep metric curves of a trace, in render order.
+fn curves(trace: &Trace) -> Vec<(&'static str, Vec<f64>)> {
+    let ss = &trace.supersteps;
+    let mut out = vec![
+        (
+            "modularity",
+            ss.iter().map(|s| s.modularity).collect::<Vec<_>>(),
+        ),
+        (
+            "moved rate",
+            ss.iter().map(|s| ratio(s.moved, s.active)).collect(),
+        ),
+        (
+            "pruned rate",
+            ss.iter()
+                .map(|s| ratio(s.pruned, s.active + s.pruned))
+                .collect(),
+        ),
+        (
+            "hash occupancy",
+            ss.iter().map(|s| s.hash_occupancy).collect(),
+        ),
+        (
+            "hash evictions",
+            ss.iter().map(|s| s.hash_evictions as f64).collect(),
+        ),
+        (
+            "divergence %",
+            ss.iter()
+                .map(|s| s.decide_tally.divergence() * 100.0)
+                .collect(),
+        ),
+        (
+            "coalescing eff",
+            ss.iter()
+                .map(|s| s.decide_tally.coalescing_efficiency())
+                .collect(),
+        ),
+    ];
+    if !trace.syncs.is_empty() {
+        let bytes = ss
+            .iter()
+            .map(|s| {
+                trace
+                    .syncs
+                    .iter()
+                    .filter(|y| y.superstep == s.superstep && s.round == 0)
+                    .map(|y| y.bytes as f64)
+                    .sum()
+            })
+            .collect();
+        out.push(("sync KiB", scale(bytes, 1.0 / 1024.0)));
+    }
+    out
+}
+
+fn scale(values: Vec<f64>, k: f64) -> Vec<f64> {
+    values.into_iter().map(|v| v * k).collect()
+}
+
+/// Merges every span tree of a trace into one (children merge by name, in
+/// first-seen order — the same rule the in-process profiler uses).
+fn merged_spans(trace: &Trace) -> SpanRecord {
+    let mut prof = Profiler::new();
+    for ev in &trace.spans {
+        prof.absorb(ev.root.clone());
+    }
+    prof.finish()
+}
+
+/// One row of the span summary: slash-joined path plus cycle attribution.
+struct SpanRow {
+    path: String,
+    invocations: u64,
+    self_cycles: f64,
+    total_cycles: f64,
+}
+
+fn flatten_spans(span: &SpanRecord, prefix: &str, cost: &CostModel, out: &mut Vec<SpanRow>) {
+    for child in &span.children {
+        let path = if prefix.is_empty() {
+            child.name.clone()
+        } else {
+            format!("{prefix}/{}", child.name)
+        };
+        out.push(SpanRow {
+            path: path.clone(),
+            invocations: child.invocations,
+            self_cycles: child.self_cycles(cost),
+            total_cycles: child.total_cycles(cost),
+        });
+        flatten_spans(child, &path, cost, out);
+    }
+}
+
+/// Flamegraph-style top-N table: spans ranked by self cycles under the
+/// default cost model, with a share bar against the busiest span.
+fn render_span_summary(trace: &Trace, top: usize) -> String {
+    let cost = CostModel::default();
+    let root = merged_spans(trace);
+    let mut rows = Vec::new();
+    flatten_spans(&root, "", &cost, &mut rows);
+    if rows.is_empty() {
+        return "no span events in trace (produced by an older build?)\n".to_string();
+    }
+    let total_self: f64 = rows.iter().map(|r| r.self_cycles).sum();
+    rows.sort_by(|a, b| {
+        b.self_cycles
+            .partial_cmp(&a.self_cycles)
+            .unwrap_or(std::cmp::Ordering::Equal)
+            .then_with(|| a.path.cmp(&b.path))
+    });
+    let shown = rows.len().min(top.max(1));
+    let max_self = rows[0].self_cycles.max(1.0);
+    let width = rows[..shown].iter().map(|r| r.path.len()).max().unwrap();
+    let mut out = format!(
+        "top {shown} spans by self cycles (of {} total)\n",
+        rows.len()
+    );
+    out.push_str(&format!(
+        "  {:<width$} {:>12} {:>12} {:>7} {:>7}\n",
+        "span", "self cyc", "total cyc", "inv", "share"
+    ));
+    for r in &rows[..shown] {
+        let bar_len = ((r.self_cycles / max_self) * 20.0).round() as usize;
+        out.push_str(&format!(
+            "  {:<width$} {:>12.0} {:>12.0} {:>7} {:>6.1}% {}\n",
+            r.path,
+            r.self_cycles,
+            r.total_cycles,
+            r.invocations,
+            100.0 * r.self_cycles / total_self.max(1e-12),
+            "█".repeat(bar_len),
+        ));
+    }
+    out
+}
+
+/// Full single-trace report: header, curves, span summary.
+fn render_single(path: &str, trace: &Trace, top: usize) -> String {
+    let mut out = format!(
+        "trace: {path}\nalgorithm {} | n {} | m {} | devices {}\n",
+        trace.algorithm, trace.n, trace.m, trace.devices
+    );
+    if let Some(end) = trace.run_end {
+        out.push_str(&format!(
+            "supersteps {} | rounds {} | final Q {:.5} | total cycles {:.0}\n",
+            trace.supersteps.len(),
+            end.rounds,
+            end.modularity,
+            end.total_cycles
+        ));
+    }
+    out.push('\n');
+    out.push_str(&format!(
+        "  {:<22} {:<w$}  {:>10} {:>10} {:>10}\n",
+        "per-superstep",
+        "curve",
+        "min",
+        "mean",
+        "last",
+        w = SPARK_WIDTH
+    ));
+    for (name, values) in curves(trace) {
+        out.push_str(&curve_row(name, &values));
+    }
+    out.push('\n');
+    out.push_str(&render_span_summary(trace, top));
+    out
+}
+
+/// One watched metric for two-trace diffing.
+struct Watched {
+    name: &'static str,
+    value: f64,
+    higher_is_better: bool,
+}
+
+/// The watched-metric vector of a trace: scalars whose movement between two
+/// runs of the same workload indicates a quality or efficiency change.
+fn watched_metrics(trace: &Trace) -> Vec<Watched> {
+    let decide_total: MemTally = trace
+        .supersteps
+        .iter()
+        .map(|s| s.decide_tally)
+        .fold(MemTally::new(), |a, b| a + b);
+    let final_q = trace
+        .run_end
+        .map(|e| e.modularity)
+        .or_else(|| trace.supersteps.last().map(|s| s.modularity))
+        .unwrap_or(0.0);
+    let w = |name, value, higher_is_better| Watched {
+        name,
+        value,
+        higher_is_better,
+    };
+    vec![
+        w("final modularity", final_q, true),
+        w("supersteps", trace.supersteps.len() as f64, false),
+        w(
+            "total cycles",
+            trace.run_end.map(|e| e.total_cycles).unwrap_or(0.0),
+            false,
+        ),
+        w("divergence", decide_total.divergence(), false),
+        w(
+            "coalescing efficiency",
+            decide_total.coalescing_efficiency(),
+            true,
+        ),
+        w(
+            "hash evictions",
+            trace
+                .supersteps
+                .iter()
+                .map(|s| s.hash_evictions)
+                .sum::<u64>() as f64,
+            false,
+        ),
+        w(
+            "sync bytes",
+            trace.syncs.iter().map(|s| s.bytes).sum::<u64>() as f64,
+            false,
+        ),
+    ]
+}
+
+/// Counts print whole, small ratios with four decimals.
+fn fmt_value(v: f64) -> String {
+    if v.abs() >= 1000.0 {
+        format!("{v:.0}")
+    } else {
+        format!("{v:.4}")
+    }
+}
+
+/// Relative change current-vs-baseline; zero baselines compare as equal
+/// when the current value is also zero and as a full-scale change else.
+fn rel_change(current: f64, baseline: f64) -> f64 {
+    if baseline == 0.0 && current == 0.0 {
+        0.0
+    } else if baseline == 0.0 {
+        current.signum()
+    } else {
+        (current - baseline) / baseline.abs()
+    }
+}
+
+/// Diffs `trace` against `baseline`; the second element lists the names of
+/// metrics that regressed beyond `threshold`.
+fn render_diff(
+    trace_path: &str,
+    trace: &Trace,
+    baseline_path: &str,
+    baseline: &Trace,
+    threshold: f64,
+) -> (String, Vec<String>) {
+    let cur = watched_metrics(trace);
+    let base = watched_metrics(baseline);
+    let mut out = format!(
+        "diff: {trace_path} vs baseline {baseline_path} (threshold {:.1}%)\n",
+        threshold * 100.0
+    );
+    out.push_str(&format!(
+        "  {:<22} {:>12} {:>12} {:>9}  {}\n",
+        "metric", "baseline", "current", "change", "verdict"
+    ));
+    let mut regressions = Vec::new();
+    for (c, b) in cur.iter().zip(&base) {
+        debug_assert_eq!(c.name, b.name);
+        let change = rel_change(c.value, b.value);
+        let bad = if c.higher_is_better { -change } else { change };
+        let verdict = if bad > threshold {
+            regressions.push(c.name.to_string());
+            "REGRESSED"
+        } else if bad < -threshold {
+            "improved"
+        } else {
+            "ok"
+        };
+        out.push_str(&format!(
+            "  {:<22} {:>12} {:>12} {:>+8.1}%  {verdict}\n",
+            c.name,
+            fmt_value(b.value),
+            fmt_value(c.value),
+            change * 100.0
+        ));
+    }
+    (out, regressions)
+}
+
+/// Executes the `analyze` subcommand. Errors (including diff regressions)
+/// surface as a non-zero exit through the caller.
+pub fn run(args: &AnalyzeArgs) -> Result<(), Error> {
+    let trace = load_trace(&args.trace)?;
+    if args.check {
+        println!("{}", check(&args.trace, &trace)?);
+        return Ok(());
+    }
+    match &args.baseline {
+        None => print!("{}", render_single(&args.trace, &trace, args.top)),
+        Some(bp) => {
+            let base = load_trace(bp)?;
+            let (text, regressions) = render_diff(&args.trace, &trace, bp, &base, args.threshold);
+            print!("{text}");
+            if !regressions.is_empty() {
+                return Err(format!(
+                    "{} metric(s) regressed beyond {:.1}%: {}",
+                    regressions.len(),
+                    args.threshold * 100.0,
+                    regressions.join(", ")
+                )
+                .into());
+            }
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gala_core::louvain::{Louvain, LouvainConfig};
+    use gala_graph::generators::fixtures;
+    use gala_telemetry::JsonlSink;
+
+    fn tmp(name: &str) -> String {
+        std::env::temp_dir()
+            .join(format!("gala_analyze_{name}_{}", std::process::id()))
+            .to_string_lossy()
+            .into_owned()
+    }
+
+    /// Runs the instrumented Louvain driver on a fixture and writes a real
+    /// trace file; returns its path.
+    fn write_fixture_trace(name: &str) -> String {
+        let g = fixtures::ring_of_cliques(6, 5);
+        let mut sink = JsonlSink::new(Vec::new());
+        let mut prof = Profiler::disabled();
+        Louvain::new(LouvainConfig::default()).run_instrumented(&g, &mut sink, &mut prof);
+        let path = format!("{}.jsonl", tmp(name));
+        std::fs::write(&path, sink.into_inner()).unwrap();
+        path
+    }
+
+    #[test]
+    fn loads_and_checks_a_real_trace() {
+        let path = write_fixture_trace("load");
+        let trace = load_trace(&path).unwrap();
+        assert_eq!(trace.algorithm, "louvain");
+        assert_eq!(trace.n, 30);
+        assert!(!trace.supersteps.is_empty());
+        assert!(!trace.spans.is_empty(), "instrumented run must emit spans");
+        assert!(trace.run_end.is_some());
+        let summary = check(&path, &trace).unwrap();
+        assert!(summary.starts_with("ok:"), "{summary}");
+        let _ = std::fs::remove_file(path);
+    }
+
+    #[test]
+    fn render_single_covers_curves_and_spans() {
+        let path = write_fixture_trace("render");
+        let trace = load_trace(&path).unwrap();
+        let text = render_single(&path, &trace, 10);
+        for needle in [
+            "modularity",
+            "divergence %",
+            "coalescing eff",
+            "hash occupancy",
+            "top ",
+            "decide",
+            "weight_update",
+        ] {
+            assert!(text.contains(needle), "missing {needle:?} in:\n{text}");
+        }
+        // Sparklines use the block glyphs.
+        assert!(SPARK.iter().any(|&c| text.contains(c)));
+        let _ = std::fs::remove_file(path);
+    }
+
+    #[test]
+    fn self_identical_diff_has_no_regressions() {
+        let path = write_fixture_trace("selfdiff");
+        let trace = load_trace(&path).unwrap();
+        let (text, regressions) = render_diff(&path, &trace, &path, &trace, 0.1);
+        assert!(regressions.is_empty(), "{text}");
+        assert!(text.contains("ok"));
+        let _ = std::fs::remove_file(path);
+    }
+
+    #[test]
+    fn diff_flags_modularity_regression() {
+        let path = write_fixture_trace("regress");
+        let baseline = load_trace(&path).unwrap();
+        let mut worse = baseline.clone();
+        // A run that lost a third of its modularity and doubled its cycles
+        // must trip the default 10% gate on both watched metrics.
+        if let Some(end) = worse.run_end.as_mut() {
+            end.modularity *= 0.5;
+            end.total_cycles *= 2.0;
+        }
+        let (text, regressions) = render_diff(&path, &worse, &path, &baseline, 0.1);
+        assert!(
+            regressions.contains(&"final modularity".to_string()),
+            "{text}"
+        );
+        assert!(regressions.contains(&"total cycles".to_string()), "{text}");
+        assert!(text.contains("REGRESSED"));
+        // The same delta passes with a huge threshold.
+        let (_, loose) = render_diff(&path, &worse, &path, &baseline, 5.0);
+        assert!(loose.is_empty());
+        let _ = std::fs::remove_file(path);
+    }
+
+    #[test]
+    fn malformed_traces_are_rejected() {
+        let path = format!("{}.jsonl", tmp("bad"));
+        // Not JSON at all.
+        std::fs::write(&path, "not json\n").unwrap();
+        assert!(load_trace(&path).is_err());
+        // Wrong schema version.
+        std::fs::write(&path, "{\"event\":\"run_end\",\"schema\":1}\n").unwrap();
+        let err = load_trace(&path).unwrap_err().to_string();
+        assert!(err.contains("schema 1"), "{err}");
+        // Unknown event kind.
+        std::fs::write(
+            &path,
+            format!("{{\"event\":\"mystery\",\"schema\":{SCHEMA_VERSION}}}\n"),
+        )
+        .unwrap();
+        assert!(load_trace(&path)
+            .unwrap_err()
+            .to_string()
+            .contains("mystery"));
+        // Empty file.
+        std::fs::write(&path, "").unwrap();
+        assert!(load_trace(&path).unwrap_err().to_string().contains("empty"));
+        let _ = std::fs::remove_file(path);
+    }
+
+    #[test]
+    fn check_rejects_broken_invariants() {
+        let path = write_fixture_trace("inv");
+        let mut trace = load_trace(&path).unwrap();
+        // A truncated trace (no run_end) fails.
+        let mut truncated = trace.clone();
+        truncated.run_end = None;
+        assert!(check(&path, &truncated).is_err());
+        // Superstep counting must balance.
+        trace.supersteps[0].moved += 1;
+        let err = check(&path, &trace).unwrap_err().to_string();
+        assert!(err.contains("active"), "{err}");
+        let _ = std::fs::remove_file(path);
+    }
+
+    #[test]
+    fn sparkline_is_width_bounded_and_monotone() {
+        assert_eq!(sparkline(&[]), "");
+        let flat = sparkline(&[2.0, 2.0, 2.0]);
+        assert_eq!(flat.chars().count(), 3);
+        assert!(flat.chars().all(|c| c == SPARK[3]));
+        let ramp: Vec<f64> = (0..200).map(|i| i as f64).collect();
+        let s = sparkline(&ramp);
+        assert_eq!(s.chars().count(), SPARK_WIDTH);
+        assert_eq!(s.chars().next(), Some(SPARK[0]));
+        assert_eq!(s.chars().last(), Some(SPARK[7]));
+    }
+
+    #[test]
+    fn rel_change_handles_zero_baselines() {
+        assert_eq!(rel_change(0.0, 0.0), 0.0);
+        assert_eq!(rel_change(5.0, 0.0), 1.0);
+        assert_eq!(rel_change(-5.0, 0.0), -1.0);
+        assert!((rel_change(11.0, 10.0) - 0.1).abs() < 1e-12);
+    }
+
+    #[test]
+    fn golden_output_matches_checked_in_trace() {
+        let dir = concat!(env!("CARGO_MANIFEST_DIR"), "/tests/data");
+        let trace_path = format!("{dir}/small_trace.jsonl");
+        let golden_path = format!("{dir}/small_trace.analyze.txt");
+        let trace = load_trace(&trace_path).unwrap();
+        let rendered = render_single("tests/data/small_trace.jsonl", &trace, 10);
+        let golden = std::fs::read_to_string(&golden_path).unwrap();
+        assert_eq!(
+            rendered, golden,
+            "analyze output drifted from the golden file; if the change is \
+             intentional, regenerate tests/data/small_trace.analyze.txt"
+        );
+    }
+}

@@ -23,6 +23,15 @@ usage:
   gala compare <assign1> <assign2> [--graph <file>]
                                       NMI/ARI between two assignment files
                                       (plus per-partition Q with --graph)
+  gala analyze <trace> [baseline] [options]
+                                      inspect a --trace JSONL file:
+                                      per-superstep curves plus a top-N span
+                                      summary; with a second trace, diff the
+                                      watched metrics and exit non-zero on a
+                                      regression beyond the threshold
+      --top <n>          span-summary rows (default: 10)
+      --threshold <t>    relative regression tolerance (default: 0.1)
+      --check            validate the trace only (exit non-zero if malformed)
   gala help                           show this text";
 
 /// Graph file formats the CLI understands.
@@ -183,8 +192,25 @@ pub enum Command {
         /// Optional graph for modularity scoring.
         graph: Option<String>,
     },
+    /// Inspect (and optionally diff) trace JSONL files.
+    Analyze(AnalyzeArgs),
     /// Print usage.
     Help,
+}
+
+/// The `analyze` subcommand's options.
+#[derive(Clone, Debug, PartialEq)]
+pub struct AnalyzeArgs {
+    /// Trace to analyze.
+    pub trace: String,
+    /// Optional baseline trace to diff against.
+    pub baseline: Option<String>,
+    /// Rows in the span summary.
+    pub top: usize,
+    /// Relative regression tolerance for diff mode.
+    pub threshold: f64,
+    /// Validate the trace only.
+    pub check: bool,
 }
 
 /// A parse failure with a human-readable message.
@@ -227,6 +253,7 @@ impl Command {
                 })
             }
             "compare" => Self::parse_compare(&args[1..]),
+            "analyze" => Self::parse_analyze(&args[1..]),
             other => Err(ParseError(format!("unknown subcommand `{other}`"))),
         }
     }
@@ -290,6 +317,52 @@ impl Command {
             return Err(ParseError("detect needs an input graph".into()));
         }
         Ok(Command::Detect(out))
+    }
+
+    fn parse_analyze(args: &[String]) -> Result<Self, ParseError> {
+        let mut positional = Vec::new();
+        let mut top = 10usize;
+        let mut threshold = 0.1f64;
+        let mut check = false;
+        let mut i = 0;
+        while i < args.len() {
+            match args[i].as_str() {
+                "--top" => {
+                    let v = value(args, &mut i, "--top")?;
+                    top = v
+                        .parse()
+                        .map_err(|_| ParseError(format!("bad --top `{v}`")))?;
+                }
+                "--threshold" => {
+                    let v = value(args, &mut i, "--threshold")?;
+                    threshold = v
+                        .parse()
+                        .map_err(|_| ParseError(format!("bad --threshold `{v}`")))?;
+                    if threshold.is_nan() || threshold < 0.0 {
+                        return Err(ParseError("threshold must be >= 0".into()));
+                    }
+                }
+                "--check" => check = true,
+                flag if flag.starts_with("--") => {
+                    return Err(ParseError(format!("unknown flag `{flag}`")))
+                }
+                p => positional.push(p.to_string()),
+            }
+            i += 1;
+        }
+        let (trace, baseline) = match positional.as_slice() {
+            [t] => (t.clone(), None),
+            [t, b] => (t.clone(), Some(b.clone())),
+            [] => return Err(ParseError("analyze needs a trace file".into())),
+            _ => return Err(ParseError("analyze takes at most two traces".into())),
+        };
+        Ok(Command::Analyze(AnalyzeArgs {
+            trace,
+            baseline,
+            top,
+            threshold,
+            check,
+        }))
     }
 
     fn parse_compare(args: &[String]) -> Result<Self, ParseError> {
@@ -482,6 +555,34 @@ mod tests {
         ));
         assert_eq!(Command::parse(&argv("help")).unwrap(), Command::Help);
         assert!(Command::parse(&argv("convert onlyone")).is_err());
+    }
+
+    #[test]
+    fn parses_analyze() {
+        let cmd = Command::parse(&argv("analyze run.jsonl")).unwrap();
+        let Command::Analyze(a) = cmd else { panic!() };
+        assert_eq!(a.trace, "run.jsonl");
+        assert_eq!(a.baseline, None);
+        assert_eq!(a.top, 10);
+        assert_eq!(a.threshold, 0.1);
+        assert!(!a.check);
+
+        let cmd =
+            Command::parse(&argv("analyze a.jsonl b.jsonl --top 5 --threshold 0.25")).unwrap();
+        let Command::Analyze(a) = cmd else { panic!() };
+        assert_eq!(a.baseline.as_deref(), Some("b.jsonl"));
+        assert_eq!(a.top, 5);
+        assert_eq!(a.threshold, 0.25);
+
+        let cmd = Command::parse(&argv("analyze t.jsonl --check")).unwrap();
+        let Command::Analyze(a) = cmd else { panic!() };
+        assert!(a.check);
+
+        assert!(Command::parse(&argv("analyze")).is_err());
+        assert!(Command::parse(&argv("analyze a b c")).is_err());
+        assert!(Command::parse(&argv("analyze t.jsonl --threshold -1")).is_err());
+        assert!(Command::parse(&argv("analyze t.jsonl --top many")).is_err());
+        assert!(Command::parse(&argv("analyze t.jsonl --bogus")).is_err());
     }
 
     #[test]

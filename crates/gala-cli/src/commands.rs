@@ -6,10 +6,14 @@ use gala_core::leiden::{leiden, LeidenConfig};
 use gala_core::louvain::LouvainConfig;
 use gala_core::metrics::summarize;
 use gala_core::modularity::modularity_with_resolution;
-use gala_core::multi_gpu::{run_phase1_traced as multi_gpu_phase1_traced, MultiGpuConfig};
+use gala_core::multi_gpu::{
+    run_phase1_instrumented as multi_gpu_phase1_instrumented, MultiGpuConfig,
+};
 use gala_core::pruning::PruningKind;
 use gala_core::sequential::{sequential_louvain, SequentialConfig};
 use gala_core::validation::{coverage, mean_conductance};
+use gala_gpu::memory::CostModel;
+use gala_gpu::profile::{Profiler, SpanRecord};
 use gala_graph::generators::ba::barabasi_albert;
 use gala_graph::generators::gnp::gnp;
 use gala_graph::generators::lfr::LfrParams;
@@ -38,6 +42,7 @@ pub fn execute(cmd: Command) -> Result<(), Error> {
         Command::Compare { a, b, graph } => compare(&a, &b, graph.as_deref()),
         Command::Generate(args) => generate(args),
         Command::Detect(args) => detect(args),
+        Command::Analyze(args) => crate::analyze::run(&args),
     }
 }
 
@@ -215,6 +220,26 @@ fn generate(args: GenerateArgs) -> Result<(), Error> {
     Ok(())
 }
 
+/// Flattens a profiling span tree into report rows, one per span, labelled
+/// by slash-joined path (`span/round/superstep/decide/hash`). Empty trees
+/// (profiling off, or a non-GALA algorithm) add nothing.
+fn push_span_rows(report: &mut Report, span: &SpanRecord, prefix: &str) {
+    let cost = CostModel::default();
+    for child in &span.children {
+        let path = format!("{prefix}/{}", child.name);
+        let total = child.total_tally();
+        report.push(
+            MetricRow::new(path.as_str())
+                .metric("invocations", child.invocations as f64)
+                .metric("self_cycles", child.self_cycles(&cost))
+                .metric("total_cycles", child.total_cycles(&cost))
+                .metric("divergence", total.divergence())
+                .metric("coalescing_efficiency", total.coalescing_efficiency()),
+        );
+        push_span_rows(report, child, &path);
+    }
+}
+
 fn detect(args: DetectArgs) -> Result<(), Error> {
     let graph = load(&args.input, args.format)?;
     // --trace: JSONL superstep events (only the GALA drivers emit them;
@@ -228,6 +253,13 @@ fn detect(args: DetectArgs) -> Result<(), Error> {
         Some(s) => s,
         None => &mut null,
     };
+    // --report: profile the run so the report carries the span tree. The
+    // GALA drivers take the profiler; other algorithms leave it empty.
+    let mut prof = if args.report.is_some() {
+        Profiler::new()
+    } else {
+        Profiler::disabled()
+    };
     let start = Instant::now();
     let (name, partition): (&str, Partition) = match args.algorithm {
         Algorithm::Gala => {
@@ -240,7 +272,7 @@ fn detect(args: DetectArgs) -> Result<(), Error> {
                 Pruning::None => PruningKind::None,
             };
             if args.devices > 1 {
-                let r = multi_gpu_phase1_traced(
+                let r = multi_gpu_phase1_instrumented(
                     &graph,
                     MultiGpuConfig {
                         num_devices: args.devices,
@@ -248,6 +280,7 @@ fn detect(args: DetectArgs) -> Result<(), Error> {
                         ..MultiGpuConfig::default()
                     },
                     sink,
+                    &mut prof,
                 );
                 ("GALA (multi-device, phase 1)", r.partition)
             } else {
@@ -256,7 +289,7 @@ fn detect(args: DetectArgs) -> Result<(), Error> {
                     resolution: args.resolution,
                     ..LouvainConfig::default()
                 })
-                .run_traced(&graph, sink);
+                .run_instrumented(&graph, sink, &mut prof);
                 ("GALA", r.partition)
             }
         }
@@ -302,6 +335,7 @@ fn detect(args: DetectArgs) -> Result<(), Error> {
                 .metric("mean_conductance", mean_conductance(&graph, &partition))
                 .metric("seconds", elapsed.as_secs_f64()),
         );
+        push_span_rows(&mut report, &prof.finish(), "span");
         report.write_to(path)?;
     }
     if !args.quiet {
@@ -435,6 +469,20 @@ mod tests {
         assert_eq!(row.get("vertices"), Some(20.0));
         assert_eq!(row.get("communities"), Some(5.0));
         assert!(row.get("modularity").unwrap() > 0.5);
+
+        // --report also captures the profiling span tree as span/* rows.
+        let decide = report
+            .rows
+            .iter()
+            .find(|r| r.label.ends_with("/decide"))
+            .expect("report must carry span rows");
+        assert!(decide.get("total_cycles").unwrap() > 0.0);
+        assert!(decide.get("invocations").unwrap() >= 1.0);
+
+        // And the trace now carries span events alongside supersteps.
+        assert!(events
+            .iter()
+            .any(|e| e.get("event").unwrap().as_str() == Some("span")));
         for p in [graph_path, trace_path, report_path] {
             let _ = std::fs::remove_file(p);
         }

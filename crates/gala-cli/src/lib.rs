@@ -8,6 +8,7 @@
 //! gala stats  <graph> [--format ...]
 //! gala generate <sbm|lfr|rmat|ba|ws|gnp> --out <file> [generator options]
 //! gala convert <in> <out>   (formats inferred from extension)
+//! gala analyze <trace> [baseline] [--top <n>] [--threshold <f>] [--check]
 //! ```
 //!
 //! The parsing layer is separated from IO so it is unit-testable; see
@@ -16,6 +17,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod analyze;
 pub mod args;
 pub mod commands;
 

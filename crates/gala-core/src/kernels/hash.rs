@@ -14,6 +14,7 @@ use crate::state::BspState;
 use gala_gpu::block::SharedMem;
 use gala_gpu::grid;
 use gala_gpu::memory::{MemTally, Space};
+use gala_gpu::warp::WARP_SIZE;
 use gala_graph::partition::CommunityId;
 use gala_graph::{Graph, VertexId};
 
@@ -49,21 +50,51 @@ pub fn decide_one(
     let mut table = VertexTable::new(cfg, deg.max(1), &mut shared);
     let ids = graph.neighbor_ids(v);
     let weights = graph.neighbor_weights(v);
-    for (&u, &w) in ids.iter().zip(weights) {
-        // Load neighbor id, edge weight, and C[u] from global memory.
-        tally.load(Space::Global, 3);
-        if u == v {
-            continue;
+    let edge_base = graph.offsets()[v as usize] as u64;
+    // The block's warps stride over the neighbor list 32 lanes at a time:
+    // ids and weights stream from the contiguous CSR edge arrays, C[u] is a
+    // gather scattered by neighbor id. The fresh-community D_V load is a
+    // divergent path (only lanes inserting a new key take it).
+    for chunk_start in (0..ids.len()).step_by(WARP_SIZE) {
+        let chunk_end = (chunk_start + WARP_SIZE).min(ids.len());
+        let n = chunk_end - chunk_start;
+        let chunk_mask = if n == WARP_SIZE {
+            u32::MAX
+        } else {
+            (1u32 << n) - 1
+        };
+        let mut edge_offs = [0u64; WARP_SIZE];
+        let mut comm_offs = [0u64; WARP_SIZE];
+        for (lane, i) in (chunk_start..chunk_end).enumerate() {
+            edge_offs[lane] = edge_base + i as u64;
+            comm_offs[lane] = ids[i] as u64;
         }
-        let c = state.comm[u as usize];
-        let before = table.len();
-        table.upsert_add(c, w, tally);
-        if table.len() != before {
-            // Fresh community: load D_V(C[u]) into the table (Alg. 3 l. 9).
-            tally.load(Space::Global, 1);
+        tally.simt_step(chunk_mask);
+        tally.global_request(&edge_offs[..n], 4); // neighbor ids (u32)
+        tally.global_request(&edge_offs[..n], 8); // edge weights (f64)
+        tally.global_request(&comm_offs[..n], 4); // C[u] gather (u32)
+        let mut fresh_mask = 0u32;
+        for (lane, i) in (chunk_start..chunk_end).enumerate() {
+            let u = ids[i];
+            // Load neighbor id, edge weight, and C[u] from global memory.
+            tally.load(Space::Global, 3);
+            if u == v {
+                continue;
+            }
+            let c = state.comm[u as usize];
+            let before = table.len();
+            table.upsert_add(c, weights[i], tally);
+            if table.len() != before {
+                // Fresh community: load D_V(C[u]) (Alg. 3 l. 9).
+                tally.load(Space::Global, 1);
+                fresh_mask |= 1 << lane;
+            }
+            // Gain computation for the running max (registers).
+            tally.load(Space::Register, 4);
         }
-        // Gain computation for the running max (registers).
-        tally.load(Space::Register, 4);
+        if fresh_mask != 0 && fresh_mask != chunk_mask {
+            tally.simt_serialize(1);
+        }
     }
     let cands = table.drain(tally);
     // Block-level reduction of per-thread maxima (registers).

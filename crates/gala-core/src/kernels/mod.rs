@@ -30,6 +30,7 @@ pub mod sort;
 
 use crate::state::BspState;
 use gala_gpu::memory::MemTally;
+use gala_gpu::profile::Profiler;
 use gala_graph::partition::CommunityId;
 use gala_graph::{Graph, VertexId};
 use hashtable::{HashConfig, TableStats};
@@ -77,14 +78,76 @@ pub struct DecideOutput {
 
 /// Runs the selected kernel over all `active` vertices.
 pub fn decide(kind: KernelKind, graph: &Graph, state: &BspState, active: &[bool]) -> DecideOutput {
+    decide_profiled(kind, graph, state, active, &mut Profiler::disabled())
+}
+
+/// [`decide`], recorded as a `"decide"` span on `prof` with one child span
+/// per kernel actually launched (the workload-aware dispatcher produces
+/// both a `"shuffle"` and a `"hash"` child). Each kernel span carries its
+/// memory tally — including divergence and coalescing counters — plus an
+/// `"items"` counter, and hash-based kernels add their table statistics.
+pub fn decide_profiled(
+    kind: KernelKind,
+    graph: &Graph,
+    state: &BspState,
+    active: &[bool],
+    prof: &mut Profiler,
+) -> DecideOutput {
     match kind {
-        KernelKind::Cpu => cpu::decide(graph, state, active),
-        KernelKind::Shuffle => shuffle::decide(graph, state, active),
-        KernelKind::Hash(cfg) => hash::decide(graph, state, active, cfg),
-        KernelKind::Sort => sort::decide(graph, state, active),
-        KernelKind::Replicated => replicated::decide(graph, state, active),
-        KernelKind::WorkloadAware(cfg) => decide_workload_aware(graph, state, active, cfg),
+        KernelKind::Cpu => record_kernel(prof, "cpu", active, cpu::decide(graph, state, active)),
+        KernelKind::Shuffle => record_kernel(
+            prof,
+            "shuffle",
+            active,
+            shuffle::decide(graph, state, active),
+        ),
+        KernelKind::Hash(cfg) => record_kernel(
+            prof,
+            "hash",
+            active,
+            hash::decide(graph, state, active, cfg),
+        ),
+        KernelKind::Sort => record_kernel(prof, "sort", active, sort::decide(graph, state, active)),
+        KernelKind::Replicated => record_kernel(
+            prof,
+            "replicated",
+            active,
+            replicated::decide(graph, state, active),
+        ),
+        KernelKind::WorkloadAware(cfg) => decide_workload_aware(graph, state, active, cfg, prof),
     }
+}
+
+/// Wraps a single-kernel output in a `"decide"` span with one child.
+fn record_kernel(
+    prof: &mut Profiler,
+    name: &str,
+    active: &[bool],
+    out: DecideOutput,
+) -> DecideOutput {
+    if prof.is_enabled() {
+        let items = active.iter().filter(|&&a| a).count() as u64;
+        prof.scope("decide", |p| record_kernel_span(p, name, items, &out));
+    }
+    out
+}
+
+/// Records one kernel child span: tally, item count, and (for hash-based
+/// kernels) the table statistics as named counters.
+fn record_kernel_span(prof: &mut Profiler, name: &str, items: u64, out: &DecideOutput) {
+    prof.scope(name, |p| {
+        p.record(&out.tally);
+        p.count("items", items);
+        let stats = &out.hash_stats;
+        if *stats != TableStats::default() {
+            p.count("hash_shared_keys", stats.shared_keys);
+            p.count("hash_global_keys", stats.global_keys);
+            p.count("hash_shared_accesses", stats.shared_accesses);
+            p.count("hash_global_accesses", stats.global_accesses);
+            p.count("hash_shared_capacity", stats.shared_capacity);
+            p.count("hash_evictions", stats.shared_evictions);
+        }
+    });
 }
 
 /// GALA's dispatch: small-degree vertices to the shuffle kernel, the rest to
@@ -95,21 +158,31 @@ fn decide_workload_aware(
     state: &BspState,
     active: &[bool],
     cfg: HashConfig,
+    prof: &mut Profiler,
 ) -> DecideOutput {
     let mut small = vec![false; active.len()];
     let mut large = vec![false; active.len()];
+    let (mut n_small, mut n_large) = (0u64, 0u64);
     for v in 0..active.len() {
         if !active[v] {
             continue;
         }
         if graph.degree(v as VertexId) < SHUFFLE_DEGREE_THRESHOLD {
             small[v] = true;
+            n_small += 1;
         } else {
             large[v] = true;
+            n_large += 1;
         }
     }
     let a = shuffle::decide(graph, state, &small);
     let b = hash::decide(graph, state, &large, cfg);
+    if prof.is_enabled() {
+        prof.scope("decide", |p| {
+            record_kernel_span(p, "shuffle", n_small, &a);
+            record_kernel_span(p, "hash", n_large, &b);
+        });
+    }
     let mut next_comm = a.next_comm;
     for v in 0..active.len() {
         if large[v] {

@@ -18,7 +18,7 @@ use super::DecideOutput;
 use crate::state::BspState;
 use gala_gpu::grid;
 use gala_gpu::memory::{MemTally, Space};
-use gala_gpu::warp::{Warp, WARP_SIZE};
+use gala_gpu::warp::{Warp, FULL_MASK, WARP_SIZE};
 use gala_graph::partition::CommunityId;
 use gala_graph::{Graph, VertexId};
 
@@ -51,6 +51,7 @@ pub fn decide_one(
 ) -> CommunityId {
     let ids = graph.neighbor_ids(v);
     let weights = graph.neighbor_weights(v);
+    let edge_base = graph.offsets()[v as usize] as u64;
     // Warp-resident association list: distinct community -> running d_vc.
     // Entries up to WARP_SIZE live in registers; beyond that they spill.
     let mut comms: Vec<CommunityId> = Vec::with_capacity(REGISTER_ENTRIES);
@@ -58,6 +59,25 @@ pub fn decide_one(
 
     for chunk_start in (0..ids.len()).step_by(WARP_SIZE) {
         let chunk_end = (chunk_start + WARP_SIZE).min(ids.len());
+        let n = chunk_end - chunk_start;
+        let chunk_mask = if n == WARP_SIZE {
+            FULL_MASK
+        } else {
+            (1u32 << n) - 1
+        };
+        // Warp-wide load issue: ids and weights stream from the contiguous
+        // CSR edge arrays (coalesced), C[u] is a gather scattered by
+        // neighbor id.
+        let mut edge_offs = [0u64; WARP_SIZE];
+        let mut comm_offs = [0u64; WARP_SIZE];
+        for (lane, i) in (chunk_start..chunk_end).enumerate() {
+            edge_offs[lane] = edge_base + i as u64;
+            comm_offs[lane] = ids[i] as u64;
+        }
+        tally.simt_step(chunk_mask);
+        tally.global_request(&edge_offs[..n], 4); // neighbor ids (u32)
+        tally.global_request(&edge_offs[..n], 8); // edge weights (f64)
+        tally.global_request(&comm_offs[..n], 4); // C[u] gather (u32)
         let mut lane_comm = [0u32; WARP_SIZE];
         let mut lane_w = [0.0f64; WARP_SIZE];
         let mut active_mask = 0u32;
@@ -78,13 +98,17 @@ pub fn decide_one(
         let mut warp = Warp::new(active_mask, tally);
         let groups = warp.match_any_sync(&lane_comm);
         let group_sums = warp.reduce_add_grouped(&groups, &lane_w);
-        // Group leaders (lowest lane of each group) merge into the list.
+        // Group leaders (lowest lane of each group) merge into the list —
+        // a divergent branch whenever some active lanes are not leaders.
+        let mut is_leader = [false; WARP_SIZE];
+        for (lane, leader) in is_leader.iter_mut().enumerate() {
+            *leader =
+                active_mask & (1 << lane) != 0 && groups[lane].trailing_zeros() as usize == lane;
+        }
+        let (leaders, _) = warp.branch(&is_leader);
         for lane in 0..WARP_SIZE {
-            if active_mask & (1 << lane) == 0 {
-                continue;
-            }
-            if groups[lane].trailing_zeros() as usize != lane {
-                continue; // not the leader
+            if leaders & (1 << lane) == 0 {
+                continue; // inactive or not the leader
             }
             let c = lane_comm[lane];
             let sum = group_sums[lane];
@@ -107,7 +131,21 @@ pub fn decide_one(
     }
 
     // Score every candidate. D_V(C) comes from global memory, one load per
-    // distinct community (each lane holding an entry performs it).
+    // distinct community (each lane holding an entry performs it) — a
+    // gather scattered by community id.
+    let mut dtot_offs = [0u64; WARP_SIZE];
+    for chunk in comms.chunks(WARP_SIZE) {
+        for (slot, &c) in dtot_offs.iter_mut().zip(chunk) {
+            *slot = c as u64;
+        }
+        let mask = if chunk.len() == WARP_SIZE {
+            FULL_MASK
+        } else {
+            (1u32 << chunk.len()) - 1
+        };
+        tally.simt_step(mask);
+        tally.global_request(&dtot_offs[..chunk.len()], 8); // D_V(C) (f64)
+    }
     let cv = state.comm[v as usize];
     let d_v = graph.degree_w(v);
     let mut stay_d_vc = 0.0;

@@ -8,6 +8,7 @@ use crate::pruning::{self, PruningKind};
 use crate::state::BspState;
 use crate::weight::{self, WeightUpdateMode};
 use gala_gpu::memory::{CostModel, MemTally};
+use gala_gpu::profile::Profiler;
 use gala_graph::coarsen::coarsen;
 use gala_graph::{Graph, Partition};
 use gala_telemetry::{NullSink, TraceEvent, TraceSink};
@@ -211,7 +212,20 @@ impl Louvain {
         graph: &Graph,
         sink: &mut dyn TraceSink,
     ) -> (BspState, RoundStats) {
-        self.run_phase1_round(graph, 0, sink)
+        self.run_phase1_round(graph, 0, sink, &mut Profiler::disabled())
+    }
+
+    /// [`Self::run_phase1_traced`] with a [`Profiler`] accumulating the
+    /// per-superstep span trees (classify → decide → apply → weight-update →
+    /// modularity, with per-kernel children under decide). With both the
+    /// sink and the profiler disabled this is the plain hot path.
+    pub fn run_phase1_instrumented(
+        &self,
+        graph: &Graph,
+        sink: &mut dyn TraceSink,
+        prof: &mut Profiler,
+    ) -> (BspState, RoundStats) {
+        self.run_phase1_round(graph, 0, sink, prof)
     }
 
     fn run_phase1_round(
@@ -219,6 +233,7 @@ impl Louvain {
         graph: &Graph,
         round: usize,
         sink: &mut dyn TraceSink,
+        prof: &mut Profiler,
     ) -> (BspState, RoundStats) {
         let cfg = &self.config;
         let mut state = BspState::with_resolution(graph, cfg.resolution);
@@ -234,19 +249,58 @@ impl Louvain {
         let mut best_state = state.clone(); // a round may never beat its start
         let mut stagnant = 0usize;
         let mut prev_q = best_q;
+        // When either consumer wants span trees, each superstep profiles
+        // into a fresh sub-profiler: its tree is emitted as a `span` trace
+        // event and absorbed into the run-level profiler. When both are
+        // off, the disabled sub-profiler keeps the hot path unchanged.
+        let instrumented = prof.is_enabled() || sink.enabled();
         for iteration in 0..cfg.max_iterations {
+            let mut sub = if instrumented {
+                Profiler::new()
+            } else {
+                Profiler::disabled()
+            };
             let t0 = Instant::now();
-            let active = pruning::classify(cfg.pruning, graph, &state, &mut rng);
+            let active = sub.scope("classify", |p| {
+                let active = pruning::classify(cfg.pruning, graph, &state, &mut rng);
+                let num_active = active.iter().filter(|&&a| a).count() as u64;
+                p.count("active", num_active);
+                p.count("pruned", graph.num_vertices() as u64 - num_active);
+                active
+            });
             let num_active = active.iter().filter(|&&a| a).count();
             let t1 = Instant::now();
-            let out = kernels::decide(cfg.kernel, graph, &state, &active);
+            let out = kernels::decide_profiled(cfg.kernel, graph, &state, &active, &mut sub);
             let t2 = Instant::now();
-            let summary = state.apply_moves(graph, &out.next_comm);
+            let summary = sub.scope("apply", |p| {
+                let summary = state.apply_moves(graph, &out.next_comm);
+                p.count("moved", summary.num_moved() as u64);
+                summary
+            });
             let t3 = Instant::now();
-            let weight_tally = weight::update(cfg.weight_update, graph, &mut state, &summary);
+            let weight_tally = sub.scope("weight_update", |p| {
+                let tally = weight::update(cfg.weight_update, graph, &mut state, &summary);
+                p.record(&tally);
+                tally
+            });
             let t4 = Instant::now();
-            let q = state.modularity(graph);
+            let q = sub.scope("modularity", |p| {
+                p.count("items", graph.num_vertices() as u64);
+                state.modularity(graph)
+            });
             let t5 = Instant::now();
+            if instrumented {
+                let tree = sub.finish();
+                if sink.enabled() {
+                    sink.emit(TraceEvent::Span {
+                        round: round as u32,
+                        superstep: iteration as u32,
+                        phase: "phase1".to_string(),
+                        root: tree.clone(),
+                    });
+                }
+                prof.scope("superstep", |p| p.absorb(tree));
+            }
             iterations.push(IterationStats {
                 iteration,
                 num_active,
@@ -314,9 +368,22 @@ impl Louvain {
     }
 
     /// [`Self::run`] with a [`TraceSink`] receiving the full event stream:
-    /// `run_start`, one `superstep` per BSP superstep, one `round_end` per
-    /// hierarchy round, and a final `run_end`.
+    /// `run_start`, one `superstep` (plus its `span` tree) per BSP
+    /// superstep, one `round_end` per hierarchy round, and a final
+    /// `run_end`.
     pub fn run_traced(&self, graph: &Graph, sink: &mut dyn TraceSink) -> LouvainResult {
+        self.run_instrumented(graph, sink, &mut Profiler::disabled())
+    }
+
+    /// [`Self::run_traced`] with a [`Profiler`] accumulating the run-level
+    /// span tree: one `round` span per hierarchy round, holding the merged
+    /// `superstep` trees plus `refine`/`contract` phase-2 spans.
+    pub fn run_instrumented(
+        &self,
+        graph: &Graph,
+        sink: &mut dyn TraceSink,
+        prof: &mut Profiler,
+    ) -> LouvainResult {
         let cfg = &self.config;
         if sink.enabled() {
             sink.emit(TraceEvent::RunStart {
@@ -331,26 +398,58 @@ impl Louvain {
         let mut flat: Option<Partition> = None;
         let mut best: Option<(Partition, f64)> = None;
         let mut last_q = f64::NEG_INFINITY;
+        let instrumented = prof.is_enabled() || sink.enabled();
         for round in 0..cfg.max_rounds {
             let g = current.as_ref().unwrap_or(graph);
-            let (state, stats) = self.run_phase1_round(g, round, sink);
+            prof.enter("round");
+            let (state, stats) = self.run_phase1_round(g, round, sink, prof);
             let q = stats.modularity;
             let moved_any = stats.iterations.iter().any(|i| i.num_moved > 0);
-            rounds.push(stats);
+            // Phase 2 (refine + contract) profiles like a superstep: a
+            // fresh sub-tree per round, emitted as a `span` event and
+            // absorbed into the open `round` span.
+            let mut sub = if instrumented {
+                Profiler::new()
+            } else {
+                Profiler::disabled()
+            };
             let partition = if cfg.refine {
                 // Leiden-style repair: split each community into its
                 // well-connected pieces before aggregating; the next
                 // round's phase 1 re-merges whatever belongs together.
-                crate::leiden::refine_partition(
-                    g,
-                    &state.partition(),
-                    cfg.resolution,
-                    cfg.max_iterations,
-                )
+                sub.scope("refine", |p| {
+                    let refined = crate::leiden::refine_partition(
+                        g,
+                        &state.partition(),
+                        cfg.resolution,
+                        cfg.max_iterations,
+                    );
+                    p.count("communities", refined.num_communities() as u64);
+                    refined
+                })
             } else {
                 state.partition()
             };
-            let coarse = coarsen(g, &partition);
+            let coarse = sub.scope("contract", |p| {
+                let coarse = coarsen(g, &partition);
+                p.count("vertices", g.num_vertices() as u64);
+                p.count("communities", coarse.num_communities as u64);
+                coarse
+            });
+            if instrumented {
+                let tree = sub.finish();
+                if sink.enabled() {
+                    sink.emit(TraceEvent::Span {
+                        round: round as u32,
+                        superstep: stats.iterations.len() as u32,
+                        phase: "contract".to_string(),
+                        root: tree.clone(),
+                    });
+                }
+                prof.absorb(tree);
+            }
+            prof.exit();
+            rounds.push(stats);
             let composed = match flat {
                 None => coarse.renumbered.clone(),
                 Some(prev) => prev.compose(&coarse.renumbered),
@@ -596,6 +695,66 @@ mod tests {
             }
             other => panic!("unexpected final event {other:?}"),
         }
+    }
+
+    #[test]
+    fn instrumented_run_produces_span_trees() {
+        use gala_telemetry::VecSink;
+        let g = fixtures::ring_of_cliques(6, 5);
+        let runner = Louvain::new(LouvainConfig::default());
+        let plain = runner.run(&g);
+        let mut sink = VecSink::default();
+        let mut prof = Profiler::new();
+        let traced = runner.run_instrumented(&g, &mut sink, &mut prof);
+        assert_eq!(traced.partition, plain.partition);
+        assert_eq!(traced.modularity, plain.modularity);
+
+        // One phase1 span event per superstep, one contract per round.
+        let phase1: Vec<_> = sink
+            .events
+            .iter()
+            .filter_map(|e| match e {
+                TraceEvent::Span { phase, root, .. } if phase == "phase1" => Some(root),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(phase1.len(), traced.num_iterations());
+        let contracts = sink
+            .events
+            .iter()
+            .filter(|e| matches!(e, TraceEvent::Span { phase, .. } if phase == "contract"))
+            .count();
+        assert_eq!(contracts, traced.rounds.len());
+        // Each phase-1 tree has the superstep phases with the decide
+        // kernels beneath, and the kernel tallies carry the divergence and
+        // coalescing counters.
+        let mut decide_totals = MemTally::new();
+        for root in &phase1 {
+            let decide = root.child("decide").expect("decide span");
+            assert!(root.child("classify").is_some());
+            assert!(root.child("apply").is_some());
+            assert!(root.child("weight_update").is_some());
+            assert!(!decide.children.is_empty(), "no kernel child spans");
+            decide_totals += decide.total_tally();
+        }
+        assert!(decide_totals.simt_steps > 0, "no SIMT steps recorded");
+        assert!(
+            decide_totals.coalesce_requests > 0,
+            "no coalescing requests recorded"
+        );
+        assert!(decide_totals.divergence() > 0.0);
+
+        // The run-level profiler holds the merged tree: round → superstep →
+        // decide, with tallies matching the per-iteration stats.
+        let tree = prof.finish();
+        let round = tree.child("round").expect("round span");
+        assert_eq!(round.invocations, traced.rounds.len() as u64);
+        let step = round.child("superstep").expect("superstep span");
+        assert_eq!(step.invocations, traced.num_iterations() as u64);
+        let decide_total = step.child("decide").unwrap().total_tally();
+        let expected: MemTally = traced.rounds.iter().map(|r| r.decide_tally()).sum();
+        assert_eq!(decide_total, expected);
+        assert!(round.child("contract").is_some());
     }
 
     #[test]

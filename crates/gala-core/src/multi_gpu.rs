@@ -27,6 +27,7 @@ use crate::state::BspState;
 use crate::weight::{self, WeightUpdateMode};
 use gala_gpu::comm::DeviceGroup;
 use gala_gpu::memory::{CostModel, MemTally};
+use gala_gpu::profile::Profiler;
 use gala_graph::{Graph, Partition, VertexId};
 use gala_telemetry::{NullSink, TraceEvent, TraceSink};
 use rand::SeedableRng;
@@ -181,6 +182,18 @@ pub fn run_phase1_traced(
     config: MultiGpuConfig,
     sink: &mut dyn TraceSink,
 ) -> MultiGpuResult {
+    run_phase1_instrumented(graph, config, sink, &mut Profiler::disabled())
+}
+
+/// [`run_phase1_traced`] with a [`Profiler`] accumulating per-superstep span
+/// trees (classify → decide → sync → apply → weight-update → modularity);
+/// each superstep's fresh tree is also emitted as a `span` trace event.
+pub fn run_phase1_instrumented(
+    graph: &Graph,
+    config: MultiGpuConfig,
+    sink: &mut dyn TraceSink,
+    prof: &mut Profiler,
+) -> MultiGpuResult {
     let cfg = config;
     let group = DeviceGroup::new(cfg.num_devices);
     let cost = CostModel::default();
@@ -205,11 +218,24 @@ pub fn run_phase1_traced(
         });
     }
 
+    let instrumented = prof.is_enabled() || sink.enabled();
     for iteration in 0..cfg.max_iterations {
-        let active = pruning::classify(cfg.pruning, graph, &state, &mut rng);
+        let mut sub = if instrumented {
+            Profiler::new()
+        } else {
+            Profiler::disabled()
+        };
+        let active = sub.scope("classify", |p| {
+            let active = pruning::classify(cfg.pruning, graph, &state, &mut rng);
+            let num_active = active.iter().filter(|&&a| a).count() as u64;
+            p.count("active", num_active);
+            p.count("pruned", n as u64 - num_active);
+            active
+        });
         let num_active = active.iter().filter(|&&a| a).count();
 
-        // Each device decides over its owned range.
+        // Each device decides over its owned range; the per-device kernel
+        // spans merge by name into one `decide` subtree.
         let mut next_comm = state.comm.clone();
         let mut device_tallies = Vec::with_capacity(cfg.num_devices);
         for range in &ranges {
@@ -217,11 +243,14 @@ pub fn run_phase1_traced(
             for v in range.clone() {
                 device_active[v as usize] = active[v as usize];
             }
-            let out = kernels::decide(cfg.kernel, graph, &state, &device_active);
+            let out = kernels::decide_profiled(cfg.kernel, graph, &state, &device_active, &mut sub);
             for v in range.clone() {
                 next_comm[v as usize] = out.next_comm[v as usize];
             }
             device_tallies.push(out.tally);
+        }
+        if instrumented {
+            sub.scope("decide", |p| p.count("devices", cfg.num_devices as u64));
         }
         let compute_us = device_tallies
             .iter()
@@ -248,12 +277,55 @@ pub fn run_phase1_traced(
             }
         };
 
-        let summary = state.apply_moves(graph, &next_comm);
-        let weight_tally = weight::update(cfg.weight_update, graph, &mut state, &summary);
+        if instrumented {
+            sub.scope("sync", |p| {
+                p.count(
+                    "bytes",
+                    match sync_used {
+                        SyncMode::Dense => n as u64 * DENSE_BYTES_PER_VERTEX,
+                        _ => num_moved as u64 * SPARSE_BYTES_PER_MOVE,
+                    },
+                );
+                p.count("dense_bytes", n as u64 * DENSE_BYTES_PER_VERTEX);
+                p.count("sparse_bytes", num_moved as u64 * SPARSE_BYTES_PER_MOVE);
+                p.count(
+                    match sync_used {
+                        SyncMode::Dense => "dense_syncs",
+                        _ => "sparse_syncs",
+                    },
+                    1,
+                );
+            });
+        }
+        let summary = sub.scope("apply", |p| {
+            let summary = state.apply_moves(graph, &next_comm);
+            p.count("moved", summary.num_moved() as u64);
+            summary
+        });
+        let weight_tally = sub.scope("weight_update", |p| {
+            let tally = weight::update(cfg.weight_update, graph, &mut state, &summary);
+            p.record(&tally);
+            tally
+        });
         // Weight maintenance is itself a device kernel, split evenly.
         let compute_us =
             compute_us + cost.cycles(&weight_tally) / (cfg.num_devices as f64) / cycles_per_us;
-        let q = state.modularity(graph);
+        let q = sub.scope("modularity", |p| {
+            p.count("items", n as u64);
+            state.modularity(graph)
+        });
+        if instrumented {
+            let tree = sub.finish();
+            if sink.enabled() {
+                sink.emit(TraceEvent::Span {
+                    round: 0,
+                    superstep: iteration as u32,
+                    phase: "phase1".to_string(),
+                    root: tree.clone(),
+                });
+            }
+            prof.scope("superstep", |p| p.absorb(tree));
+        }
         if sink.enabled() {
             let moved = summary.num_moved();
             sink.emit(TraceEvent::Superstep {
@@ -525,6 +597,56 @@ mod tests {
         }
         // Adaptive runs end sparse; the trace must show the switch.
         assert_eq!(syncs.last().unwrap().0, "sparse");
+    }
+
+    #[test]
+    fn instrumented_run_records_sync_spans() {
+        use gala_telemetry::{TraceEvent, VecSink};
+        let g = fixtures::ring_of_cliques(10, 8);
+        let cfg = MultiGpuConfig {
+            num_devices: 4,
+            sync: SyncMode::Adaptive,
+            ..MultiGpuConfig::default()
+        };
+        let plain = run_phase1(&g, cfg);
+        let mut sink = VecSink::default();
+        let mut prof = Profiler::new();
+        let traced = run_phase1_instrumented(&g, cfg, &mut sink, &mut prof);
+        assert_eq!(traced.partition, plain.partition);
+
+        let span_roots: Vec<_> = sink
+            .events
+            .iter()
+            .filter_map(|e| match e {
+                TraceEvent::Span { root, .. } => Some(root),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(span_roots.len(), traced.iterations.len());
+        for root in &span_roots {
+            let sync = root.child("sync").expect("sync span");
+            assert!(sync.counter("dense_bytes") > 0);
+            assert_eq!(
+                sync.counter("dense_syncs") + sync.counter("sparse_syncs"),
+                1
+            );
+            assert_eq!(root.child("decide").unwrap().counter("devices"), 4);
+        }
+        // Merged run-level tree: total sync bytes match the trace events.
+        let tree = prof.finish();
+        let sync = tree
+            .child("superstep")
+            .and_then(|s| s.child("sync"))
+            .expect("merged sync span");
+        let traced_bytes: u64 = sink
+            .events
+            .iter()
+            .filter_map(|e| match e {
+                TraceEvent::Sync { bytes, .. } => Some(*bytes),
+                _ => None,
+            })
+            .sum();
+        assert_eq!(sync.counter("bytes"), traced_bytes);
     }
 
     #[test]

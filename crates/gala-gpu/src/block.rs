@@ -92,6 +92,15 @@ impl Default for BlockConfig {
     }
 }
 
+impl BlockConfig {
+    /// Number of warps this block schedules (`block_size` rounded up to
+    /// whole warps) — the unit divergence and coalescing counters are
+    /// attributed at.
+    pub fn warps(&self) -> usize {
+        self.block_size.div_ceil(crate::warp::WARP_SIZE)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -128,5 +137,15 @@ mod tests {
         let mut sm = SharedMem::new(0);
         let v: Option<Vec<u8>> = sm.try_alloc(0);
         assert!(v.is_some());
+    }
+
+    #[test]
+    fn block_warp_count_rounds_up() {
+        assert_eq!(BlockConfig::default().warps(), 4);
+        let odd = BlockConfig {
+            block_size: 33,
+            ..BlockConfig::default()
+        };
+        assert_eq!(odd.warps(), 2);
     }
 }

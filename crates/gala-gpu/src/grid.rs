@@ -134,6 +134,11 @@ mod tests {
         let kernel = |i: &u64, t: &mut MemTally| {
             t.load(Space::Global, *i % 5);
             t.atomic(Space::Shared, 1);
+            t.simt_step((*i % 33) as u32);
+            if i.is_multiple_of(7) {
+                t.simt_serialize(1);
+            }
+            t.global_request(&[*i, i + 1, i * 40], 4);
             i + 1
         };
         let mut par_prof = Profiler::new();
@@ -146,6 +151,11 @@ mod tests {
         let span = par_root.child("k").unwrap();
         assert_eq!(span.counter("items"), items.len() as u64);
         assert_eq!(span.tally, par.tally);
+        // Divergence/coalescing counters reduce deterministically too.
+        assert_eq!(span.tally.simt_steps, 2000);
+        assert!(span.tally.simt_serialized > 0);
+        assert_eq!(span.tally.coalesce_requests, 2000);
+        assert!(span.tally.coalesce_transactions >= span.tally.coalesce_ideal);
     }
 
     #[test]

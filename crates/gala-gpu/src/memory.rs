@@ -10,6 +10,10 @@
 use std::iter::Sum;
 use std::ops::{Add, AddAssign};
 
+/// Bytes per global-memory cache-line segment used for coalescing
+/// accounting, matching the 128-byte L1 line on NVIDIA parts.
+pub const SEGMENT_BYTES: u64 = 128;
+
 /// A GPU memory space, ordered fastest to slowest.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
 pub enum Space {
@@ -40,6 +44,22 @@ pub struct MemTally {
     pub global_atomics: u64,
     /// Warp-level primitive invocations (match/reduce/shfl/ballot).
     pub warp_primitives: u64,
+    /// Lockstep SIMT steps executed (one per warp-wide instruction issue).
+    pub simt_steps: u64,
+    /// Sum of active-lane mask populations over all SIMT steps. Divergence
+    /// is `1 - simt_active_lanes / (simt_steps * 32)`.
+    pub simt_active_lanes: u64,
+    /// Branches where both sides of a predicate had active lanes, forcing
+    /// serialized execution of the divergent paths.
+    pub simt_serialized: u64,
+    /// Warp-wide global-memory requests submitted for coalescing analysis.
+    pub coalesce_requests: u64,
+    /// Distinct [`SEGMENT_BYTES`]-sized segments actually touched by those
+    /// requests (memory transactions issued).
+    pub coalesce_transactions: u64,
+    /// Minimum transactions the same requests would need if perfectly
+    /// coalesced. Efficiency is `coalesce_ideal / coalesce_transactions`.
+    pub coalesce_ideal: u64,
 }
 
 impl MemTally {
@@ -84,6 +104,76 @@ impl MemTally {
         self.warp_primitives += n;
     }
 
+    /// Records one lockstep SIMT step executed under `mask`: every warp-wide
+    /// instruction issue counts one step plus the population of its active
+    /// mask, so divergence falls out as the gap to 32 lanes per step.
+    #[inline]
+    pub fn simt_step(&mut self, mask: u32) {
+        self.simt_steps += 1;
+        self.simt_active_lanes += u64::from(mask.count_ones());
+    }
+
+    /// Records one serialized divergent branch (both sides of a warp-level
+    /// predicate had active lanes, so the hardware runs them back to back).
+    #[inline]
+    pub fn simt_serialize(&mut self, n: u64) {
+        self.simt_serialized += n;
+    }
+
+    /// Records one warp-wide global-memory request touching elements of
+    /// `elem_bytes` bytes at the given element `offsets` (one per active
+    /// lane). Counts the distinct [`SEGMENT_BYTES`] cache-line segments the
+    /// request needs (actual transactions) against the minimum a perfectly
+    /// coalesced request of the same size would need (ideal transactions).
+    ///
+    /// This is accounting *about* accesses counted elsewhere via
+    /// [`Self::load`]/[`Self::store`]; it never changes load/store counts,
+    /// so the [`CostModel`] cycle totals are unaffected.
+    pub fn global_request(&mut self, offsets: &[u64], elem_bytes: u64) {
+        if offsets.is_empty() {
+            return;
+        }
+        self.coalesce_requests += 1;
+        let mut segs = [0u64; 32];
+        let n = offsets.len().min(32);
+        for (slot, &off) in segs.iter_mut().zip(offsets.iter()) {
+            *slot = off * elem_bytes / SEGMENT_BYTES;
+        }
+        let segs = &mut segs[..n];
+        segs.sort_unstable();
+        let mut distinct = 1u64;
+        for i in 1..n {
+            if segs[i] != segs[i - 1] {
+                distinct += 1;
+            }
+        }
+        let ideal = (n as u64 * elem_bytes)
+            .div_ceil(SEGMENT_BYTES)
+            .max(1)
+            .min(distinct);
+        self.coalesce_transactions += distinct;
+        self.coalesce_ideal += ideal;
+    }
+
+    /// Branch-divergence ratio in `[0, 1]`: the fraction of lane-slots left
+    /// idle across all SIMT steps. Zero when nothing was recorded.
+    pub fn divergence(&self) -> f64 {
+        if self.simt_steps == 0 {
+            return 0.0;
+        }
+        let capacity = self.simt_steps * 32;
+        1.0 - self.simt_active_lanes as f64 / capacity as f64
+    }
+
+    /// Coalescing efficiency in `(0, 1]`: ideal over actual transactions.
+    /// One (perfect) when no requests were recorded.
+    pub fn coalescing_efficiency(&self) -> f64 {
+        if self.coalesce_transactions == 0 {
+            return 1.0;
+        }
+        self.coalesce_ideal as f64 / self.coalesce_transactions as f64
+    }
+
     /// Total accesses touching shared memory (loads + stores + atomics).
     pub fn shared_total(&self) -> u64 {
         self.shared_loads + self.shared_stores + self.shared_atomics
@@ -107,6 +197,12 @@ impl Add for MemTally {
             shared_atomics: self.shared_atomics + rhs.shared_atomics,
             global_atomics: self.global_atomics + rhs.global_atomics,
             warp_primitives: self.warp_primitives + rhs.warp_primitives,
+            simt_steps: self.simt_steps + rhs.simt_steps,
+            simt_active_lanes: self.simt_active_lanes + rhs.simt_active_lanes,
+            simt_serialized: self.simt_serialized + rhs.simt_serialized,
+            coalesce_requests: self.coalesce_requests + rhs.coalesce_requests,
+            coalesce_transactions: self.coalesce_transactions + rhs.coalesce_transactions,
+            coalesce_ideal: self.coalesce_ideal + rhs.coalesce_ideal,
         }
     }
 }
@@ -220,5 +316,91 @@ mod tests {
     #[should_panic(expected = "no atomics on registers")]
     fn register_atomics_rejected() {
         MemTally::new().atomic(Space::Register, 1);
+    }
+
+    #[test]
+    fn simt_steps_track_active_lanes() {
+        let mut t = MemTally::new();
+        t.simt_step(u32::MAX); // 32 lanes
+        t.simt_step(0b1111); // 4 lanes
+        assert_eq!(t.simt_steps, 2);
+        assert_eq!(t.simt_active_lanes, 36);
+        assert!((t.divergence() - (1.0 - 36.0 / 64.0)).abs() < 1e-12);
+        t.simt_serialize(3);
+        assert_eq!(t.simt_serialized, 3);
+    }
+
+    #[test]
+    fn divergence_zero_when_unrecorded() {
+        assert_eq!(MemTally::new().divergence(), 0.0);
+    }
+
+    #[test]
+    fn contiguous_request_is_fully_coalesced() {
+        let mut t = MemTally::new();
+        // 32 consecutive 4-byte elements = 128 bytes = exactly one segment.
+        let offsets: Vec<u64> = (0..32).collect();
+        t.global_request(&offsets, 4);
+        assert_eq!(t.coalesce_requests, 1);
+        assert_eq!(t.coalesce_transactions, 1);
+        assert_eq!(t.coalesce_ideal, 1);
+        assert_eq!(t.coalescing_efficiency(), 1.0);
+    }
+
+    #[test]
+    fn strided_request_touches_many_segments() {
+        let mut t = MemTally::new();
+        // Stride of 32 elements of 4 bytes = one segment per lane.
+        let offsets: Vec<u64> = (0..32).map(|i| i * 32).collect();
+        t.global_request(&offsets, 4);
+        assert_eq!(t.coalesce_transactions, 32);
+        assert_eq!(t.coalesce_ideal, 1);
+        assert!((t.coalescing_efficiency() - 1.0 / 32.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn duplicate_offsets_share_segments() {
+        let mut t = MemTally::new();
+        t.global_request(&[7, 7, 7, 7], 8);
+        assert_eq!(t.coalesce_transactions, 1);
+        assert_eq!(t.coalesce_ideal, 1);
+    }
+
+    #[test]
+    fn empty_request_is_ignored() {
+        let mut t = MemTally::new();
+        t.global_request(&[], 4);
+        assert_eq!(t.coalesce_requests, 0);
+        assert_eq!(t.coalescing_efficiency(), 1.0);
+    }
+
+    #[test]
+    fn new_counters_do_not_change_cycles() {
+        let m = CostModel::default();
+        let mut t = MemTally::new();
+        t.load(Space::Global, 10);
+        let before = m.cycles(&t);
+        t.simt_step(0b1);
+        t.simt_serialize(5);
+        t.global_request(&[0, 100, 200], 4);
+        assert_eq!(m.cycles(&t), before);
+    }
+
+    #[test]
+    fn new_counters_sum() {
+        let mut a = MemTally::new();
+        a.simt_step(0b11);
+        a.global_request(&[0], 4);
+        let mut b = MemTally::new();
+        b.simt_step(u32::MAX);
+        b.simt_serialize(1);
+        b.global_request(&[0, 64], 4);
+        let s = a + b;
+        assert_eq!(s.simt_steps, 2);
+        assert_eq!(s.simt_active_lanes, 34);
+        assert_eq!(s.simt_serialized, 1);
+        assert_eq!(s.coalesce_requests, 2);
+        assert_eq!(s.coalesce_transactions, 3);
+        assert_eq!(s.coalesce_ideal, 2);
     }
 }

@@ -219,6 +219,28 @@ impl Profiler {
         top.tally += *tally;
     }
 
+    /// Folds a finished span tree (the root returned by [`Self::finish`])
+    /// into the current span: the root's tally and counters add to the
+    /// current span, its children merge by name. This lets drivers profile
+    /// a superstep with a private sub-profiler, emit the fresh tree as a
+    /// trace event, and still accumulate it into the run-level tree.
+    pub fn absorb(&mut self, root: SpanRecord) {
+        if !self.enabled {
+            return;
+        }
+        let top = self.stack.last_mut().expect("root span missing");
+        top.tally += root.tally;
+        for (k, v) in root.counters {
+            *top.counters.entry(k).or_insert(0) += v;
+        }
+        for child in root.children {
+            match top.children.iter_mut().find(|c| c.name == child.name) {
+                Some(mine) => mine.merge(child),
+                None => top.children.push(child),
+            }
+        }
+    }
+
     /// Adds `n` to the named counter of the current span.
     pub fn count(&mut self, key: &str, n: u64) {
         if !self.enabled {
@@ -323,6 +345,36 @@ mod tests {
     #[should_panic(expected = "without a span open")]
     fn exit_without_enter_panics() {
         Profiler::new().exit();
+    }
+
+    #[test]
+    fn absorb_merges_sub_profiler_trees() {
+        let mut run = Profiler::new();
+        run.scope("superstep", |run| {
+            for loads in [2u64, 5] {
+                let mut sub = Profiler::new();
+                sub.scope("decide", |p| {
+                    p.record(&tally(loads));
+                    p.count("items", loads);
+                });
+                run.absorb(sub.finish());
+            }
+        });
+        let root = run.finish();
+        let step = root.child("superstep").unwrap();
+        let decide = step.child("decide").unwrap();
+        assert_eq!(decide.tally.global_loads, 7);
+        assert_eq!(decide.counter("items"), 7);
+        assert_eq!(decide.invocations, 2);
+    }
+
+    #[test]
+    fn absorb_on_disabled_profiler_is_noop() {
+        let mut p = Profiler::disabled();
+        let mut sub = Profiler::new();
+        sub.scope("decide", |p| p.record(&tally(3)));
+        p.absorb(sub.finish());
+        assert_eq!(p.finish(), SpanRecord::new(""));
     }
 
     #[test]

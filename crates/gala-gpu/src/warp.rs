@@ -51,6 +51,7 @@ impl<'t> Warp<'t> {
     /// `__match_any_sync`: for each active lane `i`, returns the mask of
     /// active lanes whose value equals `values[i]`. Inactive lanes get 0.
     pub fn match_any_sync(&mut self, values: &[u32; WARP_SIZE]) -> [u32; WARP_SIZE] {
+        self.tally.simt_step(self.active);
         self.tally.warp_primitive(1);
         let mut out = [0u32; WARP_SIZE];
         for i in 0..WARP_SIZE {
@@ -77,6 +78,7 @@ impl<'t> Warp<'t> {
         groups: &[u32; WARP_SIZE],
         values: &[f64; WARP_SIZE],
     ) -> [f64; WARP_SIZE] {
+        self.tally.simt_step(self.active);
         self.tally.warp_primitive(1);
         let mut out = [0.0f64; WARP_SIZE];
         for i in 0..WARP_SIZE {
@@ -99,6 +101,7 @@ impl<'t> Warp<'t> {
     /// the maximum of the active values. Returns `f64::NEG_INFINITY` when no
     /// lane is active.
     pub fn reduce_max_sync(&mut self, values: &[f64; WARP_SIZE]) -> f64 {
+        self.tally.simt_step(self.active);
         self.tally.warp_primitive(1);
         let mut max = f64::NEG_INFINITY;
         for (i, &v) in values.iter().enumerate() {
@@ -113,6 +116,7 @@ impl<'t> Warp<'t> {
     /// deterministic min-community-id tie break. Returns `u32::MAX` when no
     /// lane is active.
     pub fn reduce_min_u32_sync(&mut self, values: &[u32; WARP_SIZE]) -> u32 {
+        self.tally.simt_step(self.active);
         self.tally.warp_primitive(1);
         let mut min = u32::MAX;
         for (i, &v) in values.iter().enumerate() {
@@ -125,6 +129,7 @@ impl<'t> Warp<'t> {
 
     /// `__ballot_sync`: bitmask of active lanes whose predicate is true.
     pub fn ballot_sync(&mut self, predicate: &[bool; WARP_SIZE]) -> u32 {
+        self.tally.simt_step(self.active);
         self.tally.warp_primitive(1);
         let mut mask = 0u32;
         for (i, &p) in predicate.iter().enumerate() {
@@ -135,10 +140,42 @@ impl<'t> Warp<'t> {
         mask
     }
 
+    /// Evaluates a per-lane `predicate` as a warp-level branch, returning
+    /// the `(taken, not_taken)` active masks. One SIMT step is recorded for
+    /// the predicate evaluation; if both sides have active lanes the branch
+    /// diverges and the serialized-path counter is bumped (the hardware
+    /// would execute the two paths back to back under partial masks).
+    pub fn branch(&mut self, predicate: &[bool; WARP_SIZE]) -> (u32, u32) {
+        self.tally.simt_step(self.active);
+        let mut taken = 0u32;
+        for (i, &p) in predicate.iter().enumerate() {
+            if self.active & (1 << i) != 0 && p {
+                taken |= 1 << i;
+            }
+        }
+        let not_taken = self.active & !taken;
+        if taken != 0 && not_taken != 0 {
+            self.tally.simt_serialize(1);
+        }
+        (taken, not_taken)
+    }
+
+    /// Runs `f` with this warp's active mask narrowed to `mask` (a subset),
+    /// restoring the original mask afterwards — the simulator's analogue of
+    /// executing one side of a divergent branch.
+    pub fn with_mask<R>(&mut self, mask: u32, f: impl FnOnce(&mut Self) -> R) -> R {
+        let saved = self.active;
+        self.active = saved & mask;
+        let out = f(self);
+        self.active = saved;
+        out
+    }
+
     /// `__shfl_sync`: every active lane reads the value held by `src_lane`.
     /// Returns `None` if `src_lane` is inactive or out of range (undefined
     /// behaviour in CUDA; an error here).
     pub fn shfl_sync<T: Copy>(&mut self, values: &[T; WARP_SIZE], src_lane: usize) -> Option<T> {
+        self.tally.simt_step(self.active);
         self.tally.warp_primitive(1);
         if src_lane >= WARP_SIZE || self.active & (1 << src_lane) == 0 {
             return None;
@@ -284,5 +321,67 @@ mod tests {
     fn lanes_from_slice_rejects_oversize() {
         let big = [0u32; 33];
         lanes_from_slice(&big, 0);
+    }
+
+    #[test]
+    fn primitives_record_simt_steps() {
+        let vals = [0u32; WARP_SIZE];
+        let ((), tally) = with_warp(0b1111, |w| {
+            w.match_any_sync(&vals);
+            w.reduce_min_u32_sync(&vals);
+        });
+        assert_eq!(tally.simt_steps, 2);
+        assert_eq!(tally.simt_active_lanes, 8); // 4 active lanes x 2 steps
+        assert!((tally.divergence() - (1.0 - 8.0 / 64.0)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn branchy_program_counts_divergence() {
+        // Hand-built branchy warp program: half the lanes take the `if`
+        // side, half the `else` side, then a uniform branch follows.
+        let mut pred = [false; WARP_SIZE];
+        for (i, p) in pred.iter_mut().enumerate() {
+            *p = i % 2 == 0;
+        }
+        let vals = [1.0f64; WARP_SIZE];
+        let ((), tally) = with_warp(FULL_MASK, |w| {
+            let (taken, not_taken) = w.branch(&pred);
+            assert_eq!(taken.count_ones(), 16);
+            assert_eq!(not_taken.count_ones(), 16);
+            // Divergent paths execute serially under partial masks.
+            w.with_mask(taken, |w| {
+                w.reduce_max_sync(&vals);
+            });
+            w.with_mask(not_taken, |w| {
+                w.reduce_max_sync(&vals);
+            });
+            // Reconverged uniform branch: no extra serialization.
+            let (t2, n2) = w.branch(&[true; WARP_SIZE]);
+            assert_eq!(t2, FULL_MASK);
+            assert_eq!(n2, 0);
+        });
+        assert_eq!(tally.simt_serialized, 1);
+        // 2 branch steps at 32 lanes + 2 reduce steps at 16 lanes each.
+        assert_eq!(tally.simt_steps, 4);
+        assert_eq!(tally.simt_active_lanes, 32 + 32 + 16 + 16);
+        assert!(tally.divergence() > 0.0);
+    }
+
+    #[test]
+    fn uniform_branch_does_not_serialize() {
+        let ((), tally) = with_warp(FULL_MASK, |w| {
+            w.branch(&[false; WARP_SIZE]);
+            w.branch(&[true; WARP_SIZE]);
+        });
+        assert_eq!(tally.simt_serialized, 0);
+        assert_eq!(tally.simt_steps, 2);
+    }
+
+    #[test]
+    fn with_mask_restores_active() {
+        let ((), _) = with_warp(FULL_MASK, |w| {
+            w.with_mask(0b1, |w| assert_eq!(w.num_active(), 1));
+            assert_eq!(w.active(), FULL_MASK);
+        });
     }
 }

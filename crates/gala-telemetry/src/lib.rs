@@ -25,8 +25,14 @@ pub mod trace;
 
 pub use json::Value;
 pub use report::{MetricRow, Regression, Report, ReportError};
-pub use trace::{span_to_json, tally_to_json, JsonlSink, NullSink, TraceEvent, TraceSink, VecSink};
+pub use trace::{
+    span_from_json, span_to_json, tally_from_json, tally_to_json, JsonlSink, NullSink, TraceEvent,
+    TraceSink, VecSink,
+};
 
 /// Version of the trace-event and report JSON schemas. Bump on any
 /// incompatible change to field names or meanings.
-pub const SCHEMA_VERSION: u64 = 1;
+///
+/// History: 1 — initial events; 2 — `span` events, divergence/coalescing
+/// tally counters (`simt_*`, `coalesce_*`).
+pub const SCHEMA_VERSION: u64 = 2;

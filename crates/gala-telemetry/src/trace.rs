@@ -75,6 +75,22 @@ pub enum TraceEvent {
         /// Devices participating.
         devices: u32,
     },
+    /// A profiling span tree for one superstep or phase-2 pass: nested
+    /// per-kernel spans (shuffle vs. hash, delta-update, contraction, sync)
+    /// with memory tallies — including branch-divergence and
+    /// memory-coalescing counters — and free-form named counters.
+    Span {
+        /// Coarsening round the spans belong to.
+        round: u32,
+        /// Superstep index within the round (for `"contract"` trees, one
+        /// past the round's last superstep).
+        superstep: u32,
+        /// Which driver phase produced the tree (`"phase1"`, `"contract"`).
+        phase: String,
+        /// Root of the span tree; its children are the phase's top-level
+        /// spans (`classify`, `decide`, `apply`, …).
+        root: SpanRecord,
+    },
     /// End of one coarsening round.
     RoundEnd {
         /// Round index, from 0.
@@ -108,6 +124,58 @@ pub fn tally_to_json(t: &MemTally) -> Value {
         .set("shared_atomics", t.shared_atomics)
         .set("global_atomics", t.global_atomics)
         .set("warp_primitives", t.warp_primitives)
+        .set("simt_steps", t.simt_steps)
+        .set("simt_active_lanes", t.simt_active_lanes)
+        .set("simt_serialized", t.simt_serialized)
+        .set("coalesce_requests", t.coalesce_requests)
+        .set("coalesce_transactions", t.coalesce_transactions)
+        .set("coalesce_ideal", t.coalesce_ideal)
+}
+
+/// Parses a [`MemTally`] back from the object [`tally_to_json`] writes.
+/// Returns `None` when any field is missing or non-numeric.
+pub fn tally_from_json(v: &Value) -> Option<MemTally> {
+    let f = |key: &str| v.get(key)?.as_u64();
+    Some(MemTally {
+        register_ops: f("register_ops")?,
+        shared_loads: f("shared_loads")?,
+        shared_stores: f("shared_stores")?,
+        global_loads: f("global_loads")?,
+        global_stores: f("global_stores")?,
+        shared_atomics: f("shared_atomics")?,
+        global_atomics: f("global_atomics")?,
+        warp_primitives: f("warp_primitives")?,
+        simt_steps: f("simt_steps")?,
+        simt_active_lanes: f("simt_active_lanes")?,
+        simt_serialized: f("simt_serialized")?,
+        coalesce_requests: f("coalesce_requests")?,
+        coalesce_transactions: f("coalesce_transactions")?,
+        coalesce_ideal: f("coalesce_ideal")?,
+    })
+}
+
+/// Parses a [`SpanRecord`] tree back from the object [`span_to_json`]
+/// writes. Returns `None` on any structural mismatch.
+pub fn span_from_json(v: &Value) -> Option<SpanRecord> {
+    let counters = v
+        .get("counters")?
+        .as_object()?
+        .iter()
+        .map(|(k, n)| Some((k.clone(), n.as_u64()?)))
+        .collect::<Option<_>>()?;
+    let children = v
+        .get("children")?
+        .as_array()?
+        .iter()
+        .map(span_from_json)
+        .collect::<Option<_>>()?;
+    Some(SpanRecord {
+        name: v.get("name")?.as_str()?.to_string(),
+        invocations: v.get("invocations")?.as_u64()?,
+        tally: tally_from_json(v.get("tally")?)?,
+        counters,
+        children,
+    })
 }
 
 /// Serialises a profiling span tree ([`SpanRecord`]) recursively.
@@ -134,6 +202,7 @@ impl TraceEvent {
             TraceEvent::RunStart { .. } => "run_start",
             TraceEvent::Superstep { .. } => "superstep",
             TraceEvent::Sync { .. } => "sync",
+            TraceEvent::Span { .. } => "span",
             TraceEvent::RoundEnd { .. } => "round_end",
             TraceEvent::RunEnd { .. } => "run_end",
         }
@@ -195,6 +264,16 @@ impl TraceEvent {
                 .set("bytes", *bytes)
                 .set("comm_us", *comm_us)
                 .set("devices", *devices),
+            TraceEvent::Span {
+                round,
+                superstep,
+                phase,
+                root,
+            } => base
+                .set("round", *round)
+                .set("superstep", *superstep)
+                .set("phase", phase.as_str())
+                .set("root", span_to_json(root)),
             TraceEvent::RoundEnd {
                 round,
                 supersteps,
@@ -363,6 +442,62 @@ mod tests {
         );
         assert_eq!(events[2].get("event").unwrap().as_str(), Some("run_end"));
         assert_eq!(events[2].get("rounds").unwrap().as_u64(), Some(3));
+    }
+
+    #[test]
+    fn span_event_round_trips_through_jsonl() {
+        use gala_gpu::profile::Profiler;
+        let mut p = Profiler::new();
+        p.scope("decide", |p| {
+            let mut t = MemTally::new();
+            t.load(Space::Global, 4);
+            t.simt_step(0xFFFF);
+            t.simt_serialize(2);
+            t.global_request(&[0, 1, 900], 8);
+            p.record(&t);
+            p.count("items", 3);
+            p.scope("hash", |p| p.count("hash_evictions", 5));
+        });
+        let event = TraceEvent::Span {
+            round: 1,
+            superstep: 7,
+            phase: "phase1".into(),
+            root: p.finish(),
+        };
+        let mut sink = JsonlSink::new(Vec::new());
+        sink.emit(event.clone());
+        let text = String::from_utf8(sink.into_inner()).unwrap();
+        let v = parse(text.trim()).unwrap();
+        assert_eq!(v.get("event").unwrap().as_str(), Some("span"));
+        assert_eq!(v.get("round").unwrap().as_u64(), Some(1));
+        assert_eq!(v.get("superstep").unwrap().as_u64(), Some(7));
+        assert_eq!(v.get("phase").unwrap().as_str(), Some("phase1"));
+        let root = span_from_json(v.get("root").unwrap()).unwrap();
+        let TraceEvent::Span { root: original, .. } = event else {
+            unreachable!()
+        };
+        assert_eq!(root, original);
+        let decide = root.child("decide").unwrap();
+        assert_eq!(decide.tally.simt_steps, 1);
+        assert_eq!(decide.tally.simt_serialized, 2);
+        assert_eq!(decide.tally.coalesce_requests, 1);
+        assert_eq!(decide.child("hash").unwrap().counter("hash_evictions"), 5);
+    }
+
+    #[test]
+    fn tally_round_trips_with_new_counters() {
+        let mut t = MemTally::new();
+        t.load(Space::Global, 9);
+        t.simt_step(0b101);
+        t.global_request(&[3, 600], 4);
+        let parsed = tally_from_json(&parse(&tally_to_json(&t).render()).unwrap()).unwrap();
+        assert_eq!(parsed, t);
+    }
+
+    #[test]
+    fn tally_from_json_rejects_missing_fields() {
+        let v = Value::object().set("register_ops", 1u64);
+        assert!(tally_from_json(&v).is_none());
     }
 
     #[test]
