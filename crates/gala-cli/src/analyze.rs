@@ -42,11 +42,13 @@ struct SyncEvent {
     bytes: u64,
 }
 
-/// One `span` event, decoded: a profiling tree for one superstep or pass.
+/// What `--check` needs from one `span` event. The tree itself is merged
+/// into [`Trace::merged_root`] at parse time and dropped, so a trace with
+/// thousands of supersteps never holds every tree at once.
 #[derive(Clone, Debug)]
-struct SpanEvent {
+struct SpanCheck {
     phase: String,
-    root: SpanRecord,
+    tally: MemTally,
 }
 
 /// The `run_end` summary.
@@ -66,7 +68,10 @@ struct Trace {
     devices: u64,
     supersteps: Vec<Superstep>,
     syncs: Vec<SyncEvent>,
-    spans: Vec<SpanEvent>,
+    span_checks: Vec<SpanCheck>,
+    /// All span trees merged by name in first-seen order (the in-process
+    /// profiler's rule), built incrementally while streaming the file.
+    merged_root: SpanRecord,
     round_ends: u64,
     run_end: Option<RunEnd>,
     events: usize,
@@ -99,15 +104,23 @@ fn field_tally(v: &json::Value, key: &str, line: usize) -> Result<MemTally, Erro
 
 /// Parses a trace JSONL file, rejecting unknown schemas, unknown event
 /// kinds and malformed lines (line numbers in every error).
+///
+/// The file is streamed line by line — span trees are folded into the
+/// merged profile as they arrive — so peak memory is one line plus the
+/// decoded summaries, independent of trace length.
 fn load_trace(path: &str) -> Result<Trace, Error> {
-    let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+    use std::io::BufRead;
+    let file = std::fs::File::open(path).map_err(|e| format!("{path}: {e}"))?;
+    let reader = std::io::BufReader::new(file);
     let mut trace = Trace::default();
-    for (idx, raw) in text.lines().enumerate() {
+    let mut merger = Profiler::new();
+    for (idx, raw) in reader.lines().enumerate() {
         let line = idx + 1;
+        let raw = raw.map_err(|e| format!("{path} line {line}: {e}"))?;
         if raw.trim().is_empty() {
             continue;
         }
-        let v = json::parse(raw).map_err(|e| format!("{path} line {line}: {e}"))?;
+        let v = json::parse(&raw).map_err(|e| format!("{path} line {line}: {e}"))?;
         let schema = field_u64(&v, "schema", line)?;
         if schema != SCHEMA_VERSION {
             return Err(format!(
@@ -141,13 +154,17 @@ fn load_trace(path: &str) -> Result<Trace, Error> {
                 mode: field_str(&v, "mode", line)?,
                 bytes: field_u64(&v, "bytes", line)?,
             }),
-            "span" => trace.spans.push(SpanEvent {
-                phase: field_str(&v, "phase", line)?,
-                root: v
+            "span" => {
+                let root = v
                     .get("root")
                     .and_then(span_from_json)
-                    .ok_or_else(|| format!("{path} line {line}: bad span tree"))?,
-            }),
+                    .ok_or_else(|| format!("{path} line {line}: bad span tree"))?;
+                trace.span_checks.push(SpanCheck {
+                    phase: field_str(&v, "phase", line)?,
+                    tally: root.total_tally(),
+                });
+                merger.absorb(root);
+            }
             "round_end" => trace.round_ends += 1,
             "run_end" => {
                 trace.run_end = Some(RunEnd {
@@ -164,6 +181,7 @@ fn load_trace(path: &str) -> Result<Trace, Error> {
     if trace.events == 0 {
         return Err(format!("{path}: empty trace").into());
     }
+    trace.merged_root = merger.finish();
     Ok(trace)
 }
 
@@ -217,11 +235,11 @@ fn check(path: &str, trace: &Trace) -> Result<String, Error> {
             .into());
         }
     }
-    for (i, ev) in trace.spans.iter().enumerate() {
+    for (i, ev) in trace.span_checks.iter().enumerate() {
         if ev.phase != "phase1" && ev.phase != "contract" {
             return Err(format!("{path}: span tree {i} has unknown phase `{}`", ev.phase).into());
         }
-        let t = ev.root.total_tally();
+        let t = ev.tally;
         if t.simt_active_lanes > t.simt_steps * 32 || t.coalesce_ideal > t.coalesce_transactions {
             return Err(format!("{path}: span tree {i} has incoherent SIMT counters").into());
         }
@@ -231,7 +249,7 @@ fn check(path: &str, trace: &Trace) -> Result<String, Error> {
         trace.events,
         trace.supersteps.len(),
         trace.round_ends.max(end.rounds),
-        trace.spans.len(),
+        trace.span_checks.len(),
         trace.syncs.len(),
         end.modularity,
     ))
@@ -361,16 +379,6 @@ fn scale(values: Vec<f64>, k: f64) -> Vec<f64> {
     values.into_iter().map(|v| v * k).collect()
 }
 
-/// Merges every span tree of a trace into one (children merge by name, in
-/// first-seen order — the same rule the in-process profiler uses).
-fn merged_spans(trace: &Trace) -> SpanRecord {
-    let mut prof = Profiler::new();
-    for ev in &trace.spans {
-        prof.absorb(ev.root.clone());
-    }
-    prof.finish()
-}
-
 /// One row of the span summary: slash-joined path plus cycle attribution.
 struct SpanRow {
     path: String,
@@ -400,9 +408,8 @@ fn flatten_spans(span: &SpanRecord, prefix: &str, cost: &CostModel, out: &mut Ve
 /// default cost model, with a share bar against the busiest span.
 fn render_span_summary(trace: &Trace, top: usize) -> String {
     let cost = CostModel::default();
-    let root = merged_spans(trace);
     let mut rows = Vec::new();
-    flatten_spans(&root, "", &cost, &mut rows);
+    flatten_spans(&trace.merged_root, "", &cost, &mut rows);
     if rows.is_empty() {
         return "no span events in trace (produced by an older build?)\n".to_string();
     }
@@ -653,7 +660,14 @@ mod tests {
         assert_eq!(trace.algorithm, "louvain");
         assert_eq!(trace.n, 30);
         assert!(!trace.supersteps.is_empty());
-        assert!(!trace.spans.is_empty(), "instrumented run must emit spans");
+        assert!(
+            !trace.span_checks.is_empty(),
+            "instrumented run must emit spans"
+        );
+        assert!(
+            trace.merged_root.child("decide").is_some(),
+            "merged profile must hold the decide subtree"
+        );
         assert!(trace.run_end.is_some());
         let summary = check(&path, &trace).unwrap();
         assert!(summary.starts_with("ok:"), "{summary}");

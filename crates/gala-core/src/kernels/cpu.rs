@@ -16,7 +16,19 @@ use std::collections::HashMap;
 
 /// Runs the reference kernel over the active vertices.
 pub fn decide(graph: &Graph, state: &BspState, active: &[bool]) -> DecideOutput {
-    let next_comm: Vec<CommunityId> = (0..graph.num_vertices() as VertexId)
+    let mut out = DecideOutput::default();
+    decide_into(graph, state, active, &mut out);
+    out
+}
+
+/// [`decide`] writing into `out`, recycling its `next_comm` allocation.
+pub(crate) fn decide_into(
+    graph: &Graph,
+    state: &BspState,
+    active: &[bool],
+    out: &mut DecideOutput,
+) {
+    (0..graph.num_vertices() as VertexId)
         .into_par_iter()
         .map(|v| {
             if !active[v as usize] {
@@ -24,12 +36,9 @@ pub fn decide(graph: &Graph, state: &BspState, active: &[bool]) -> DecideOutput 
             }
             decide_one(v, graph, state)
         })
-        .collect();
-    DecideOutput {
-        next_comm,
-        tally: MemTally::new(),
-        hash_stats: Default::default(),
-    }
+        .collect_into_vec(&mut out.next_comm);
+    out.tally = MemTally::new();
+    out.hash_stats = Default::default();
 }
 
 /// Decision for a single vertex: aggregate `(community, weight)` over the

@@ -20,20 +20,39 @@ use gala_graph::{Graph, VertexId};
 
 /// Runs the hash-based kernel over the active vertices.
 pub fn decide(graph: &Graph, state: &BspState, active: &[bool], cfg: HashConfig) -> DecideOutput {
-    let work: Vec<VertexId> = (0..graph.num_vertices() as VertexId)
-        .filter(|&v| active[v as usize])
-        .collect();
-    let launched = grid::launch(&work, |&v, tally| decide_one(v, graph, state, cfg, tally));
-    let mut next_comm = state.comm.clone();
-    let mut hash_stats = TableStats::default();
-    for (&v, &(c, stats)) in work.iter().zip(&launched.outputs) {
-        next_comm[v as usize] = c;
-        hash_stats += stats;
-    }
-    DecideOutput {
-        next_comm,
-        tally: launched.tally,
-        hash_stats,
+    let mut out = DecideOutput::default();
+    decide_into(
+        graph,
+        state,
+        active,
+        cfg,
+        &mut Vec::new(),
+        &mut Vec::new(),
+        &mut out,
+    );
+    out
+}
+
+/// [`decide`] into recycled buffers: `work` and `launch_out` are scratch
+/// reused across supersteps, `out` is fully rewritten.
+pub(crate) fn decide_into(
+    graph: &Graph,
+    state: &BspState,
+    active: &[bool],
+    cfg: HashConfig,
+    work: &mut Vec<VertexId>,
+    launch_out: &mut Vec<(CommunityId, TableStats)>,
+    out: &mut DecideOutput,
+) {
+    super::reset_pass(state, active, work, out);
+    out.tally = grid::launch_into(
+        work,
+        |&v, tally| decide_one(v, graph, state, cfg, tally),
+        launch_out,
+    );
+    for (&v, &(c, stats)) in work.iter().zip(launch_out.iter()) {
+        out.next_comm[v as usize] = c;
+        out.hash_stats += stats;
     }
 }
 

@@ -66,7 +66,7 @@ impl Default for KernelKind {
 pub const SHUFFLE_DEGREE_THRESHOLD: usize = 32;
 
 /// Output of a DecideAndMove pass.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, Default)]
 pub struct DecideOutput {
     /// Chosen community per vertex (unchanged for inactive vertices).
     pub next_comm: Vec<CommunityId>,
@@ -74,6 +74,27 @@ pub struct DecideOutput {
     pub tally: MemTally,
     /// Hashtable placement statistics (hash-based kernels only).
     pub hash_stats: TableStats,
+}
+
+/// Reusable scratch buffers for decide passes. Drivers keep one of these
+/// across supersteps (and rounds) so the work list, kernel launch outputs,
+/// and workload-aware masks are recycled instead of reallocated every
+/// superstep. The contents carry no state between calls — every pass fully
+/// rewrites what it uses.
+#[derive(Debug, Default)]
+pub struct DecideScratch {
+    /// Active-vertex work list handed to the grid launcher.
+    work: Vec<VertexId>,
+    /// Launch outputs of kernels returning a plain community id.
+    comm_out: Vec<CommunityId>,
+    /// Launch outputs of the hash kernel (community + table stats).
+    hash_out: Vec<(CommunityId, TableStats)>,
+    /// Workload-aware small-degree mask.
+    small: Vec<bool>,
+    /// Workload-aware large-degree mask.
+    large: Vec<bool>,
+    /// Workload-aware secondary output (the hash half).
+    sub: DecideOutput,
 }
 
 /// Runs the selected kernel over all `active` vertices.
@@ -93,43 +114,112 @@ pub fn decide_profiled(
     active: &[bool],
     prof: &mut Profiler,
 ) -> DecideOutput {
+    let mut scratch = DecideScratch::default();
+    let mut out = DecideOutput::default();
+    decide_profiled_into(kind, graph, state, active, prof, &mut scratch, &mut out);
+    out
+}
+
+/// [`decide_profiled`] writing into caller-owned buffers: `out` is fully
+/// rewritten and `scratch` provides the recycled intermediates. This is the
+/// hot entry point the Louvain and multi-GPU drivers call every superstep.
+pub fn decide_profiled_into(
+    kind: KernelKind,
+    graph: &Graph,
+    state: &BspState,
+    active: &[bool],
+    prof: &mut Profiler,
+    scratch: &mut DecideScratch,
+    out: &mut DecideOutput,
+) {
+    let DecideScratch {
+        work,
+        comm_out,
+        hash_out,
+        small,
+        large,
+        sub,
+    } = scratch;
     match kind {
-        KernelKind::Cpu => record_kernel(prof, "cpu", active, cpu::decide(graph, state, active)),
-        KernelKind::Shuffle => record_kernel(
-            prof,
-            "shuffle",
-            active,
-            shuffle::decide(graph, state, active),
-        ),
-        KernelKind::Hash(cfg) => record_kernel(
-            prof,
-            "hash",
-            active,
-            hash::decide(graph, state, active, cfg),
-        ),
-        KernelKind::Sort => record_kernel(prof, "sort", active, sort::decide(graph, state, active)),
-        KernelKind::Replicated => record_kernel(
-            prof,
-            "replicated",
-            active,
-            replicated::decide(graph, state, active),
-        ),
-        KernelKind::WorkloadAware(cfg) => decide_workload_aware(graph, state, active, cfg, prof),
+        KernelKind::Cpu => {
+            cpu::decide_into(graph, state, active, out);
+            record_kernel(prof, "cpu", active, out);
+        }
+        KernelKind::Shuffle => {
+            shuffle::decide_into(graph, state, active, work, comm_out, out);
+            record_kernel(prof, "shuffle", active, out);
+        }
+        KernelKind::Hash(cfg) => {
+            hash::decide_into(graph, state, active, cfg, work, hash_out, out);
+            record_kernel(prof, "hash", active, out);
+        }
+        KernelKind::Sort => {
+            sort::decide_into(graph, state, active, work, comm_out, out);
+            record_kernel(prof, "sort", active, out);
+        }
+        KernelKind::Replicated => {
+            replicated::decide_into(graph, state, active, work, comm_out, out);
+            record_kernel(prof, "replicated", active, out);
+        }
+        KernelKind::WorkloadAware(cfg) => {
+            small.clear();
+            small.resize(active.len(), false);
+            large.clear();
+            large.resize(active.len(), false);
+            let (mut n_small, mut n_large) = (0u64, 0u64);
+            for v in 0..active.len() {
+                if !active[v] {
+                    continue;
+                }
+                if graph.degree(v as VertexId) < SHUFFLE_DEGREE_THRESHOLD {
+                    small[v] = true;
+                    n_small += 1;
+                } else {
+                    large[v] = true;
+                    n_large += 1;
+                }
+            }
+            shuffle::decide_into(graph, state, small, work, comm_out, out);
+            hash::decide_into(graph, state, large, cfg, work, hash_out, sub);
+            if prof.is_enabled() {
+                prof.scope("decide", |p| {
+                    record_kernel_span(p, "shuffle", n_small, out);
+                    record_kernel_span(p, "hash", n_large, sub);
+                });
+            }
+            for (v, is_large) in large.iter().enumerate() {
+                if *is_large {
+                    out.next_comm[v] = sub.next_comm[v];
+                }
+            }
+            out.tally += sub.tally;
+            out.hash_stats = sub.hash_stats;
+        }
     }
 }
 
-/// Wraps a single-kernel output in a `"decide"` span with one child.
-fn record_kernel(
-    prof: &mut Profiler,
-    name: &str,
+/// Refills `work` with the active vertex ids (allocation recycled) and
+/// resets `out` to "every vertex keeps its community".
+pub(crate) fn reset_pass(
+    state: &BspState,
     active: &[bool],
-    out: DecideOutput,
-) -> DecideOutput {
+    work: &mut Vec<VertexId>,
+    out: &mut DecideOutput,
+) {
+    work.clear();
+    work.extend((0..active.len() as VertexId).filter(|&v| active[v as usize]));
+    out.next_comm.clear();
+    out.next_comm.extend_from_slice(&state.comm);
+    out.tally = MemTally::new();
+    out.hash_stats = TableStats::default();
+}
+
+/// Records a single-kernel output as a `"decide"` span with one child.
+fn record_kernel(prof: &mut Profiler, name: &str, active: &[bool], out: &DecideOutput) {
     if prof.is_enabled() {
         let items = active.iter().filter(|&&a| a).count() as u64;
-        prof.scope("decide", |p| record_kernel_span(p, name, items, &out));
+        prof.scope("decide", |p| record_kernel_span(p, name, items, out));
     }
-    out
 }
 
 /// Records one kernel child span: tally, item count, and (for hash-based
@@ -148,52 +238,6 @@ fn record_kernel_span(prof: &mut Profiler, name: &str, items: u64, out: &DecideO
             p.count("hash_evictions", stats.shared_evictions);
         }
     });
-}
-
-/// GALA's dispatch: small-degree vertices to the shuffle kernel, the rest to
-/// the hash-based kernel. Both halves run over the same state snapshot, so
-/// the split is purely a performance decision.
-fn decide_workload_aware(
-    graph: &Graph,
-    state: &BspState,
-    active: &[bool],
-    cfg: HashConfig,
-    prof: &mut Profiler,
-) -> DecideOutput {
-    let mut small = vec![false; active.len()];
-    let mut large = vec![false; active.len()];
-    let (mut n_small, mut n_large) = (0u64, 0u64);
-    for v in 0..active.len() {
-        if !active[v] {
-            continue;
-        }
-        if graph.degree(v as VertexId) < SHUFFLE_DEGREE_THRESHOLD {
-            small[v] = true;
-            n_small += 1;
-        } else {
-            large[v] = true;
-            n_large += 1;
-        }
-    }
-    let a = shuffle::decide(graph, state, &small);
-    let b = hash::decide(graph, state, &large, cfg);
-    if prof.is_enabled() {
-        prof.scope("decide", |p| {
-            record_kernel_span(p, "shuffle", n_small, &a);
-            record_kernel_span(p, "hash", n_large, &b);
-        });
-    }
-    let mut next_comm = a.next_comm;
-    for v in 0..active.len() {
-        if large[v] {
-            next_comm[v] = b.next_comm[v];
-        }
-    }
-    DecideOutput {
-        next_comm,
-        tally: a.tally + b.tally,
-        hash_stats: b.hash_stats,
-    }
 }
 
 /// Shared decision rule: given the aggregated `(community, d_vc)` candidates

@@ -24,18 +24,36 @@ use gala_graph::{Graph, VertexId};
 
 /// Runs the shuffle-based kernel over the active vertices.
 pub fn decide(graph: &Graph, state: &BspState, active: &[bool]) -> DecideOutput {
-    let work: Vec<VertexId> = (0..graph.num_vertices() as VertexId)
-        .filter(|&v| active[v as usize])
-        .collect();
-    let launched = grid::launch(&work, |&v, tally| decide_one(v, graph, state, tally));
-    let mut next_comm = state.comm.clone();
-    for (&v, &c) in work.iter().zip(&launched.outputs) {
-        next_comm[v as usize] = c;
-    }
-    DecideOutput {
-        next_comm,
-        tally: launched.tally,
-        hash_stats: Default::default(),
+    let mut out = DecideOutput::default();
+    decide_into(
+        graph,
+        state,
+        active,
+        &mut Vec::new(),
+        &mut Vec::new(),
+        &mut out,
+    );
+    out
+}
+
+/// [`decide`] into recycled buffers: `work` and `launch_out` are scratch
+/// reused across supersteps, `out` is fully rewritten.
+pub(crate) fn decide_into(
+    graph: &Graph,
+    state: &BspState,
+    active: &[bool],
+    work: &mut Vec<VertexId>,
+    launch_out: &mut Vec<CommunityId>,
+    out: &mut DecideOutput,
+) {
+    super::reset_pass(state, active, work, out);
+    out.tally = grid::launch_into(
+        work,
+        |&v, tally| decide_one(v, graph, state, tally),
+        launch_out,
+    );
+    for (&v, &c) in work.iter().zip(launch_out.iter()) {
+        out.next_comm[v as usize] = c;
     }
 }
 

@@ -180,6 +180,17 @@ impl LouvainResult {
     }
 }
 
+/// Reusable phase-1 working set: the active mask, the kernel scratch, and
+/// the decide output live here so a round recycles one allocation set
+/// across supersteps — and [`Louvain::run`] recycles it across hierarchy
+/// rounds — instead of reallocating every superstep.
+#[derive(Debug, Default)]
+struct Phase1Scratch {
+    active: Vec<bool>,
+    decide: kernels::DecideScratch,
+    out: kernels::DecideOutput,
+}
+
 /// The GALA Louvain runner.
 #[derive(Clone, Debug, Default)]
 pub struct Louvain {
@@ -212,7 +223,13 @@ impl Louvain {
         graph: &Graph,
         sink: &mut dyn TraceSink,
     ) -> (BspState, RoundStats) {
-        self.run_phase1_round(graph, 0, sink, &mut Profiler::disabled())
+        self.run_phase1_round(
+            graph,
+            0,
+            sink,
+            &mut Profiler::disabled(),
+            &mut Phase1Scratch::default(),
+        )
     }
 
     /// [`Self::run_phase1_traced`] with a [`Profiler`] accumulating the
@@ -225,7 +242,7 @@ impl Louvain {
         sink: &mut dyn TraceSink,
         prof: &mut Profiler,
     ) -> (BspState, RoundStats) {
-        self.run_phase1_round(graph, 0, sink, prof)
+        self.run_phase1_round(graph, 0, sink, prof, &mut Phase1Scratch::default())
     }
 
     fn run_phase1_round(
@@ -234,8 +251,14 @@ impl Louvain {
         round: usize,
         sink: &mut dyn TraceSink,
         prof: &mut Profiler,
+        scratch: &mut Phase1Scratch,
     ) -> (BspState, RoundStats) {
         let cfg = &self.config;
+        let Phase1Scratch {
+            active,
+            decide: dscratch,
+            out,
+        } = scratch;
         let mut state = BspState::with_resolution(graph, cfg.resolution);
         let mut rng = ChaCha8Rng::seed_from_u64(cfg.seed ^ round as u64);
         let mut iterations = Vec::new();
@@ -261,16 +284,17 @@ impl Louvain {
                 Profiler::disabled()
             };
             let t0 = Instant::now();
-            let active = sub.scope("classify", |p| {
-                let active = pruning::classify(cfg.pruning, graph, &state, &mut rng);
+            sub.scope("classify", |p| {
+                pruning::classify_into(cfg.pruning, graph, &state, &mut rng, active);
                 let num_active = active.iter().filter(|&&a| a).count() as u64;
                 p.count("active", num_active);
                 p.count("pruned", graph.num_vertices() as u64 - num_active);
-                active
             });
             let num_active = active.iter().filter(|&&a| a).count();
             let t1 = Instant::now();
-            let out = kernels::decide_profiled(cfg.kernel, graph, &state, &active, &mut sub);
+            kernels::decide_profiled_into(
+                cfg.kernel, graph, &state, active, &mut sub, dscratch, out,
+            );
             let t2 = Instant::now();
             let summary = sub.scope("apply", |p| {
                 let summary = state.apply_moves(graph, &out.next_comm);
@@ -399,10 +423,13 @@ impl Louvain {
         let mut best: Option<(Partition, f64)> = None;
         let mut last_q = f64::NEG_INFINITY;
         let instrumented = prof.is_enabled() || sink.enabled();
+        // One working set for the whole hierarchy: later (coarser) rounds
+        // reuse the first round's allocations.
+        let mut scratch = Phase1Scratch::default();
         for round in 0..cfg.max_rounds {
             let g = current.as_ref().unwrap_or(graph);
             prof.enter("round");
-            let (state, stats) = self.run_phase1_round(g, round, sink, prof);
+            let (state, stats) = self.run_phase1_round(g, round, sink, prof, &mut scratch);
             let q = stats.modularity;
             let moved_any = stats.iterations.iter().any(|i| i.num_moved > 0);
             // Phase 2 (refine + contract) profiles like a superstep: a

@@ -219,35 +219,50 @@ pub fn run_phase1_instrumented(
     }
 
     let instrumented = prof.is_enabled() || sink.enabled();
+    // Superstep working set, allocated once and recycled every iteration.
+    let mut active: Vec<bool> = Vec::new();
+    let mut next_comm = Vec::new();
+    let mut device_active: Vec<bool> = Vec::new();
+    let mut dscratch = kernels::DecideScratch::default();
+    let mut dev_out = kernels::DecideOutput::default();
     for iteration in 0..cfg.max_iterations {
         let mut sub = if instrumented {
             Profiler::new()
         } else {
             Profiler::disabled()
         };
-        let active = sub.scope("classify", |p| {
-            let active = pruning::classify(cfg.pruning, graph, &state, &mut rng);
+        sub.scope("classify", |p| {
+            pruning::classify_into(cfg.pruning, graph, &state, &mut rng, &mut active);
             let num_active = active.iter().filter(|&&a| a).count() as u64;
             p.count("active", num_active);
             p.count("pruned", n as u64 - num_active);
-            active
         });
         let num_active = active.iter().filter(|&&a| a).count();
 
         // Each device decides over its owned range; the per-device kernel
         // spans merge by name into one `decide` subtree.
-        let mut next_comm = state.comm.clone();
+        next_comm.clear();
+        next_comm.extend_from_slice(&state.comm);
         let mut device_tallies = Vec::with_capacity(cfg.num_devices);
         for range in &ranges {
-            let mut device_active = vec![false; n];
+            device_active.clear();
+            device_active.resize(n, false);
             for v in range.clone() {
                 device_active[v as usize] = active[v as usize];
             }
-            let out = kernels::decide_profiled(cfg.kernel, graph, &state, &device_active, &mut sub);
+            kernels::decide_profiled_into(
+                cfg.kernel,
+                graph,
+                &state,
+                &device_active,
+                &mut sub,
+                &mut dscratch,
+                &mut dev_out,
+            );
             for v in range.clone() {
-                next_comm[v as usize] = out.next_comm[v as usize];
+                next_comm[v as usize] = dev_out.next_comm[v as usize];
             }
-            device_tallies.push(out.tally);
+            device_tallies.push(dev_out.tally);
         }
         if instrumented {
             sub.scope("decide", |p| p.count("devices", cfg.num_devices as u64));

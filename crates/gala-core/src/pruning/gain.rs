@@ -37,10 +37,17 @@ use rayon::prelude::*;
 
 /// Classifies vertices under MG. `true` = active.
 pub fn classify(graph: &Graph, state: &BspState) -> Vec<bool> {
+    let mut out = Vec::new();
+    classify_into(graph, state, &mut out);
+    out
+}
+
+/// [`classify`] into a recycled buffer.
+pub(crate) fn classify_into(graph: &Graph, state: &BspState, out: &mut Vec<bool>) {
     (0..graph.num_vertices() as VertexId)
         .into_par_iter()
         .map(|v| !is_provably_unmoved(v, graph, state))
-        .collect()
+        .collect_into_vec(out);
 }
 
 /// Evaluates the Eq. 6 bound for a single vertex: `true` means no move can

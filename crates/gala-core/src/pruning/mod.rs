@@ -73,20 +73,47 @@ pub fn classify(
     state: &BspState,
     rng: &mut ChaCha8Rng,
 ) -> Vec<bool> {
+    let mut out = Vec::new();
+    classify_into(kind, graph, state, rng, &mut out);
+    out
+}
+
+/// [`classify`] into a recycled buffer: the drivers keep one active-set
+/// vector alive across supersteps instead of reallocating it each time.
+pub fn classify_into(
+    kind: PruningKind,
+    graph: &Graph,
+    state: &BspState,
+    rng: &mut ChaCha8Rng,
+    out: &mut Vec<bool>,
+) {
+    use gala_graph::VertexId;
+    use rayon::prelude::*;
+
     let n = graph.num_vertices();
-    if state.iteration == 0 {
-        return vec![true; n];
+    if state.iteration == 0 || kind == PruningKind::None {
+        out.clear();
+        out.resize(n, true);
+        return;
     }
     match kind {
-        PruningKind::None => vec![true; n],
-        PruningKind::Strict => strict::classify(graph, state),
-        PruningKind::Relaxed => relaxed::classify(graph, state),
-        PruningKind::Probabilistic { alpha } => probabilistic::classify(state, alpha, rng),
-        PruningKind::Gain => gain::classify(graph, state),
+        PruningKind::None => unreachable!("handled above"),
+        PruningKind::Strict => strict::classify_into(graph, state, out),
+        PruningKind::Relaxed => relaxed::classify_into(graph, state, out),
+        PruningKind::Probabilistic { alpha } => {
+            probabilistic::classify_into(state, alpha, rng, out)
+        }
+        PruningKind::Gain => gain::classify_into(graph, state, out),
         PruningKind::GainRelaxed => {
-            let rm = relaxed::classify(graph, state);
-            let mg = gain::classify(graph, state);
-            rm.iter().zip(&mg).map(|(&a, &b)| a && b).collect()
+            // MG ∧ RM fused in one pass: same values the two-vector zip
+            // produced, without the intermediate allocations.
+            (0..n as VertexId)
+                .into_par_iter()
+                .map(|v| {
+                    relaxed::is_active(v, graph, state)
+                        && !gain::is_provably_unmoved(v, graph, state)
+                })
+                .collect_into_vec(out);
         }
     }
 }

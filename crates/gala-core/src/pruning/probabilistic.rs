@@ -12,18 +12,28 @@ use rand_chacha::ChaCha8Rng;
 
 /// Classifies vertices under PM. `true` = active.
 pub fn classify(state: &BspState, alpha: f64, rng: &mut ChaCha8Rng) -> Vec<bool> {
+    let mut out = Vec::new();
+    classify_into(state, alpha, rng, &mut out);
+    out
+}
+
+/// [`classify`] into a recycled buffer. Sequential: the RNG draw order is
+/// part of the reproducible trajectory.
+pub(crate) fn classify_into(
+    state: &BspState,
+    alpha: f64,
+    rng: &mut ChaCha8Rng,
+    out: &mut Vec<bool>,
+) {
     assert!((0.0..=1.0).contains(&alpha), "alpha must be in [0,1]");
-    state
-        .moved
-        .iter()
-        .map(|&moved| {
-            if moved {
-                true
-            } else {
-                rng.gen::<f64>() >= alpha
-            }
-        })
-        .collect()
+    out.clear();
+    out.extend(state.moved.iter().map(|&moved| {
+        if moved {
+            true
+        } else {
+            rng.gen::<f64>() >= alpha
+        }
+    }));
 }
 
 #[cfg(test)]

@@ -14,18 +14,28 @@ use rayon::prelude::*;
 
 /// Classifies vertices under RM. `true` = active.
 pub fn classify(graph: &Graph, state: &BspState) -> Vec<bool> {
+    let mut out = Vec::new();
+    classify_into(graph, state, &mut out);
+    out
+}
+
+/// [`classify`] into a recycled buffer.
+pub(crate) fn classify_into(graph: &Graph, state: &BspState, out: &mut Vec<bool>) {
     (0..graph.num_vertices() as VertexId)
         .into_par_iter()
-        .map(|v| {
-            if state.moved[v as usize] {
-                return true;
-            }
-            graph
-                .neighbor_ids(v)
-                .iter()
-                .any(|&u| u != v && state.moved[u as usize])
-        })
-        .collect()
+        .map(|v| is_active(v, graph, state))
+        .collect_into_vec(out);
+}
+
+/// RM's per-vertex predicate: active iff `v` or any neighbor moved.
+pub(crate) fn is_active(v: VertexId, graph: &Graph, state: &BspState) -> bool {
+    if state.moved[v as usize] {
+        return true;
+    }
+    graph
+        .neighbor_ids(v)
+        .iter()
+        .any(|&u| u != v && state.moved[u as usize])
 }
 
 #[cfg(test)]

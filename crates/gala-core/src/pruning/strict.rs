@@ -13,6 +13,13 @@ use rayon::prelude::*;
 
 /// Classifies vertices under SM. `true` = active.
 pub fn classify(graph: &Graph, state: &BspState) -> Vec<bool> {
+    let mut out = Vec::new();
+    classify_into(graph, state, &mut out);
+    out
+}
+
+/// [`classify`] into a recycled buffer.
+pub(crate) fn classify_into(graph: &Graph, state: &BspState, out: &mut Vec<bool>) {
     (0..graph.num_vertices() as VertexId)
         .into_par_iter()
         .map(|v| {
@@ -24,7 +31,7 @@ pub fn classify(graph: &Graph, state: &BspState) -> Vec<bool> {
                 .iter()
                 .any(|&u| u != v && state.comm_changed[state.comm[u as usize] as usize])
         })
-        .collect()
+        .collect_into_vec(out);
 }
 
 #[cfg(test)]

@@ -8,7 +8,6 @@
 
 use crate::memory::MemTally;
 use crate::profile::Profiler;
-use rayon::prelude::*;
 
 /// Outcome of a kernel launch: per-item results plus the summed tally.
 #[derive(Clone, Debug)]
@@ -19,37 +18,43 @@ pub struct LaunchResult<R> {
     pub tally: MemTally,
 }
 
-/// Launches `kernel` over `items` in parallel (one rayon task per item).
+/// Launches `kernel` over `items` on the persistent host pool.
 ///
-/// The kernel receives the item and a fresh [`MemTally`] to count into.
+/// The kernel receives the item and a [`MemTally`] to count into. Each
+/// output is written directly into its final slot in `outputs` (disjoint
+/// index ranges per worker — no per-task vectors, no fold/extend
+/// recombination), and each worker accumulates into a private chunk tally;
+/// the chunk tallies are summed once at the end. Tallies are integer
+/// counters, so the sum — and therefore every simulated cycle total — is
+/// identical to a sequential launch regardless of chunking.
 pub fn launch<I, R, K>(items: &[I], kernel: K) -> LaunchResult<R>
 where
     I: Sync,
     R: Send,
     K: Fn(&I, &mut MemTally) -> R + Sync,
 {
-    let (outputs, tally): (Vec<R>, MemTally) = items
-        .par_iter()
-        .map(|item| {
-            let mut tally = MemTally::new();
-            let out = kernel(item, &mut tally);
-            (out, tally)
-        })
-        .fold(
-            || (Vec::new(), MemTally::new()),
-            |(mut outs, t), (o, ot)| {
-                outs.push(o);
-                (outs, t + ot)
-            },
-        )
-        .reduce(
-            || (Vec::new(), MemTally::new()),
-            |(mut a, ta), (b, tb)| {
-                a.extend(b);
-                (a, ta + tb)
-            },
-        );
+    let mut outputs = Vec::new();
+    let tally = launch_into(items, kernel, &mut outputs);
     LaunchResult { outputs, tally }
+}
+
+/// [`launch`] into a caller-owned output buffer, reusing its allocation
+/// (cleared first). Returns the summed tally. This is the scratch-reuse
+/// entry point drivers use to recycle decision arrays across supersteps.
+pub fn launch_into<I, R, K>(items: &[I], kernel: K, outputs: &mut Vec<R>) -> MemTally
+where
+    I: Sync,
+    R: Send,
+    K: Fn(&I, &mut MemTally) -> R + Sync,
+{
+    let chunk_tallies = rayon::par_map_accum_into(items, outputs, MemTally::new, |item, tally| {
+        kernel(item, tally)
+    });
+    let mut tally = MemTally::new();
+    for t in chunk_tallies {
+        tally += t;
+    }
+    tally
 }
 
 /// Sequential reference launch with identical semantics to [`launch`].

@@ -1,0 +1,94 @@
+//! Executor-equivalence properties: a pooled [`gala_gpu::grid::launch`]
+//! must be observationally identical to the sequential reference
+//! [`gala_gpu::grid::launch_seq`] — outputs in input order, tallies equal,
+//! span trees equal — at every thread count, and a panicking kernel must
+//! propagate without wedging the pool.
+
+use gala_gpu::grid::{launch, launch_into, launch_profiled, launch_seq, launch_seq_profiled};
+use gala_gpu::memory::{MemTally, Space};
+use gala_gpu::profile::Profiler;
+use proptest::prelude::*;
+use rayon::with_parallelism;
+
+/// The kernel used by the equivalence properties: touches every tally
+/// dimension (loads, atomics, SIMT steps, serialization, coalescing) so a
+/// chunking bug in any accumulator shows up as a tally mismatch.
+fn kernel(x: &u64, t: &mut MemTally) -> u64 {
+    t.load(Space::Global, x % 7);
+    t.store(Space::Shared, x % 3);
+    if x.is_multiple_of(5) {
+        t.atomic(Space::Global, 1);
+    }
+    t.simt_step((x % 31) as u32);
+    if x.is_multiple_of(11) {
+        t.simt_serialize(1);
+    }
+    t.global_request(&[*x, x + 1, x * 17], 4);
+    x.wrapping_mul(2_654_435_761) ^ (x >> 3)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Pooled launch == sequential launch at thread counts 1, 2, and 8:
+    /// same outputs in the same order, bit-identical tallies. Lengths
+    /// straddle the sequential-fallback threshold so both paths are hit.
+    #[test]
+    fn pooled_launch_matches_seq_at_1_2_8(items in proptest::collection::vec(0u64..1_000_000, 1..4000)) {
+        let seq = launch_seq(&items, kernel);
+        for threads in [1usize, 2, 8] {
+            let par = with_parallelism(threads, || launch(&items, kernel));
+            prop_assert_eq!(&par.outputs, &seq.outputs, "outputs diverged at {} threads", threads);
+            prop_assert_eq!(par.tally, seq.tally, "tally diverged at {} threads", threads);
+        }
+    }
+
+    /// The scratch-reuse entry point writes the same outputs into a reused
+    /// buffer (no reallocation once capacity suffices).
+    #[test]
+    fn launch_into_reuses_buffer_and_matches(items in proptest::collection::vec(0u64..1_000_000, 1..3000)) {
+        let seq = launch_seq(&items, kernel);
+        let mut out: Vec<u64> = Vec::with_capacity(items.len());
+        out.push(42); // stale contents must be cleared, not appended to
+        let ptr_before = out.as_ptr();
+        let tally = with_parallelism(8, || launch_into(&items, kernel, &mut out));
+        prop_assert_eq!(out.as_ptr(), ptr_before, "scratch buffer was reallocated");
+        prop_assert_eq!(&out, &seq.outputs);
+        prop_assert_eq!(tally, seq.tally);
+    }
+
+    /// Profiled launches leave identical span trees behind regardless of
+    /// executor or thread count.
+    #[test]
+    fn profiled_span_trees_identical(items in proptest::collection::vec(0u64..1_000_000, 1..3000)) {
+        let mut seq_prof = Profiler::new();
+        launch_seq_profiled("k", &items, kernel, &mut seq_prof);
+        let seq_root = seq_prof.finish();
+        for threads in [1usize, 2, 8] {
+            let mut par_prof = Profiler::new();
+            with_parallelism(threads, || launch_profiled("k", &items, kernel, &mut par_prof));
+            prop_assert_eq!(par_prof.finish(), seq_root.clone(), "span tree diverged at {} threads", threads);
+        }
+    }
+}
+
+#[test]
+fn kernel_panic_propagates_and_pool_survives() {
+    let items: Vec<u64> = (0..5000).collect();
+    let result = std::panic::catch_unwind(|| {
+        with_parallelism(8, || {
+            launch(&items, |x: &u64, t: &mut MemTally| {
+                t.load(Space::Global, 1);
+                assert!(*x != 3777, "injected kernel fault");
+                *x
+            })
+        })
+    });
+    assert!(result.is_err(), "kernel panic was swallowed by the pool");
+
+    // The pool must remain fully usable after the fault.
+    let par = with_parallelism(8, || launch(&items, kernel));
+    let seq = launch_seq(&items, kernel);
+    assert_eq!(par.outputs, seq.outputs);
+    assert_eq!(par.tally, seq.tally);
+}
