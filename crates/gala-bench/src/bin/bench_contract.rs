@@ -1,0 +1,193 @@
+//! Host-side wall-clock benchmark of the phase-2 contraction path.
+//!
+//! The seed contraction (`gala_graph::coarsen::coarsen`) renumbers through
+//! a `HashMap`, accumulates super-edges in a `HashMap<(min, max), f64>` and
+//! finalises through the general `GraphBuilder` — allocating everything
+//! afresh each round. The pooled path (`coarsen_into`) replaces all of that
+//! with a counting-sort pipeline over a recycled [`CoarsenScratch`]:
+//! histogram renumbering, per-community binning, flat stamp-map dedup
+//! written straight into pre-sized CSR buffers.
+//!
+//! This binary times both on real phase-1 partitions of the stand-in
+//! graphs, checks they agree before any number is printed, and reports
+//! ns/arc per pool width. `--gate` enforces the PR's throughput floor:
+//! never slower than the seed at width 1, and at least 2x faster at the
+//! width-8 row.
+//!
+//! ```text
+//! GALA_SCALE=test bench_contract --quick --gate --report BENCH_contract.json
+//! ```
+
+use gala_bench::{
+    all_datasets, arg_value, new_report, scale_from_env, time, write_report_if_requested, Table,
+};
+use gala_core::louvain::{Louvain, LouvainConfig};
+use gala_graph::coarsen::{coarsen, coarsen_into, CoarsenScratch};
+use rayon::{configured_threads, with_parallelism};
+use std::time::Duration;
+
+/// Best-of-`reps` wall time of `f` (after one untimed warmup call).
+fn best_of(reps: usize, mut f: impl FnMut()) -> Duration {
+    f();
+    (0..reps)
+        .map(|_| time(&mut f).1)
+        .min()
+        .expect("reps must be > 0")
+}
+
+fn ns(d: Duration) -> u128 {
+    d.as_nanos()
+}
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let gate = std::env::args().any(|a| a == "--gate");
+    let scale = scale_from_env();
+    let gate_width = configured_threads();
+    let sweep: Vec<usize> = match arg_value("threads") {
+        Some(k) => vec![k.parse().expect("--threads takes a number")],
+        None => {
+            let mut ks = vec![1, 2, 4, 8, gate_width];
+            ks.sort_unstable();
+            ks.dedup();
+            ks
+        }
+    };
+    let reps = if quick { 3 } else { 10 };
+    let num_graphs = if quick { 2 } else { 4 };
+    let datasets = all_datasets(scale);
+
+    println!(
+        "bench_contract — wall-clock phase-2 contraction ({} hardware threads, gate width {gate_width})\n",
+        std::thread::available_parallelism().map_or(1, |n| n.get())
+    );
+
+    let mut table = Table::new(&[
+        "Run",
+        "Vertices",
+        "Arcs",
+        "Comms",
+        "Seed ns",
+        "Pooled ns",
+        "ns/arc",
+        "Speedup",
+    ]);
+    // (row label, width, pooled ns, seed ns) for the gate.
+    let mut gate_rows: Vec<(String, usize, u128, u128)> = Vec::new();
+    for (d, g) in datasets.iter().take(num_graphs) {
+        // A real first-round partition, not a synthetic one: the community
+        // size distribution is what the dedup maps and binning actually see.
+        let (state, _) = Louvain::new(LouvainConfig::default()).run_phase1(g);
+        let partition = state.partition();
+        let arcs = g.num_arcs().max(1);
+
+        // Both paths must agree at every width before their times mean
+        // anything. Structure is exact; weights may differ only by f64
+        // summation order.
+        let reference = coarsen(g, &partition);
+        for &k in &sweep {
+            let got = with_parallelism(k, || {
+                let mut scratch = CoarsenScratch::default();
+                coarsen_into(g, &partition, &mut scratch)
+            });
+            assert_eq!(
+                got.num_communities, reference.num_communities,
+                "community count diverged at width {k}"
+            );
+            assert_eq!(
+                got.renumbered, reference.renumbered,
+                "renumbering diverged at width {k}"
+            );
+            assert_eq!(
+                got.graph.offsets(),
+                reference.graph.offsets(),
+                "coarse offsets diverged at width {k}"
+            );
+            assert_eq!(
+                got.graph.targets(),
+                reference.graph.targets(),
+                "coarse targets diverged at width {k}"
+            );
+            for (a, b) in got.graph.weights().iter().zip(reference.graph.weights()) {
+                assert!(
+                    (a - b).abs() <= 1e-9 * a.abs().max(1.0),
+                    "coarse weight diverged at width {k}: {a} vs {b}"
+                );
+            }
+        }
+
+        // The seed path is sequential; time it once per graph.
+        let seed_ns = ns(best_of(reps, || {
+            std::hint::black_box(coarsen(g, &partition));
+        }));
+        for &k in &sweep {
+            // Steady-state loop: the coarse graph's buffers flow back into
+            // the scratch, so after the warmup no iteration allocates.
+            let mut scratch = CoarsenScratch::default();
+            let pooled_ns = ns(best_of(reps, || {
+                with_parallelism(k, || {
+                    let c = coarsen_into(g, &partition, &mut scratch);
+                    scratch.reclaim_assignment(c.renumbered);
+                    scratch.reclaim_graph(c.graph);
+                })
+            }));
+            let label = format!("{}/t{k}", d.abbr());
+            table.row(vec![
+                label.clone(),
+                g.num_vertices().to_string(),
+                arcs.to_string(),
+                reference.num_communities.to_string(),
+                seed_ns.to_string(),
+                pooled_ns.to_string(),
+                format!("{:.2}", pooled_ns as f64 / arcs as f64),
+                format!("{:.2}x", seed_ns as f64 / pooled_ns as f64),
+            ]);
+            gate_rows.push((label, k, pooled_ns, seed_ns));
+        }
+    }
+    table.print();
+
+    let mut report = new_report("bench_contract")
+        .meta("gate_width", gate_width.to_string())
+        .meta(
+            "hardware_threads",
+            std::thread::available_parallelism()
+                .map_or(1, |n| n.get())
+                .to_string(),
+        );
+    table.add_to_report(&mut report, "contract");
+    write_report_if_requested(&report);
+
+    if gate {
+        // Width 1 runs the pipeline inline, so "never slower than the seed"
+        // is an algorithmic claim (counting sort vs HashMap) that cannot
+        // flake on a single-core CI machine; the 2x floor at the width-8
+        // row is the PR's headline.
+        let tolerance = 1.15;
+        let floor = 2.0;
+        let mut failures = Vec::new();
+        for (row, k, pooled, seed) in &gate_rows {
+            if *k == 1 && *pooled as f64 > *seed as f64 * tolerance {
+                failures.push(format!(
+                    "{row}: pooled {pooled}ns vs seed {seed}ns (limit {tolerance}x)"
+                ));
+            }
+            if *k == 8 && (*seed as f64) < *pooled as f64 * floor {
+                failures.push(format!(
+                    "{row}: pooled {pooled}ns vs seed {seed}ns (floor {floor}x)"
+                ));
+            }
+        }
+        if failures.is_empty() {
+            println!(
+                "\ngate OK: pooled contraction within {tolerance}x of seed at width 1, >= {floor}x at width 8"
+            );
+        } else {
+            eprintln!("\ngate FAILED:");
+            for f in &failures {
+                eprintln!("  {f}");
+            }
+            std::process::exit(1);
+        }
+    }
+}

@@ -494,6 +494,12 @@ fn watched_metrics(trace: &Trace) -> Vec<Watched> {
         .iter()
         .map(|s| s.decide_tally)
         .fold(MemTally::new(), |a, b| a + b);
+    let contract_total: MemTally = trace
+        .span_checks
+        .iter()
+        .filter(|s| s.phase == "contract")
+        .map(|s| s.tally)
+        .fold(MemTally::new(), |a, b| a + b);
     let final_q = trace
         .run_end
         .map(|e| e.modularity)
@@ -510,6 +516,14 @@ fn watched_metrics(trace: &Trace) -> Vec<Watched> {
         w(
             "total cycles",
             trace.run_end.map(|e| e.total_cycles).unwrap_or(0.0),
+            false,
+        ),
+        // Phase-2 cost: the modelled cycles of every contract span. The
+        // run_end total covers phase 1 only, so without this a contraction
+        // slowdown would sail through a diff unnoticed.
+        w(
+            "contract cycles",
+            CostModel::default().cycles(&contract_total),
             false,
         ),
         w("divergence", decide_total.divergence(), false),
@@ -726,6 +740,31 @@ mod tests {
         // The same delta passes with a huge threshold.
         let (_, loose) = render_diff(&path, &worse, &path, &baseline, 5.0);
         assert!(loose.is_empty());
+        let _ = std::fs::remove_file(path);
+    }
+
+    #[test]
+    fn diff_flags_contract_regression() {
+        let path = write_fixture_trace("contract");
+        let baseline = load_trace(&path).unwrap();
+        assert!(
+            baseline.span_checks.iter().any(|s| s.phase == "contract"),
+            "instrumented run must emit contract spans"
+        );
+        let mut worse = baseline.clone();
+        for sc in worse
+            .span_checks
+            .iter_mut()
+            .filter(|s| s.phase == "contract")
+        {
+            sc.tally.global_loads *= 4;
+            sc.tally.global_stores *= 4;
+        }
+        let (text, regressions) = render_diff(&path, &worse, &path, &baseline, 0.1);
+        assert!(
+            regressions.contains(&"contract cycles".to_string()),
+            "{text}"
+        );
         let _ = std::fs::remove_file(path);
     }
 

@@ -10,7 +10,7 @@
 use crate::kernels::cpu;
 use crate::state::BspState;
 use crate::weight::{self, WeightUpdateMode};
-use gala_graph::coarsen::coarsen;
+use gala_graph::coarsen::{coarsen_into, CoarsenScratch};
 use gala_graph::{Graph, Partition};
 
 /// Result of a Grappolo baseline run.
@@ -70,13 +70,14 @@ pub fn grappolo(graph: &Graph, theta: f64) -> GrappoloResult {
     let mut current: Option<Graph> = None;
     let mut flat: Option<Partition> = None;
     let mut first_round_iterations = 0;
+    let mut cscratch = CoarsenScratch::default();
     for round in 0..20 {
         let g = current.as_ref().unwrap_or(graph);
         let (state, iters) = phase1(g, theta, 500);
         if round == 0 {
             first_round_iterations = iters;
         }
-        let coarse = coarsen(g, &state.partition());
+        let coarse = coarsen_into(g, &state.partition(), &mut cscratch);
         let stalled = coarse.num_communities == g.num_vertices();
         flat = Some(match flat {
             None => coarse.renumbered.clone(),
@@ -85,6 +86,10 @@ pub fn grappolo(graph: &Graph, theta: f64) -> GrappoloResult {
         if stalled {
             break;
         }
+        if let Some(old) = current.take() {
+            cscratch.reclaim_graph(old);
+        }
+        cscratch.reclaim_assignment(coarse.renumbered);
         current = Some(coarse.graph);
     }
     let partition = flat.unwrap_or_else(|| Partition::singletons(graph.num_vertices()));

@@ -8,7 +8,7 @@
 
 use crate::louvain::{Louvain, LouvainConfig};
 use crate::modularity::modularity_with_resolution;
-use gala_graph::coarsen::coarsen;
+use gala_graph::coarsen::{coarsen_into, CoarsenScratch};
 use gala_graph::{Graph, Partition};
 
 /// A full Louvain hierarchy: level 0 is the finest (first-round)
@@ -31,11 +31,12 @@ impl Dendrogram {
         let mut modularities = Vec::new();
         let mut current: Option<Graph> = None;
         let mut flat: Option<Partition> = None;
+        let mut cscratch = CoarsenScratch::default();
         for _round in 0..config.max_rounds {
             let g = current.as_ref().unwrap_or(graph);
             let (state, stats) = runner.run_phase1(g);
             let moved_any = stats.iterations.iter().any(|i| i.num_moved > 0);
-            let coarse = coarsen(g, &state.partition());
+            let coarse = coarsen_into(g, &state.partition(), &mut cscratch);
             let level = match &flat {
                 None => coarse.renumbered.clone(),
                 Some(prev) => prev.compose(&coarse.renumbered),
@@ -46,6 +47,10 @@ impl Dendrogram {
             if !moved_any || coarse.num_communities == g.num_vertices() {
                 break;
             }
+            if let Some(old) = current.take() {
+                cscratch.reclaim_graph(old);
+            }
+            cscratch.reclaim_assignment(coarse.renumbered);
             current = Some(coarse.graph);
         }
         if levels.is_empty() {

@@ -21,6 +21,7 @@
 //! on unit-weight graphs (exact f64 sums) they make bit-identical decisions
 //! — a property the cross-kernel tests enforce.
 
+pub mod contract;
 pub mod cpu;
 pub mod hash;
 pub mod hashtable;

@@ -13,7 +13,7 @@
 //! [`communities_are_connected`] and enforced in tests.
 
 use crate::modularity::modularity_with_resolution;
-use gala_graph::coarsen::coarsen;
+use gala_graph::coarsen::{coarsen_into, CoarsenScratch};
 use gala_graph::partition::CommunityId;
 use gala_graph::subgraph::community_subgraph;
 use gala_graph::traversal::connected_components;
@@ -63,6 +63,7 @@ pub fn leiden(graph: &Graph, config: LeidenConfig) -> LeidenResult {
     let mut labels: Option<Vec<CommunityId>> = None;
     let mut flat: Option<Partition> = None;
     let mut rounds = 0;
+    let mut cscratch = CoarsenScratch::default();
     for _ in 0..config.max_rounds {
         let g = current.as_ref().unwrap_or(graph);
         let mut comm: Vec<CommunityId> = labels
@@ -82,7 +83,7 @@ pub fn leiden(graph: &Graph, config: LeidenConfig) -> LeidenResult {
         }
         // Refinement: re-partition each community from singletons.
         let refined = refine(g, &partition, &config);
-        let coarse = coarsen(g, &refined);
+        let coarse = coarsen_into(g, &refined, &mut cscratch);
         // The aggregated graph's vertices start in their step-1 community.
         let refined_dense = &coarse.renumbered;
         let mut next_labels = vec![0 as CommunityId; coarse.num_communities];
@@ -98,6 +99,10 @@ pub fn leiden(graph: &Graph, config: LeidenConfig) -> LeidenResult {
             break;
         }
         labels = Some(next_labels);
+        if let Some(old) = current.take() {
+            cscratch.reclaim_graph(old);
+        }
+        cscratch.reclaim_assignment(coarse.renumbered);
         current = Some(coarse.graph);
     }
     // Flatten maps original vertices to the last refined level; compose

@@ -2,14 +2,14 @@
 //! pruning, kernels, and weight maintenance, plus the phase-2 coarsening
 //! loop building the community hierarchy.
 
-use crate::kernels::hashtable::TableStats;
+use crate::kernels::hashtable::{HashConfig, TableStats};
 use crate::kernels::{self, KernelKind};
 use crate::pruning::{self, PruningKind};
 use crate::state::BspState;
 use crate::weight::{self, WeightUpdateMode};
 use gala_gpu::memory::{CostModel, MemTally};
 use gala_gpu::profile::Profiler;
-use gala_graph::coarsen::coarsen;
+use gala_graph::coarsen::{coarsen_into, CoarsenScratch};
 use gala_graph::{Graph, Partition};
 use gala_telemetry::{NullSink, TraceEvent, TraceSink};
 use rand::SeedableRng;
@@ -424,8 +424,11 @@ impl Louvain {
         let mut last_q = f64::NEG_INFINITY;
         let instrumented = prof.is_enabled() || sink.enabled();
         // One working set for the whole hierarchy: later (coarser) rounds
-        // reuse the first round's allocations.
+        // reuse the first round's allocations. The contraction scratch also
+        // reclaims each dropped coarse graph's CSR buffers, so steady-state
+        // rounds contract without fresh allocations.
         let mut scratch = Phase1Scratch::default();
+        let mut cscratch = CoarsenScratch::default();
         for round in 0..cfg.max_rounds {
             let g = current.as_ref().unwrap_or(graph);
             prof.enter("round");
@@ -458,9 +461,35 @@ impl Louvain {
                 state.partition()
             };
             let coarse = sub.scope("contract", |p| {
-                let coarse = coarsen(g, &partition);
+                let started = Instant::now();
+                // Instrumented runs contract through the simulated device
+                // kernel (hierarchical hashtable + device prefix sum), so
+                // the span carries a real tally; plain runs take the host
+                // counting-sort path. Both produce bit-identical graphs.
+                let coarse = if instrumented {
+                    let out = kernels::contract::contract(
+                        g,
+                        &partition,
+                        contract_table_cfg(cfg.kernel),
+                        &mut cscratch,
+                    );
+                    p.record(&out.tally);
+                    let stats = out.table_stats;
+                    if stats != TableStats::default() {
+                        p.count("hash_shared_keys", stats.shared_keys);
+                        p.count("hash_global_keys", stats.global_keys);
+                        p.count("hash_shared_accesses", stats.shared_accesses);
+                        p.count("hash_global_accesses", stats.global_accesses);
+                        p.count("hash_evictions", stats.shared_evictions);
+                    }
+                    out.coarse
+                } else {
+                    coarsen_into(g, &partition, &mut cscratch)
+                };
                 p.count("vertices", g.num_vertices() as u64);
+                p.count("arcs", g.num_arcs() as u64);
                 p.count("communities", coarse.num_communities as u64);
+                p.count("elapsed_ns", started.elapsed().as_nanos() as u64);
                 coarse
             });
             if instrumented {
@@ -504,6 +533,13 @@ impl Louvain {
                 break;
             }
             last_q = q;
+            // Hand the spent level's allocations back to the contraction
+            // scratch: rounds only shrink, so the next contract round runs
+            // entirely in reclaimed buffers.
+            if let Some(old) = current.take() {
+                cscratch.reclaim_graph(old);
+            }
+            cscratch.reclaim_assignment(coarse.renumbered);
             current = Some(coarse.graph);
         }
         let (partition, modularity) =
@@ -521,6 +557,16 @@ impl Louvain {
             });
         }
         result
+    }
+}
+
+/// Hashtable placement for the contract kernel: reuse the phase-1 kernel's
+/// table configuration when it carries one, the hierarchical default
+/// otherwise.
+fn contract_table_cfg(kind: KernelKind) -> HashConfig {
+    match kind {
+        KernelKind::Hash(cfg) | KernelKind::WorkloadAware(cfg) => cfg,
+        _ => HashConfig::default(),
     }
 }
 

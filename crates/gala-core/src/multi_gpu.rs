@@ -446,11 +446,12 @@ pub fn run_full(graph: &Graph, config: MultiGpuConfig) -> MultiGpuFullResult {
     let mut flat: Option<Partition> = None;
     let mut rounds = Vec::new();
     let mut last_q = f64::NEG_INFINITY;
+    let mut cscratch = gala_graph::coarsen::CoarsenScratch::default();
     for _ in 0..20 {
         let g = current.as_ref().unwrap_or(graph);
         let round = run_phase1(g, config);
         let q = round.modularity;
-        let coarse = gala_graph::coarsen::coarsen(g, &round.partition);
+        let coarse = gala_graph::coarsen::coarsen_into(g, &round.partition, &mut cscratch);
         let stalled = coarse.num_communities == g.num_vertices();
         flat = Some(match flat {
             None => coarse.renumbered.clone(),
@@ -461,6 +462,10 @@ pub fn run_full(graph: &Graph, config: MultiGpuConfig) -> MultiGpuFullResult {
             break;
         }
         last_q = q;
+        if let Some(old) = current.take() {
+            cscratch.reclaim_graph(old);
+        }
+        cscratch.reclaim_assignment(coarse.renumbered);
         current = Some(coarse.graph);
     }
     let partition = flat.unwrap_or_else(|| Partition::singletons(graph.num_vertices()));

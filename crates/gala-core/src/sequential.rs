@@ -6,7 +6,7 @@
 //! compared against, and the slowest baseline of Figure 5.
 
 use crate::modularity::{gain_score, modularity};
-use gala_graph::coarsen::coarsen;
+use gala_graph::coarsen::{coarsen_into, CoarsenScratch};
 use gala_graph::partition::CommunityId;
 use gala_graph::{Graph, Partition, VertexId};
 use std::collections::HashMap;
@@ -48,11 +48,12 @@ pub fn sequential_louvain(graph: &Graph, config: SequentialConfig) -> Sequential
     let mut current: Option<Graph> = None;
     let mut flat: Option<Partition> = None;
     let mut rounds = 0;
+    let mut cscratch = CoarsenScratch::default();
     for _ in 0..config.max_rounds {
         let g = current.as_ref().unwrap_or(graph);
         let assignment = phase1(g, config.theta, config.max_sweeps);
         rounds += 1;
-        let coarse = coarsen(g, &Partition::from_assignment(assignment));
+        let coarse = coarsen_into(g, &Partition::from_assignment(assignment), &mut cscratch);
         let merged_everything = coarse.num_communities == g.num_vertices();
         flat = Some(match flat {
             None => coarse.renumbered.clone(),
@@ -61,6 +62,10 @@ pub fn sequential_louvain(graph: &Graph, config: SequentialConfig) -> Sequential
         if merged_everything {
             break;
         }
+        if let Some(old) = current.take() {
+            cscratch.reclaim_graph(old);
+        }
+        cscratch.reclaim_assignment(coarse.renumbered);
         current = Some(coarse.graph);
     }
     let partition = flat.unwrap_or_else(|| Partition::singletons(graph.num_vertices()));

@@ -102,31 +102,60 @@ impl GraphBuilder {
     }
 
     /// Finalises the builder into a CSR [`Graph`], merging duplicates.
-    pub fn build(mut self) -> Graph {
+    ///
+    /// Arcs are counting-sorted by source using the offsets histogram — no
+    /// global comparison sort — so only each row's targets are sorted, at
+    /// `Σ d(v) log d(v)` instead of `m log m` total.
+    pub fn build(self) -> Graph {
         let n = self.num_vertices;
-        // Sort by (source, target) then merge duplicates by summing weight.
-        self.arcs.sort_unstable_by_key(|a| (a.0, a.1));
-        let mut merged: Vec<(VertexId, VertexId, f64)> = Vec::with_capacity(self.arcs.len());
-        for (u, v, w) in self.arcs {
-            match merged.last_mut() {
-                Some(last) if last.0 == u && last.1 == v => last.2 += w,
-                _ => merged.push((u, v, w)),
-            }
-        }
+        let arcs = self.arcs;
+        // Counting sort by source: histogram, prefix sum, scatter.
         let mut offsets = vec![0usize; n + 1];
-        for &(u, _, _) in &merged {
+        for &(u, _, _) in &arcs {
             offsets[u as usize + 1] += 1;
         }
         for i in 0..n {
             offsets[i + 1] += offsets[i];
         }
-        let mut targets = Vec::with_capacity(merged.len());
-        let mut weights = Vec::with_capacity(merged.len());
-        for (_, v, w) in merged {
-            targets.push(v);
-            weights.push(w);
+        let mut cursor: Vec<usize> = offsets[..n].to_vec();
+        let mut binned: Vec<(VertexId, f64)> = vec![(0, 0.0); arcs.len()];
+        for (u, v, w) in arcs {
+            let slot = &mut cursor[u as usize];
+            binned[*slot] = (v, w);
+            *slot += 1;
         }
-        Graph::from_csr(offsets, targets, weights)
+        drop(cursor);
+        // Sort each row by target and merge its duplicates in place,
+        // recording merged row lengths for an exactly-sized output.
+        let mut merged_offsets = Vec::with_capacity(n + 1);
+        merged_offsets.push(0usize);
+        let mut row_lens = Vec::with_capacity(n);
+        let mut total = 0usize;
+        for r in 0..n {
+            let row = &mut binned[offsets[r]..offsets[r + 1]];
+            row.sort_unstable_by_key(|&(v, _)| v);
+            let mut len = 0usize;
+            for i in 0..row.len() {
+                if len > 0 && row[len - 1].0 == row[i].0 {
+                    row[len - 1].1 += row[i].1;
+                } else {
+                    row[len] = row[i];
+                    len += 1;
+                }
+            }
+            row_lens.push(len);
+            total += len;
+            merged_offsets.push(total);
+        }
+        let mut targets = Vec::with_capacity(total);
+        let mut weights = Vec::with_capacity(total);
+        for r in 0..n {
+            for &(v, w) in &binned[offsets[r]..offsets[r] + row_lens[r]] {
+                targets.push(v);
+                weights.push(w);
+            }
+        }
+        Graph::from_csr(merged_offsets, targets, weights)
     }
 }
 
@@ -190,5 +219,29 @@ mod tests {
         let g = GraphBuilder::new(4).build();
         assert_eq!(g.num_vertices(), 4);
         assert_eq!(g.num_edges(), 0);
+    }
+
+    #[test]
+    fn insertion_order_does_not_matter() {
+        let edges = [
+            (3u32, 1u32, 1.0),
+            (0, 2, 2.0),
+            (2, 2, 0.5),
+            (1, 3, 1.5), // duplicate of (3, 1)
+            (0, 4, 1.0),
+            (4, 0, 3.0), // duplicate of (0, 4)
+        ];
+        let mut fwd = GraphBuilder::new(5);
+        fwd.extend_edges(edges);
+        let mut rev = GraphBuilder::new(5);
+        rev.extend_edges(edges.iter().rev().copied());
+        let a = fwd.build();
+        let b = rev.build();
+        assert_eq!(a.offsets(), b.offsets());
+        assert_eq!(a.targets(), b.targets());
+        assert_eq!(a.weights(), b.weights());
+        assert_eq!(a.edge_weight(3, 1), Some(2.5));
+        assert_eq!(a.edge_weight(0, 4), Some(4.0));
+        assert_eq!(a.self_loop(2), 1.0);
     }
 }

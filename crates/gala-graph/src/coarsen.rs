@@ -10,8 +10,11 @@
 
 use crate::builder::GraphBuilder;
 use crate::csr::{Graph, VertexId};
-use crate::partition::Partition;
+use crate::partition::{CommunityId, Partition};
+use rayon::prelude::*;
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicU32, Ordering};
+use std::sync::Mutex;
 
 /// Result of coarsening: the super-graph plus the dense renumbering used,
 /// so callers can compose hierarchy levels.
@@ -65,6 +68,329 @@ pub fn coarsen(graph: &Graph, partition: &Partition) -> Coarsened {
     Coarsened {
         graph: b.build(),
         renumbered,
+        num_communities: k,
+    }
+}
+
+/// Per-worker flat scratch map deduplicating one super-vertex's neighbor
+/// list. `stamp[c] == mark` means coarse community `c` has already been
+/// touched for the current row, so rows reset in `O(1)` (bump `mark`)
+/// instead of clearing the whole map.
+#[derive(Default)]
+struct RowAccum {
+    stamp: Vec<u32>,
+    val: Vec<f64>,
+    touched: Vec<CommunityId>,
+    mark: u32,
+    /// The chunk's finished rows: sorted `(community, weight)` pairs,
+    /// concatenated in row order. Chunks cover contiguous ascending row
+    /// ranges, so concatenating the workers' buffers in chunk order yields
+    /// the coarse CSR body directly.
+    pairs: Vec<(CommunityId, f64)>,
+}
+
+impl RowAccum {
+    /// Starts a new row over a coarse id space of size `k`.
+    fn begin_row(&mut self, k: usize) {
+        if self.stamp.len() < k {
+            self.stamp.resize(k, 0);
+            self.val.resize(k, 0.0);
+        }
+        self.touched.clear();
+        if self.mark == u32::MAX {
+            self.stamp.fill(0);
+            self.mark = 0;
+        }
+        self.mark += 1;
+    }
+
+    #[inline]
+    fn add(&mut self, c: CommunityId, w: f64) {
+        let i = c as usize;
+        if self.stamp[i] == self.mark {
+            self.val[i] += w;
+        } else {
+            self.stamp[i] = self.mark;
+            self.val[i] = w;
+            self.touched.push(c);
+        }
+    }
+}
+
+/// Recycled working state for [`coarsen_into`], the contraction analogue of
+/// the phase-1 `Phase1Scratch`: hold one across hierarchy rounds and every
+/// histogram, member list, flat dedup map and (via
+/// [`CoarsenScratch::reclaim_graph`] /
+/// [`CoarsenScratch::reclaim_assignment`]) even the output CSR buffers are
+/// reused, so steady-state rounds run without contraction-path allocations.
+#[derive(Default)]
+pub struct CoarsenScratch {
+    /// Per original community id: member count (parallel histogram).
+    hist: Vec<AtomicU32>,
+    /// Original community id → dense coarse id.
+    new_id: Vec<CommunityId>,
+    /// Per-vertex dense community id for the round in flight; moved out as
+    /// the result's renumbered assignment and restored via
+    /// [`CoarsenScratch::reclaim_assignment`].
+    renumbered: Vec<CommunityId>,
+    /// Coarse row → start of its member run (length `k + 1`).
+    vert_offsets: Vec<usize>,
+    /// Counting-sort write cursors, one per coarse row.
+    cursor: Vec<usize>,
+    /// Vertices grouped by coarse community, ascending within each run.
+    members: Vec<VertexId>,
+    /// Per coarse row: number of distinct neighbor communities (pass 1).
+    row_deg: Vec<usize>,
+    /// Pool of per-worker dedup maps, popped by chunk workers and returned
+    /// after each pass.
+    accums: Mutex<Vec<RowAccum>>,
+    /// Output CSR buffers, normally reclaimed from the previous round's
+    /// dropped coarse graph.
+    out_offsets: Vec<usize>,
+    out_targets: Vec<VertexId>,
+    out_weights: Vec<f64>,
+}
+
+impl CoarsenScratch {
+    /// Takes back the CSR allocations of a coarse graph the driver is about
+    /// to drop. Rounds only shrink, so the reclaimed capacity covers every
+    /// later round's output.
+    pub fn reclaim_graph(&mut self, graph: Graph) {
+        let (offsets, targets, weights) = graph.into_csr();
+        self.out_offsets = offsets;
+        self.out_targets = targets;
+        self.out_weights = weights;
+    }
+
+    /// Takes back the assignment allocation of a spent hierarchy level's
+    /// renumbered partition.
+    pub fn reclaim_assignment(&mut self, partition: Partition) {
+        self.renumbered = partition.into_assignment();
+    }
+
+    /// Dense per-vertex community ids of the round prepared by
+    /// [`renumber_and_group`].
+    #[inline]
+    pub fn renumbered(&self) -> &[CommunityId] {
+        &self.renumbered
+    }
+
+    /// Coarse row → start of its member run in
+    /// [`CoarsenScratch::community_members`] (length `k + 1`).
+    #[inline]
+    pub fn community_offsets(&self) -> &[usize] {
+        &self.vert_offsets
+    }
+
+    /// Vertices grouped by coarse community id, ascending within each run.
+    #[inline]
+    pub fn community_members(&self) -> &[VertexId] {
+        &self.members
+    }
+
+    /// Moves the prepared dense assignment out (for building the result's
+    /// renumbered [`Partition`] without a copy).
+    #[inline]
+    pub fn take_renumbered(&mut self) -> Vec<CommunityId> {
+        std::mem::take(&mut self.renumbered)
+    }
+}
+
+/// Community ids at or above `8n + 1024` fall back to the `HashMap` path:
+/// the dense histogram would be sized by the largest id, which only pays
+/// off while ids are `O(n)` — always true inside the Louvain hierarchy,
+/// where ids descend from vertex ids.
+fn ids_too_sparse(n: usize, comm: &[CommunityId]) -> bool {
+    let bound = n.saturating_mul(8).saturating_add(1024);
+    comm.iter().any(|&c| c as usize >= bound)
+}
+
+/// Phases 1–2 of [`coarsen_into`]: renumbers communities densely (parallel
+/// histogram + presence prefix sum, same ascending-id order as
+/// [`Partition::renumbered`]) and groups vertices by coarse community with
+/// a stable counting sort. Returns the number of communities `k`; the
+/// grouping is readable through the [`CoarsenScratch`] accessors. Exposed
+/// so the simulated device contract kernel can share the grouping while
+/// doing its own (tally-charged) aggregation.
+pub fn renumber_and_group(
+    graph: &Graph,
+    partition: &Partition,
+    scratch: &mut CoarsenScratch,
+) -> usize {
+    assert_eq!(
+        partition.len(),
+        graph.num_vertices(),
+        "partition covers {} vertices, graph has {}",
+        partition.len(),
+        graph.num_vertices()
+    );
+    let n = graph.num_vertices();
+    let comm = partition.assignment();
+    scratch.vert_offsets.clear();
+    scratch.members.clear();
+    scratch.renumbered.clear();
+    if n == 0 {
+        scratch.vert_offsets.push(0);
+        return 0;
+    }
+    let max_id = comm.par_iter().map(|&c| c).reduce(|| 0, |a, b| a.max(b)) as usize;
+    let width = max_id + 1;
+    if scratch.hist.len() < width {
+        scratch.hist.resize_with(width, || AtomicU32::new(0));
+    }
+    let hist = &scratch.hist[..width];
+    hist.par_iter().for_each(|h| h.store(0, Ordering::Relaxed));
+    comm.par_iter().for_each(|&c| {
+        hist[c as usize].fetch_add(1, Ordering::Relaxed);
+    });
+    // Presence prefix sum: dense ids in ascending original-id order —
+    // identical renumbering to `Partition::renumbered()`.
+    scratch.new_id.clear();
+    scratch.new_id.resize(width, 0);
+    let mut k: CommunityId = 0;
+    let mut run = 0usize;
+    for (c, h) in hist.iter().enumerate() {
+        let cnt = h.load(Ordering::Relaxed) as usize;
+        if cnt > 0 {
+            scratch.new_id[c] = k;
+            scratch.vert_offsets.push(run);
+            run += cnt;
+            k += 1;
+        }
+    }
+    scratch.vert_offsets.push(run);
+    debug_assert_eq!(run, n);
+    let new_id = &scratch.new_id;
+    rayon::par_map_accum_into(
+        comm,
+        &mut scratch.renumbered,
+        || (),
+        |&c, _| new_id[c as usize],
+    );
+    // Stable counting-sort scatter of vertices into their community's run.
+    // Kept sequential: a parallel scatter needs one atomic per write and
+    // loses the ascending member order the deterministic (width-invariant)
+    // row accumulation relies on; this O(n) pass is dwarfed by the O(m)
+    // aggregation pass.
+    scratch.cursor.clear();
+    scratch
+        .cursor
+        .extend_from_slice(&scratch.vert_offsets[..k as usize]);
+    scratch.members.resize(n, 0);
+    for v in 0..n {
+        let c = scratch.renumbered[v] as usize;
+        scratch.members[scratch.cursor[c]] = v as VertexId;
+        scratch.cursor[c] += 1;
+    }
+    k as usize
+}
+
+/// [`coarsen`] through a parallel, allocation-reusing counting-sort
+/// pipeline (no comparison sort over edges, no `HashMap`):
+///
+/// 1. communities are renumbered with a parallel histogram + presence
+///    prefix sum and vertices grouped per community by a stable counting
+///    sort ([`renumber_and_group`]);
+/// 2. one pooled pass over each super-vertex's member arcs deduplicates its
+///    neighbor communities through a per-worker flat stamp map, appending
+///    each finished row's sorted `(community, weight)` pairs to the
+///    worker's recycled chunk buffer and recording the row's degree;
+/// 3. a prefix sum over the degrees sizes the coarse CSR exactly, and the
+///    chunk buffers — contiguous ascending row ranges, in chunk order —
+///    stream straight into the pre-sized targets/weights arrays.
+///
+/// Every row is accumulated sequentially in a fixed order (members
+/// ascending × CSR neighbor order), so the result is bit-for-bit identical
+/// at every pool width. Structure (offsets/targets) matches [`coarsen`]
+/// exactly; weights agree up to floating-point summation order.
+///
+/// `scratch` is recycled across hierarchy rounds; see [`CoarsenScratch`].
+pub fn coarsen_into(
+    graph: &Graph,
+    partition: &Partition,
+    scratch: &mut CoarsenScratch,
+) -> Coarsened {
+    if ids_too_sparse(graph.num_vertices(), partition.assignment()) {
+        return coarsen(graph, partition);
+    }
+    let k = renumber_and_group(graph, partition, scratch);
+
+    // The one aggregation pass: dedup each row, stash its sorted pairs in
+    // the worker's chunk buffer, return its degree.
+    let renum: &[CommunityId] = &scratch.renumbered;
+    let vo: &[usize] = &scratch.vert_offsets;
+    let members: &[VertexId] = &scratch.members;
+    let accums = &scratch.accums;
+    let pop_accum = || {
+        let mut acc: RowAccum = accums
+            .lock()
+            .expect("accumulator pool poisoned")
+            .pop()
+            .unwrap_or_default();
+        acc.pairs.clear();
+        acc
+    };
+    let accs = rayon::par_map_indexed_accum_into(
+        k,
+        &mut scratch.row_deg,
+        pop_accum,
+        |r, acc: &mut RowAccum| {
+            acc.begin_row(k);
+            for &v in &members[vo[r]..vo[r + 1]] {
+                for (u, w) in graph.neighbors(v) {
+                    acc.add(renum[u as usize], w);
+                }
+            }
+            acc.touched.sort_unstable();
+            for &c in &acc.touched {
+                acc.pairs.push((c, acc.val[c as usize]));
+            }
+            acc.touched.len()
+        },
+    );
+
+    // Exact coarse CSR offsets from the distinct counts.
+    scratch.out_offsets.clear();
+    scratch.out_offsets.reserve(k + 1);
+    scratch.out_offsets.push(0);
+    let mut run = 0usize;
+    for &d in &scratch.row_deg {
+        run += d;
+        scratch.out_offsets.push(run);
+    }
+
+    // Concatenate the chunk buffers into the pre-sized CSR body. This is a
+    // straight sequential stream (the dedup above did all the O(m) work);
+    // buffer capacities survive in the pool for the next round.
+    scratch.out_targets.clear();
+    scratch.out_targets.reserve(run);
+    scratch.out_weights.clear();
+    scratch.out_weights.reserve(run);
+    for acc in &accs {
+        for &(c, w) in &acc.pairs {
+            scratch.out_targets.push(c);
+            scratch.out_weights.push(w);
+        }
+    }
+    debug_assert_eq!(scratch.out_targets.len(), run);
+    scratch
+        .accums
+        .get_mut()
+        .expect("accumulator pool poisoned")
+        .extend(accs);
+
+    // The row-internal arc sum (each internal edge seen from both sides,
+    // self-loops stored doubled) is already the super self-loop's stored
+    // value, and cross rows each accumulate their full (symmetric) arc
+    // weight — so the buffers are the final CSR, no halving or re-doubling.
+    let graph = Graph::from_csr(
+        std::mem::take(&mut scratch.out_offsets),
+        std::mem::take(&mut scratch.out_targets),
+        std::mem::take(&mut scratch.out_weights),
+    );
+    Coarsened {
+        graph,
+        renumbered: Partition::from_assignment(scratch.take_renumbered()),
         num_communities: k,
     }
 }
@@ -136,5 +462,131 @@ mod tests {
         // Internal: edge {0,1} doubled (2) + loop (4) = 6.
         assert_eq!(c.graph.self_loop(0), 6.0);
         assert!((c.graph.total_weight() - g.total_weight()).abs() < 1e-9);
+    }
+
+    /// Structure must match exactly; weights may differ by summation order
+    /// (here all weights are small integers, so they are exact too).
+    fn assert_matches_seed(g: &Graph, p: &Partition) {
+        let seed = coarsen(g, p);
+        let mut scratch = CoarsenScratch::default();
+        let new = coarsen_into(g, p, &mut scratch);
+        assert_eq!(new.num_communities, seed.num_communities);
+        assert_eq!(new.renumbered, seed.renumbered);
+        assert_eq!(new.graph.offsets(), seed.graph.offsets());
+        assert_eq!(new.graph.targets(), seed.graph.targets());
+        assert_eq!(new.graph.weights(), seed.graph.weights());
+    }
+
+    #[test]
+    fn coarsen_into_matches_seed_on_fixtures() {
+        let g = two_triangles();
+        for assignment in [
+            vec![0, 0, 0, 1, 1, 1],
+            vec![0, 0, 1, 1, 2, 2],
+            vec![10, 10, 10, 42, 42, 42],
+            vec![0, 1, 2, 3, 4, 5],
+            vec![3, 3, 3, 3, 3, 3],
+        ] {
+            assert_matches_seed(&g, &Partition::from_assignment(assignment));
+        }
+    }
+
+    #[test]
+    fn coarsen_into_folds_self_loops() {
+        let mut b = GraphBuilder::new(2);
+        b.add_edge(0, 1, 1.0);
+        b.add_edge(0, 0, 2.0);
+        let g = b.build();
+        assert_matches_seed(&g, &Partition::from_assignment(vec![0, 0]));
+        assert_matches_seed(&g, &Partition::from_assignment(vec![0, 1]));
+    }
+
+    #[test]
+    fn coarsen_into_empty_graph() {
+        let g = Graph::from_csr(vec![0], vec![], vec![]);
+        let p = Partition::from_assignment(vec![]);
+        let mut scratch = CoarsenScratch::default();
+        let c = coarsen_into(&g, &p, &mut scratch);
+        assert_eq!(c.num_communities, 0);
+        assert_eq!(c.graph.num_vertices(), 0);
+    }
+
+    #[test]
+    fn coarsen_into_isolated_vertices() {
+        // Vertices with no arcs still get super-vertex slots.
+        let g = Graph::from_csr(vec![0, 0, 0, 0], vec![], vec![]);
+        assert_matches_seed(&g, &Partition::from_assignment(vec![0, 1, 0]));
+    }
+
+    #[test]
+    fn sparse_huge_ids_fall_back_to_seed_path() {
+        let g = two_triangles();
+        let p = Partition::from_assignment(vec![0, 0, 0, 3_000_000, 3_000_000, 3_000_000]);
+        let mut scratch = CoarsenScratch::default();
+        let c = coarsen_into(&g, &p, &mut scratch);
+        assert_eq!(c.num_communities, 2);
+        assert_eq!(c.renumbered.assignment(), &[0, 0, 0, 1, 1, 1]);
+        assert!(
+            scratch.hist.is_empty(),
+            "fallback should not size the histogram"
+        );
+    }
+
+    #[test]
+    fn scratch_reuse_does_not_reallocate_after_first_round() {
+        // A two-level hierarchy: after reclaiming the round-1 output, every
+        // later (smaller) round must reuse the same buffers.
+        let g = crate::generators::fixtures::ring_of_cliques(16, 8);
+        let p = Partition::from_assignment(
+            (0..g.num_vertices() as CommunityId)
+                .map(|v| v / 4)
+                .collect(),
+        );
+        let mut scratch = CoarsenScratch::default();
+        let c1 = coarsen_into(&g, &p, &mut scratch);
+        let coarse_p = Partition::from_assignment(
+            (0..c1.num_communities as CommunityId)
+                .map(|v| v / 2)
+                .collect(),
+        );
+        scratch.reclaim_assignment(c1.renumbered);
+        let ptrs = (
+            scratch.hist.as_ptr(),
+            scratch.members.as_ptr(),
+            scratch.renumbered.as_ptr(),
+            scratch.vert_offsets.as_ptr(),
+        );
+        let caps = (
+            scratch.renumbered.capacity(),
+            scratch.out_targets.capacity(),
+        );
+        let c2 = coarsen_into(&c1.graph, &coarse_p, &mut scratch);
+        scratch.reclaim_graph(c1.graph);
+        scratch.reclaim_assignment(c2.renumbered);
+        let c3 = coarsen_into(
+            &c2.graph,
+            &Partition::from_assignment(vec![0; c2.num_communities]),
+            &mut scratch,
+        );
+        assert_eq!(c3.num_communities, 1);
+        assert_eq!(scratch.hist.as_ptr(), ptrs.0, "histogram reallocated");
+        assert_eq!(scratch.members.as_ptr(), ptrs.1, "members reallocated");
+        assert_eq!(scratch.vert_offsets.as_ptr(), ptrs.3, "offsets reallocated");
+        assert!(
+            scratch.renumbered.capacity() <= caps.0,
+            "assignment buffer grew past the round-1 high-water mark"
+        );
+    }
+
+    #[test]
+    fn renumber_and_group_orders_members_ascending() {
+        let g = two_triangles();
+        let p = Partition::from_assignment(vec![1, 0, 1, 0, 1, 0]);
+        let mut scratch = CoarsenScratch::default();
+        let k = renumber_and_group(&g, &p, &mut scratch);
+        assert_eq!(k, 2);
+        assert_eq!(scratch.community_offsets(), &[0, 3, 6]);
+        assert_eq!(scratch.community_members(), &[1, 3, 5, 0, 2, 4]);
+        assert_eq!(scratch.renumbered(), &[1, 0, 1, 0, 1, 0]);
     }
 }

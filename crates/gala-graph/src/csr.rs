@@ -209,6 +209,16 @@ impl Graph {
     pub fn weights(&self) -> &[f64] {
         &self.weights
     }
+
+    /// Decomposes the graph back into its raw CSR arrays
+    /// `(offsets, targets, weights)`. Hierarchy drivers use this to hand a
+    /// coarse graph's allocations back to
+    /// [`crate::coarsen::CoarsenScratch`] just before dropping it, so the
+    /// next contraction round can build its (never larger) output without
+    /// fresh allocations.
+    pub fn into_csr(self) -> (Vec<usize>, Vec<VertexId>, Vec<f64>) {
+        (self.offsets, self.targets, self.weights)
+    }
 }
 
 impl fmt::Debug for Graph {

@@ -60,6 +60,15 @@ impl Partition {
         &self.assignment
     }
 
+    /// Consumes the partition, returning the raw assignment vector. The
+    /// recycling counterpart of [`Partition::from_assignment`]: drivers give
+    /// a spent hierarchy level's assignment back to
+    /// [`crate::coarsen::CoarsenScratch`] instead of dropping it.
+    #[inline]
+    pub fn into_assignment(self) -> Vec<CommunityId> {
+        self.assignment
+    }
+
     /// Moves vertex `v` to community `c`.
     #[inline]
     pub fn assign(&mut self, v: VertexId, c: CommunityId) {

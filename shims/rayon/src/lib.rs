@@ -433,6 +433,132 @@ where
     pool::par_produce_accum(items.len(), out, &identity, &|i, acc| f(&items[i], acc))
 }
 
+/// Index-driven variant of [`par_map_accum_into`]: fills `out` with
+/// `f(i, acc)` for `i` in `0..len`, writing each result directly into its
+/// final slot. Used when the "items" are logical row indices (e.g. CSR rows)
+/// rather than a materialised slice, so callers don't have to allocate an
+/// index vector just to drive the pool.
+pub fn par_map_indexed_accum_into<R, A, ID, F>(
+    len: usize,
+    out: &mut Vec<R>,
+    identity: ID,
+    f: F,
+) -> Vec<A>
+where
+    R: Send,
+    A: Send,
+    ID: Fn() -> A + Sync,
+    F: Fn(usize, &mut A) -> R + Sync,
+{
+    if pool::run_sequential(len) {
+        out.clear();
+        out.reserve(len);
+        let mut acc = identity();
+        for i in 0..len {
+            out.push(f(i, &mut acc));
+        }
+        return vec![acc];
+    }
+    pool::par_produce_accum(len, out, &identity, &f)
+}
+
+/// Fills a two-array CSR body (`targets`/`weights`) row by row across the
+/// pool. `bounds` is the row offset array (`bounds.len() == rows + 1`,
+/// monotone, with `bounds[rows]` equal to both output lengths); `fill` is
+/// invoked once per row with that row's disjoint `&mut` output segments and
+/// a per-chunk accumulator threaded through all rows of the chunk.
+///
+/// Rows are dealt to chunks by cutting `bounds` at near-equal *output*
+/// offsets (binary search), so a few heavy rows don't serialise the fill the
+/// way equal row counts would. Each chunk's segments are carved with
+/// `split_at_mut` — no `unsafe`, no overlap — and handed to the worker
+/// through a take-once slot. Accumulators come back in chunk order (a single
+/// accumulator when the fill ran sequentially).
+pub fn par_fill_csr<T, W, A, ID, F>(
+    bounds: &[usize],
+    targets: &mut [T],
+    weights: &mut [W],
+    identity: ID,
+    fill: F,
+) -> Vec<A>
+where
+    T: Send,
+    W: Send,
+    A: Send,
+    ID: Fn() -> A + Sync,
+    F: Fn(usize, &mut [T], &mut [W], &mut A) + Sync,
+{
+    let rows = bounds.len().saturating_sub(1);
+    let total = if rows == 0 { 0 } else { bounds[rows] };
+    assert_eq!(targets.len(), total, "targets not sized to bounds total");
+    assert_eq!(weights.len(), total, "weights not sized to bounds total");
+    debug_assert!(
+        bounds.windows(2).all(|w| w[0] <= w[1]),
+        "bounds not monotone"
+    );
+    if rows <= 1 || pool::run_sequential(total) {
+        let mut acc = identity();
+        for r in 0..rows {
+            let (lo, hi) = (bounds[r], bounds[r + 1]);
+            fill(r, &mut targets[lo..hi], &mut weights[lo..hi], &mut acc);
+        }
+        return vec![acc];
+    }
+    // Cut rows at near-equal output offsets; duplicate cuts (a single row
+    // larger than a chunk's share) simply yield empty chunks.
+    let width = pool::current_parallelism();
+    let num_chunks = (width * 4).min(rows);
+    let mut cuts = Vec::with_capacity(num_chunks + 1);
+    cuts.push(0usize);
+    for c in 1..num_chunks {
+        let goal = total * c / num_chunks;
+        let row = bounds.partition_point(|&b| b < goal).min(rows);
+        cuts.push(row.max(cuts[c - 1]));
+    }
+    cuts.push(rows);
+    // Carve each chunk's disjoint output segments.
+    type FillSlot<'a, T, W> = Mutex<Option<(usize, usize, usize, &'a mut [T], &'a mut [W])>>;
+    let mut slots: Vec<FillSlot<'_, T, W>> = Vec::with_capacity(num_chunks);
+    let mut rest_t = targets;
+    let mut rest_w = weights;
+    for c in 0..num_chunks {
+        let (row_lo, row_hi) = (cuts[c], cuts[c + 1]);
+        let size = bounds[row_hi] - bounds[row_lo];
+        let (seg_t, tail_t) = rest_t.split_at_mut(size);
+        let (seg_w, tail_w) = rest_w.split_at_mut(size);
+        rest_t = tail_t;
+        rest_w = tail_w;
+        slots.push(Mutex::new(Some((
+            row_lo,
+            row_hi,
+            bounds[row_lo],
+            seg_t,
+            seg_w,
+        ))));
+    }
+    let accs: Vec<Mutex<Option<A>>> = (0..num_chunks).map(|_| Mutex::new(None)).collect();
+    pool::execute(num_chunks, &|c| {
+        let (row_lo, row_hi, base, seg_t, seg_w) = slots[c]
+            .lock()
+            .expect("fill slot poisoned")
+            .take()
+            .expect("fill chunk claimed twice");
+        let mut acc = identity();
+        for r in row_lo..row_hi {
+            let (lo, hi) = (bounds[r] - base, bounds[r + 1] - base);
+            fill(r, &mut seg_t[lo..hi], &mut seg_w[lo..hi], &mut acc);
+        }
+        *accs[c].lock().expect("accumulator slot poisoned") = Some(acc);
+    });
+    accs.into_iter()
+        .map(|m| {
+            m.into_inner()
+                .expect("accumulator slot poisoned")
+                .expect("fill chunk finished without storing its accumulator")
+        })
+        .collect()
+}
+
 /// [`par_map_accum_into`] into a fresh output vector.
 pub fn par_map_accum<T, R, A, ID, F>(items: &[T], identity: ID, f: F) -> (Vec<R>, Vec<A>)
 where
@@ -628,6 +754,92 @@ mod tests {
             });
         });
         assert_eq!(total.load(Ordering::Relaxed), items.iter().sum::<u64>());
+    }
+
+    #[test]
+    fn par_map_indexed_accum_matches_sequential() {
+        let mut out: Vec<u64> = Vec::new();
+        let accs = with_parallelism(4, || {
+            super::par_map_indexed_accum_into(
+                30_000,
+                &mut out,
+                || 0u64,
+                |i, acc: &mut u64| {
+                    *acc += 1;
+                    (i as u64) * 5
+                },
+            )
+        });
+        assert!(out.iter().enumerate().all(|(i, &v)| v == 5 * i as u64));
+        assert_eq!(accs.iter().sum::<u64>(), 30_000);
+    }
+
+    #[test]
+    fn par_fill_csr_fills_every_segment_at_every_width() {
+        // Skewed row sizes so output-balanced cuts actually differ from
+        // row-balanced ones.
+        let rows = 3000usize;
+        let mut bounds = vec![0usize];
+        for r in 0..rows {
+            let deg = if r % 97 == 0 { 64 } else { r % 5 };
+            bounds.push(bounds[r] + deg);
+        }
+        let total = bounds[rows];
+        for width in [1, 2, 8] {
+            let mut targets = vec![0u32; total];
+            let mut weights = vec![0.0f64; total];
+            let accs = with_parallelism(width, || {
+                super::par_fill_csr(
+                    &bounds,
+                    &mut targets,
+                    &mut weights,
+                    || 0usize,
+                    |r, tgt, wgt, acc| {
+                        *acc += 1;
+                        for (j, t) in tgt.iter_mut().enumerate() {
+                            *t = (r * 1000 + j) as u32;
+                        }
+                        for w in wgt.iter_mut() {
+                            *w = r as f64;
+                        }
+                    },
+                )
+            });
+            assert_eq!(accs.iter().sum::<usize>(), rows, "width {width}");
+            for r in 0..rows {
+                for (j, i) in (bounds[r]..bounds[r + 1]).enumerate() {
+                    assert_eq!(targets[i], (r * 1000 + j) as u32);
+                    assert_eq!(weights[i], r as f64);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn par_fill_csr_handles_empty_rows_and_empty_input() {
+        let accs = super::par_fill_csr::<u32, f64, (), _, _>(
+            &[0],
+            &mut [],
+            &mut [],
+            || (),
+            |_, _, _, _| {},
+        );
+        assert_eq!(accs.len(), 1);
+        let bounds = [0usize, 0, 3, 3, 5];
+        let mut t = vec![0u32; 5];
+        let mut w = vec![0.0f64; 5];
+        super::par_fill_csr(
+            &bounds,
+            &mut t,
+            &mut w,
+            || (),
+            |r, tgt, _, _| {
+                for x in tgt.iter_mut() {
+                    *x = r as u32 + 1;
+                }
+            },
+        );
+        assert_eq!(t, vec![2, 2, 2, 4, 4]);
     }
 
     #[test]
