@@ -7,7 +7,7 @@
 //! conductance, whether every community is internally connected, and wall
 //! time.
 
-use gala_bench::{new_report, scale_from_env, time, write_report_if_requested, Table};
+use gala_bench::{new_report, scale_from_env, time, BenchArgs, Table};
 use gala_core::label_prop::{label_propagation, LabelPropConfig};
 use gala_core::leiden::{communities_are_connected, leiden, LeidenConfig};
 use gala_core::louvain::{Louvain, LouvainConfig};
@@ -96,7 +96,7 @@ fn main() {
         table.print();
         table.add_to_report(&mut report, &format!("mu{mixing}"));
     }
-    write_report_if_requested(&report);
+    BenchArgs::parse().write_report(&report);
     println!(
         "\nexpect: Leiden always connected; modularity methods beat LPA as mu \
          grows; LPA collapses to few giant communities at high mu."

@@ -18,9 +18,7 @@
 //! GALA_SCALE=test bench_contract --quick --gate --report BENCH_contract.json
 //! ```
 
-use gala_bench::{
-    all_datasets, arg_value, new_report, scale_from_env, time, write_report_if_requested, Table,
-};
+use gala_bench::{all_datasets, new_report, scale_from_env, time, BenchArgs, Table};
 use gala_core::louvain::{Louvain, LouvainConfig};
 use gala_graph::coarsen::{coarsen, coarsen_into, CoarsenScratch};
 use rayon::{configured_threads, with_parallelism};
@@ -40,21 +38,12 @@ fn ns(d: Duration) -> u128 {
 }
 
 fn main() {
-    let quick = std::env::args().any(|a| a == "--quick");
-    let gate = std::env::args().any(|a| a == "--gate");
+    let args = BenchArgs::parse();
     let scale = scale_from_env();
     let gate_width = configured_threads();
-    let sweep: Vec<usize> = match arg_value("threads") {
-        Some(k) => vec![k.parse().expect("--threads takes a number")],
-        None => {
-            let mut ks = vec![1, 2, 4, 8, gate_width];
-            ks.sort_unstable();
-            ks.dedup();
-            ks
-        }
-    };
-    let reps = if quick { 3 } else { 10 };
-    let num_graphs = if quick { 2 } else { 4 };
+    let sweep = args.thread_sweep(gate_width);
+    let reps = args.reps(3, 10);
+    let num_graphs = args.reps(2, 4);
     let datasets = all_datasets(scale);
 
     println!(
@@ -156,9 +145,9 @@ fn main() {
                 .to_string(),
         );
     table.add_to_report(&mut report, "contract");
-    write_report_if_requested(&report);
+    args.write_report(&report);
 
-    if gate {
+    if args.gate {
         // Width 1 runs the pipeline inline, so "never slower than the seed"
         // is an algorithmic claim (counting sort vs HashMap) that cannot
         // flake on a single-core CI machine; the 2x floor at the width-8

@@ -24,9 +24,7 @@
 //! launch is more than 15% slower than either reference — on a single
 //! hardware thread the pool runs inline, so the gate is safe anywhere.
 
-use gala_bench::{
-    all_datasets, arg_value, new_report, scale_from_env, time, write_report_if_requested, Table,
-};
+use gala_bench::{all_datasets, new_report, scale_from_env, time, BenchArgs, Table};
 use gala_core::louvain::{Louvain, LouvainConfig};
 use gala_gpu::grid;
 use gala_gpu::memory::{MemTally, Space};
@@ -104,22 +102,13 @@ fn ns(d: Duration) -> u128 {
 }
 
 fn main() {
-    let quick = std::env::args().any(|a| a == "--quick");
-    let gate = std::env::args().any(|a| a == "--gate");
+    let args = BenchArgs::parse();
     let scale = scale_from_env();
     let gate_width = configured_threads();
-    let sweep: Vec<usize> = match arg_value("threads") {
-        Some(k) => vec![k.parse().expect("--threads takes a number")],
-        None => {
-            let mut ks = vec![1, 2, 4, 8, gate_width];
-            ks.sort_unstable();
-            ks.dedup();
-            ks
-        }
-    };
-    let launch_reps = if quick { 3 } else { 10 };
-    let phase1_reps = if quick { 1 } else { 3 };
-    let num_graphs = if quick { 1 } else { 2 };
+    let sweep = args.thread_sweep(gate_width);
+    let launch_reps = args.reps(3, 10);
+    let phase1_reps = args.reps(1, 3);
+    let num_graphs = args.reps(1, 2);
     let datasets = all_datasets(scale);
 
     println!(
@@ -240,9 +229,9 @@ fn main() {
         );
     launch_table.add_to_report(&mut report, "launch");
     phase_table.add_to_report(&mut report, "phase1");
-    write_report_if_requested(&report);
+    args.write_report(&report);
 
-    if gate {
+    if args.gate {
         // Throughput gate at the configured width only: on a single
         // hardware thread that width is 1 and the pool runs inline, so
         // this cannot flake on small CI machines.

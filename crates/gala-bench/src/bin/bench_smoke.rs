@@ -21,9 +21,7 @@
 //! writes a full instrumented trace (superstep + span events) of the
 //! first dataset's run — CI feeds that to `gala analyze --check`.
 
-use gala_bench::{
-    all_datasets, arg_value, eng, new_report, scale_from_env, write_report_if_requested, Table,
-};
+use gala_bench::{all_datasets, eng, new_report, scale_from_env, BenchArgs, Table};
 use gala_core::louvain::{Louvain, LouvainConfig};
 use gala_core::multi_gpu::{run_phase1_traced as multi_gpu_phase1, MultiGpuConfig};
 use gala_gpu::memory::CostModel;
@@ -33,6 +31,7 @@ use std::fs::File;
 use std::io::BufWriter;
 
 fn main() {
+    let args = BenchArgs::parse();
     let scale = scale_from_env();
     let cost = CostModel::default();
     let configs: [(&str, LouvainConfig); 2] = [
@@ -116,13 +115,13 @@ fn main() {
     let mut report = new_report("bench_smoke");
     table.add_to_report(&mut report, "smoke");
     sync_table.add_to_report(&mut report, "sync");
-    write_report_if_requested(&report);
+    args.write_report(&report);
 
     // --trace: write an instrumented single-device trace of the first
     // dataset under the default config (superstep, span, round events).
-    if let Some(path) = arg_value("trace") {
+    if let Some(path) = &args.trace {
         let (d, g) = &datasets[0];
-        let file = match File::create(&path) {
+        let file = match File::create(path) {
             Ok(f) => f,
             Err(e) => {
                 eprintln!("cannot write trace {path}: {e}");
@@ -136,8 +135,8 @@ fn main() {
         println!("\ntrace of {} written to {path}", d.abbr());
     }
 
-    if let Some(path) = arg_value("check") {
-        let baseline = match Report::read_from(&path) {
+    if let Some(path) = &args.check {
+        let baseline = match Report::read_from(path) {
             Ok(b) => b,
             Err(e) => {
                 eprintln!("cannot read baseline {path}: {e}");

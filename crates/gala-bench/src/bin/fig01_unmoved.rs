@@ -5,7 +5,7 @@
 //! iterations and MG prunes up to 69% of them; the reproduced shape is the
 //! same: both curves rise monotonically-ish toward convergence.
 
-use gala_bench::{new_report, run_phase1_timed, scale_from_env, write_report_if_requested, Table};
+use gala_bench::{new_report, run_phase1_timed, scale_from_env, BenchArgs, Table};
 use gala_core::louvain::LouvainConfig;
 use gala_core::pruning::PruningKind;
 use gala_graph::datasets::Dataset;
@@ -36,7 +36,7 @@ fn main() {
     table.print();
     let mut report = new_report("fig01_unmoved");
     table.add_to_report(&mut report, "lj");
-    write_report_if_requested(&report);
+    BenchArgs::parse().write_report(&report);
     println!(
         "\npaper shape: unmoved -> ~95%, pruned -> ~69% by late iterations; \
          pruned <= unmoved in every iteration (MG is FN-free)."

@@ -8,7 +8,7 @@
 //! access rate exceeds the maintenance rate (hot communities live in
 //! shared memory).
 
-use gala_bench::{new_report, run_phase1_timed, scale_from_env, write_report_if_requested, Table};
+use gala_bench::{new_report, run_phase1_timed, scale_from_env, BenchArgs, Table};
 use gala_core::kernels::hashtable::{HashConfig, HashTableKind};
 use gala_core::kernels::KernelKind;
 use gala_core::louvain::LouvainConfig;
@@ -64,7 +64,7 @@ fn main() {
     table.print();
     let mut report = new_report("fig04_hashtable_rates");
     table.add_to_report(&mut report, "lj");
-    write_report_if_requested(&report);
+    BenchArgs::parse().write_report(&report);
     if !gains.is_empty() {
         let avg = gains.iter().sum::<f64>() / gains.len() as f64;
         println!("\nhierarchical / unified access-rate ratio: {avg:.1}x (paper: 4.7x)");

@@ -17,8 +17,7 @@
 //! (222× vs. Grappolo CPU on wall time at the paper's scale).
 
 use gala_bench::{
-    all_datasets, eng, ms, new_report, run_phase1_timed, scale_from_env, time,
-    write_report_if_requested, Table,
+    all_datasets, eng, ms, new_report, run_phase1_timed, scale_from_env, time, BenchArgs, Table,
 };
 use gala_core::grappolo;
 use gala_core::kernels::hashtable::{HashConfig, HashTableKind};
@@ -103,7 +102,7 @@ fn main() {
     table.print();
     let mut report = new_report("fig05_sota");
     table.add_to_report(&mut report, "sota");
-    write_report_if_requested(&report);
+    BenchArgs::parse().write_report(&report);
     let n = count as f64;
     println!(
         "\nGALA speedups (avg, simulated device cycles): {:.1}x vs sort-kernel \

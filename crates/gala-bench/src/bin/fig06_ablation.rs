@@ -10,8 +10,7 @@
 //! MM adds ≈1.4×; combined ≈3.4×.
 
 use gala_bench::{
-    all_datasets, ms, new_report, run_phase1_timed, scale_from_env, write_report_if_requested,
-    Table,
+    all_datasets, ms, new_report, run_phase1_timed, scale_from_env, BenchArgs, Table,
 };
 use gala_core::kernels::hashtable::HashConfig;
 use gala_core::kernels::KernelKind;
@@ -73,7 +72,7 @@ fn main() {
     table.print();
     let mut report = new_report("fig06_ablation");
     table.add_to_report(&mut report, "ablation");
-    write_report_if_requested(&report);
+    BenchArgs::parse().write_report(&report);
     let n = count as f64;
     println!(
         "\navg speedups (simulated cycles): MG {:.2}x, MM {:.2}x, total {:.2}x \

@@ -6,7 +6,7 @@
 //! terminate earlier (it over-prunes), and MG+RM should show the highest
 //! pruning rates.
 
-use gala_bench::{new_report, run_phase1_timed, scale_from_env, write_report_if_requested, Table};
+use gala_bench::{new_report, run_phase1_timed, scale_from_env, BenchArgs, Table};
 use gala_core::louvain::LouvainConfig;
 use gala_core::pruning::PruningKind;
 use gala_graph::datasets::Dataset;
@@ -74,7 +74,7 @@ fn main() {
             avg(4)
         );
     }
-    write_report_if_requested(&report);
+    BenchArgs::parse().write_report(&report);
     println!(
         "\npaper shape: SM lowest (<4%), MG+RM highest (up to 91.9%), rates rise over iterations."
     );

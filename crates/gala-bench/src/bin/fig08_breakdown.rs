@@ -15,7 +15,7 @@
 //! wall-clock would mis-weigh them because the host-side weight scan pays
 //! no simulation overhead).
 
-use gala_bench::{new_report, run_phase1_timed, scale_from_env, write_report_if_requested, Table};
+use gala_bench::{new_report, run_phase1_timed, scale_from_env, BenchArgs, Table};
 use gala_core::louvain::{LouvainConfig, RoundStats};
 use gala_core::pruning::PruningKind;
 use gala_core::weight::WeightUpdateMode;
@@ -89,6 +89,6 @@ fn main() {
             );
         }
     }
-    write_report_if_requested(&report);
+    BenchArgs::parse().write_report(&report);
     println!("\npaper shape: B decide-dominated (65.5%), P1 weight-update-heavy (45.7%), P2 decide-dominated again.");
 }

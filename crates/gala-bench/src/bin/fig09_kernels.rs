@@ -13,7 +13,7 @@
 //! One DecideAndMove pass over the selected vertex class, simulated cycles
 //! under the default cost model.
 
-use gala_bench::{all_datasets, eng, new_report, scale_from_env, write_report_if_requested, Table};
+use gala_bench::{all_datasets, eng, new_report, scale_from_env, BenchArgs, Table};
 use gala_core::kernels::hashtable::{HashConfig, HashTableKind};
 use gala_core::kernels::{self, KernelKind};
 use gala_core::state::BspState;
@@ -179,7 +179,7 @@ fn main() {
     }
     table.print();
     table.add_to_report(&mut report, "fig9b");
-    write_report_if_requested(&report);
+    BenchArgs::parse().write_report(&report);
     if counted > 0 {
         println!(
             "avg: hierarchical {:.2}x vs global-only, {:.2}x vs unified (paper: 1.5x / 1.2x)",

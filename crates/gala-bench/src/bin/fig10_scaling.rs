@@ -5,7 +5,7 @@
 //!   stays roughly constant while compute shrinks).
 //! * (b) compute vs. communication breakdown on the OR graph.
 
-use gala_bench::{all_datasets, new_report, scale_from_env, write_report_if_requested, Table};
+use gala_bench::{all_datasets, new_report, scale_from_env, BenchArgs, Table};
 use gala_core::multi_gpu::{run_phase1, MultiGpuConfig, SyncMode};
 use gala_graph::datasets::Dataset;
 
@@ -69,7 +69,7 @@ fn main() {
     }
     table.print();
     table.add_to_report(&mut report, "fig10b");
-    write_report_if_requested(&report);
+    BenchArgs::parse().write_report(&report);
     println!(
         "\ncompute reduction 1 -> 8 devices: {:.1}x (paper: 4.4x); \
          paper: comm ~constant, 43% of runtime at 8 GPUs.",

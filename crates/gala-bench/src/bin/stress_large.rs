@@ -7,7 +7,7 @@
 //! cargo run --release -p gala-bench --bin stress_large
 //! ```
 
-use gala_bench::{new_report, time, write_report_if_requested};
+use gala_bench::{new_report, time, BenchArgs};
 use gala_core::louvain::{Louvain, LouvainConfig};
 use gala_core::multi_gpu::{run_phase1, MultiGpuConfig, SyncMode};
 use gala_graph::generators::sbm::PowerLawSbm;
@@ -89,6 +89,6 @@ fn main() {
             .metric("comm_us", multi.comm_us())
             .metric("modularity", multi.modularity),
     );
-    write_report_if_requested(&report);
+    BenchArgs::parse().write_report(&report);
     println!("\npaper: uk-2007-02 (3.4B edges) phase 1 in 43 s on 8 A100s.");
 }

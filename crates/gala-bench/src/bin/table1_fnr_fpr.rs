@@ -7,7 +7,7 @@
 //! PM have non-zero FNR; MG's FPR is well below SM's (91.7% avg in the
 //! paper) and the best or near-best overall.
 
-use gala_bench::{all_datasets, new_report, scale_from_env, write_report_if_requested, Table};
+use gala_bench::{all_datasets, new_report, scale_from_env, BenchArgs, Table};
 use gala_core::pruning::{evaluate_on_baseline, PruningKind};
 
 fn main() {
@@ -49,6 +49,6 @@ fn main() {
     table.print();
     let mut report = new_report("table1_fnr_fpr");
     table.add_to_report(&mut report, "table1");
-    write_report_if_requested(&report);
+    BenchArgs::parse().write_report(&report);
     println!("\npaper: FNR 0/0.37/6.35/0 %, FPR 91.73/39.64/47.33/32.24 % (SM/RM/PM/MG averages).");
 }

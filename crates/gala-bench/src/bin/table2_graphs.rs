@@ -4,7 +4,7 @@
 //! stand-ins are deterministic synthetic graphs with each original's
 //! community *personality* at laptop scale (see `gala_graph::datasets`).
 
-use gala_bench::{all_datasets, eng, new_report, scale_from_env, write_report_if_requested, Table};
+use gala_bench::{all_datasets, eng, new_report, scale_from_env, BenchArgs, Table};
 use gala_graph::stats::GraphStats;
 
 fn main() {
@@ -36,5 +36,5 @@ fn main() {
     table.print();
     let mut report = new_report("table2_graphs");
     table.add_to_report(&mut report, "table2");
-    write_report_if_requested(&report);
+    BenchArgs::parse().write_report(&report);
 }

@@ -5,7 +5,7 @@
 //! modularity (both are FN-free); RM and PM lose a small amount (paper
 //! averages: 0.00119 and 0.00413).
 
-use gala_bench::{all_datasets, new_report, scale_from_env, write_report_if_requested, Table};
+use gala_bench::{all_datasets, new_report, scale_from_env, BenchArgs, Table};
 use gala_core::louvain::{Louvain, LouvainConfig};
 use gala_core::pruning::PruningKind;
 
@@ -57,7 +57,7 @@ fn main() {
     table.print();
     let mut report = new_report("table3_modularity");
     table.add_to_report(&mut report, "table3");
-    write_report_if_requested(&report);
+    BenchArgs::parse().write_report(&report);
     let avg = |v: &[f64]| v.iter().sum::<f64>() / v.len() as f64;
     println!(
         "\navg loss: RM {:.5}, PM {:.5} (paper: 0.00119 / 0.00413); \

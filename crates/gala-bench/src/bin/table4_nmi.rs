@@ -6,7 +6,7 @@
 //! reproduce: baseline = MG = SM NMI; RM and PM slightly lower (paper:
 //! −0.2% / −0.3% on average).
 
-use gala_bench::{new_report, scale_from_env, write_report_if_requested, Table};
+use gala_bench::{new_report, scale_from_env, BenchArgs, Table};
 use gala_core::louvain::{Louvain, LouvainConfig};
 use gala_core::metrics::nmi;
 use gala_core::pruning::PruningKind;
@@ -100,6 +100,6 @@ fn main() {
     table.print();
     let mut report = new_report("table4_nmi");
     table.add_to_report(&mut report, "table4");
-    write_report_if_requested(&report);
+    BenchArgs::parse().write_report(&report);
     println!("\npaper: Baseline/MG/SM identical; RM −0.2% and PM −0.3% on average.");
 }

@@ -157,27 +157,106 @@ pub fn new_report(name: &str) -> Report {
     )
 }
 
-/// Value of `--<flag> <value>` in the process arguments, if present.
-pub fn arg_value(flag: &str) -> Option<String> {
-    let mut args = std::env::args();
-    while let Some(a) = args.next() {
-        if a == format!("--{flag}") {
-            return args.next();
-        }
-    }
-    None
+/// The command-line flags shared by the experiment binaries, parsed once:
+/// `--quick` (fewer reps/graphs), `--gate` (enforce perf floors),
+/// `--report <file>` (machine-readable JSON), `--trace <file>`
+/// (instrumented JSONL trace, where supported), `--check <file>` (compare
+/// against a baseline report), `--threads <k>` (pin the sweep width).
+///
+/// Every binary previously open-coded this scan; parse once in `main` with
+/// [`BenchArgs::parse`] and read fields instead.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct BenchArgs {
+    /// Fewer repetitions and graphs for CI-speed runs.
+    pub quick: bool,
+    /// Enforce the binary's performance gate (exit non-zero on a miss).
+    pub gate: bool,
+    /// Write the JSON report here.
+    pub report: Option<String>,
+    /// Write an instrumented JSONL trace here (binaries that support it).
+    pub trace: Option<String>,
+    /// Compare the report against this baseline report.
+    pub check: Option<String>,
+    /// Pin the thread sweep to one width.
+    pub threads: Option<usize>,
 }
 
-/// Writes `report` to the path given by `--report <path>`, when the flag is
-/// present. Exits the process with an error message when writing fails —
-/// a bench invoked for its report must not silently drop it.
-pub fn write_report_if_requested(report: &Report) {
-    if let Some(path) = arg_value("report") {
-        if let Err(e) = report.write_to(&path) {
-            eprintln!("failed to write report to {path}: {e}");
-            std::process::exit(1);
+impl BenchArgs {
+    /// Parses the process arguments. Unknown flags are ignored so binaries
+    /// can keep bespoke extras.
+    pub fn parse() -> Self {
+        Self::from_argv(&std::env::args().skip(1).collect::<Vec<_>>())
+    }
+
+    /// Parses an explicit argv (unit-testable core of [`BenchArgs::parse`]).
+    pub fn from_argv(args: &[String]) -> Self {
+        let mut out = BenchArgs::default();
+        let mut i = 0;
+        while i < args.len() {
+            let flag = args[i].as_str();
+            match flag {
+                "--quick" => out.quick = true,
+                "--gate" => out.gate = true,
+                "--report" | "--trace" | "--check" | "--threads" => {
+                    i += 1;
+                    let Some(v) = args.get(i).cloned() else {
+                        eprintln!("{flag} needs a value");
+                        std::process::exit(2);
+                    };
+                    match flag {
+                        "--report" => out.report = Some(v),
+                        "--trace" => out.trace = Some(v),
+                        "--check" => out.check = Some(v),
+                        _ => {
+                            out.threads = Some(v.parse().unwrap_or_else(|_| {
+                                eprintln!("--threads takes a number, got `{v}`");
+                                std::process::exit(2);
+                            }))
+                        }
+                    }
+                }
+                _ => {}
+            }
+            i += 1;
         }
-        println!("\nreport written to {path}");
+        out
+    }
+
+    /// Picks a repetition count by mode: `quick` under `--quick`, else
+    /// `full`.
+    pub fn reps(&self, quick: usize, full: usize) -> usize {
+        if self.quick {
+            quick
+        } else {
+            full
+        }
+    }
+
+    /// The thread-width sweep: `--threads` pins a single width, otherwise
+    /// {1, 2, 4, 8, `gate_width`} sorted and deduplicated.
+    pub fn thread_sweep(&self, gate_width: usize) -> Vec<usize> {
+        match self.threads {
+            Some(k) => vec![k],
+            None => {
+                let mut ks = vec![1, 2, 4, 8, gate_width];
+                ks.sort_unstable();
+                ks.dedup();
+                ks
+            }
+        }
+    }
+
+    /// Writes `report` to the `--report` path, when given. Exits the
+    /// process with an error message when writing fails — a bench invoked
+    /// for its report must not silently drop it.
+    pub fn write_report(&self, report: &Report) {
+        if let Some(path) = &self.report {
+            if let Err(e) = report.write_to(path) {
+                eprintln!("failed to write report to {path}: {e}");
+                std::process::exit(1);
+            }
+            println!("\nreport written to {path}");
+        }
     }
 }
 
@@ -202,6 +281,42 @@ pub fn eng(x: f64) -> String {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    fn argv(s: &str) -> Vec<String> {
+        s.split_whitespace().map(|x| x.to_string()).collect()
+    }
+
+    #[test]
+    fn bench_args_parse_the_shared_flags() {
+        let a = BenchArgs::from_argv(&argv(
+            "--quick --gate --report r.json --trace t.jsonl --check b.json --threads 4",
+        ));
+        assert!(a.quick && a.gate);
+        assert_eq!(a.report.as_deref(), Some("r.json"));
+        assert_eq!(a.trace.as_deref(), Some("t.jsonl"));
+        assert_eq!(a.check.as_deref(), Some("b.json"));
+        assert_eq!(a.threads, Some(4));
+
+        let none = BenchArgs::from_argv(&argv("--unknown positional"));
+        assert_eq!(none, BenchArgs::default());
+    }
+
+    #[test]
+    fn bench_args_reps_and_sweep() {
+        let quick = BenchArgs {
+            quick: true,
+            ..BenchArgs::default()
+        };
+        assert_eq!(quick.reps(3, 10), 3);
+        assert_eq!(BenchArgs::default().reps(3, 10), 10);
+        assert_eq!(BenchArgs::default().thread_sweep(4), vec![1, 2, 4, 8]);
+        assert_eq!(BenchArgs::default().thread_sweep(16), vec![1, 2, 4, 8, 16]);
+        let pinned = BenchArgs {
+            threads: Some(2),
+            ..BenchArgs::default()
+        };
+        assert_eq!(pinned.thread_sweep(8), vec![2]);
+    }
 
     #[test]
     fn table_renders_aligned() {

@@ -7,7 +7,9 @@
 //! second (baseline) trace it diffs a watched-metric set and reports
 //! regressions beyond `--threshold`; `--check` validates the trace's
 //! structural invariants instead (the CI smoke job runs this on a freshly
-//! produced trace).
+//! produced trace); `--chrome-trace FILE` exports the span trees and
+//! superstep counters as a Chrome Trace Event Format JSON file loadable in
+//! Perfetto (<https://ui.perfetto.dev>) or `chrome://tracing`.
 //!
 //! Every renderer returns a `String` so golden tests can pin output
 //! byte-for-byte; [`run`] only adds the printing.
@@ -16,7 +18,9 @@ use crate::args::AnalyzeArgs;
 use crate::commands::Error;
 use gala_gpu::memory::{CostModel, MemTally};
 use gala_gpu::profile::{Profiler, SpanRecord};
-use gala_telemetry::{json, span_from_json, tally_from_json, SCHEMA_VERSION};
+use gala_telemetry::{
+    json, span_from_json, tally_from_json, MetricsRegistry, MIN_SCHEMA_VERSION, SCHEMA_VERSION,
+};
 
 /// One `superstep` event, decoded.
 #[derive(Clone, Debug)]
@@ -40,6 +44,15 @@ struct SyncEvent {
     superstep: u64,
     mode: String,
     bytes: u64,
+    comm_us: f64,
+}
+
+/// One `metrics` event, decoded (schema 3+ traces only).
+#[derive(Clone, Debug)]
+struct MetricsEvent {
+    round: u64,
+    scope: String,
+    registry: MetricsRegistry,
 }
 
 /// What `--check` needs from one `span` event. The tree itself is merged
@@ -49,6 +62,16 @@ struct SyncEvent {
 struct SpanCheck {
     phase: String,
     tally: MemTally,
+}
+
+/// One retained span tree (only kept when the chrome-trace exporter needs
+/// per-superstep timelines rather than the merged profile).
+#[derive(Clone, Debug)]
+struct SpanTree {
+    round: u64,
+    superstep: u64,
+    phase: String,
+    root: SpanRecord,
 }
 
 /// The `run_end` summary.
@@ -69,6 +92,10 @@ struct Trace {
     supersteps: Vec<Superstep>,
     syncs: Vec<SyncEvent>,
     span_checks: Vec<SpanCheck>,
+    metrics: Vec<MetricsEvent>,
+    /// Individual span trees, retained only when loaded with
+    /// `keep_spans` (the chrome-trace exporter); empty otherwise.
+    span_trees: Vec<SpanTree>,
     /// All span trees merged by name in first-seen order (the in-process
     /// profiler's rule), built incrementally while streaming the file.
     merged_root: SpanRecord,
@@ -109,6 +136,13 @@ fn field_tally(v: &json::Value, key: &str, line: usize) -> Result<MemTally, Erro
 /// merged profile as they arrive — so peak memory is one line plus the
 /// decoded summaries, independent of trace length.
 fn load_trace(path: &str) -> Result<Trace, Error> {
+    load_trace_with_spans(path, false)
+}
+
+/// [`load_trace`] plus optional retention of every individual span tree
+/// (`keep_spans`), which the chrome-trace exporter needs to lay out a
+/// per-superstep timeline. The default path drops them to keep memory flat.
+fn load_trace_with_spans(path: &str, keep_spans: bool) -> Result<Trace, Error> {
     use std::io::BufRead;
     let file = std::fs::File::open(path).map_err(|e| format!("{path}: {e}"))?;
     let reader = std::io::BufReader::new(file);
@@ -122,9 +156,10 @@ fn load_trace(path: &str) -> Result<Trace, Error> {
         }
         let v = json::parse(&raw).map_err(|e| format!("{path} line {line}: {e}"))?;
         let schema = field_u64(&v, "schema", line)?;
-        if schema != SCHEMA_VERSION {
+        if !(MIN_SCHEMA_VERSION..=SCHEMA_VERSION).contains(&schema) {
             return Err(format!(
-                "{path} line {line}: schema {schema} (this build reads {SCHEMA_VERSION})"
+                "{path} line {line}: schema {schema} (this build reads \
+                 {MIN_SCHEMA_VERSION}..={SCHEMA_VERSION})"
             )
             .into());
         }
@@ -153,6 +188,7 @@ fn load_trace(path: &str) -> Result<Trace, Error> {
                 superstep: field_u64(&v, "superstep", line)?,
                 mode: field_str(&v, "mode", line)?,
                 bytes: field_u64(&v, "bytes", line)?,
+                comm_us: field_f64(&v, "comm_us", line)?,
             }),
             "span" => {
                 let root = v
@@ -163,7 +199,26 @@ fn load_trace(path: &str) -> Result<Trace, Error> {
                     phase: field_str(&v, "phase", line)?,
                     tally: root.total_tally(),
                 });
+                if keep_spans {
+                    trace.span_trees.push(SpanTree {
+                        round: field_u64(&v, "round", line)?,
+                        superstep: field_u64(&v, "superstep", line)?,
+                        phase: field_str(&v, "phase", line)?,
+                        root: root.clone(),
+                    });
+                }
                 merger.absorb(root);
+            }
+            "metrics" => {
+                let registry = v
+                    .get("registry")
+                    .and_then(MetricsRegistry::from_json)
+                    .ok_or_else(|| format!("{path} line {line}: bad metrics registry"))?;
+                trace.metrics.push(MetricsEvent {
+                    round: field_u64(&v, "round", line)?,
+                    scope: field_str(&v, "scope", line)?,
+                    registry,
+                });
             }
             "round_end" => trace.round_ends += 1,
             "run_end" => {
@@ -244,13 +299,38 @@ fn check(path: &str, trace: &Trace) -> Result<String, Error> {
             return Err(format!("{path}: span tree {i} has incoherent SIMT counters").into());
         }
     }
+    for (i, ev) in trace.metrics.iter().enumerate() {
+        let at = format!("{path}: metrics event {i} (round {})", ev.round);
+        if ev.scope != "phase1" && ev.scope != "sync" {
+            return Err(format!("{at} has unknown scope `{}`", ev.scope).into());
+        }
+        for (name, g) in ev.registry.gauges() {
+            if !g.is_finite() {
+                return Err(format!("{at} gauge `{name}` is non-finite").into());
+            }
+        }
+        let (sampled, fns) = (
+            ev.registry.counter("pruning/audit_sampled").unwrap_or(0),
+            ev.registry
+                .counter("pruning/audit_false_negatives")
+                .unwrap_or(0),
+        );
+        if fns > sampled {
+            return Err(format!(
+                "{at} reports more audit false negatives ({fns}) than samples ({sampled})"
+            )
+            .into());
+        }
+    }
     Ok(format!(
-        "ok: {} events ({} supersteps, {} rounds, {} span trees, {} syncs), final Q = {:.5}",
+        "ok: {} events ({} supersteps, {} rounds, {} span trees, {} syncs, \
+         {} metrics), final Q = {:.5}",
         trace.events,
         trace.supersteps.len(),
         trace.round_ends.max(end.rounds),
         trace.span_checks.len(),
         trace.syncs.len(),
+        trace.metrics.len(),
         end.modularity,
     ))
 }
@@ -259,8 +339,8 @@ const SPARK: [char; 8] = ['▁', '▂', '▃', '▄', '▅', '▆', '▇', '█'
 const SPARK_WIDTH: usize = 40;
 
 /// Renders a series as a fixed-width sparkline; longer series are bucketed
-/// by averaging so the rows of a table stay aligned.
-fn sparkline(values: &[f64]) -> String {
+/// by averaging so the rows of a table stay aligned. Shared with `trend`.
+pub(crate) fn sparkline(values: &[f64]) -> String {
     if values.is_empty() {
         return String::new();
     }
@@ -446,6 +526,38 @@ fn render_span_summary(trace: &Trace, top: usize) -> String {
     out
 }
 
+/// Algorithm-metric section: all `metrics` events merged into one registry
+/// (counters add, histograms fold, gauges keep the last value). Returns the
+/// empty string for schema-2 traces so older golden outputs stay valid.
+fn render_metrics(trace: &Trace) -> String {
+    if trace.metrics.is_empty() {
+        return String::new();
+    }
+    let mut merged = MetricsRegistry::new();
+    for ev in &trace.metrics {
+        merged.merge(&ev.registry);
+    }
+    let mut out = format!(
+        "\nalgorithm metrics ({} events merged)\n",
+        trace.metrics.len()
+    );
+    for (name, v) in merged.counters() {
+        out.push_str(&format!("  {name:<34} {v}\n"));
+    }
+    for (name, v) in merged.gauges() {
+        out.push_str(&format!("  {name:<34} {v:.4}\n"));
+    }
+    for (name, h) in merged.histograms() {
+        let max = h.max().map_or_else(|| "-".to_string(), |m| m.to_string());
+        out.push_str(&format!(
+            "  {name:<34} n={} mean={:.1} max={max}\n",
+            h.count(),
+            h.mean(),
+        ));
+    }
+    out
+}
+
 /// Full single-trace report: header, curves, span summary.
 fn render_single(path: &str, trace: &Trace, top: usize) -> String {
     let mut out = format!(
@@ -476,7 +588,140 @@ fn render_single(path: &str, trace: &Trace, top: usize) -> String {
     }
     out.push('\n');
     out.push_str(&render_span_summary(trace, top));
+    out.push_str(&render_metrics(trace));
     out
+}
+
+/// Simulated cycles per exported microsecond: the cost model has no wall
+/// clock, so the exporter nominates a 1 GHz device — slice *ratios* are
+/// what matter in the timeline, not absolute times.
+const CYCLES_PER_US: f64 = 1000.0;
+
+fn chrome_slice(name: &str, ts: f64, dur: f64, tid: u64) -> json::Value {
+    json::Value::object()
+        .set("name", name)
+        .set("ph", "X")
+        .set("ts", ts)
+        .set("dur", dur)
+        .set("pid", 0u64)
+        .set("tid", tid)
+}
+
+fn chrome_counter(name: &str, ts: f64, value: f64) -> json::Value {
+    json::Value::object()
+        .set("name", name)
+        .set("ph", "C")
+        .set("ts", ts)
+        .set("pid", 0u64)
+        .set("tid", 0u64)
+        .set("args", json::Value::object().set("value", value))
+}
+
+fn chrome_meta(name: &str, tid: u64, value: &str) -> json::Value {
+    json::Value::object()
+        .set("name", name)
+        .set("ph", "M")
+        .set("pid", 0u64)
+        .set("tid", tid)
+        .set("args", json::Value::object().set("name", value))
+}
+
+/// Lays a span and its children out as nested "X" slices starting at
+/// `start_us`; children are placed sequentially (the simulator runs kernels
+/// back to back, so sequential layout reproduces the modelled order).
+/// Returns the span's duration.
+fn push_span_slices(
+    span: &SpanRecord,
+    start_us: f64,
+    cost: &CostModel,
+    events: &mut Vec<json::Value>,
+) -> f64 {
+    let dur = span.total_cycles(cost) / CYCLES_PER_US;
+    events.push(chrome_slice(&span.name, start_us, dur, 0));
+    let mut child_start = start_us;
+    for child in &span.children {
+        child_start += push_span_slices(child, child_start, cost, events);
+    }
+    dur
+}
+
+/// Converts a loaded trace (with retained span trees) into Chrome Trace
+/// Event Format: one `{"traceEvents": [...]}` object with "X" slices for
+/// span trees, "C" counters for the per-superstep algorithm curves, and
+/// tid-1 slices for inter-device syncs. Loadable in Perfetto and
+/// `chrome://tracing`. Traces without span events fall back to one slice
+/// per superstep built from the decide/weight tallies, so the export is
+/// never empty for a well-formed trace.
+fn chrome_trace(trace: &Trace) -> json::Value {
+    let cost = CostModel::default();
+    let mut events = vec![
+        chrome_meta("process_name", 0, "gala (simulated GPU)"),
+        chrome_meta("thread_name", 0, "kernels"),
+        chrome_meta("thread_name", 1, "sync"),
+    ];
+    let mut cursor = 0.0_f64;
+    // Start timestamp of each (round, superstep), for counters and syncs.
+    let mut superstep_ts: Vec<((u64, u64), f64)> = Vec::new();
+    if trace.span_trees.is_empty() {
+        for s in &trace.supersteps {
+            let dur = (cost.cycles(&s.decide_tally) + cost.cycles(&s.weight_tally)) / CYCLES_PER_US;
+            let name = format!("superstep r{} s{}", s.round, s.superstep);
+            events.push(chrome_slice(&name, cursor, dur, 0));
+            superstep_ts.push(((s.round, s.superstep), cursor));
+            cursor += dur;
+        }
+    } else {
+        for tree in &trace.span_trees {
+            let dur = tree.root.total_cycles(&cost) / CYCLES_PER_US;
+            let name = format!("{} r{} s{}", tree.phase, tree.round, tree.superstep);
+            events.push(chrome_slice(&name, cursor, dur, 0));
+            let mut child_start = cursor;
+            for child in &tree.root.children {
+                child_start += push_span_slices(child, child_start, &cost, &mut events);
+            }
+            if tree.phase == "phase1" {
+                superstep_ts.push(((tree.round, tree.superstep), cursor));
+            }
+            cursor += dur;
+        }
+    }
+    let ts_of = |round: u64, superstep: u64| {
+        superstep_ts
+            .iter()
+            .find(|(k, _)| *k == (round, superstep))
+            .map(|(_, t)| *t)
+    };
+    for s in &trace.supersteps {
+        if let Some(ts) = ts_of(s.round, s.superstep) {
+            events.push(chrome_counter("modularity", ts, s.modularity));
+            events.push(chrome_counter("active", ts, s.active as f64));
+            events.push(chrome_counter("moved", ts, s.moved as f64));
+            events.push(chrome_counter("pruned", ts, s.pruned as f64));
+        }
+    }
+    // Sync slices carry real modelled microseconds (comm_us); place each at
+    // its superstep's start when known, else pack them sequentially.
+    let mut sync_cursor = 0.0_f64;
+    for y in &trace.syncs {
+        let ts = ts_of(0, y.superstep).unwrap_or(sync_cursor);
+        let name = format!("{} sync ({} B)", y.mode, y.bytes);
+        events.push(chrome_slice(&name, ts, y.comm_us.max(0.0), 1));
+        sync_cursor = ts + y.comm_us.max(0.0);
+    }
+    json::Value::object().set("traceEvents", json::Value::Array(events))
+}
+
+/// Loads `trace_path` with span trees retained and writes the Chrome Trace
+/// Event export to `out_path`. Returns the number of exported events.
+fn export_chrome_trace(trace_path: &str, out_path: &str) -> Result<usize, Error> {
+    let trace = load_trace_with_spans(trace_path, true)?;
+    let doc = chrome_trace(&trace);
+    let count = doc
+        .get("traceEvents")
+        .and_then(|v| v.as_array())
+        .map_or(0, <[json::Value]>::len);
+    std::fs::write(out_path, doc.render()).map_err(|e| format!("{out_path}: {e}"))?;
+    Ok(count)
 }
 
 /// One watched metric for two-trace diffing.
@@ -549,8 +794,9 @@ fn watched_metrics(trace: &Trace) -> Vec<Watched> {
     ]
 }
 
-/// Counts print whole, small ratios with four decimals.
-fn fmt_value(v: f64) -> String {
+/// Counts print whole, small ratios with four decimals. Shared with
+/// `trend`.
+pub(crate) fn fmt_value(v: f64) -> String {
     if v.abs() >= 1000.0 {
         format!("{v:.0}")
     } else {
@@ -560,7 +806,8 @@ fn fmt_value(v: f64) -> String {
 
 /// Relative change current-vs-baseline; zero baselines compare as equal
 /// when the current value is also zero and as a full-scale change else.
-fn rel_change(current: f64, baseline: f64) -> f64 {
+/// Shared with `trend`.
+pub(crate) fn rel_change(current: f64, baseline: f64) -> f64 {
     if baseline == 0.0 && current == 0.0 {
         0.0
     } else if baseline == 0.0 {
@@ -592,7 +839,10 @@ fn render_diff(
     let mut regressions = Vec::new();
     for (c, b) in cur.iter().zip(&base) {
         debug_assert_eq!(c.name, b.name);
-        let change = rel_change(c.value, b.value);
+        // Degenerate traces (empty, or with corrupt non-finite values) must
+        // not poison the verdict with NaN comparisons; treat as no change.
+        let raw = rel_change(c.value, b.value);
+        let change = if raw.is_finite() { raw } else { 0.0 };
         let bad = if c.higher_is_better { -change } else { change };
         let verdict = if bad > threshold {
             regressions.push(c.name.to_string());
@@ -616,6 +866,11 @@ fn render_diff(
 /// Executes the `analyze` subcommand. Errors (including diff regressions)
 /// surface as a non-zero exit through the caller.
 pub fn run(args: &AnalyzeArgs) -> Result<(), Error> {
+    if let Some(out) = &args.chrome_trace {
+        let count = export_chrome_trace(&args.trace, out)?;
+        println!("wrote {count} trace events to {out} (open in https://ui.perfetto.dev)");
+        return Ok(());
+    }
     let trace = load_trace(&args.trace)?;
     if args.check {
         println!("{}", check(&args.trace, &trace)?);
@@ -820,6 +1075,138 @@ mod tests {
         assert_eq!(s.chars().count(), SPARK_WIDTH);
         assert_eq!(s.chars().next(), Some(SPARK[0]));
         assert_eq!(s.chars().last(), Some(SPARK[7]));
+    }
+
+    #[test]
+    fn traced_runs_decode_and_render_metrics_events() {
+        let path = write_fixture_trace("metrics");
+        let trace = load_trace(&path).unwrap();
+        assert!(
+            !trace.metrics.is_empty(),
+            "instrumented run must emit metrics events"
+        );
+        for ev in &trace.metrics {
+            assert_eq!(ev.scope, "phase1");
+            assert!(ev.registry.counter("phase1/supersteps").unwrap_or(0) > 0);
+        }
+        let summary = check(&path, &trace).unwrap();
+        assert!(summary.contains("metrics"), "{summary}");
+        let text = render_single(&path, &trace, 10);
+        assert!(text.contains("algorithm metrics"), "{text}");
+        assert!(text.contains("pruning/active"), "{text}");
+        assert!(text.contains("kernel/"), "{text}");
+        let _ = std::fs::remove_file(path);
+    }
+
+    #[test]
+    fn check_rejects_bad_metrics_events() {
+        let path = write_fixture_trace("badmetrics");
+        let trace = load_trace(&path).unwrap();
+        let mut bad_scope = trace.clone();
+        bad_scope.metrics[0].scope = "phase9".into();
+        let err = check(&path, &bad_scope).unwrap_err().to_string();
+        assert!(err.contains("unknown scope"), "{err}");
+        let mut bad_gauge = trace.clone();
+        bad_gauge.metrics[0]
+            .registry
+            .gauge("phase1/moved_fraction", f64::NAN);
+        let err = check(&path, &bad_gauge).unwrap_err().to_string();
+        assert!(err.contains("non-finite"), "{err}");
+        let mut bad_audit = trace;
+        bad_audit.metrics[0]
+            .registry
+            .inc("pruning/audit_false_negatives", 1_000_000);
+        let err = check(&path, &bad_audit).unwrap_err().to_string();
+        assert!(err.contains("false negatives"), "{err}");
+        let _ = std::fs::remove_file(path);
+    }
+
+    #[test]
+    fn schema_2_traces_still_load() {
+        // The checked-in golden trace was written by a schema-2 build; the
+        // range check must keep accepting it while rejecting schema 1.
+        let dir = concat!(env!("CARGO_MANIFEST_DIR"), "/tests/data");
+        let trace = load_trace(&format!("{dir}/small_trace.jsonl")).unwrap();
+        assert!(trace.metrics.is_empty());
+        assert!(trace.run_end.is_some());
+    }
+
+    #[test]
+    fn chrome_trace_export_is_valid_and_nested() {
+        let path = write_fixture_trace("chrome");
+        let out = format!("{}.chrome.json", tmp("chrome_out"));
+        let count = export_chrome_trace(&path, &out).unwrap();
+        assert!(count > 0);
+        // The written file must parse as one JSON object with a non-empty
+        // traceEvents array (the format Perfetto loads).
+        let doc = json::parse(&std::fs::read_to_string(&out).unwrap()).unwrap();
+        let events = doc.get("traceEvents").unwrap().as_array().unwrap();
+        assert_eq!(events.len(), count);
+        let phases: Vec<&str> = events
+            .iter()
+            .map(|e| e.get("ph").unwrap().as_str().unwrap())
+            .collect();
+        assert!(phases.contains(&"M"), "metadata events present");
+        assert!(phases.contains(&"X"), "slice events present");
+        assert!(phases.contains(&"C"), "counter events present");
+        for e in events {
+            assert!(e.get("pid").is_some() && e.get("tid").is_some());
+            if e.get("ph").unwrap().as_str() == Some("X") {
+                let ts = e.get("ts").unwrap().as_f64().unwrap();
+                let dur = e.get("dur").unwrap().as_f64().unwrap();
+                assert!(ts >= 0.0 && dur >= 0.0, "negative slice timing");
+            }
+        }
+        // Child kernel spans appear as their own slices inside the tree.
+        let names: Vec<&str> = events
+            .iter()
+            .filter_map(|e| e.get("name").and_then(json::Value::as_str))
+            .collect();
+        assert!(names.iter().any(|n| n.starts_with("phase1 r")), "{names:?}");
+        assert!(names.contains(&"decide"), "{names:?}");
+        let _ = std::fs::remove_file(path);
+        let _ = std::fs::remove_file(out);
+    }
+
+    #[test]
+    fn chrome_trace_falls_back_to_superstep_slices_without_spans() {
+        let path = write_fixture_trace("chromefb");
+        let mut trace = load_trace_with_spans(&path, true).unwrap();
+        trace.span_trees.clear();
+        let doc = chrome_trace(&trace);
+        let events = doc.get("traceEvents").unwrap().as_array().unwrap();
+        let slices = events
+            .iter()
+            .filter(|e| e.get("ph").unwrap().as_str() == Some("X"))
+            .count();
+        assert_eq!(slices, trace.supersteps.len());
+        let _ = std::fs::remove_file(path);
+    }
+
+    #[test]
+    fn render_handles_degenerate_traces() {
+        // Single-superstep trace: flat curves, no panic, still renders.
+        let path = write_fixture_trace("degen");
+        let mut one = load_trace(&path).unwrap();
+        one.supersteps.truncate(1);
+        one.metrics.truncate(1);
+        let text = render_single(&path, &one, 10);
+        assert!(text.contains("modularity"));
+        // All-equal series sparkline collapses to the mid glyph.
+        assert_eq!(sparkline(&[7.0]), SPARK[3].to_string());
+        // An empty trace diffs against itself without NaN verdicts.
+        let empty = Trace::default();
+        let (text, regressions) = render_diff("a", &empty, "b", &empty, 0.1);
+        assert!(regressions.is_empty(), "{text}");
+        assert!(!text.contains("NaN"), "{text}");
+        // A corrupt non-finite watched value must not regress or panic.
+        let mut nan_trace = one.clone();
+        if let Some(end) = nan_trace.run_end.as_mut() {
+            end.total_cycles = f64::NAN;
+        }
+        let (text, regressions) = render_diff(&path, &nan_trace, &path, &one, 0.1);
+        assert!(!regressions.contains(&"total cycles".to_string()), "{text}");
+        let _ = std::fs::remove_file(path);
     }
 
     #[test]

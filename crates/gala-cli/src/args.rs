@@ -32,6 +32,16 @@ usage:
       --top <n>          span-summary rows (default: 10)
       --threshold <t>    relative regression tolerance (default: 0.1)
       --check            validate the trace only (exit non-zero if malformed)
+      --chrome-trace <file>  export a Chrome Trace Event JSON file for
+                             Perfetto / chrome://tracing instead of a report
+  gala trend <report...> [options]    track metrics across bench reports:
+                                      append normalized rows to a JSONL
+                                      history and render per-metric
+                                      trajectories; exit non-zero on a
+                                      regression beyond the threshold
+      --history <file>   trajectory store (default: results/TREND.jsonl)
+      --threshold <t>    relative regression tolerance (default: 0.1)
+      --dry-run          render without appending to the history
   gala help                           show this text";
 
 /// Graph file formats the CLI understands.
@@ -194,6 +204,8 @@ pub enum Command {
     },
     /// Inspect (and optionally diff) trace JSONL files.
     Analyze(AnalyzeArgs),
+    /// Track watched metrics across bench-report generations.
+    Trend(TrendArgs),
     /// Print usage.
     Help,
 }
@@ -211,6 +223,21 @@ pub struct AnalyzeArgs {
     pub threshold: f64,
     /// Validate the trace only.
     pub check: bool,
+    /// Write a Chrome Trace Event Format export here instead of a report.
+    pub chrome_trace: Option<String>,
+}
+
+/// The `trend` subcommand's options.
+#[derive(Clone, Debug, PartialEq)]
+pub struct TrendArgs {
+    /// Bench-report JSON files to ingest, in generation order.
+    pub reports: Vec<String>,
+    /// JSONL trajectory store, appended to unless `--dry-run`.
+    pub history: String,
+    /// Relative regression tolerance between the last two generations.
+    pub threshold: f64,
+    /// Render without appending to the history file.
+    pub dry_run: bool,
 }
 
 /// A parse failure with a human-readable message.
@@ -254,6 +281,7 @@ impl Command {
             }
             "compare" => Self::parse_compare(&args[1..]),
             "analyze" => Self::parse_analyze(&args[1..]),
+            "trend" => Self::parse_trend(&args[1..]),
             other => Err(ParseError(format!("unknown subcommand `{other}`"))),
         }
     }
@@ -324,9 +352,13 @@ impl Command {
         let mut top = 10usize;
         let mut threshold = 0.1f64;
         let mut check = false;
+        let mut chrome_trace = None;
         let mut i = 0;
         while i < args.len() {
             match args[i].as_str() {
+                "--chrome-trace" => {
+                    chrome_trace = Some(value(args, &mut i, "--chrome-trace")?.to_string())
+                }
                 "--top" => {
                     let v = value(args, &mut i, "--top")?;
                     top = v
@@ -362,7 +394,42 @@ impl Command {
             top,
             threshold,
             check,
+            chrome_trace,
         }))
+    }
+
+    fn parse_trend(args: &[String]) -> Result<Self, ParseError> {
+        let mut out = TrendArgs {
+            reports: Vec::new(),
+            history: "results/TREND.jsonl".to_string(),
+            threshold: 0.1,
+            dry_run: false,
+        };
+        let mut i = 0;
+        while i < args.len() {
+            match args[i].as_str() {
+                "--history" => out.history = value(args, &mut i, "--history")?.to_string(),
+                "--threshold" => {
+                    let v = value(args, &mut i, "--threshold")?;
+                    out.threshold = v
+                        .parse()
+                        .map_err(|_| ParseError(format!("bad --threshold `{v}`")))?;
+                    if out.threshold.is_nan() || out.threshold < 0.0 {
+                        return Err(ParseError("threshold must be >= 0".into()));
+                    }
+                }
+                "--dry-run" => out.dry_run = true,
+                flag if flag.starts_with("--") => {
+                    return Err(ParseError(format!("unknown flag `{flag}`")))
+                }
+                p => out.reports.push(p.to_string()),
+            }
+            i += 1;
+        }
+        if out.reports.is_empty() {
+            return Err(ParseError("trend needs at least one report file".into()));
+        }
+        Ok(Command::Trend(out))
     }
 
     fn parse_compare(args: &[String]) -> Result<Self, ParseError> {
@@ -577,12 +644,43 @@ mod tests {
         let cmd = Command::parse(&argv("analyze t.jsonl --check")).unwrap();
         let Command::Analyze(a) = cmd else { panic!() };
         assert!(a.check);
+        assert_eq!(a.chrome_trace, None);
+
+        let cmd = Command::parse(&argv("analyze t.jsonl --chrome-trace out.json")).unwrap();
+        let Command::Analyze(a) = cmd else { panic!() };
+        assert_eq!(a.chrome_trace.as_deref(), Some("out.json"));
+        assert!(Command::parse(&argv("analyze t.jsonl --chrome-trace")).is_err());
 
         assert!(Command::parse(&argv("analyze")).is_err());
         assert!(Command::parse(&argv("analyze a b c")).is_err());
         assert!(Command::parse(&argv("analyze t.jsonl --threshold -1")).is_err());
         assert!(Command::parse(&argv("analyze t.jsonl --top many")).is_err());
         assert!(Command::parse(&argv("analyze t.jsonl --bogus")).is_err());
+    }
+
+    #[test]
+    fn parses_trend() {
+        let cmd = Command::parse(&argv("trend results/BENCH_host.json")).unwrap();
+        let Command::Trend(t) = cmd else { panic!() };
+        assert_eq!(t.reports, vec!["results/BENCH_host.json".to_string()]);
+        assert_eq!(t.history, "results/TREND.jsonl");
+        assert_eq!(t.threshold, 0.1);
+        assert!(!t.dry_run);
+
+        let cmd = Command::parse(&argv(
+            "trend a.json b.json --history h.jsonl --threshold 0.2 --dry-run",
+        ))
+        .unwrap();
+        let Command::Trend(t) = cmd else { panic!() };
+        assert_eq!(t.reports.len(), 2);
+        assert_eq!(t.history, "h.jsonl");
+        assert_eq!(t.threshold, 0.2);
+        assert!(t.dry_run);
+
+        assert!(Command::parse(&argv("trend")).is_err());
+        assert!(Command::parse(&argv("trend --history h.jsonl")).is_err());
+        assert!(Command::parse(&argv("trend a.json --threshold nope")).is_err());
+        assert!(Command::parse(&argv("trend a.json --bogus")).is_err());
     }
 
     #[test]

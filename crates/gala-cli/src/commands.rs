@@ -43,6 +43,7 @@ pub fn execute(cmd: Command) -> Result<(), Error> {
         Command::Generate(args) => generate(args),
         Command::Detect(args) => detect(args),
         Command::Analyze(args) => crate::analyze::run(&args),
+        Command::Trend(args) => crate::trend::run(&args),
     }
 }
 

@@ -9,6 +9,8 @@
 //! gala generate <sbm|lfr|rmat|ba|ws|gnp> --out <file> [generator options]
 //! gala convert <in> <out>   (formats inferred from extension)
 //! gala analyze <trace> [baseline] [--top <n>] [--threshold <f>] [--check]
+//!                      [--chrome-trace <file>]
+//! gala trend <report...> [--history <file>] [--threshold <f>] [--dry-run]
 //! ```
 //!
 //! The parsing layer is separated from IO so it is unit-testable; see
@@ -20,6 +22,7 @@
 pub mod analyze;
 pub mod args;
 pub mod commands;
+pub mod trend;
 
 use std::process::ExitCode;
 

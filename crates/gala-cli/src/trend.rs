@@ -1,0 +1,391 @@
+//! `gala trend`: perf-trajectory tracking across bench-report generations.
+//!
+//! Ingests one or more bench/run report JSON files (the `--report` output
+//! of the bench binaries and `gala detect`), appends one normalized row per
+//! `(source, label, metric)` to a JSONL history file, and renders each
+//! series as a sparkline trajectory. A series whose latest value moved
+//! against its preferred direction by more than `--threshold` relative to
+//! the previous generation is flagged as `REGRESSED` and makes the command
+//! exit non-zero — the CI hook for catching gradual performance drift that
+//! any single-run gate would miss.
+//!
+//! History rows are deliberately timestamp-free (`{"schema", "source",
+//! "label", "metric", "value"}`): generation order is the file's line
+//! order, so re-running the same reports produces byte-identical appends
+//! and the committed history stays reproducible.
+
+use crate::analyze::{rel_change, sparkline};
+use crate::args::TrendArgs;
+use crate::commands::Error;
+use gala_telemetry::{json, Report, SCHEMA_VERSION};
+
+/// How to judge movement of a metric, inferred from its name.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum Direction {
+    /// Timings, traffic, misses: growth is a regression.
+    LowerIsBetter,
+    /// Quality and efficiency scores: shrinkage is a regression.
+    HigherIsBetter,
+    /// Workload descriptors (sizes, counts of input objects): informational
+    /// only, never flagged.
+    Neutral,
+}
+
+/// Classifies a metric name. The report schema carries no direction flag,
+/// so this encodes the workspace's naming conventions; unknown names fall
+/// back to lower-is-better, the safe default for a perf tracker.
+fn direction(metric: &str) -> Direction {
+    let m = metric.to_ascii_lowercase();
+    let has = |needle: &str| m.contains(needle);
+    if has("vertices") || has("arcs") || has("comms") || has("edges") || m == "n" || m == "m" {
+        Direction::Neutral
+    } else if has("speedup")
+        || has("modularity")
+        || has("nmi")
+        || has("ari")
+        || has("eff")
+        || has("occupancy")
+        || m == "q"
+        || has("vs seq")
+        || has("vs seed")
+    {
+        Direction::HigherIsBetter
+    } else {
+        Direction::LowerIsBetter
+    }
+}
+
+/// One decoded history row.
+#[derive(Clone, Debug)]
+struct TrendRow {
+    source: String,
+    label: String,
+    metric: String,
+    value: f64,
+}
+
+impl TrendRow {
+    fn key(&self) -> String {
+        format!("{}/{}/{}", self.source, self.label, self.metric)
+    }
+
+    fn to_json_line(&self) -> String {
+        json::Value::object()
+            .set("schema", SCHEMA_VERSION)
+            .set("source", self.source.as_str())
+            .set("label", self.label.as_str())
+            .set("metric", self.metric.as_str())
+            .set("value", self.value)
+            .render()
+    }
+
+    fn from_json_line(raw: &str, path: &str, line: usize) -> Result<TrendRow, Error> {
+        let v = json::parse(raw).map_err(|e| format!("{path} line {line}: {e}"))?;
+        let text = |key: &str| {
+            v.get(key)
+                .and_then(json::Value::as_str)
+                .map(str::to_string)
+                .ok_or_else(|| format!("{path} line {line}: missing `{key}`"))
+        };
+        let value = v
+            .get("value")
+            .and_then(json::Value::as_f64)
+            .ok_or_else(|| format!("{path} line {line}: missing `value`"))?;
+        Ok(TrendRow {
+            source: text("source")?,
+            label: text("label")?,
+            metric: text("metric")?,
+            value,
+        })
+    }
+}
+
+/// Reads an existing history file; a missing file is an empty history.
+fn load_history(path: &str) -> Result<Vec<TrendRow>, Error> {
+    let text = match std::fs::read_to_string(path) {
+        Ok(t) => t,
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(Vec::new()),
+        Err(e) => return Err(format!("{path}: {e}").into()),
+    };
+    let mut rows = Vec::new();
+    for (idx, raw) in text.lines().enumerate() {
+        if raw.trim().is_empty() {
+            continue;
+        }
+        rows.push(TrendRow::from_json_line(raw, path, idx + 1)?);
+    }
+    Ok(rows)
+}
+
+/// Flattens one report into history rows, in the report's own row order.
+fn rows_from_report(path: &str) -> Result<Vec<TrendRow>, Error> {
+    let report = Report::read_from(path).map_err(|e| format!("{path}: {e}"))?;
+    let mut out = Vec::new();
+    for row in &report.rows {
+        for (metric, value) in &row.metrics {
+            out.push(TrendRow {
+                source: report.name.clone(),
+                label: row.label.clone(),
+                metric: metric.clone(),
+                value: *value,
+            });
+        }
+    }
+    Ok(out)
+}
+
+/// One rendered series: every generation of a `(source, label, metric)`
+/// key, in history order.
+struct Series {
+    key: String,
+    metric: String,
+    values: Vec<f64>,
+}
+
+/// Groups rows into series, preserving first-seen key order.
+fn collect_series(rows: &[TrendRow]) -> Vec<Series> {
+    let mut out: Vec<Series> = Vec::new();
+    for row in rows {
+        let key = row.key();
+        match out.iter_mut().find(|s| s.key == key) {
+            Some(s) => s.values.push(row.value),
+            None => out.push(Series {
+                key,
+                metric: row.metric.clone(),
+                values: vec![row.value],
+            }),
+        }
+    }
+    out
+}
+
+/// Renders the trajectory table; the second element lists the keys of
+/// series that regressed beyond `threshold` between the last two
+/// generations.
+fn render(series: &[Series], threshold: f64) -> (String, Vec<String>) {
+    let width = series.iter().map(|s| s.key.len()).max().unwrap_or(6).max(6);
+    let mut out = format!(
+        "  {:<width$} {:>4} {:>12} {:>12} {:>9}  {:<12} trend\n",
+        "series", "gens", "previous", "latest", "change", "verdict"
+    );
+    let mut regressions = Vec::new();
+    for s in series {
+        let latest = *s.values.last().unwrap();
+        let (prev_text, change_text, verdict) = if s.values.len() < 2 {
+            ("-".to_string(), "-".to_string(), "new")
+        } else {
+            let prev = s.values[s.values.len() - 2];
+            let raw = rel_change(latest, prev);
+            let change = if raw.is_finite() { raw } else { 0.0 };
+            let bad = match direction(&s.metric) {
+                Direction::LowerIsBetter => change,
+                Direction::HigherIsBetter => -change,
+                Direction::Neutral => 0.0,
+            };
+            let verdict = if bad > threshold {
+                regressions.push(s.key.clone());
+                "REGRESSED"
+            } else if bad < -threshold {
+                "improved"
+            } else {
+                "ok"
+            };
+            (
+                crate::analyze::fmt_value(prev),
+                format!("{:+.1}%", change * 100.0),
+                verdict,
+            )
+        };
+        out.push_str(&format!(
+            "  {:<width$} {:>4} {:>12} {:>12} {:>9}  {:<12} {}\n",
+            s.key,
+            s.values.len(),
+            prev_text,
+            crate::analyze::fmt_value(latest),
+            change_text,
+            verdict,
+            sparkline(&s.values),
+        ));
+    }
+    (out, regressions)
+}
+
+/// Executes the `trend` subcommand: ingest, append, render, gate.
+pub fn run(args: &TrendArgs) -> Result<(), Error> {
+    let history = load_history(&args.history)?;
+    let mut fresh = Vec::new();
+    for path in &args.reports {
+        fresh.extend(rows_from_report(path)?);
+    }
+    if !args.dry_run && !fresh.is_empty() {
+        let mut text = String::new();
+        for row in &fresh {
+            text.push_str(&row.to_json_line());
+            text.push('\n');
+        }
+        use std::io::Write;
+        let mut file = std::fs::OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(&args.history)
+            .map_err(|e| format!("{}: {e}", args.history))?;
+        file.write_all(text.as_bytes())
+            .map_err(|e| format!("{}: {e}", args.history))?;
+    }
+    let mut all = history;
+    all.extend(fresh);
+    let series = collect_series(&all);
+    println!(
+        "trend: {} series over {} history rows ({})",
+        series.len(),
+        all.len(),
+        args.history
+    );
+    let (table, regressions) = render(&series, args.threshold);
+    print!("{table}");
+    if !regressions.is_empty() {
+        return Err(format!(
+            "{} series regressed beyond {:.1}%: {}",
+            regressions.len(),
+            args.threshold * 100.0,
+            regressions.join(", ")
+        )
+        .into());
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gala_telemetry::MetricRow;
+
+    fn tmp(name: &str) -> String {
+        std::env::temp_dir()
+            .join(format!("gala_trend_{name}_{}", std::process::id()))
+            .to_string_lossy()
+            .into_owned()
+    }
+
+    fn write_report(path: &str, name: &str, pooled_ns: f64, speedup: f64) {
+        let mut r = Report::new("bench", name);
+        r.push(
+            MetricRow::new("contract/FR/t1")
+                .metric("Vertices", 6000.0)
+                .metric("Pooled ns", pooled_ns)
+                .metric("Speedup", speedup),
+        );
+        r.write_to(path).unwrap();
+    }
+
+    #[test]
+    fn direction_heuristic_matches_workspace_names() {
+        assert_eq!(direction("Pooled ns"), Direction::LowerIsBetter);
+        assert_eq!(direction("ns/arc"), Direction::LowerIsBetter);
+        assert_eq!(direction("total cycles"), Direction::LowerIsBetter);
+        assert_eq!(direction("Speedup"), Direction::HigherIsBetter);
+        assert_eq!(direction("modularity"), Direction::HigherIsBetter);
+        assert_eq!(direction("NMI"), Direction::HigherIsBetter);
+        assert_eq!(direction("Vertices"), Direction::Neutral);
+        assert_eq!(direction("Arcs"), Direction::Neutral);
+    }
+
+    #[test]
+    fn rows_round_trip_through_jsonl() {
+        let row = TrendRow {
+            source: "bench_host".into(),
+            label: "launch/FR/t1".into(),
+            metric: "Pooled ns".into(),
+            value: 190497.0,
+        };
+        let line = row.to_json_line();
+        let back = TrendRow::from_json_line(&line, "mem", 1).unwrap();
+        assert_eq!(back.key(), row.key());
+        assert_eq!(back.value, row.value);
+        assert!(TrendRow::from_json_line("{\"source\":\"x\"}", "mem", 1).is_err());
+    }
+
+    #[test]
+    fn first_generation_is_new_not_regressed() {
+        let history = tmp("first.jsonl");
+        let report = format!("{}.json", tmp("first_report"));
+        let _ = std::fs::remove_file(&history);
+        write_report(&report, "bench_contract", 500_000.0, 4.5);
+        let args = TrendArgs {
+            reports: vec![report.clone()],
+            history: history.clone(),
+            threshold: 0.1,
+            dry_run: false,
+        };
+        run(&args).unwrap();
+        // The append is real and one row per metric was written.
+        let rows = load_history(&history).unwrap();
+        assert_eq!(rows.len(), 3);
+        let _ = std::fs::remove_file(history);
+        let _ = std::fs::remove_file(report);
+    }
+
+    #[test]
+    fn injected_regression_makes_the_gate_fail() {
+        let history = tmp("gate.jsonl");
+        let report = format!("{}.json", tmp("gate_report"));
+        let _ = std::fs::remove_file(&history);
+        // Generation 1: healthy numbers.
+        write_report(&report, "bench_contract", 500_000.0, 4.5);
+        let args = TrendArgs {
+            reports: vec![report.clone()],
+            history: history.clone(),
+            threshold: 0.1,
+            dry_run: false,
+        };
+        run(&args).unwrap();
+        // Generation 2: Pooled ns +50% (a lower-is-better metric) and
+        // Speedup -33% must both trip the 10% gate and exit non-zero.
+        write_report(&report, "bench_contract", 750_000.0, 3.0);
+        let err = run(&args).unwrap_err().to_string();
+        assert!(err.contains("regressed"), "{err}");
+        assert!(err.contains("Pooled ns"), "{err}");
+        assert!(err.contains("Speedup"), "{err}");
+        // Vertices is neutral: constant or not, it never regresses.
+        assert!(!err.contains("Vertices"), "{err}");
+        // A loose threshold lets the same delta pass.
+        let loose = TrendArgs {
+            threshold: 5.0,
+            dry_run: true,
+            ..args.clone()
+        };
+        run(&loose).unwrap();
+        let _ = std::fs::remove_file(history);
+        let _ = std::fs::remove_file(report);
+    }
+
+    #[test]
+    fn dry_run_does_not_touch_the_history() {
+        let history = tmp("dry.jsonl");
+        let report = format!("{}.json", tmp("dry_report"));
+        let _ = std::fs::remove_file(&history);
+        write_report(&report, "bench_host", 100.0, 1.0);
+        let args = TrendArgs {
+            reports: vec![report.clone()],
+            history: history.clone(),
+            threshold: 0.1,
+            dry_run: true,
+        };
+        run(&args).unwrap();
+        assert!(!std::path::Path::new(&history).exists());
+        let _ = std::fs::remove_file(report);
+    }
+
+    #[test]
+    fn committed_reports_ingest_cleanly() {
+        // The repo's own BENCH_* reports must flatten into rows: this is
+        // what CI feeds `gala trend`.
+        let dir = concat!(env!("CARGO_MANIFEST_DIR"), "/../..");
+        for name in ["BENCH_host.json", "BENCH_contract.json"] {
+            let path = format!("{dir}/results/{name}");
+            let rows = rows_from_report(&path).unwrap();
+            assert!(!rows.is_empty(), "{name} produced no rows");
+            assert!(rows.iter().all(|r| r.value.is_finite()));
+        }
+    }
+}

@@ -66,6 +66,19 @@ impl Default for KernelKind {
 /// (one warp's worth of neighbors).
 pub const SHUFFLE_DEGREE_THRESHOLD: usize = 32;
 
+/// How a decide pass routed its active vertices across kernels — the
+/// paper's Fig 9 quantity. For the workload-aware dispatcher this is the
+/// degree-threshold split; single-kernel runs put everything in one field.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct RoutingStats {
+    /// Vertices handled by the warp-shuffle kernel.
+    pub shuffle_vertices: u64,
+    /// Vertices handled by a hash-based kernel.
+    pub hash_vertices: u64,
+    /// Vertices handled by any other kernel (cpu / sort / replicated).
+    pub other_vertices: u64,
+}
+
 /// Output of a DecideAndMove pass.
 #[derive(Clone, Debug, Default)]
 pub struct DecideOutput {
@@ -75,6 +88,8 @@ pub struct DecideOutput {
     pub tally: MemTally,
     /// Hashtable placement statistics (hash-based kernels only).
     pub hash_stats: TableStats,
+    /// Per-kernel routing counts for this pass.
+    pub routing: RoutingStats,
 }
 
 /// Reusable scratch buffers for decide passes. Drivers keep one of these
@@ -144,22 +159,27 @@ pub fn decide_profiled_into(
     match kind {
         KernelKind::Cpu => {
             cpu::decide_into(graph, state, active, out);
+            out.routing.other_vertices = active.iter().filter(|&&a| a).count() as u64;
             record_kernel(prof, "cpu", active, out);
         }
         KernelKind::Shuffle => {
             shuffle::decide_into(graph, state, active, work, comm_out, out);
+            out.routing.shuffle_vertices = work.len() as u64;
             record_kernel(prof, "shuffle", active, out);
         }
         KernelKind::Hash(cfg) => {
             hash::decide_into(graph, state, active, cfg, work, hash_out, out);
+            out.routing.hash_vertices = work.len() as u64;
             record_kernel(prof, "hash", active, out);
         }
         KernelKind::Sort => {
             sort::decide_into(graph, state, active, work, comm_out, out);
+            out.routing.other_vertices = work.len() as u64;
             record_kernel(prof, "sort", active, out);
         }
         KernelKind::Replicated => {
             replicated::decide_into(graph, state, active, work, comm_out, out);
+            out.routing.other_vertices = work.len() as u64;
             record_kernel(prof, "replicated", active, out);
         }
         KernelKind::WorkloadAware(cfg) => {
@@ -195,6 +215,11 @@ pub fn decide_profiled_into(
             }
             out.tally += sub.tally;
             out.hash_stats = sub.hash_stats;
+            out.routing = RoutingStats {
+                shuffle_vertices: n_small,
+                hash_vertices: n_large,
+                other_vertices: 0,
+            };
         }
     }
 }
@@ -213,6 +238,7 @@ pub(crate) fn reset_pass(
     out.next_comm.extend_from_slice(&state.comm);
     out.tally = MemTally::new();
     out.hash_stats = TableStats::default();
+    out.routing = RoutingStats::default();
 }
 
 /// Records a single-kernel output as a `"decide"` span with one child.
@@ -362,6 +388,23 @@ mod tests {
         // also contains bridge endpoint 2 (degree 3): d_tot equal → tie →
         // smaller id wins.
         assert_eq!(cv, 1);
+    }
+
+    #[test]
+    fn routing_stats_follow_the_degree_threshold() {
+        // star(40): hub degree 40 ≥ threshold → hash; 40 leaves → shuffle.
+        let g = fixtures::star(40);
+        let s = BspState::new(&g);
+        let active = vec![true; g.num_vertices()];
+        let out = decide(KernelKind::default(), &g, &s, &active);
+        assert_eq!(out.routing.shuffle_vertices, 40);
+        assert_eq!(out.routing.hash_vertices, 1);
+        assert_eq!(out.routing.other_vertices, 0);
+        // Single-kernel runs put every active vertex in their own bucket.
+        let out = decide(KernelKind::Shuffle, &g, &s, &active);
+        assert_eq!(out.routing.shuffle_vertices, 41);
+        let out = decide(KernelKind::Cpu, &g, &s, &active);
+        assert_eq!(out.routing.other_vertices, 41);
     }
 
     #[test]

@@ -11,7 +11,7 @@ use gala_gpu::memory::{CostModel, MemTally};
 use gala_gpu::profile::Profiler;
 use gala_graph::coarsen::{coarsen_into, CoarsenScratch};
 use gala_graph::{Graph, Partition};
-use gala_telemetry::{NullSink, TraceEvent, TraceSink};
+use gala_telemetry::{MetricsRegistry, NullSink, TraceEvent, TraceSink};
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
 use std::time::{Duration, Instant};
@@ -277,6 +277,10 @@ impl Louvain {
         // event and absorbed into the run-level profiler. When both are
         // off, the disabled sub-profiler keeps the hot path unchanged.
         let instrumented = prof.is_enabled() || sink.enabled();
+        // Algorithm-level metrics are pure host-side observation (no
+        // simulated-memory traffic), built only when a sink wants them and
+        // emitted once per round as a `metrics` event.
+        let mut metrics = sink.enabled().then(MetricsRegistry::new);
         for iteration in 0..cfg.max_iterations {
             let mut sub = if instrumented {
                 Profiler::new()
@@ -296,11 +300,20 @@ impl Louvain {
                 cfg.kernel, graph, &state, active, &mut sub, dscratch, out,
             );
             let t2 = Instant::now();
+            if let Some(m) = metrics.as_mut() {
+                record_superstep_metrics(m, cfg.kernel, graph, &state, active, out);
+            }
             let summary = sub.scope("apply", |p| {
                 let summary = state.apply_moves(graph, &out.next_comm);
                 p.count("moved", summary.num_moved() as u64);
                 summary
             });
+            if let Some(m) = metrics.as_mut() {
+                let moved = summary.num_moved() as u64;
+                m.inc("phase1/moved", moved);
+                m.observe("phase1/moved_per_superstep", moved);
+                m.inc("phase1/supersteps", 1);
+            }
             let t3 = Instant::now();
             let weight_tally = sub.scope("weight_update", |p| {
                 let tally = weight::update(cfg.weight_update, graph, &mut state, &summary);
@@ -375,6 +388,33 @@ impl Louvain {
         }
         if state.modularity(graph) < best_q {
             state = best_state;
+        }
+        if let Some(mut m) = metrics {
+            let active_total = m.counter("pruning/active").unwrap_or(0);
+            let moved_total = m.counter("phase1/moved").unwrap_or(0);
+            m.gauge(
+                "phase1/moved_fraction",
+                if active_total == 0 {
+                    0.0
+                } else {
+                    moved_total as f64 / active_total as f64
+                },
+            );
+            let sampled = m.counter("pruning/audit_sampled").unwrap_or(0);
+            let fns = m.counter("pruning/audit_false_negatives").unwrap_or(0);
+            m.gauge(
+                "pruning/audit_fnr",
+                if sampled == 0 {
+                    0.0
+                } else {
+                    fns as f64 / sampled as f64
+                },
+            );
+            sink.emit(TraceEvent::Metrics {
+                round: round as u32,
+                scope: "phase1".to_string(),
+                registry: m,
+            });
         }
         let stats = RoundStats {
             round,
@@ -557,6 +597,67 @@ impl Louvain {
             });
         }
         result
+    }
+}
+
+/// How many pruned vertices the per-superstep false-negative audit
+/// recomputes (deterministically strided over the inactive set).
+const AUDIT_SAMPLES_PER_SUPERSTEP: usize = 64;
+
+/// Records one superstep's algorithm-level metrics — pruning effectiveness
+/// (with a sampled false-negative audit against the pre-move state), kernel
+/// routing with degree histograms, and hashtable level statistics. Called
+/// between decide and apply so the audit sees exactly the state the kernels
+/// decided on; everything here is host-side observation with no simulated
+/// memory traffic.
+fn record_superstep_metrics(
+    m: &mut MetricsRegistry,
+    kernel: KernelKind,
+    graph: &Graph,
+    state: &BspState,
+    active: &[bool],
+    out: &kernels::DecideOutput,
+) {
+    use gala_graph::VertexId;
+
+    let num_active = active.iter().filter(|&&a| a).count() as u64;
+    m.inc("pruning/active", num_active);
+    m.inc("pruning/pruned", graph.num_vertices() as u64 - num_active);
+    let audit = pruning::audit_pruned(graph, state, active, AUDIT_SAMPLES_PER_SUPERSTEP);
+    m.inc("pruning/audit_sampled", audit.sampled);
+    m.inc("pruning/audit_false_negatives", audit.false_negatives);
+
+    m.inc("kernel/shuffle_vertices", out.routing.shuffle_vertices);
+    m.inc("kernel/hash_vertices", out.routing.hash_vertices);
+    m.inc("kernel/other_vertices", out.routing.other_vertices);
+    let split_by_degree = matches!(kernel, KernelKind::WorkloadAware(_));
+    for (v, &is_active) in active.iter().enumerate() {
+        if !is_active {
+            continue;
+        }
+        let d = graph.degree(v as VertexId) as u64;
+        let name = if !split_by_degree {
+            "kernel/degree"
+        } else if (d as usize) < kernels::SHUFFLE_DEGREE_THRESHOLD {
+            "kernel/shuffle_degree"
+        } else {
+            "kernel/hash_degree"
+        };
+        m.observe(name, d);
+    }
+
+    let stats = &out.hash_stats;
+    if *stats != TableStats::default() {
+        m.inc("hash/shared_keys", stats.shared_keys);
+        m.inc("hash/global_keys", stats.global_keys);
+        m.inc("hash/shared_accesses", stats.shared_accesses);
+        m.inc("hash/global_accesses", stats.global_accesses);
+        m.inc("hash/evictions", stats.shared_evictions);
+        m.observe(
+            "hash/probes_per_superstep",
+            stats.shared_accesses + stats.global_accesses,
+        );
+        m.observe("hash/evictions_per_superstep", stats.shared_evictions);
     }
 }
 
@@ -828,6 +929,60 @@ mod tests {
         let expected: MemTally = traced.rounds.iter().map(|r| r.decide_tally()).sum();
         assert_eq!(decide_total, expected);
         assert!(round.child("contract").is_some());
+    }
+
+    #[test]
+    fn traced_run_emits_per_round_metrics() {
+        use gala_telemetry::VecSink;
+        let g = fixtures::ring_of_cliques(6, 5);
+        let runner = Louvain::new(LouvainConfig::default());
+        let mut sink = VecSink::default();
+        let traced = runner.run_traced(&g, &mut sink);
+        let rounds: Vec<_> = sink
+            .events
+            .iter()
+            .filter_map(|e| match e {
+                TraceEvent::Metrics {
+                    round,
+                    scope,
+                    registry,
+                } => Some((*round, scope.as_str(), registry)),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(
+            rounds.len(),
+            traced.rounds.len(),
+            "one metrics event per round"
+        );
+        for (i, (round, scope, reg)) in rounds.iter().enumerate() {
+            assert_eq!(*round as usize, i);
+            assert_eq!(*scope, "phase1");
+            assert_eq!(
+                reg.counter("phase1/supersteps"),
+                Some(traced.rounds[i].iterations.len() as u64)
+            );
+            assert!(reg.gauge_value("phase1/moved_fraction").is_some());
+            assert!(reg.gauge_value("pruning/audit_fnr").is_some());
+        }
+        let first = rounds[0].2;
+        // The default kernel is workload-aware; every routed vertex lands
+        // in a routing counter and its degree in the matching histogram.
+        let shuffled = first.counter("kernel/shuffle_vertices").unwrap();
+        let hashed = first.counter("kernel/hash_vertices").unwrap();
+        assert!(shuffled + hashed > 0);
+        let degrees = first
+            .histogram("kernel/shuffle_degree")
+            .map_or(0, |h| h.count())
+            + first
+                .histogram("kernel/hash_degree")
+                .map_or(0, |h| h.count());
+        assert_eq!(degrees, shuffled + hashed);
+        // MG pruning is FN-free: after the all-active iteration 0, the
+        // audit samples pruned vertices and must find no winning moves.
+        assert!(first.counter("pruning/audit_sampled").unwrap() > 0);
+        assert_eq!(first.counter("pruning/audit_false_negatives"), Some(0));
+        assert_eq!(first.gauge_value("pruning/audit_fnr"), Some(0.0));
     }
 
     #[test]

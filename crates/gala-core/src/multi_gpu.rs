@@ -29,7 +29,7 @@ use gala_gpu::comm::DeviceGroup;
 use gala_gpu::memory::{CostModel, MemTally};
 use gala_gpu::profile::Profiler;
 use gala_graph::{Graph, Partition, VertexId};
-use gala_telemetry::{NullSink, TraceEvent, TraceSink};
+use gala_telemetry::{MetricsRegistry, NullSink, TraceEvent, TraceSink};
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
 
@@ -219,6 +219,13 @@ pub fn run_phase1_instrumented(
     }
 
     let instrumented = prof.is_enabled() || sink.enabled();
+    // Algorithm-level metrics (sync strategy, routing, pruning): host-side
+    // observation only, emitted once as a `metrics` event before run_end.
+    let mut metrics = sink.enabled().then(|| {
+        let mut m = MetricsRegistry::new();
+        m.inc("sync/devices", cfg.num_devices as u64);
+        m
+    });
     // Superstep working set, allocated once and recycled every iteration.
     let mut active: Vec<bool> = Vec::new();
     let mut next_comm = Vec::new();
@@ -261,6 +268,11 @@ pub fn run_phase1_instrumented(
             );
             for v in range.clone() {
                 next_comm[v as usize] = dev_out.next_comm[v as usize];
+            }
+            if let Some(m) = metrics.as_mut() {
+                m.inc("kernel/shuffle_vertices", dev_out.routing.shuffle_vertices);
+                m.inc("kernel/hash_vertices", dev_out.routing.hash_vertices);
+                m.inc("kernel/other_vertices", dev_out.routing.other_vertices);
             }
             device_tallies.push(dev_out.tally);
         }
@@ -311,6 +323,27 @@ pub fn run_phase1_instrumented(
                     1,
                 );
             });
+        }
+        if let Some(m) = metrics.as_mut() {
+            let used_bytes = match sync_used {
+                SyncMode::Dense => n as u64 * DENSE_BYTES_PER_VERTEX,
+                _ => num_moved as u64 * SPARSE_BYTES_PER_MOVE,
+            };
+            match sync_used {
+                SyncMode::Dense => {
+                    m.inc("sync/dense_syncs", 1);
+                    m.inc("sync/dense_bytes", used_bytes);
+                }
+                _ => {
+                    m.inc("sync/sparse_syncs", 1);
+                    m.inc("sync/sparse_bytes", used_bytes);
+                }
+            }
+            m.observe("sync/bytes_per_superstep", used_bytes);
+            m.inc("pruning/active", num_active as u64);
+            m.inc("pruning/pruned", (n - num_active) as u64);
+            m.inc("phase1/moved", num_moved as u64);
+            m.inc("phase1/supersteps", 1);
         }
         let summary = sub.scope("apply", |p| {
             let summary = state.apply_moves(graph, &next_comm);
@@ -402,6 +435,23 @@ pub fn run_phase1_instrumented(
         state = best_state;
     }
 
+    if let Some(mut m) = metrics {
+        let dense = m.counter("sync/dense_syncs").unwrap_or(0);
+        let sparse = m.counter("sync/sparse_syncs").unwrap_or(0);
+        m.gauge(
+            "sync/sparse_fraction",
+            if dense + sparse == 0 {
+                0.0
+            } else {
+                sparse as f64 / (dense + sparse) as f64
+            },
+        );
+        sink.emit(TraceEvent::Metrics {
+            round: 0,
+            scope: "sync".to_string(),
+            registry: m,
+        });
+    }
     if sink.enabled() {
         let total: MemTally = iterations
             .iter()
@@ -667,6 +717,48 @@ mod tests {
             })
             .sum();
         assert_eq!(sync.counter("bytes"), traced_bytes);
+    }
+
+    #[test]
+    fn traced_run_emits_sync_metrics() {
+        use gala_telemetry::{TraceEvent, VecSink};
+        let g = fixtures::ring_of_cliques(10, 8);
+        let cfg = MultiGpuConfig {
+            num_devices: 4,
+            sync: SyncMode::Adaptive,
+            ..MultiGpuConfig::default()
+        };
+        let mut sink = VecSink::default();
+        let traced = run_phase1_traced(&g, cfg, &mut sink);
+        let regs: Vec<_> = sink
+            .events
+            .iter()
+            .filter_map(|e| match e {
+                TraceEvent::Metrics {
+                    scope, registry, ..
+                } => Some((scope.as_str(), registry)),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(regs.len(), 1, "one metrics event per multi-GPU run");
+        let (scope, m) = regs[0];
+        assert_eq!(scope, "sync");
+        assert_eq!(m.counter("sync/devices"), Some(4));
+        let dense = m.counter("sync/dense_syncs").unwrap_or(0);
+        let sparse = m.counter("sync/sparse_syncs").unwrap_or(0);
+        assert_eq!(dense + sparse, traced.iterations.len() as u64);
+        // The adaptive strategy ends sparse on this fixture, so both the
+        // counter and the gauge must show sparse syncs happened.
+        assert!(sparse > 0);
+        assert!(m.gauge_value("sync/sparse_fraction").unwrap() > 0.0);
+        // Byte histogram covers every superstep; totals match the counters.
+        let h = m.histogram("sync/bytes_per_superstep").unwrap();
+        assert_eq!(h.count(), traced.iterations.len() as u64);
+        let total_bytes = m.counter("sync/dense_bytes").unwrap_or(0)
+            + m.counter("sync/sparse_bytes").unwrap_or(0);
+        assert_eq!(h.sum(), total_bytes);
+        // Routing counters cover every decided vertex.
+        assert!(m.counter("kernel/shuffle_vertices").unwrap() > 0);
     }
 
     #[test]

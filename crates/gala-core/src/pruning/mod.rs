@@ -118,6 +118,105 @@ pub fn classify_into(
     }
 }
 
+/// Outcome of a sampled false-negative audit ([`audit_pruned`]).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct AuditResult {
+    /// Pruned vertices whose decision was recomputed.
+    pub sampled: u64,
+    /// Sampled vertices that would in fact have made a strictly-improving
+    /// move — each one is modularity the pruning strategy gave up.
+    pub false_negatives: u64,
+}
+
+impl AuditResult {
+    /// Estimated false-negative rate over the sampled pruned vertices.
+    pub fn fnr(&self) -> f64 {
+        if self.sampled == 0 {
+            0.0
+        } else {
+            self.false_negatives as f64 / self.sampled as f64
+        }
+    }
+
+    /// Accumulates another superstep's audit.
+    pub fn merge(&mut self, other: &AuditResult) {
+        self.sampled += other.sampled;
+        self.false_negatives += other.false_negatives;
+    }
+}
+
+/// Audits a pruning decision by recomputing the full DecideAndMove rule for
+/// a deterministic sample of the *inactive* set: every `stride`-th pruned
+/// vertex (in vertex-id order, `stride` chosen so at most `max_samples`
+/// vertices are checked). A sampled vertex counts as a false negative only
+/// when its recomputed move *strictly* improves the gain score — zero-gain
+/// tie-break moves are modularity-neutral (paper Theorem 6), so pruning
+/// them loses nothing.
+///
+/// This is pure host-side verification: it touches no simulated-memory
+/// tally, so instrumented runs keep bit-identical cycle totals.
+pub fn audit_pruned(
+    graph: &Graph,
+    state: &BspState,
+    active: &[bool],
+    max_samples: usize,
+) -> AuditResult {
+    use crate::kernels::cpu;
+    use gala_graph::VertexId;
+
+    let mut result = AuditResult::default();
+    let pruned_total = active.iter().filter(|&&a| !a).count();
+    if pruned_total == 0 || max_samples == 0 {
+        return result;
+    }
+    let stride = pruned_total.div_ceil(max_samples);
+    let mut idx = 0usize;
+    for (v, &is_active) in active.iter().enumerate() {
+        if is_active {
+            continue;
+        }
+        if idx.is_multiple_of(stride) {
+            result.sampled += 1;
+            let v = v as VertexId;
+            let cv = state.comm[v as usize];
+            let target = cpu::decide_one(v, graph, state);
+            if target != cv && strictly_improves(v, graph, state, target) {
+                result.false_negatives += 1;
+            }
+        }
+        idx += 1;
+    }
+    result
+}
+
+/// Whether moving `v` from its community to `target` has strictly positive
+/// gain (not just a tie broken toward a smaller id).
+fn strictly_improves(
+    v: gala_graph::VertexId,
+    graph: &Graph,
+    state: &BspState,
+    target: gala_graph::partition::CommunityId,
+) -> bool {
+    let cv = state.comm[v as usize];
+    let d_v = graph.degree_w(v);
+    let mut stay_d_vc = 0.0;
+    let mut move_d_vc = 0.0;
+    for (u, w) in graph.neighbors(v) {
+        if u == v {
+            continue;
+        }
+        let c = state.comm[u as usize];
+        if c == cv {
+            stay_d_vc += w;
+        } else if c == target {
+            move_d_vc += w;
+        }
+    }
+    let move_score = state.score(move_d_vc, d_v, state.d_tot[target as usize]);
+    let stay_score = state.score(stay_d_vc, d_v, state.d_tot_without(v, graph));
+    move_score > stay_score
+}
+
 /// Misprediction counts for one superstep, comparing a prediction against
 /// the ground-truth decisions of a full (unpruned) DecideAndMove pass.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
@@ -322,6 +421,60 @@ mod tests {
             "MG fpr {} vs SM fpr {}",
             mg.fpr(),
             sm.fpr()
+        );
+    }
+
+    #[test]
+    fn audit_finds_no_false_negatives_in_gain_pruning() {
+        // MG is FN-free (Theorem 6): auditing its pruned set must never
+        // find a strictly-improving move.
+        let g = fixtures::ring_of_cliques(4, 6);
+        let mut state = BspState::new(&g);
+        let mut rng = ChaCha8Rng::seed_from_u64(7);
+        for _ in 0..4 {
+            let active = classify(PruningKind::Gain, &g, &state, &mut rng);
+            let audit = audit_pruned(&g, &state, &active, usize::MAX);
+            assert_eq!(audit.false_negatives, 0, "MG pruned a winning move");
+            let out = crate::kernels::cpu::decide(&g, &state, &active);
+            let summary = state.apply_moves(&g, &out.next_comm);
+            crate::weight::update(
+                crate::weight::WeightUpdateMode::Delta,
+                &g,
+                &mut state,
+                &summary,
+            );
+        }
+    }
+
+    #[test]
+    fn audit_catches_a_bad_pruning_decision() {
+        // Pruning *everything* on the first iteration of a clique fixture
+        // suppresses obviously-winning merges; the audit must notice.
+        let g = fixtures::two_cliques(4);
+        let state = BspState::new(&g);
+        let active = vec![false; g.num_vertices()];
+        let audit = audit_pruned(&g, &state, &active, usize::MAX);
+        assert_eq!(audit.sampled, g.num_vertices() as u64);
+        assert!(audit.false_negatives > 0, "suppressed merges not flagged");
+        assert!(audit.fnr() > 0.0);
+    }
+
+    #[test]
+    fn audit_sampling_is_deterministic_and_bounded() {
+        let g = fixtures::ring_of_cliques(4, 6);
+        let state = BspState::new(&g);
+        let active = vec![false; g.num_vertices()];
+        let a = audit_pruned(&g, &state, &active, 5);
+        let b = audit_pruned(&g, &state, &active, 5);
+        assert_eq!(a, b, "same inputs must sample the same vertices");
+        assert!(a.sampled <= 5, "sampled {} > cap 5", a.sampled);
+        assert!(a.sampled > 0);
+        assert_eq!(audit_pruned(&g, &state, &active, 0), AuditResult::default());
+        let all = audit_pruned(&g, &state, &vec![true; g.num_vertices()], 5);
+        assert_eq!(
+            all,
+            AuditResult::default(),
+            "nothing pruned, nothing sampled"
         );
     }
 

@@ -9,6 +9,11 @@
 //!   the `gala-core` drivers, consumed through the [`TraceSink`] trait.
 //!   The [`NullSink`] reports `enabled() == false`, so tracing costs one
 //!   branch when off.
+//! * [`metrics`] — a [`MetricsRegistry`] of named counters, gauges and
+//!   log2-bucketed [`Histogram`]s for algorithm-level quantities (pruning
+//!   effectiveness, kernel routing splits, hashtable level statistics,
+//!   sync traffic), mergeable across workers and devices and emitted as
+//!   `metrics` trace events.
 //! * [`report`] — schema-versioned [`Report`]s written by the bench
 //!   binaries and the CLI (`--report`), plus [`Report::compare`] for the
 //!   CI baseline gate (±10% simulated-cycle tolerance).
@@ -20,10 +25,12 @@
 #![warn(missing_docs)]
 
 pub mod json;
+pub mod metrics;
 pub mod report;
 pub mod trace;
 
 pub use json::Value;
+pub use metrics::{Histogram, MetricsRegistry};
 pub use report::{MetricRow, Regression, Report, ReportError};
 pub use trace::{
     span_from_json, span_to_json, tally_from_json, tally_to_json, JsonlSink, NullSink, TraceEvent,
@@ -34,5 +41,11 @@ pub use trace::{
 /// incompatible change to field names or meanings.
 ///
 /// History: 1 — initial events; 2 — `span` events, divergence/coalescing
-/// tally counters (`simt_*`, `coalesce_*`).
-pub const SCHEMA_VERSION: u64 = 2;
+/// tally counters (`simt_*`, `coalesce_*`); 3 — `metrics` events carrying
+/// a [`MetricsRegistry`] (counters / gauges / log2 histograms).
+pub const SCHEMA_VERSION: u64 = 3;
+
+/// Oldest schema this build still reads. Additions since
+/// [`MIN_SCHEMA_VERSION`] are purely additive (new event kinds), so traces
+/// and reports in `MIN_SCHEMA_VERSION..=SCHEMA_VERSION` all parse.
+pub const MIN_SCHEMA_VERSION: u64 = 2;

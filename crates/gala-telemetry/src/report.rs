@@ -12,7 +12,7 @@ use std::io;
 use std::path::Path;
 
 use crate::json::{parse, ParseError, Value};
-use crate::SCHEMA_VERSION;
+use crate::{MIN_SCHEMA_VERSION, SCHEMA_VERSION};
 
 /// One labelled row of numeric metrics (mirrors one table row).
 #[derive(Clone, Debug, PartialEq)]
@@ -129,9 +129,10 @@ impl Report {
             .get("schema")
             .and_then(Value::as_u64)
             .ok_or_else(|| ReportError::shape("missing `schema`"))?;
-        if schema != SCHEMA_VERSION {
+        if !(MIN_SCHEMA_VERSION..=SCHEMA_VERSION).contains(&schema) {
             return Err(ReportError::Shape(format!(
-                "unsupported schema version {schema} (expected {SCHEMA_VERSION})"
+                "unsupported schema version {schema} \
+                 (this build reads {MIN_SCHEMA_VERSION}..={SCHEMA_VERSION})"
             )));
         }
         let text = |key: &str| -> Result<String, ReportError> {
@@ -407,6 +408,19 @@ mod tests {
     #[test]
     fn schema_version_is_checked() {
         let text = sample().to_json().set("schema", 999u64).render();
+        assert!(matches!(
+            Report::from_str(&text),
+            Err(ReportError::Shape(_))
+        ));
+    }
+
+    #[test]
+    fn older_supported_schemas_still_parse() {
+        // Committed baseline reports carry schema 2; the bump to 3 was
+        // purely additive, so they must keep parsing.
+        let text = sample().to_json().set("schema", 2u64).render();
+        assert_eq!(Report::from_str(&text).unwrap(), sample());
+        let text = sample().to_json().set("schema", 1u64).render();
         assert!(matches!(
             Report::from_str(&text),
             Err(ReportError::Shape(_))

@@ -18,6 +18,7 @@ use gala_gpu::memory::MemTally;
 use gala_gpu::profile::SpanRecord;
 
 use crate::json::Value;
+use crate::metrics::MetricsRegistry;
 use crate::SCHEMA_VERSION;
 
 /// One structured event in a run's trace.
@@ -90,6 +91,19 @@ pub enum TraceEvent {
         /// Root of the span tree; its children are the phase's top-level
         /// spans (`classify`, `decide`, `apply`, …).
         root: SpanRecord,
+    },
+    /// An algorithm-level metrics snapshot: a [`MetricsRegistry`] of
+    /// counters, gauges and log2 histograms covering quantities the span
+    /// and superstep events cannot — pruning-audit results, kernel
+    /// routing splits with degree distributions, hashtable level
+    /// statistics, dense/sparse sync traffic. Schema 3+.
+    Metrics {
+        /// Coarsening round the snapshot covers (0 for whole-run scopes).
+        round: u32,
+        /// What the snapshot aggregates over (`"phase1"`, `"sync"`).
+        scope: String,
+        /// The recorded metrics.
+        registry: MetricsRegistry,
     },
     /// End of one coarsening round.
     RoundEnd {
@@ -203,6 +217,7 @@ impl TraceEvent {
             TraceEvent::Superstep { .. } => "superstep",
             TraceEvent::Sync { .. } => "sync",
             TraceEvent::Span { .. } => "span",
+            TraceEvent::Metrics { .. } => "metrics",
             TraceEvent::RoundEnd { .. } => "round_end",
             TraceEvent::RunEnd { .. } => "run_end",
         }
@@ -274,6 +289,14 @@ impl TraceEvent {
                 .set("superstep", *superstep)
                 .set("phase", phase.as_str())
                 .set("root", span_to_json(root)),
+            TraceEvent::Metrics {
+                round,
+                scope,
+                registry,
+            } => base
+                .set("round", *round)
+                .set("scope", scope.as_str())
+                .set("registry", registry.to_json()),
             TraceEvent::RoundEnd {
                 round,
                 supersteps,
@@ -498,6 +521,32 @@ mod tests {
     fn tally_from_json_rejects_missing_fields() {
         let v = Value::object().set("register_ops", 1u64);
         assert!(tally_from_json(&v).is_none());
+    }
+
+    #[test]
+    fn metrics_event_round_trips_through_jsonl() {
+        let mut r = MetricsRegistry::new();
+        r.inc("pruning/pruned", 42);
+        r.gauge("phase1/moved_fraction", 0.5);
+        r.observe("kernel/shuffle_degree", 12);
+        let mut sink = JsonlSink::new(Vec::new());
+        sink.emit(TraceEvent::Metrics {
+            round: 2,
+            scope: "phase1".into(),
+            registry: r.clone(),
+        });
+        let text = String::from_utf8(sink.into_inner()).unwrap();
+        let v = parse(text.trim()).unwrap();
+        assert_eq!(v.get("event").unwrap().as_str(), Some("metrics"));
+        assert_eq!(
+            v.get("schema").unwrap().as_u64(),
+            Some(SCHEMA_VERSION),
+            "metrics events are schema 3+"
+        );
+        assert_eq!(v.get("round").unwrap().as_u64(), Some(2));
+        assert_eq!(v.get("scope").unwrap().as_str(), Some("phase1"));
+        let back = MetricsRegistry::from_json(v.get("registry").unwrap()).unwrap();
+        assert_eq!(back, r);
     }
 
     #[test]
