@@ -8,6 +8,7 @@ pub const USAGE: &str = "\
 usage:
   gala detect <graph> [options]     run community detection
       --algorithm gala|leiden|lpa|sequential   (default: gala)
+      --backend sim|native                     (default: sim; gala/leiden)
       --pruning mg|sm|rm|pm|mgrm|none          (default: mg; gala only)
       --resolution <gamma>                     (default: 1.0)
       --format edgelist|metis|bin              (default: by extension)
@@ -101,6 +102,28 @@ impl Algorithm {
     }
 }
 
+/// Execution backends (`--backend`): the simulated GPU with cycle
+/// accounting, or the native host pool with wall-clock timing. Both
+/// produce identical assignments — CI's backend-equivalence job gates it.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum Backend {
+    /// Simulated-GPU execution (the default).
+    #[default]
+    Sim,
+    /// Native execution on the host work-stealing pool.
+    Native,
+}
+
+impl Backend {
+    fn parse(s: &str) -> Result<Self, ParseError> {
+        match s {
+            "sim" => Ok(Backend::Sim),
+            "native" => Ok(Backend::Native),
+            other => Err(ParseError(format!("unknown backend `{other}`"))),
+        }
+    }
+}
+
 /// Pruning strategy names.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum Pruning {
@@ -141,6 +164,8 @@ pub struct DetectArgs {
     pub format: Option<Format>,
     /// Algorithm to run.
     pub algorithm: Algorithm,
+    /// Execution backend (GALA and Leiden).
+    pub backend: Backend,
     /// Pruning strategy (GALA only).
     pub pruning: Pruning,
     /// Resolution γ.
@@ -291,6 +316,7 @@ impl Command {
             input: String::new(),
             format: None,
             algorithm: Algorithm::Gala,
+            backend: Backend::Sim,
             pruning: Pruning::Mg,
             resolution: 1.0,
             output: None,
@@ -306,6 +332,7 @@ impl Command {
                 "--algorithm" => {
                     out.algorithm = Algorithm::parse(value(args, &mut i, "--algorithm")?)?
                 }
+                "--backend" => out.backend = Backend::parse(value(args, &mut i, "--backend")?)?,
                 "--pruning" => out.pruning = Pruning::parse(value(args, &mut i, "--pruning")?)?,
                 "--resolution" => {
                     let v = value(args, &mut i, "--resolution")?;
@@ -551,6 +578,7 @@ mod tests {
         let Command::Detect(d) = cmd else { panic!() };
         assert_eq!(d.input, "graph.txt");
         assert_eq!(d.algorithm, Algorithm::Gala);
+        assert_eq!(d.backend, Backend::Sim);
         assert_eq!(d.pruning, Pruning::Mg);
         assert_eq!(d.resolution, 1.0);
         assert!(!d.quiet);
@@ -559,11 +587,12 @@ mod tests {
     #[test]
     fn parses_full_detect() {
         let cmd = Command::parse(&argv(
-            "detect g.metis --algorithm leiden --resolution 2.5 --output out.txt --devices 4 --quiet",
+            "detect g.metis --algorithm leiden --backend native --resolution 2.5 --output out.txt --devices 4 --quiet",
         ))
         .unwrap();
         let Command::Detect(d) = cmd else { panic!() };
         assert_eq!(d.algorithm, Algorithm::Leiden);
+        assert_eq!(d.backend, Backend::Native);
         assert_eq!(d.resolution, 2.5);
         assert_eq!(d.output.as_deref(), Some("out.txt"));
         assert_eq!(d.devices, 4);
@@ -589,6 +618,7 @@ mod tests {
         assert!(Command::parse(&argv("detect g.txt --resolution -1")).is_err());
         assert!(Command::parse(&argv("detect g.txt --devices 0")).is_err());
         assert!(Command::parse(&argv("detect g.txt --pruning magic")).is_err());
+        assert!(Command::parse(&argv("detect g.txt --backend warp")).is_err());
         assert!(Command::parse(&argv("detect")).is_err());
         assert!(Command::parse(&argv("detect a.txt b.txt")).is_err());
         assert!(Command::parse(&argv("detect g.txt --nonsense")).is_err());

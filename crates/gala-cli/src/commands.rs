@@ -1,6 +1,7 @@
 //! Command execution: graph IO, algorithm dispatch, and reporting.
 
-use crate::args::{Algorithm, Command, DetectArgs, Format, GenerateArgs, Pruning, USAGE};
+use crate::args::{Algorithm, Backend, Command, DetectArgs, Format, GenerateArgs, Pruning, USAGE};
+use gala_core::backend::BackendKind;
 use gala_core::label_prop::{label_propagation, LabelPropConfig};
 use gala_core::leiden::{leiden, LeidenConfig};
 use gala_core::louvain::LouvainConfig;
@@ -261,6 +262,10 @@ fn detect(args: DetectArgs) -> Result<(), Error> {
     } else {
         Profiler::disabled()
     };
+    let backend = match args.backend {
+        Backend::Sim => BackendKind::Sim,
+        Backend::Native => BackendKind::Native,
+    };
     let start = Instant::now();
     let (name, partition): (&str, Partition) = match args.algorithm {
         Algorithm::Gala => {
@@ -278,6 +283,7 @@ fn detect(args: DetectArgs) -> Result<(), Error> {
                     MultiGpuConfig {
                         num_devices: args.devices,
                         pruning,
+                        backend,
                         ..MultiGpuConfig::default()
                     },
                     sink,
@@ -288,6 +294,7 @@ fn detect(args: DetectArgs) -> Result<(), Error> {
                 let r = gala_core::louvain::Louvain::new(LouvainConfig {
                     pruning,
                     resolution: args.resolution,
+                    backend,
                     ..LouvainConfig::default()
                 })
                 .run_instrumented(&graph, sink, &mut prof);
@@ -299,6 +306,7 @@ fn detect(args: DetectArgs) -> Result<(), Error> {
                 &graph,
                 LeidenConfig {
                     resolution: args.resolution,
+                    backend,
                     ..LeidenConfig::default()
                 },
             );
@@ -323,6 +331,7 @@ fn detect(args: DetectArgs) -> Result<(), Error> {
     if let Some(path) = &args.report {
         let mut report = Report::new("run", "detect")
             .meta("algorithm", name)
+            .meta("backend", format!("{backend}"))
             .meta("input", args.input.as_str())
             .meta("resolution", format!("{}", args.resolution))
             .meta("devices", format!("{}", args.devices));
@@ -556,6 +565,42 @@ mod tests {
             .unwrap();
             execute(cmd).unwrap_or_else(|e| panic!("{algo}: {e}"));
         }
+        let _ = std::fs::remove_file(graph_path);
+    }
+
+    #[test]
+    fn native_backend_detect_matches_sim() {
+        let g = fixtures::ring_of_cliques(6, 4);
+        let graph_path = format!("{}.txt", tmp("nb"));
+        save(&g, &graph_path).unwrap();
+        let mut outs = Vec::new();
+        for backend in ["sim", "native"] {
+            let out_path = format!("{}_{backend}.out", tmp("nb"));
+            let report_path = format!("{}_{backend}.json", tmp("nb"));
+            let cmd = Command::parse(
+                &[
+                    "detect",
+                    graph_path.as_str(),
+                    "--backend",
+                    backend,
+                    "--output",
+                    out_path.as_str(),
+                    "--report",
+                    report_path.as_str(),
+                    "--quiet",
+                ]
+                .map(String::from),
+            )
+            .unwrap();
+            execute(cmd).unwrap();
+            let report = Report::read_from(&report_path).unwrap();
+            assert_eq!(report.meta_value("backend"), Some(backend));
+            outs.push(std::fs::read_to_string(&out_path).unwrap());
+            for p in [out_path, report_path] {
+                let _ = std::fs::remove_file(p);
+            }
+        }
+        assert_eq!(outs[0], outs[1], "backends must agree on assignments");
         let _ = std::fs::remove_file(graph_path);
     }
 

@@ -381,7 +381,11 @@ mod tests {
         // The repo's own BENCH_* reports must flatten into rows: this is
         // what CI feeds `gala trend`.
         let dir = concat!(env!("CARGO_MANIFEST_DIR"), "/../..");
-        for name in ["BENCH_host.json", "BENCH_contract.json"] {
+        for name in [
+            "BENCH_host.json",
+            "BENCH_contract.json",
+            "BENCH_native.json",
+        ] {
             let path = format!("{dir}/results/{name}");
             let rows = rows_from_report(&path).unwrap();
             assert!(!rows.is_empty(), "{name} produced no rows");

@@ -36,9 +36,12 @@ pub fn phase1(graph: &Graph, theta: f64, max_iterations: usize) -> (BspState, us
     // Same dip-tolerant convergence as louvain.rs (patience 8, restore the
     // best state seen) so the two drivers reach identical modularity.
     const PATIENCE: usize = 8;
+    // No pruning: the all-active mask never changes, and the decide output
+    // is recycled across supersteps like louvain.rs's Phase1Scratch.
+    let active = vec![true; graph.num_vertices()];
+    let mut out = crate::kernels::DecideOutput::default();
     for _ in 0..max_iterations {
-        let active = vec![true; graph.num_vertices()];
-        let out = cpu::decide(graph, &state, &active);
+        cpu::decide_into(graph, &state, &active, &mut out);
         let summary = state.apply_moves(graph, &out.next_comm);
         weight::update(WeightUpdateMode::Naive, graph, &mut state, &summary);
         iterations += 1;

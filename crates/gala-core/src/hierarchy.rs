@@ -8,7 +8,8 @@
 
 use crate::louvain::{Louvain, LouvainConfig};
 use crate::modularity::modularity_with_resolution;
-use gala_graph::coarsen::{coarsen_into, CoarsenScratch};
+use gala_gpu::profile::Profiler;
+use gala_graph::coarsen::CoarsenScratch;
 use gala_graph::{Graph, Partition};
 
 /// A full Louvain hierarchy: level 0 is the finest (first-round)
@@ -27,6 +28,7 @@ impl Dendrogram {
     /// the flattened partition after every round.
     pub fn build(graph: &Graph, config: LouvainConfig) -> Self {
         let runner = Louvain::new(config);
+        let backend = config.backend.resolve();
         let mut levels = Vec::new();
         let mut modularities = Vec::new();
         let mut current: Option<Graph> = None;
@@ -36,7 +38,14 @@ impl Dendrogram {
             let g = current.as_ref().unwrap_or(graph);
             let (state, stats) = runner.run_phase1(g);
             let moved_any = stats.iterations.iter().any(|i| i.num_moved > 0);
-            let coarse = coarsen_into(g, &state.partition(), &mut cscratch);
+            let coarse = backend.contract(
+                g,
+                &state.partition(),
+                config.kernel,
+                false,
+                &mut Profiler::disabled(),
+                &mut cscratch,
+            );
             let level = match &flat {
                 None => coarse.renumbered.clone(),
                 Some(prev) => prev.compose(&coarse.renumbered),

@@ -25,6 +25,7 @@ pub mod contract;
 pub mod cpu;
 pub mod hash;
 pub mod hashtable;
+pub(crate) mod native;
 pub mod replicated;
 pub mod shuffle;
 pub mod sort;

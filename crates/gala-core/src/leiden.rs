@@ -12,8 +12,11 @@
 //! The headline guarantee ("communities are well-connected") is verified by
 //! [`communities_are_connected`] and enforced in tests.
 
+use crate::backend::BackendKind;
+use crate::kernels::KernelKind;
 use crate::modularity::modularity_with_resolution;
-use gala_graph::coarsen::{coarsen_into, CoarsenScratch};
+use gala_gpu::profile::Profiler;
+use gala_graph::coarsen::CoarsenScratch;
 use gala_graph::partition::CommunityId;
 use gala_graph::subgraph::community_subgraph;
 use gala_graph::traversal::connected_components;
@@ -31,6 +34,9 @@ pub struct LeidenConfig {
     pub max_sweeps: usize,
     /// Cap on rounds (move + refine + aggregate repetitions).
     pub max_rounds: usize,
+    /// Execution backend for the aggregation (phase-2 contraction) between
+    /// rounds. The sequential local moving itself is host-side either way.
+    pub backend: BackendKind,
 }
 
 impl Default for LeidenConfig {
@@ -40,6 +46,7 @@ impl Default for LeidenConfig {
             theta: 1e-6,
             max_sweeps: 200,
             max_rounds: 20,
+            backend: BackendKind::Sim,
         }
     }
 }
@@ -57,6 +64,7 @@ pub struct LeidenResult {
 
 /// Runs Leiden to convergence.
 pub fn leiden(graph: &Graph, config: LeidenConfig) -> LeidenResult {
+    let backend = config.backend.resolve();
     let mut current: Option<Graph> = None;
     // `labels` carries the working graph's initial communities into each
     // round (Leiden's aggregated vertices do NOT restart as singletons).
@@ -64,12 +72,13 @@ pub fn leiden(graph: &Graph, config: LeidenConfig) -> LeidenResult {
     let mut flat: Option<Partition> = None;
     let mut rounds = 0;
     let mut cscratch = CoarsenScratch::default();
+    let mut sweep = SweepScratch::default();
     for _ in 0..config.max_rounds {
         let g = current.as_ref().unwrap_or(graph);
         let mut comm: Vec<CommunityId> = labels
             .take()
             .unwrap_or_else(|| (0..g.num_vertices() as CommunityId).collect());
-        let moved = local_move(g, &mut comm, &config);
+        let moved = local_move(g, &mut comm, &config, &mut sweep);
         rounds += 1;
         let partition = Partition::from_assignment(comm.clone());
         let (dense, k) = partition.renumbered();
@@ -82,8 +91,15 @@ pub fn leiden(graph: &Graph, config: LeidenConfig) -> LeidenResult {
             break;
         }
         // Refinement: re-partition each community from singletons.
-        let refined = refine(g, &partition, &config);
-        let coarse = coarsen_into(g, &refined, &mut cscratch);
+        let refined = refine(g, &partition, &config, &mut sweep);
+        let coarse = backend.contract(
+            g,
+            &refined,
+            KernelKind::default(),
+            false,
+            &mut Profiler::disabled(),
+            &mut cscratch,
+        );
         // The aggregated graph's vertices start in their step-1 community.
         let refined_dense = &coarse.renumbered;
         let mut next_labels = vec![0 as CommunityId; coarse.num_communities];
@@ -119,22 +135,41 @@ pub fn leiden(graph: &Graph, config: LeidenConfig) -> LeidenResult {
     }
 }
 
+/// Reusable buffers for the local-moving sweeps, hoisted so every round of
+/// a [`leiden`] run recycles one allocation set for the per-community
+/// totals and the per-vertex candidate aggregation instead of reallocating
+/// them each call — the same scratch discipline as `louvain.rs`.
+#[derive(Debug, Default)]
+struct SweepScratch {
+    /// `D_V(C)` per community id slot.
+    d_tot: Vec<f64>,
+    /// Per-vertex `(community, d_vc)` aggregation map.
+    agg: HashMap<CommunityId, f64>,
+}
+
 /// Sequential local moving with immediate updates (Louvain phase-1 style),
 /// starting from the given assignment. Returns whether anything moved.
-fn local_move(graph: &Graph, comm: &mut [CommunityId], config: &LeidenConfig) -> bool {
+fn local_move(
+    graph: &Graph,
+    comm: &mut [CommunityId],
+    config: &LeidenConfig,
+    scratch: &mut SweepScratch,
+) -> bool {
     let n = graph.num_vertices();
     let m2 = graph.total_weight();
     if m2 == 0.0 {
         return false;
     }
     let slots = comm.iter().copied().max().unwrap_or(0) as usize + 1;
-    let mut d_tot = vec![0.0f64; slots.max(n)];
+    let d_tot = &mut scratch.d_tot;
+    d_tot.clear();
+    d_tot.resize(slots.max(n), 0.0);
     for v in 0..n {
         d_tot[comm[v] as usize] += graph.degree_w(v as VertexId);
     }
     let gamma = config.resolution;
     let mut any_moved = false;
-    let mut agg: HashMap<CommunityId, f64> = HashMap::new();
+    let agg = &mut scratch.agg;
     for _ in 0..config.max_sweeps {
         let mut sweep_gain = 0.0;
         for v in 0..n as VertexId {
@@ -201,10 +236,16 @@ pub fn refine_partition(
             max_sweeps,
             ..LeidenConfig::default()
         },
+        &mut SweepScratch::default(),
     )
 }
 
-fn refine(graph: &Graph, partition: &Partition, config: &LeidenConfig) -> Partition {
+fn refine(
+    graph: &Graph,
+    partition: &Partition,
+    config: &LeidenConfig,
+    scratch: &mut SweepScratch,
+) -> Partition {
     let n = graph.num_vertices();
     // Refined labels start as singletons (label = own vertex id).
     let mut refined: Vec<CommunityId> = (0..n as CommunityId).collect();
@@ -213,8 +254,10 @@ fn refine(graph: &Graph, partition: &Partition, config: &LeidenConfig) -> Partit
         return Partition::from_assignment(refined);
     }
     let gamma = config.resolution;
-    let mut d_tot: Vec<f64> = (0..n).map(|v| graph.degree_w(v as VertexId)).collect();
-    let mut agg: HashMap<CommunityId, f64> = HashMap::new();
+    let d_tot = &mut scratch.d_tot;
+    d_tot.clear();
+    d_tot.extend((0..n).map(|v| graph.degree_w(v as VertexId)));
+    let agg = &mut scratch.agg;
     for _ in 0..config.max_sweeps {
         let mut moved = false;
         for v in 0..n as VertexId {

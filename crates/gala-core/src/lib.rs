@@ -15,6 +15,9 @@
 //!   hierarchical hashtables, and a cuGraph-style sort-based baseline.
 //! * [`louvain`] — the BSP phase-1 loop, phase-2 coarsening, and the
 //!   multi-round driver with Grappolo's convergence heuristics.
+//! * [`backend`] — the execution-backend seam: the simulated-GPU substrate
+//!   (cycle accounting) and the native host substrate (wall-clock timing)
+//!   behind one trait, guaranteed assignment-identical.
 //! * [`sequential`] — the classic sequential Louvain baseline (Blondel).
 //! * [`grappolo`] — a Grappolo-style CPU parallel baseline on rayon.
 //! * [`multi_gpu`] — vertex-partitioned multi-device execution with
@@ -24,6 +27,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod backend;
 pub mod consensus;
 pub mod grappolo;
 pub mod hierarchy;

@@ -2,14 +2,15 @@
 //! pruning, kernels, and weight maintenance, plus the phase-2 coarsening
 //! loop building the community hierarchy.
 
-use crate::kernels::hashtable::{HashConfig, TableStats};
+use crate::backend::BackendKind;
+use crate::kernels::hashtable::TableStats;
 use crate::kernels::{self, KernelKind};
 use crate::pruning::{self, PruningKind};
 use crate::state::BspState;
 use crate::weight::{self, WeightUpdateMode};
 use gala_gpu::memory::{CostModel, MemTally};
 use gala_gpu::profile::Profiler;
-use gala_graph::coarsen::{coarsen_into, CoarsenScratch};
+use gala_graph::coarsen::CoarsenScratch;
 use gala_graph::{Graph, Partition};
 use gala_telemetry::{MetricsRegistry, NullSink, TraceEvent, TraceSink};
 use rand::SeedableRng;
@@ -51,6 +52,10 @@ pub struct LouvainConfig {
     /// simultaneous BSP moves can produce on high-mixing graphs, at the
     /// cost of an extra sequential pass per round.
     pub refine: bool,
+    /// Execution backend for the decide and contract passes: the simulated
+    /// GPU (cycle accounting, the default) or the native host pool
+    /// (wall-clock timing). Assignments are identical either way.
+    pub backend: BackendKind,
 }
 
 impl Default for LouvainConfig {
@@ -66,6 +71,7 @@ impl Default for LouvainConfig {
             resolution: 1.0,
             dip_patience: 8,
             refine: false,
+            backend: BackendKind::Sim,
         }
     }
 }
@@ -254,6 +260,7 @@ impl Louvain {
         scratch: &mut Phase1Scratch,
     ) -> (BspState, RoundStats) {
         let cfg = &self.config;
+        let backend = cfg.backend.resolve();
         let Phase1Scratch {
             active,
             decide: dscratch,
@@ -296,9 +303,7 @@ impl Louvain {
             });
             let num_active = active.iter().filter(|&&a| a).count();
             let t1 = Instant::now();
-            kernels::decide_profiled_into(
-                cfg.kernel, graph, &state, active, &mut sub, dscratch, out,
-            );
+            backend.decide(cfg.kernel, graph, &state, active, &mut sub, dscratch, out);
             let t2 = Instant::now();
             if let Some(m) = metrics.as_mut() {
                 record_superstep_metrics(m, cfg.kernel, graph, &state, active, out);
@@ -449,6 +454,7 @@ impl Louvain {
         prof: &mut Profiler,
     ) -> LouvainResult {
         let cfg = &self.config;
+        let backend = cfg.backend.resolve();
         if sink.enabled() {
             sink.emit(TraceEvent::RunStart {
                 algorithm: "louvain".to_string(),
@@ -502,30 +508,8 @@ impl Louvain {
             };
             let coarse = sub.scope("contract", |p| {
                 let started = Instant::now();
-                // Instrumented runs contract through the simulated device
-                // kernel (hierarchical hashtable + device prefix sum), so
-                // the span carries a real tally; plain runs take the host
-                // counting-sort path. Both produce bit-identical graphs.
-                let coarse = if instrumented {
-                    let out = kernels::contract::contract(
-                        g,
-                        &partition,
-                        contract_table_cfg(cfg.kernel),
-                        &mut cscratch,
-                    );
-                    p.record(&out.tally);
-                    let stats = out.table_stats;
-                    if stats != TableStats::default() {
-                        p.count("hash_shared_keys", stats.shared_keys);
-                        p.count("hash_global_keys", stats.global_keys);
-                        p.count("hash_shared_accesses", stats.shared_accesses);
-                        p.count("hash_global_accesses", stats.global_accesses);
-                        p.count("hash_evictions", stats.shared_evictions);
-                    }
-                    out.coarse
-                } else {
-                    coarsen_into(g, &partition, &mut cscratch)
-                };
+                let coarse =
+                    backend.contract(g, &partition, cfg.kernel, instrumented, p, &mut cscratch);
                 p.count("vertices", g.num_vertices() as u64);
                 p.count("arcs", g.num_arcs() as u64);
                 p.count("communities", coarse.num_communities as u64);
@@ -658,16 +642,6 @@ fn record_superstep_metrics(
             stats.shared_accesses + stats.global_accesses,
         );
         m.observe("hash/evictions_per_superstep", stats.shared_evictions);
-    }
-}
-
-/// Hashtable placement for the contract kernel: reuse the phase-1 kernel's
-/// table configuration when it carries one, the hierarchical default
-/// otherwise.
-fn contract_table_cfg(kind: KernelKind) -> HashConfig {
-    match kind {
-        KernelKind::Hash(cfg) | KernelKind::WorkloadAware(cfg) => cfg,
-        _ => HashConfig::default(),
     }
 }
 

@@ -21,6 +21,7 @@
 //! *cost*: per-device compute (max over devices, they run in parallel) plus
 //! the modelled collective time, which is what Figure 10 plots.
 
+use crate::backend::BackendKind;
 use crate::kernels::{self, KernelKind};
 use crate::pruning::{self, PruningKind};
 use crate::state::BspState;
@@ -77,6 +78,11 @@ pub struct MultiGpuConfig {
     /// its SMs, so modelled time = cycles / (clock · parallelism). 2048 is
     /// a conservative A100-class figure (108 SMs, partial occupancy).
     pub effective_parallelism: f64,
+    /// Execution backend for the per-device decide passes and the host
+    /// contraction between rounds. Note the native backend records no
+    /// tallies, so modelled compute/communication times degenerate to the
+    /// collective model only; assignments are identical either way.
+    pub backend: BackendKind,
 }
 
 impl Default for MultiGpuConfig {
@@ -92,6 +98,7 @@ impl Default for MultiGpuConfig {
             seed: 0x6A1A,
             clock_ghz: 1.4,
             effective_parallelism: 2048.0,
+            backend: BackendKind::Sim,
         }
     }
 }
@@ -195,6 +202,7 @@ pub fn run_phase1_instrumented(
     prof: &mut Profiler,
 ) -> MultiGpuResult {
     let cfg = config;
+    let backend = cfg.backend.resolve();
     let group = DeviceGroup::new(cfg.num_devices);
     let cost = CostModel::default();
     let ranges = partition_by_arcs(graph, cfg.num_devices);
@@ -257,7 +265,7 @@ pub fn run_phase1_instrumented(
             for v in range.clone() {
                 device_active[v as usize] = active[v as usize];
             }
-            kernels::decide_profiled_into(
+            backend.decide(
                 cfg.kernel,
                 graph,
                 &state,
@@ -492,6 +500,7 @@ impl MultiGpuFullResult {
 /// Runs the complete Louvain hierarchy with every phase 1 executed on the
 /// simulated devices.
 pub fn run_full(graph: &Graph, config: MultiGpuConfig) -> MultiGpuFullResult {
+    let backend = config.backend.resolve();
     let mut current: Option<Graph> = None;
     let mut flat: Option<Partition> = None;
     let mut rounds = Vec::new();
@@ -501,7 +510,14 @@ pub fn run_full(graph: &Graph, config: MultiGpuConfig) -> MultiGpuFullResult {
         let g = current.as_ref().unwrap_or(graph);
         let round = run_phase1(g, config);
         let q = round.modularity;
-        let coarse = gala_graph::coarsen::coarsen_into(g, &round.partition, &mut cscratch);
+        let coarse = backend.contract(
+            g,
+            &round.partition,
+            config.kernel,
+            false,
+            &mut Profiler::disabled(),
+            &mut cscratch,
+        );
         let stalled = coarse.num_communities == g.num_vertices();
         flat = Some(match flat {
             None => coarse.renumbered.clone(),
