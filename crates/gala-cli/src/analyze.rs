@@ -19,7 +19,8 @@ use crate::commands::Error;
 use gala_gpu::memory::{CostModel, MemTally};
 use gala_gpu::profile::{Profiler, SpanRecord};
 use gala_telemetry::{
-    json, span_from_json, tally_from_json, MetricsRegistry, MIN_SCHEMA_VERSION, SCHEMA_VERSION,
+    json, profile_span_from_json, span_from_json, tally_from_json, MetricsRegistry, ProfileSpan,
+    MIN_SCHEMA_VERSION, SCHEMA_VERSION,
 };
 
 /// One `superstep` event, decoded.
@@ -74,6 +75,15 @@ struct SpanTree {
     root: SpanRecord,
 }
 
+/// One `profile` event, decoded (schema 4+ traces only).
+#[derive(Clone, Debug)]
+struct ProfileCheck {
+    phase: String,
+    backend: String,
+    unit: String,
+    spans: Vec<ProfileSpan>,
+}
+
 /// The `run_end` summary.
 #[derive(Clone, Copy, Debug)]
 struct RunEnd {
@@ -93,6 +103,7 @@ struct Trace {
     syncs: Vec<SyncEvent>,
     span_checks: Vec<SpanCheck>,
     metrics: Vec<MetricsEvent>,
+    profiles: Vec<ProfileCheck>,
     /// Individual span trees, retained only when loaded with
     /// `keep_spans` (the chrome-trace exporter); empty otherwise.
     span_trees: Vec<SpanTree>,
@@ -158,8 +169,9 @@ fn load_trace_with_spans(path: &str, keep_spans: bool) -> Result<Trace, Error> {
         let schema = field_u64(&v, "schema", line)?;
         if !(MIN_SCHEMA_VERSION..=SCHEMA_VERSION).contains(&schema) {
             return Err(format!(
-                "{path} line {line}: schema {schema} (this build reads \
-                 {MIN_SCHEMA_VERSION}..={SCHEMA_VERSION})"
+                "{path} line {line}: event {} has schema {schema} (this build reads \
+                 {MIN_SCHEMA_VERSION}..={SCHEMA_VERSION})",
+                trace.events
             )
             .into());
         }
@@ -208,6 +220,22 @@ fn load_trace_with_spans(path: &str, keep_spans: bool) -> Result<Trace, Error> {
                     });
                 }
                 merger.absorb(root);
+            }
+            "profile" => {
+                let spans = v
+                    .get("spans")
+                    .and_then(json::Value::as_array)
+                    .ok_or_else(|| format!("{path} line {line}: profile event missing `spans`"))?
+                    .iter()
+                    .map(profile_span_from_json)
+                    .collect::<Option<Vec<_>>>()
+                    .ok_or_else(|| format!("{path} line {line}: bad profile span"))?;
+                trace.profiles.push(ProfileCheck {
+                    phase: field_str(&v, "phase", line)?,
+                    backend: field_str(&v, "backend", line)?,
+                    unit: field_str(&v, "unit", line)?,
+                    spans,
+                });
             }
             "metrics" => {
                 let registry = v
@@ -299,6 +327,31 @@ fn check(path: &str, trace: &Trace) -> Result<String, Error> {
             return Err(format!("{path}: span tree {i} has incoherent SIMT counters").into());
         }
     }
+    for (i, ev) in trace.profiles.iter().enumerate() {
+        let at = format!("{path}: profile event {i}");
+        if ev.unit != "cycles" && ev.unit != "ns" {
+            return Err(format!("{at} has unknown unit `{}`", ev.unit).into());
+        }
+        if ev.phase != "phase1" && ev.phase != "contract" {
+            return Err(format!("{at} has unknown phase `{}`", ev.phase).into());
+        }
+        for span in &ev.spans {
+            if !span.total.is_finite() || span.total < 0.0 {
+                return Err(format!("{at}: span `{}` has a bad total", span.path).into());
+            }
+            // Sim charges are derived from integer-weighted tallies, so the
+            // partition is exact — any gap means a corrupted event.
+            if ev.unit == "cycles" && span.components.total() != span.total {
+                return Err(format!(
+                    "{at}: span `{}` components sum to {} but total is {}",
+                    span.path,
+                    span.components.total(),
+                    span.total
+                )
+                .into());
+            }
+        }
+    }
     for (i, ev) in trace.metrics.iter().enumerate() {
         let at = format!("{path}: metrics event {i} (round {})", ev.round);
         if ev.scope != "phase1" && ev.scope != "sync" {
@@ -324,13 +377,14 @@ fn check(path: &str, trace: &Trace) -> Result<String, Error> {
     }
     Ok(format!(
         "ok: {} events ({} supersteps, {} rounds, {} span trees, {} syncs, \
-         {} metrics), final Q = {:.5}",
+         {} metrics, {} profiles), final Q = {:.5}",
         trace.events,
         trace.supersteps.len(),
         trace.round_ends.max(end.rounds),
         trace.span_checks.len(),
         trace.syncs.len(),
         trace.metrics.len(),
+        trace.profiles.len(),
         end.modularity,
     ))
 }
@@ -558,6 +612,26 @@ fn render_metrics(trace: &Trace) -> String {
     out
 }
 
+/// Profile-event section: a one-line inventory pointing at `gala
+/// profile` (the join itself needs a second trace). Empty for pre-schema-4
+/// traces so older golden outputs stay valid.
+fn render_profiles(trace: &Trace) -> String {
+    if trace.profiles.is_empty() {
+        return String::new();
+    }
+    let cycles = trace.profiles.iter().filter(|p| p.unit == "cycles").count();
+    let mut backends: Vec<&str> = trace.profiles.iter().map(|p| p.backend.as_str()).collect();
+    backends.sort_unstable();
+    backends.dedup();
+    format!(
+        "\nprofile events: {} ({cycles} cycle-charged, {} wall-ns; backends {}) — \
+         pair with the other backend's trace via `gala profile`\n",
+        trace.profiles.len(),
+        trace.profiles.len() - cycles,
+        backends.join(", "),
+    )
+}
+
 /// Full single-trace report: header, curves, span summary.
 fn render_single(path: &str, trace: &Trace, top: usize) -> String {
     let mut out = format!(
@@ -589,6 +663,7 @@ fn render_single(path: &str, trace: &Trace, top: usize) -> String {
     out.push('\n');
     out.push_str(&render_span_summary(trace, top));
     out.push_str(&render_metrics(trace));
+    out.push_str(&render_profiles(trace));
     out
 }
 
@@ -1095,6 +1170,72 @@ mod tests {
         assert!(text.contains("algorithm metrics"), "{text}");
         assert!(text.contains("pruning/active"), "{text}");
         assert!(text.contains("kernel/"), "{text}");
+        let _ = std::fs::remove_file(path);
+    }
+
+    #[test]
+    fn profile_events_decode_check_and_render() {
+        let path = write_fixture_trace("profiles");
+        let trace = load_trace(&path).unwrap();
+        assert!(
+            !trace.profiles.is_empty(),
+            "instrumented run must emit profile events"
+        );
+        for ev in &trace.profiles {
+            assert_eq!(ev.backend, "sim");
+            assert_eq!(ev.unit, "cycles");
+            assert!(ev.phase == "phase1" || ev.phase == "contract");
+            for span in &ev.spans {
+                assert_eq!(span.components.total(), span.total, "{}", span.path);
+            }
+        }
+        let summary = check(&path, &trace).unwrap();
+        assert!(summary.contains("profiles"), "{summary}");
+        let text = render_single(&path, &trace, 10);
+        assert!(text.contains("profile events:"), "{text}");
+        assert!(text.contains("gala profile"), "{text}");
+        let _ = std::fs::remove_file(path);
+    }
+
+    #[test]
+    fn check_rejects_bad_profile_events() {
+        let path = write_fixture_trace("badprofiles");
+        let trace = load_trace(&path).unwrap();
+        let mut bad_unit = trace.clone();
+        bad_unit.profiles[0].unit = "seconds".into();
+        let err = check(&path, &bad_unit).unwrap_err().to_string();
+        assert!(err.contains("unknown unit"), "{err}");
+        let mut bad_phase = trace.clone();
+        bad_phase.profiles[0].phase = "phase9".into();
+        let err = check(&path, &bad_phase).unwrap_err().to_string();
+        assert!(err.contains("unknown phase"), "{err}");
+        let mut bad_sum = trace;
+        let ev = bad_sum
+            .profiles
+            .iter_mut()
+            .find(|p| p.spans.iter().any(|s| s.total > 0.0))
+            .expect("a charged profile event");
+        let span = ev.spans.iter_mut().find(|s| s.total > 0.0).unwrap();
+        span.components.compute += 1.0;
+        let err = check(&path, &bad_sum).unwrap_err().to_string();
+        assert!(err.contains("components sum"), "{err}");
+        let _ = std::fs::remove_file(path);
+    }
+
+    #[test]
+    fn schema_errors_name_the_offending_event() {
+        let path = format!("{}.jsonl", tmp("schemaidx"));
+        std::fs::write(
+            &path,
+            format!(
+                "{{\"event\":\"round_end\",\"schema\":{SCHEMA_VERSION}}}\n\
+                 {{\"event\":\"run_end\",\"schema\":99}}\n"
+            ),
+        )
+        .unwrap();
+        let err = load_trace(&path).unwrap_err().to_string();
+        assert!(err.contains("event 1"), "{err}");
+        assert!(err.contains("schema 99"), "{err}");
         let _ = std::fs::remove_file(path);
     }
 

@@ -35,6 +35,21 @@ usage:
       --check            validate the trace only (exit non-zero if malformed)
       --chrome-trace <file>  export a Chrome Trace Event JSON file for
                              Perfetto / chrome://tracing instead of a report
+  gala profile <sim.trace> <native.trace> [options]
+                                      join a sim and a native trace
+                                      span-by-span: per-kernel component
+                                      stacks (compute / memory / atomics /
+                                      scan-sort / sync), arithmetic and
+                                      memory intensity, and calibration
+                                      residuals against a fitted clock
+      --top <n>          kernel rows to print (default: 16)
+      --report <file>    write a machine-readable JSON report
+      --chrome-trace <file>  export component counter tracks for Perfetto
+      --write-calibration <file>  persist the fitted clock + residuals
+      --gate <calibration.json>   exit non-zero when a calibrated kernel's
+                                  residual drifts past the threshold
+      --threshold <t>    relative residual drift tolerance for --gate
+                         (default: 0.25)
   gala trend <report...> [options]    track metrics across bench reports:
                                       append normalized rows to a JSONL
                                       history and render per-metric
@@ -229,6 +244,8 @@ pub enum Command {
     },
     /// Inspect (and optionally diff) trace JSONL files.
     Analyze(AnalyzeArgs),
+    /// Join a sim and a native trace into per-kernel cost attribution.
+    Profile(ProfileArgs),
     /// Track watched metrics across bench-report generations.
     Trend(TrendArgs),
     /// Print usage.
@@ -250,6 +267,27 @@ pub struct AnalyzeArgs {
     pub check: bool,
     /// Write a Chrome Trace Event Format export here instead of a report.
     pub chrome_trace: Option<String>,
+}
+
+/// The `profile` subcommand's options.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ProfileArgs {
+    /// Trace with simulated-cycle `profile` events (unit `cycles`).
+    pub sim_trace: String,
+    /// Trace with wall-clock `profile` events (unit `ns`).
+    pub native_trace: String,
+    /// Kernel rows to print in the roofline table.
+    pub top: usize,
+    /// Machine-readable JSON report output path.
+    pub report: Option<String>,
+    /// Chrome Trace Event Format export path (component counter tracks).
+    pub chrome_trace: Option<String>,
+    /// Persist the fitted calibration here.
+    pub write_calibration: Option<String>,
+    /// Gate against a previously-written calibration file.
+    pub gate: Option<String>,
+    /// Relative residual drift tolerance for `--gate`.
+    pub threshold: f64,
 }
 
 /// The `trend` subcommand's options.
@@ -306,6 +344,7 @@ impl Command {
             }
             "compare" => Self::parse_compare(&args[1..]),
             "analyze" => Self::parse_analyze(&args[1..]),
+            "profile" => Self::parse_profile(&args[1..]),
             "trend" => Self::parse_trend(&args[1..]),
             other => Err(ParseError(format!("unknown subcommand `{other}`"))),
         }
@@ -422,6 +461,65 @@ impl Command {
             threshold,
             check,
             chrome_trace,
+        }))
+    }
+
+    fn parse_profile(args: &[String]) -> Result<Self, ParseError> {
+        let mut positional = Vec::new();
+        let mut top = 16usize;
+        let mut report = None;
+        let mut chrome_trace = None;
+        let mut write_calibration = None;
+        let mut gate = None;
+        let mut threshold = 0.25f64;
+        let mut i = 0;
+        while i < args.len() {
+            match args[i].as_str() {
+                "--top" => {
+                    let v = value(args, &mut i, "--top")?;
+                    top = v
+                        .parse()
+                        .map_err(|_| ParseError(format!("bad --top `{v}`")))?;
+                }
+                "--report" => report = Some(value(args, &mut i, "--report")?.to_string()),
+                "--chrome-trace" => {
+                    chrome_trace = Some(value(args, &mut i, "--chrome-trace")?.to_string())
+                }
+                "--write-calibration" => {
+                    write_calibration =
+                        Some(value(args, &mut i, "--write-calibration")?.to_string())
+                }
+                "--gate" => gate = Some(value(args, &mut i, "--gate")?.to_string()),
+                "--threshold" => {
+                    let v = value(args, &mut i, "--threshold")?;
+                    threshold = v
+                        .parse()
+                        .map_err(|_| ParseError(format!("bad --threshold `{v}`")))?;
+                    if threshold.is_nan() || threshold < 0.0 {
+                        return Err(ParseError("threshold must be >= 0".into()));
+                    }
+                }
+                flag if flag.starts_with("--") => {
+                    return Err(ParseError(format!("unknown flag `{flag}`")))
+                }
+                p => positional.push(p.to_string()),
+            }
+            i += 1;
+        }
+        let [sim_trace, native_trace] = positional.as_slice() else {
+            return Err(ParseError(
+                "profile needs exactly two traces: <sim.trace> <native.trace>".into(),
+            ));
+        };
+        Ok(Command::Profile(ProfileArgs {
+            sim_trace: sim_trace.clone(),
+            native_trace: native_trace.clone(),
+            top,
+            report,
+            chrome_trace,
+            write_calibration,
+            gate,
+            threshold,
         }))
     }
 
@@ -686,6 +784,37 @@ mod tests {
         assert!(Command::parse(&argv("analyze t.jsonl --threshold -1")).is_err());
         assert!(Command::parse(&argv("analyze t.jsonl --top many")).is_err());
         assert!(Command::parse(&argv("analyze t.jsonl --bogus")).is_err());
+    }
+
+    #[test]
+    fn parses_profile() {
+        let cmd = Command::parse(&argv("profile sim.jsonl native.jsonl")).unwrap();
+        let Command::Profile(p) = cmd else { panic!() };
+        assert_eq!(p.sim_trace, "sim.jsonl");
+        assert_eq!(p.native_trace, "native.jsonl");
+        assert_eq!(p.top, 16);
+        assert_eq!(p.threshold, 0.25);
+        assert_eq!(p.report, None);
+        assert_eq!(p.gate, None);
+
+        let cmd = Command::parse(&argv(
+            "profile s.jsonl n.jsonl --top 4 --report r.json --chrome-trace c.json \
+             --write-calibration cal.json --gate old.json --threshold 0.1",
+        ))
+        .unwrap();
+        let Command::Profile(p) = cmd else { panic!() };
+        assert_eq!(p.top, 4);
+        assert_eq!(p.report.as_deref(), Some("r.json"));
+        assert_eq!(p.chrome_trace.as_deref(), Some("c.json"));
+        assert_eq!(p.write_calibration.as_deref(), Some("cal.json"));
+        assert_eq!(p.gate.as_deref(), Some("old.json"));
+        assert_eq!(p.threshold, 0.1);
+
+        assert!(Command::parse(&argv("profile only.jsonl")).is_err());
+        assert!(Command::parse(&argv("profile a b c")).is_err());
+        assert!(Command::parse(&argv("profile a b --threshold -2")).is_err());
+        assert!(Command::parse(&argv("profile a b --gate")).is_err());
+        assert!(Command::parse(&argv("profile a b --bogus")).is_err());
     }
 
     #[test]

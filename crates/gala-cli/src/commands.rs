@@ -3,7 +3,7 @@
 use crate::args::{Algorithm, Backend, Command, DetectArgs, Format, GenerateArgs, Pruning, USAGE};
 use gala_core::backend::BackendKind;
 use gala_core::label_prop::{label_propagation, LabelPropConfig};
-use gala_core::leiden::{leiden, LeidenConfig};
+use gala_core::leiden::{leiden_instrumented, LeidenConfig};
 use gala_core::louvain::LouvainConfig;
 use gala_core::metrics::summarize;
 use gala_core::modularity::modularity_with_resolution;
@@ -11,7 +11,7 @@ use gala_core::multi_gpu::{
     run_phase1_instrumented as multi_gpu_phase1_instrumented, MultiGpuConfig,
 };
 use gala_core::pruning::PruningKind;
-use gala_core::sequential::{sequential_louvain, SequentialConfig};
+use gala_core::sequential::{sequential_louvain_instrumented, SequentialConfig};
 use gala_core::validation::{coverage, mean_conductance};
 use gala_gpu::memory::CostModel;
 use gala_gpu::profile::{Profiler, SpanRecord};
@@ -44,6 +44,7 @@ pub fn execute(cmd: Command) -> Result<(), Error> {
         Command::Generate(args) => generate(args),
         Command::Detect(args) => detect(args),
         Command::Analyze(args) => crate::analyze::run(&args),
+        Command::Profile(args) => crate::profile::run(&args),
         Command::Trend(args) => crate::trend::run(&args),
     }
 }
@@ -302,13 +303,15 @@ fn detect(args: DetectArgs) -> Result<(), Error> {
             }
         }
         Algorithm::Leiden => {
-            let r = leiden(
+            let r = leiden_instrumented(
                 &graph,
                 LeidenConfig {
                     resolution: args.resolution,
                     backend,
                     ..LeidenConfig::default()
                 },
+                sink,
+                &mut prof,
             );
             ("Leiden", r.partition)
         }
@@ -317,7 +320,12 @@ fn detect(args: DetectArgs) -> Result<(), Error> {
             ("label propagation", r.partition)
         }
         Algorithm::Sequential => {
-            let r = sequential_louvain(&graph, SequentialConfig::default());
+            let r = sequential_louvain_instrumented(
+                &graph,
+                SequentialConfig::default(),
+                sink,
+                &mut prof,
+            );
             ("sequential Louvain", r.partition)
         }
     };

@@ -10,6 +10,9 @@
 //! gala convert <in> <out>   (formats inferred from extension)
 //! gala analyze <trace> [baseline] [--top <n>] [--threshold <f>] [--check]
 //!                      [--chrome-trace <file>]
+//! gala profile <sim.trace> <native.trace> [--top <n>] [--report <file>]
+//!                      [--chrome-trace <file>] [--write-calibration <file>]
+//!                      [--gate <file>] [--threshold <f>]
 //! gala trend <report...> [--history <file>] [--threshold <f>] [--dry-run]
 //! ```
 //!
@@ -22,6 +25,7 @@
 pub mod analyze;
 pub mod args;
 pub mod commands;
+pub mod profile;
 pub mod trend;
 
 use std::process::ExitCode;

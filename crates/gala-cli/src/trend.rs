@@ -385,6 +385,7 @@ mod tests {
             "BENCH_host.json",
             "BENCH_contract.json",
             "BENCH_native.json",
+            "BENCH_profile.json",
         ] {
             let path = format!("{dir}/results/{name}");
             let rows = rows_from_report(&path).unwrap();

@@ -26,9 +26,11 @@
 use crate::kernels::hashtable::{HashConfig, TableStats};
 use crate::kernels::{self, DecideOutput, DecideScratch, KernelKind};
 use crate::state::BspState;
-use gala_gpu::profile::Profiler;
+use gala_gpu::memory::CostModel;
+use gala_gpu::profile::{Profiler, SpanRecord};
 use gala_graph::coarsen::{coarsen_into, CoarsenScratch, Coarsened};
 use gala_graph::{Graph, Partition};
+use gala_telemetry::{profile_spans, profile_spans_wall, TraceEvent};
 use std::fmt;
 use std::str::FromStr;
 
@@ -207,6 +209,58 @@ impl ExecutionBackend for NativeBackend {
         // Bit-identical to the device kernel (the cross-path contraction
         // tests pin that down); the call site counts real `elapsed_ns`.
         coarsen_into(graph, partition, scratch)
+    }
+}
+
+/// Builds the schema-4 `profile` companion of a `span` event: the tree's
+/// spans flattened to per-path component charges in the backend's native
+/// unit. Sim trees charge simulated cycles from each span's `MemTally`
+/// through the default [`CostModel`] (summing exactly to `self_cycles`);
+/// native trees charge each span's measured `elapsed_ns` counter.
+pub(crate) fn profile_event(
+    backend: BackendKind,
+    round: u32,
+    superstep: u32,
+    phase: &str,
+    root: &SpanRecord,
+) -> TraceEvent {
+    match backend {
+        BackendKind::Sim => profile_event_from(root, "sim", "cycles", round, superstep, phase),
+        BackendKind::Native => profile_event_from(root, "native", "ns", round, superstep, phase),
+    }
+}
+
+/// [`profile_event`] for host-only drivers (sequential, grappolo): spans
+/// carry wall time, attributed to the `"host"` backend.
+pub(crate) fn profile_event_host(
+    round: u32,
+    superstep: u32,
+    phase: &str,
+    root: &SpanRecord,
+) -> TraceEvent {
+    profile_event_from(root, "host", "ns", round, superstep, phase)
+}
+
+fn profile_event_from(
+    root: &SpanRecord,
+    backend: &str,
+    unit: &str,
+    round: u32,
+    superstep: u32,
+    phase: &str,
+) -> TraceEvent {
+    let spans = if unit == "cycles" {
+        profile_spans(root, &CostModel::default())
+    } else {
+        profile_spans_wall(root)
+    };
+    TraceEvent::Profile {
+        round,
+        superstep,
+        phase: phase.to_string(),
+        backend: backend.to_string(),
+        unit: unit.to_string(),
+        spans,
     }
 }
 

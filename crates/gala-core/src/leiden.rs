@@ -21,7 +21,9 @@ use gala_graph::partition::CommunityId;
 use gala_graph::subgraph::community_subgraph;
 use gala_graph::traversal::connected_components;
 use gala_graph::{Graph, Partition, VertexId};
+use gala_telemetry::{NullSink, TraceEvent, TraceSink};
 use std::collections::HashMap;
+use std::time::Instant;
 
 /// Configuration of a Leiden run.
 #[derive(Clone, Copy, Debug)]
@@ -64,7 +66,32 @@ pub struct LeidenResult {
 
 /// Runs Leiden to convergence.
 pub fn leiden(graph: &Graph, config: LeidenConfig) -> LeidenResult {
+    leiden_instrumented(graph, config, &mut NullSink, &mut Profiler::disabled())
+}
+
+/// [`leiden`] with tracing: the same `run_start` / `span` / `profile` /
+/// `round_end` / `run_end` event sequence as the BSP drivers. The
+/// sequential local-moving pass is one wall-clock-timed `superstep` tree
+/// per round (`"host"` backend, unit `"ns"`); the per-round `refine` +
+/// `contract` tree goes through the configured [`BackendKind`] like
+/// louvain's phase 2, so a sim-backed run charges real simulated cycles
+/// for the aggregation while a native run charges wall time.
+pub fn leiden_instrumented(
+    graph: &Graph,
+    config: LeidenConfig,
+    sink: &mut dyn TraceSink,
+    prof: &mut Profiler,
+) -> LeidenResult {
     let backend = config.backend.resolve();
+    if sink.enabled() {
+        sink.emit(TraceEvent::RunStart {
+            algorithm: "leiden".to_string(),
+            n: graph.num_vertices() as u64,
+            m: graph.num_edges() as u64,
+            devices: 1,
+        });
+    }
+    let instrumented = prof.is_enabled() || sink.enabled();
     let mut current: Option<Graph> = None;
     // `labels` carries the working graph's initial communities into each
     // round (Leiden's aggregated vertices do NOT restart as singletons).
@@ -73,33 +100,108 @@ pub fn leiden(graph: &Graph, config: LeidenConfig) -> LeidenResult {
     let mut rounds = 0;
     let mut cscratch = CoarsenScratch::default();
     let mut sweep = SweepScratch::default();
-    for _ in 0..config.max_rounds {
+    for round in 0..config.max_rounds {
         let g = current.as_ref().unwrap_or(graph);
         let mut comm: Vec<CommunityId> = labels
             .take()
             .unwrap_or_else(|| (0..g.num_vertices() as CommunityId).collect());
-        let moved = local_move(g, &mut comm, &config, &mut sweep);
+        prof.enter("round");
+        let mut sub = if instrumented {
+            Profiler::new()
+        } else {
+            Profiler::disabled()
+        };
+        let moved = sub.scope("superstep", |p| {
+            p.scope("decide", |p| {
+                let started = Instant::now();
+                let moved = p.scope("cpu", |p| {
+                    let moved = local_move(g, &mut comm, &config, &mut sweep);
+                    p.count("items", g.num_vertices() as u64);
+                    moved
+                });
+                p.count("elapsed_ns", started.elapsed().as_nanos() as u64);
+                moved
+            })
+        });
+        if instrumented {
+            let tree = sub.finish();
+            if sink.enabled() {
+                sink.emit(TraceEvent::Span {
+                    round: round as u32,
+                    superstep: 0,
+                    phase: "phase1".to_string(),
+                    root: tree.clone(),
+                });
+                sink.emit(crate::backend::profile_event_host(
+                    round as u32,
+                    0,
+                    "phase1",
+                    &tree,
+                ));
+            }
+            prof.absorb(tree);
+        }
         rounds += 1;
         let partition = Partition::from_assignment(comm.clone());
         let (dense, k) = partition.renumbered();
         if k == g.num_vertices() {
             // Nothing merged: converged. Record this level and stop.
+            prof.exit();
             flat = Some(match flat {
                 None => dense,
                 Some(prev) => prev.compose(&dense),
             });
             break;
         }
+        let mut sub = if instrumented {
+            Profiler::new()
+        } else {
+            Profiler::disabled()
+        };
         // Refinement: re-partition each community from singletons.
-        let refined = refine(g, &partition, &config, &mut sweep);
-        let coarse = backend.contract(
-            g,
-            &refined,
-            KernelKind::default(),
-            false,
-            &mut Profiler::disabled(),
-            &mut cscratch,
-        );
+        let refined = sub.scope("refine", |p| {
+            let started = Instant::now();
+            let refined = refine(g, &partition, &config, &mut sweep);
+            p.count("communities", refined.num_communities() as u64);
+            p.count("elapsed_ns", started.elapsed().as_nanos() as u64);
+            refined
+        });
+        let coarse = sub.scope("contract", |p| {
+            let started = Instant::now();
+            let coarse = backend.contract(
+                g,
+                &refined,
+                KernelKind::default(),
+                instrumented,
+                p,
+                &mut cscratch,
+            );
+            p.count("vertices", g.num_vertices() as u64);
+            p.count("arcs", g.num_arcs() as u64);
+            p.count("communities", coarse.num_communities as u64);
+            p.count("elapsed_ns", started.elapsed().as_nanos() as u64);
+            coarse
+        });
+        if instrumented {
+            let tree = sub.finish();
+            if sink.enabled() {
+                sink.emit(TraceEvent::Span {
+                    round: round as u32,
+                    superstep: 1,
+                    phase: "contract".to_string(),
+                    root: tree.clone(),
+                });
+                sink.emit(crate::backend::profile_event(
+                    config.backend,
+                    round as u32,
+                    1,
+                    "contract",
+                    &tree,
+                ));
+            }
+            prof.absorb(tree);
+        }
+        prof.exit();
         // The aggregated graph's vertices start in their step-1 community.
         let refined_dense = &coarse.renumbered;
         let mut next_labels = vec![0 as CommunityId; coarse.num_communities];
@@ -111,6 +213,18 @@ pub fn leiden(graph: &Graph, config: LeidenConfig) -> LeidenResult {
             None => refined_dense.clone(),
             Some(prev) => prev.compose(refined_dense),
         });
+        if sink.enabled() {
+            sink.emit(TraceEvent::RoundEnd {
+                round: round as u32,
+                supersteps: 1,
+                modularity: modularity_with_resolution(
+                    graph,
+                    flat.as_ref().expect("just set"),
+                    config.resolution,
+                ),
+                communities: coarse.num_communities as u64,
+            });
+        }
         if !moved {
             break;
         }
@@ -128,6 +242,15 @@ pub fn leiden(graph: &Graph, config: LeidenConfig) -> LeidenResult {
         partition = partition.compose(&Partition::from_assignment(last));
     }
     let q = modularity_with_resolution(graph, &partition, config.resolution);
+    if sink.enabled() {
+        sink.emit(TraceEvent::RunEnd {
+            modularity: q,
+            rounds: rounds as u32,
+            // Only the aggregation runs on the simulated device; its
+            // cycles live in the emitted `contract` span trees.
+            total_cycles: 0.0,
+        });
+    }
     LeidenResult {
         partition,
         modularity: q,
@@ -362,6 +485,55 @@ mod tests {
             leiden_q >= louvain_q - 0.02,
             "leiden {leiden_q} vs louvain {louvain_q}"
         );
+    }
+
+    #[test]
+    fn instrumented_run_matches_plain_and_profiles_both_units() {
+        use gala_telemetry::VecSink;
+        let g = fixtures::ring_of_cliques(8, 5);
+        let plain = leiden(&g, LeidenConfig::default());
+        let mut sink = VecSink::default();
+        let mut prof = Profiler::new();
+        let traced = leiden_instrumented(&g, LeidenConfig::default(), &mut sink, &mut prof);
+        assert_eq!(traced.partition, plain.partition);
+        assert_eq!(traced.modularity, plain.modularity);
+        // Local moving profiles as host wall time; the sim-backed
+        // aggregation charges real simulated cycles.
+        let mut saw_host_phase1 = false;
+        let mut saw_sim_contract = false;
+        for event in &sink.events {
+            if let TraceEvent::Profile {
+                backend,
+                unit,
+                phase,
+                spans,
+                ..
+            } = event
+            {
+                match phase.as_str() {
+                    "phase1" => {
+                        assert_eq!((backend.as_str(), unit.as_str()), ("host", "ns"));
+                        let decide = spans.iter().find(|s| s.path == "superstep/decide").unwrap();
+                        assert!(decide.total > 0.0);
+                        saw_host_phase1 = true;
+                    }
+                    "contract" => {
+                        assert_eq!((backend.as_str(), unit.as_str()), ("sim", "cycles"));
+                        let contract = spans.iter().find(|s| s.path == "contract").unwrap();
+                        assert!(contract.total > 0.0, "device contract kernel cycles");
+                        assert_eq!(contract.components.total(), contract.total);
+                        saw_sim_contract = true;
+                    }
+                    other => panic!("unexpected profile phase {other}"),
+                }
+            }
+        }
+        assert!(saw_host_phase1 && saw_sim_contract);
+        let tree = prof.finish();
+        let round = tree.child("round").expect("round span");
+        assert!(round.child("superstep").is_some());
+        assert!(round.child("refine").is_some());
+        assert!(round.child("contract").is_some());
     }
 
     #[test]

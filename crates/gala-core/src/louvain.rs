@@ -340,6 +340,13 @@ impl Louvain {
                         phase: "phase1".to_string(),
                         root: tree.clone(),
                     });
+                    sink.emit(crate::backend::profile_event(
+                        cfg.backend,
+                        round as u32,
+                        iteration as u32,
+                        "phase1",
+                        &tree,
+                    ));
                 }
                 prof.scope("superstep", |p| p.absorb(tree));
             }
@@ -525,6 +532,13 @@ impl Louvain {
                         phase: "contract".to_string(),
                         root: tree.clone(),
                     });
+                    sink.emit(crate::backend::profile_event(
+                        cfg.backend,
+                        round as u32,
+                        stats.iterations.len() as u32,
+                        "contract",
+                        &tree,
+                    ));
                 }
                 prof.absorb(tree);
             }

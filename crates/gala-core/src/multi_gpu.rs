@@ -379,6 +379,13 @@ pub fn run_phase1_instrumented(
                     phase: "phase1".to_string(),
                     root: tree.clone(),
                 });
+                sink.emit(crate::backend::profile_event(
+                    cfg.backend,
+                    0,
+                    iteration as u32,
+                    "phase1",
+                    &tree,
+                ));
             }
             prof.scope("superstep", |p| p.absorb(tree));
         }

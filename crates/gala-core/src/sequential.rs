@@ -6,10 +6,13 @@
 //! compared against, and the slowest baseline of Figure 5.
 
 use crate::modularity::{gain_score, modularity};
+use gala_gpu::profile::Profiler;
 use gala_graph::coarsen::{coarsen_into, CoarsenScratch};
 use gala_graph::partition::CommunityId;
 use gala_graph::{Graph, Partition, VertexId};
+use gala_telemetry::{NullSink, TraceEvent, TraceSink};
 use std::collections::HashMap;
+use std::time::Instant;
 
 /// Configuration for the sequential baseline.
 #[derive(Clone, Copy, Debug)]
@@ -45,20 +48,120 @@ pub struct SequentialResult {
 
 /// Runs sequential Louvain to convergence.
 pub fn sequential_louvain(graph: &Graph, config: SequentialConfig) -> SequentialResult {
+    sequential_louvain_instrumented(graph, config, &mut NullSink, &mut Profiler::disabled())
+}
+
+/// [`sequential_louvain`] with tracing: emits the same `run_start` /
+/// `span` / `profile` / `round_end` / `run_end` event sequence as the BSP
+/// drivers, with one wall-clock-timed `superstep` span tree per round
+/// (sequential phase 1 is one indivisible host pass) plus the usual
+/// `contract` tree. All spans charge host nanoseconds — this baseline has
+/// no simulated device, so its `profile` events carry the `"host"`
+/// backend and unit `"ns"`.
+pub fn sequential_louvain_instrumented(
+    graph: &Graph,
+    config: SequentialConfig,
+    sink: &mut dyn TraceSink,
+    prof: &mut Profiler,
+) -> SequentialResult {
+    if sink.enabled() {
+        sink.emit(TraceEvent::RunStart {
+            algorithm: "sequential".to_string(),
+            n: graph.num_vertices() as u64,
+            m: graph.num_edges() as u64,
+            devices: 1,
+        });
+    }
+    let instrumented = prof.is_enabled() || sink.enabled();
     let mut current: Option<Graph> = None;
     let mut flat: Option<Partition> = None;
     let mut rounds = 0;
     let mut cscratch = CoarsenScratch::default();
-    for _ in 0..config.max_rounds {
+    for round in 0..config.max_rounds {
         let g = current.as_ref().unwrap_or(graph);
-        let assignment = phase1(g, config.theta, config.max_sweeps);
+        prof.enter("round");
+        let mut sub = if instrumented {
+            Profiler::new()
+        } else {
+            Profiler::disabled()
+        };
+        let assignment = sub.scope("superstep", |p| {
+            p.scope("decide", |p| {
+                let started = Instant::now();
+                let assignment = p.scope("cpu", |p| {
+                    let assignment = phase1(g, config.theta, config.max_sweeps);
+                    p.count("items", g.num_vertices() as u64);
+                    assignment
+                });
+                p.count("elapsed_ns", started.elapsed().as_nanos() as u64);
+                assignment
+            })
+        });
+        if instrumented {
+            let tree = sub.finish();
+            if sink.enabled() {
+                sink.emit(TraceEvent::Span {
+                    round: round as u32,
+                    superstep: 0,
+                    phase: "phase1".to_string(),
+                    root: tree.clone(),
+                });
+                sink.emit(crate::backend::profile_event_host(
+                    round as u32,
+                    0,
+                    "phase1",
+                    &tree,
+                ));
+            }
+            prof.absorb(tree);
+        }
         rounds += 1;
-        let coarse = coarsen_into(g, &Partition::from_assignment(assignment), &mut cscratch);
+        let mut sub = if instrumented {
+            Profiler::new()
+        } else {
+            Profiler::disabled()
+        };
+        let coarse = sub.scope("contract", |p| {
+            let started = Instant::now();
+            let coarse = coarsen_into(g, &Partition::from_assignment(assignment), &mut cscratch);
+            p.count("vertices", g.num_vertices() as u64);
+            p.count("arcs", g.num_arcs() as u64);
+            p.count("communities", coarse.num_communities as u64);
+            p.count("elapsed_ns", started.elapsed().as_nanos() as u64);
+            coarse
+        });
+        if instrumented {
+            let tree = sub.finish();
+            if sink.enabled() {
+                sink.emit(TraceEvent::Span {
+                    round: round as u32,
+                    superstep: 1,
+                    phase: "contract".to_string(),
+                    root: tree.clone(),
+                });
+                sink.emit(crate::backend::profile_event_host(
+                    round as u32,
+                    1,
+                    "contract",
+                    &tree,
+                ));
+            }
+            prof.absorb(tree);
+        }
+        prof.exit();
         let merged_everything = coarse.num_communities == g.num_vertices();
         flat = Some(match flat {
             None => coarse.renumbered.clone(),
             Some(prev) => prev.compose(&coarse.renumbered),
         });
+        if sink.enabled() {
+            sink.emit(TraceEvent::RoundEnd {
+                round: round as u32,
+                supersteps: 1,
+                modularity: modularity(graph, flat.as_ref().expect("just set")),
+                communities: coarse.num_communities as u64,
+            });
+        }
         if merged_everything {
             break;
         }
@@ -70,6 +173,14 @@ pub fn sequential_louvain(graph: &Graph, config: SequentialConfig) -> Sequential
     }
     let partition = flat.unwrap_or_else(|| Partition::singletons(graph.num_vertices()));
     let q = modularity(graph, &partition);
+    if sink.enabled() {
+        sink.emit(TraceEvent::RunEnd {
+            modularity: q,
+            rounds: rounds as u32,
+            // Host-only baseline: no simulated cycles to report.
+            total_cycles: 0.0,
+        });
+    }
     SequentialResult {
         partition,
         modularity: q,
@@ -179,5 +290,43 @@ mod tests {
         let r = sequential_louvain(&g, SequentialConfig::default());
         assert_eq!(r.partition.num_communities(), 4);
         assert_eq!(r.modularity, 0.0);
+    }
+
+    #[test]
+    fn instrumented_run_emits_host_profile_events() {
+        use gala_telemetry::VecSink;
+        let g = fixtures::ring_of_cliques(6, 5);
+        let plain = sequential_louvain(&g, SequentialConfig::default());
+        let mut sink = VecSink::default();
+        let mut prof = Profiler::new();
+        let traced =
+            sequential_louvain_instrumented(&g, SequentialConfig::default(), &mut sink, &mut prof);
+        assert_eq!(traced.partition, plain.partition);
+        assert_eq!(traced.modularity, plain.modularity);
+        let profiles: Vec<_> = sink
+            .events
+            .iter()
+            .filter_map(|e| match e {
+                TraceEvent::Profile {
+                    backend,
+                    unit,
+                    phase,
+                    spans,
+                    ..
+                } => Some((backend.as_str(), unit.as_str(), phase.as_str(), spans)),
+                _ => None,
+            })
+            .collect();
+        assert!(profiles.iter().any(|(.., p, _)| *p == "phase1"));
+        assert!(profiles.iter().any(|(.., p, _)| *p == "contract"));
+        assert!(profiles.iter().all(|(b, u, ..)| *b == "host" && *u == "ns"));
+        let (.., spans) = profiles.iter().find(|(.., p, _)| *p == "phase1").unwrap();
+        let decide = spans.iter().find(|s| s.path == "superstep/decide").unwrap();
+        assert!(decide.total > 0.0, "decide must carry wall time");
+        assert_eq!(decide.components.compute, decide.total);
+        let tree = prof.finish();
+        let round = tree.child("round").expect("round span");
+        assert!(round.child("superstep").is_some());
+        assert!(round.child("contract").is_some());
     }
 }

@@ -264,6 +264,202 @@ impl CostModel {
             + tally.global_atomics as f64 * self.global_atomic
             + tally.warp_primitives as f64 * self.warp_primitive
     }
+
+    /// A measured member of the cost-model family: the default per-access
+    /// weights scaled by per-component calibration factors (as fitted by
+    /// the sim↔native attribution model). `calibrated(1, 1, 1, 1, 1)` is
+    /// exactly [`CostModel::default`], so the flat model is one point in
+    /// the family. The `global` factor applies to coalesced and uncoalesced
+    /// traffic alike — the split is an attribution of the one global
+    /// weight, not a second weight.
+    pub fn calibrated(
+        compute: f64,
+        shared_mem: f64,
+        global_mem: f64,
+        atomics: f64,
+        scan_sort: f64,
+    ) -> Self {
+        let base = Self::default();
+        Self {
+            register: base.register * compute,
+            shared: base.shared * shared_mem,
+            global: base.global * global_mem,
+            shared_atomic: base.shared_atomic * atomics,
+            global_atomic: base.global_atomic * atomics,
+            warp_primitive: base.warp_primitive * scan_sort,
+        }
+    }
+
+    /// Decomposes `tally` into per-component cycle charges under this
+    /// model. The components partition [`CostModel::cycles`]: with the
+    /// default (integer-weight) model every term is an exactly
+    /// representable integer-valued `f64`, so
+    /// `components(t).total() == cycles(t)` bit-for-bit.
+    ///
+    /// The global term is split between coalesced and uncoalesced traffic
+    /// by the PR-2 coalescing counters: the fraction of excess transactions
+    /// (`transactions - ideal`) over all transactions is charged as
+    /// uncoalesced. The split uses integer arithmetic
+    /// (`accesses * excess / transactions`, floor) so
+    /// `global_coalesced + global_uncoalesced` equals the undivided global
+    /// term exactly, never off by a rounding ulp.
+    pub fn components(&self, tally: &MemTally) -> ComponentCharges {
+        let global_accesses = tally.global_loads + tally.global_stores;
+        let uncoalesced_accesses = if tally.coalesce_transactions == 0 {
+            0
+        } else {
+            let excess = tally
+                .coalesce_transactions
+                .saturating_sub(tally.coalesce_ideal);
+            (global_accesses as u128 * excess as u128 / tally.coalesce_transactions as u128) as u64
+        };
+        let coalesced_accesses = global_accesses - uncoalesced_accesses;
+        ComponentCharges {
+            compute: tally.register_ops as f64 * self.register,
+            shared_mem: (tally.shared_loads + tally.shared_stores) as f64 * self.shared,
+            global_coalesced: coalesced_accesses as f64 * self.global,
+            global_uncoalesced: uncoalesced_accesses as f64 * self.global,
+            atomics: tally.shared_atomics as f64 * self.shared_atomic
+                + tally.global_atomics as f64 * self.global_atomic,
+            scan_sort: tally.warp_primitives as f64 * self.warp_primitive,
+            sync: 0.0,
+        }
+    }
+}
+
+/// Names of the cost components, in the order [`ComponentCharges::get`]
+/// and the trace schema use.
+pub const COMPONENT_NAMES: [&str; 7] = [
+    "compute",
+    "shared_mem",
+    "global_coalesced",
+    "global_uncoalesced",
+    "atomics",
+    "scan_sort",
+    "sync",
+];
+
+/// A span's cycles (or wall nanoseconds, on the native backend) broken
+/// down by cost component. Produced by [`CostModel::components`] for
+/// simulated tallies; native spans charge their entire `elapsed_ns` to
+/// `compute` (or `sync` for synchronisation spans) since wall time is
+/// undifferentiated.
+///
+/// Charges are derived, never stored: span merging adds tallies and
+/// re-derives, so the decomposition can't drift from the cycle totals.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct ComponentCharges {
+    /// Register traffic — the arithmetic/bookkeeping proxy.
+    pub compute: f64,
+    /// Shared-memory loads and stores.
+    pub shared_mem: f64,
+    /// Global-memory accesses served by ideally-needed transactions.
+    pub global_coalesced: f64,
+    /// Global-memory accesses attributed to excess (uncoalesced)
+    /// transactions.
+    pub global_uncoalesced: f64,
+    /// Shared and global atomics.
+    pub atomics: f64,
+    /// Warp-primitive invocations (the match/reduce/scan/sort machinery).
+    pub scan_sort: f64,
+    /// Synchronisation/communication time (native sync spans only; always
+    /// zero for simulated tallies).
+    pub sync: f64,
+}
+
+impl ComponentCharges {
+    /// Sum of all components. Exact (order-independent) whenever every
+    /// charge is an integer-valued `f64`, which the default cost model
+    /// guarantees.
+    pub fn total(&self) -> f64 {
+        self.compute
+            + self.shared_mem
+            + self.global_coalesced
+            + self.global_uncoalesced
+            + self.atomics
+            + self.scan_sort
+            + self.sync
+    }
+
+    /// The memory-side charge: everything that isn't compute or sync.
+    pub fn memory(&self) -> f64 {
+        self.shared_mem
+            + self.global_coalesced
+            + self.global_uncoalesced
+            + self.atomics
+            + self.scan_sort
+    }
+
+    /// Charge by component name (see [`COMPONENT_NAMES`]).
+    pub fn get(&self, name: &str) -> Option<f64> {
+        Some(match name {
+            "compute" => self.compute,
+            "shared_mem" => self.shared_mem,
+            "global_coalesced" => self.global_coalesced,
+            "global_uncoalesced" => self.global_uncoalesced,
+            "atomics" => self.atomics,
+            "scan_sort" => self.scan_sort,
+            "sync" => self.sync,
+            _ => return None,
+        })
+    }
+
+    /// Sets the charge for a component name (see [`COMPONENT_NAMES`]).
+    /// Returns false for unknown names.
+    pub fn set(&mut self, name: &str, value: f64) -> bool {
+        match name {
+            "compute" => self.compute = value,
+            "shared_mem" => self.shared_mem = value,
+            "global_coalesced" => self.global_coalesced = value,
+            "global_uncoalesced" => self.global_uncoalesced = value,
+            "atomics" => self.atomics = value,
+            "scan_sort" => self.scan_sort = value,
+            "sync" => self.sync = value,
+            _ => return false,
+        }
+        true
+    }
+
+    /// A breakdown charging everything to one wall-clock bucket: `sync`
+    /// for spans named like synchronisation, `compute` otherwise. This is
+    /// how native (wall-ns) spans decompose — real time carries no
+    /// per-access attribution.
+    pub fn from_wall_ns(ns: u64, is_sync: bool) -> Self {
+        let mut out = Self::default();
+        if is_sync {
+            out.sync = ns as f64;
+        } else {
+            out.compute = ns as f64;
+        }
+        out
+    }
+}
+
+impl Add for ComponentCharges {
+    type Output = ComponentCharges;
+    fn add(self, rhs: ComponentCharges) -> ComponentCharges {
+        ComponentCharges {
+            compute: self.compute + rhs.compute,
+            shared_mem: self.shared_mem + rhs.shared_mem,
+            global_coalesced: self.global_coalesced + rhs.global_coalesced,
+            global_uncoalesced: self.global_uncoalesced + rhs.global_uncoalesced,
+            atomics: self.atomics + rhs.atomics,
+            scan_sort: self.scan_sort + rhs.scan_sort,
+            sync: self.sync + rhs.sync,
+        }
+    }
+}
+
+impl AddAssign for ComponentCharges {
+    fn add_assign(&mut self, rhs: ComponentCharges) {
+        *self = *self + rhs;
+    }
+}
+
+impl Sum for ComponentCharges {
+    fn sum<I: Iterator<Item = ComponentCharges>>(iter: I) -> Self {
+        iter.fold(ComponentCharges::default(), |a, b| a + b)
+    }
 }
 
 #[cfg(test)]
@@ -384,6 +580,86 @@ mod tests {
         t.simt_serialize(5);
         t.global_request(&[0, 100, 200], 4);
         assert_eq!(m.cycles(&t), before);
+    }
+
+    #[test]
+    fn calibrated_with_unit_factors_is_the_default() {
+        assert_eq!(
+            CostModel::calibrated(1.0, 1.0, 1.0, 1.0, 1.0),
+            CostModel::default()
+        );
+        let doubled = CostModel::calibrated(2.0, 1.0, 1.0, 1.0, 1.0);
+        assert_eq!(doubled.register, 2.0);
+        assert_eq!(doubled.global, CostModel::default().global);
+        // Atomics scale shared and global atomics together.
+        let hot = CostModel::calibrated(1.0, 1.0, 1.0, 0.5, 1.0);
+        assert_eq!(hot.shared_atomic, 20.0);
+        assert_eq!(hot.global_atomic, 300.0);
+    }
+
+    #[test]
+    fn components_partition_cycles_exactly() {
+        let m = CostModel::default();
+        let mut t = MemTally::new();
+        t.load(Space::Register, 123);
+        t.load(Space::Shared, 17);
+        t.store(Space::Shared, 5);
+        t.load(Space::Global, 200);
+        t.store(Space::Global, 50);
+        t.atomic(Space::Shared, 3);
+        t.atomic(Space::Global, 7);
+        t.warp_primitive(11);
+        // Imperfect coalescing: 10 ideal, 25 actual transactions.
+        t.coalesce_requests = 10;
+        t.coalesce_transactions = 25;
+        t.coalesce_ideal = 10;
+        let c = m.components(&t);
+        assert_eq!(c.total(), m.cycles(&t), "components must sum to cycles");
+        // 250 global accesses * 15 excess / 25 transactions = 150 uncoalesced.
+        assert_eq!(c.global_uncoalesced, 150.0 * 400.0);
+        assert_eq!(c.global_coalesced, 100.0 * 400.0);
+        assert_eq!(c.compute, 123.0);
+        assert_eq!(c.shared_mem, 22.0 * 25.0);
+        assert_eq!(c.atomics, 3.0 * 40.0 + 7.0 * 600.0);
+        assert_eq!(c.scan_sort, 11.0 * 8.0);
+        assert_eq!(c.sync, 0.0);
+    }
+
+    #[test]
+    fn components_without_coalescing_counters_are_all_coalesced() {
+        let m = CostModel::default();
+        let mut t = MemTally::new();
+        t.load(Space::Global, 42);
+        let c = m.components(&t);
+        assert_eq!(c.global_uncoalesced, 0.0);
+        assert_eq!(c.global_coalesced, 42.0 * 400.0);
+        assert_eq!(c.total(), m.cycles(&t));
+    }
+
+    #[test]
+    fn component_names_cover_every_field() {
+        let mut c = ComponentCharges::default();
+        for (i, name) in COMPONENT_NAMES.iter().enumerate() {
+            assert!(c.set(name, (i + 1) as f64), "{name}");
+        }
+        for (i, name) in COMPONENT_NAMES.iter().enumerate() {
+            assert_eq!(c.get(name), Some((i + 1) as f64), "{name}");
+        }
+        assert_eq!(c.total(), (1..=7).sum::<usize>() as f64);
+        assert_eq!(c.get("bogus"), None);
+        assert!(!c.set("bogus", 1.0));
+    }
+
+    #[test]
+    fn wall_ns_charges_one_bucket() {
+        let c = ComponentCharges::from_wall_ns(1234, false);
+        assert_eq!(c.compute, 1234.0);
+        assert_eq!(c.total(), 1234.0);
+        let s = ComponentCharges::from_wall_ns(99, true);
+        assert_eq!(s.sync, 99.0);
+        assert_eq!(s.memory(), 0.0);
+        let both = c + s;
+        assert_eq!(both.total(), 1333.0);
     }
 
     #[test]

@@ -17,7 +17,7 @@
 use std::collections::BTreeMap;
 use std::fmt;
 
-use crate::memory::{CostModel, MemTally};
+use crate::memory::{ComponentCharges, CostModel, MemTally};
 
 /// One node in the span tree: a named scope with its accumulated costs.
 #[derive(Clone, Debug, Default, PartialEq)]
@@ -57,6 +57,23 @@ impl SpanRecord {
     /// Simulated cycles for this span including all descendants.
     pub fn total_cycles(&self, cost: &CostModel) -> f64 {
         cost.cycles(&self.total_tally())
+    }
+
+    /// Per-component decomposition of the traffic recorded directly in
+    /// this span (children excluded), under `cost`. With the default
+    /// integer-weight model, `components(c).total() == self_cycles(c)`
+    /// bit-for-bit — see [`CostModel::components`].
+    pub fn components(&self, cost: &CostModel) -> ComponentCharges {
+        cost.components(&self.tally)
+    }
+
+    /// Wall-clock decomposition for native spans: the span's
+    /// `"elapsed_ns"` counter charged whole to one bucket (`sync` for
+    /// spans named `"sync"`, `compute` otherwise). Zero when the span
+    /// carries no wall counter — native kernel child spans only count
+    /// items, their parent scope owns the time.
+    pub fn components_wall(&self) -> ComponentCharges {
+        ComponentCharges::from_wall_ns(self.counter("elapsed_ns"), self.name == "sync")
     }
 
     /// Looks up a direct child span by name.
@@ -375,6 +392,46 @@ mod tests {
         sub.scope("decide", |p| p.record(&tally(3)));
         p.absorb(sub.finish());
         assert_eq!(p.finish(), SpanRecord::new(""));
+    }
+
+    #[test]
+    fn span_components_sum_to_self_cycles_and_survive_merging() {
+        let cost = CostModel::default();
+        let mut p = Profiler::new();
+        for loads in [3u64, 9, 27] {
+            p.scope("decide", |p| {
+                let mut t = tally(loads);
+                t.warp_primitive(loads);
+                t.atomic(Space::Shared, 1);
+                p.record(&t);
+            });
+        }
+        let root = p.finish();
+        let decide = root.child("decide").unwrap();
+        let c = decide.components(&cost);
+        assert_eq!(c.total(), decide.self_cycles(&cost));
+        assert_eq!(c.global_coalesced, 39.0 * 400.0);
+        assert_eq!(c.scan_sort, 39.0 * 8.0);
+        assert_eq!(c.atomics, 3.0 * 40.0);
+        assert_eq!(c.sync, 0.0);
+    }
+
+    #[test]
+    fn wall_components_read_the_elapsed_counter() {
+        let mut p = Profiler::new();
+        p.scope("decide", |p| p.count("elapsed_ns", 500));
+        p.scope("sync", |p| p.count("elapsed_ns", 70));
+        p.scope("apply", |_| {});
+        let root = p.finish();
+        assert_eq!(
+            root.child("decide").unwrap().components_wall().compute,
+            500.0
+        );
+        assert_eq!(root.child("sync").unwrap().components_wall().sync, 70.0);
+        assert_eq!(
+            root.child("apply").unwrap().components_wall(),
+            ComponentCharges::default()
+        );
     }
 
     #[test]

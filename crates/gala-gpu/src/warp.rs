@@ -6,6 +6,12 @@
 //! those arrays with the same semantics as the CUDA intrinsic. This keeps
 //! the simulated kernel code close to Algorithm 2 of the paper while staying
 //! deterministic and data-race free on the host.
+//!
+//! Every primitive charges `warp_primitives` on its [`MemTally`]; in the
+//! cost-attribution view ([`crate::memory::CostModel::components`]) those
+//! charges form the `scan_sort` component of a span's cycle breakdown, so
+//! shuffle-reduction and scan-heavy kernels show up as scan/sort-bound in
+//! `gala profile` rather than being folded into compute.
 
 use crate::memory::MemTally;
 

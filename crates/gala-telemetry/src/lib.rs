@@ -17,6 +17,10 @@
 //! * [`report`] — schema-versioned [`Report`]s written by the bench
 //!   binaries and the CLI (`--report`), plus [`Report::compare`] for the
 //!   CI baseline gate (±10% simulated-cycle tolerance).
+//! * [`attribution`] — the sim↔native calibration model behind
+//!   `gala profile`: joins the `profile` events of a simulated and a
+//!   native trace span-by-span, fits a clock, and computes per-kernel
+//!   residuals plus per-component calibration factors.
 //!
 //! Both formats carry [`SCHEMA_VERSION`] so downstream tooling can reject
 //! documents it does not understand.
@@ -24,17 +28,20 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod attribution;
 pub mod json;
 pub mod metrics;
 pub mod report;
 pub mod trace;
 
+pub use attribution::{Attribution, AttributionReport, Calibration, KernelResidual};
 pub use json::Value;
 pub use metrics::{Histogram, MetricsRegistry};
 pub use report::{MetricRow, Regression, Report, ReportError};
 pub use trace::{
-    span_from_json, span_to_json, tally_from_json, tally_to_json, JsonlSink, NullSink, TraceEvent,
-    TraceSink, VecSink,
+    components_from_json, components_to_json, profile_span_from_json, profile_span_to_json,
+    profile_spans, profile_spans_wall, span_from_json, span_to_json, tally_from_json,
+    tally_to_json, JsonlSink, NullSink, ProfileSpan, TraceEvent, TraceSink, VecSink,
 };
 
 /// Version of the trace-event and report JSON schemas. Bump on any
@@ -42,8 +49,10 @@ pub use trace::{
 ///
 /// History: 1 — initial events; 2 — `span` events, divergence/coalescing
 /// tally counters (`simt_*`, `coalesce_*`); 3 — `metrics` events carrying
-/// a [`MetricsRegistry`] (counters / gauges / log2 histograms).
-pub const SCHEMA_VERSION: u64 = 3;
+/// a [`MetricsRegistry`] (counters / gauges / log2 histograms); 4 —
+/// `profile` events decomposing every span's cycles (sim) or wall
+/// nanoseconds (native) into component charges for `gala profile`.
+pub const SCHEMA_VERSION: u64 = 4;
 
 /// Oldest schema this build still reads. Additions since
 /// [`MIN_SCHEMA_VERSION`] are purely additive (new event kinds), so traces

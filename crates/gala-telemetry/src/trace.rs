@@ -14,7 +14,7 @@
 
 use std::io::Write;
 
-use gala_gpu::memory::MemTally;
+use gala_gpu::memory::{ComponentCharges, CostModel, MemTally, COMPONENT_NAMES};
 use gala_gpu::profile::SpanRecord;
 
 use crate::json::Value;
@@ -92,6 +92,27 @@ pub enum TraceEvent {
         /// spans (`classify`, `decide`, `apply`, …).
         root: SpanRecord,
     },
+    /// Per-span cost attribution for one phase: every span of the phase's
+    /// tree flattened to a slash-joined path with its *self* charge
+    /// decomposed into [`ComponentCharges`]. Sim backends charge components
+    /// from the span's [`MemTally`] (unit `"cycles"`, summing exactly to
+    /// the span's `self_cycles`); native backends charge wall time (unit
+    /// `"ns"`, one bucket per span). Schema 4+.
+    Profile {
+        /// Coarsening round the spans belong to.
+        round: u32,
+        /// Superstep index within the round (for `"contract"` trees, one
+        /// past the round's last superstep).
+        superstep: u32,
+        /// Which driver phase produced the tree (`"phase1"`, `"contract"`).
+        phase: String,
+        /// Backend that executed the phase (`"sim"`, `"native"`, `"host"`).
+        backend: String,
+        /// Unit of `total` and every component: `"cycles"` or `"ns"`.
+        unit: String,
+        /// Flattened span rows, pre-order.
+        spans: Vec<ProfileSpan>,
+    },
     /// An algorithm-level metrics snapshot: a [`MetricsRegistry`] of
     /// counters, gauges and log2 histograms covering quantities the span
     /// and superstep events cannot — pruning-audit results, kernel
@@ -125,6 +146,109 @@ pub enum TraceEvent {
         /// Total simulated cycles across all phases.
         total_cycles: f64,
     },
+}
+
+/// One span's row inside a [`TraceEvent::Profile`]: its position in the
+/// tree as a slash-joined path plus its *self* charge (children excluded)
+/// decomposed into components.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ProfileSpan {
+    /// Slash-joined span names from the tree root down (the unnamed root
+    /// itself is omitted), e.g. `"superstep/decide/hash"`.
+    pub path: String,
+    /// Times the span was entered.
+    pub invocations: u64,
+    /// The span's self charge in the event's `unit`; always equals
+    /// `components.total()`.
+    pub total: f64,
+    /// Component decomposition of `total`.
+    pub components: ComponentCharges,
+}
+
+/// Flattens a sim span tree into [`ProfileSpan`] rows, charging each
+/// span's own [`MemTally`] through `cost`. With the default integer-weight
+/// [`CostModel`] every row's `total` equals the span's `self_cycles()`
+/// bit-for-bit.
+pub fn profile_spans(root: &SpanRecord, cost: &CostModel) -> Vec<ProfileSpan> {
+    let mut out = Vec::new();
+    for child in &root.children {
+        collect_profile(child, "", &mut out, &|span| span.components(cost));
+    }
+    out
+}
+
+/// Flattens a native span tree into [`ProfileSpan`] rows, charging each
+/// span's `elapsed_ns` counter as wall time (`sync` spans charge the sync
+/// component, everything else compute).
+pub fn profile_spans_wall(root: &SpanRecord) -> Vec<ProfileSpan> {
+    let mut out = Vec::new();
+    for child in &root.children {
+        collect_profile(child, "", &mut out, &|span| span.components_wall());
+    }
+    out
+}
+
+fn collect_profile(
+    span: &SpanRecord,
+    prefix: &str,
+    out: &mut Vec<ProfileSpan>,
+    charge: &dyn Fn(&SpanRecord) -> ComponentCharges,
+) {
+    let path = if prefix.is_empty() {
+        span.name.clone()
+    } else {
+        format!("{prefix}/{}", span.name)
+    };
+    let components = charge(span);
+    out.push(ProfileSpan {
+        path: path.clone(),
+        invocations: span.invocations,
+        total: components.total(),
+        components,
+    });
+    for child in &span.children {
+        collect_profile(child, &path, out, charge);
+    }
+}
+
+/// Serialises [`ComponentCharges`] as a flat JSON object, one key per
+/// component in [`COMPONENT_NAMES`] order.
+pub fn components_to_json(c: &ComponentCharges) -> Value {
+    COMPONENT_NAMES
+        .into_iter()
+        .fold(Value::object(), |v, name| {
+            v.set(name, c.get(name).unwrap_or(0.0))
+        })
+}
+
+/// Parses [`ComponentCharges`] back from the object [`components_to_json`]
+/// writes. Returns `None` when any component is missing or non-numeric.
+pub fn components_from_json(v: &Value) -> Option<ComponentCharges> {
+    let mut c = ComponentCharges::default();
+    for name in COMPONENT_NAMES {
+        c.set(name, v.get(name)?.as_f64()?);
+    }
+    Some(c)
+}
+
+/// Serialises one [`ProfileSpan`] row.
+pub fn profile_span_to_json(span: &ProfileSpan) -> Value {
+    Value::object()
+        .set("path", span.path.as_str())
+        .set("invocations", span.invocations)
+        .set("total", span.total)
+        .set("components", components_to_json(&span.components))
+}
+
+/// Parses a [`ProfileSpan`] back from the object [`profile_span_to_json`]
+/// writes. Returns `None` on any structural mismatch.
+pub fn profile_span_from_json(v: &Value) -> Option<ProfileSpan> {
+    Some(ProfileSpan {
+        path: v.get("path")?.as_str()?.to_string(),
+        invocations: v.get("invocations")?.as_u64()?,
+        total: v.get("total")?.as_f64()?,
+        components: components_from_json(v.get("components")?)?,
+    })
 }
 
 /// Serialises a [`MemTally`] as a flat JSON object.
@@ -217,6 +341,7 @@ impl TraceEvent {
             TraceEvent::Superstep { .. } => "superstep",
             TraceEvent::Sync { .. } => "sync",
             TraceEvent::Span { .. } => "span",
+            TraceEvent::Profile { .. } => "profile",
             TraceEvent::Metrics { .. } => "metrics",
             TraceEvent::RoundEnd { .. } => "round_end",
             TraceEvent::RunEnd { .. } => "run_end",
@@ -289,6 +414,23 @@ impl TraceEvent {
                 .set("superstep", *superstep)
                 .set("phase", phase.as_str())
                 .set("root", span_to_json(root)),
+            TraceEvent::Profile {
+                round,
+                superstep,
+                phase,
+                backend,
+                unit,
+                spans,
+            } => base
+                .set("round", *round)
+                .set("superstep", *superstep)
+                .set("phase", phase.as_str())
+                .set("backend", backend.as_str())
+                .set("unit", unit.as_str())
+                .set(
+                    "spans",
+                    Value::Array(spans.iter().map(profile_span_to_json).collect()),
+                ),
             TraceEvent::Metrics {
                 round,
                 scope,
@@ -603,5 +745,201 @@ mod tests {
                 .as_u64(),
             Some(4)
         );
+    }
+
+    fn sample_tree() -> SpanRecord {
+        use gala_gpu::profile::Profiler;
+        let mut p = Profiler::new();
+        p.scope("superstep", |p| {
+            p.scope("decide", |p| {
+                p.scope("hash", |p| {
+                    let mut t = MemTally::new();
+                    t.load(Space::Global, 40);
+                    t.atomic(Space::Shared, 6);
+                    t.global_request(&[0, 1, 900], 8);
+                    p.record(&t);
+                    p.count("items", 12);
+                });
+            });
+            p.scope("sync", |p| p.count("elapsed_ns", 450));
+        });
+        p.finish()
+    }
+
+    #[test]
+    fn profile_rows_flatten_paths_and_sum_to_self_cycles() {
+        let tree = sample_tree();
+        let cost = CostModel::default();
+        let rows = profile_spans(&tree, &cost);
+        let paths: Vec<&str> = rows.iter().map(|r| r.path.as_str()).collect();
+        assert_eq!(
+            paths,
+            [
+                "superstep",
+                "superstep/decide",
+                "superstep/decide/hash",
+                "superstep/sync"
+            ]
+        );
+        let hash = tree
+            .child("superstep")
+            .and_then(|s| s.child("decide"))
+            .and_then(|d| d.child("hash"))
+            .unwrap();
+        let row = &rows[2];
+        assert_eq!(row.total, hash.self_cycles(&cost));
+        assert_eq!(row.components.total(), row.total);
+        assert_eq!(row.invocations, 1);
+    }
+
+    #[test]
+    fn wall_profile_rows_charge_single_buckets() {
+        let rows = profile_spans_wall(&sample_tree());
+        let sync = rows.iter().find(|r| r.path == "superstep/sync").unwrap();
+        assert_eq!(sync.components.sync, 450.0);
+        assert_eq!(sync.components.compute, 0.0);
+        assert_eq!(sync.total, 450.0);
+        let decide = rows.iter().find(|r| r.path == "superstep/decide").unwrap();
+        assert_eq!(decide.total, 0.0, "no elapsed_ns counter, no charge");
+    }
+
+    #[test]
+    fn profile_event_round_trips_through_jsonl() {
+        let event = TraceEvent::Profile {
+            round: 2,
+            superstep: 5,
+            phase: "phase1".into(),
+            backend: "sim".into(),
+            unit: "cycles".into(),
+            spans: profile_spans(&sample_tree(), &CostModel::default()),
+        };
+        let mut sink = JsonlSink::new(Vec::new());
+        sink.emit(event.clone());
+        let text = String::from_utf8(sink.into_inner()).unwrap();
+        let v = parse(text.trim()).unwrap();
+        assert_eq!(v.get("event").unwrap().as_str(), Some("profile"));
+        assert_eq!(
+            v.get("schema").unwrap().as_u64(),
+            Some(SCHEMA_VERSION),
+            "profile events are schema 4+"
+        );
+        assert_eq!(v.get("backend").unwrap().as_str(), Some("sim"));
+        assert_eq!(v.get("unit").unwrap().as_str(), Some("cycles"));
+        let spans: Vec<ProfileSpan> = v
+            .get("spans")
+            .unwrap()
+            .as_array()
+            .unwrap()
+            .iter()
+            .map(|s| profile_span_from_json(s).unwrap())
+            .collect();
+        let TraceEvent::Profile {
+            spans: original, ..
+        } = event
+        else {
+            unreachable!()
+        };
+        assert_eq!(spans, original);
+    }
+
+    #[test]
+    fn profile_span_from_json_rejects_missing_components() {
+        let mut row = profile_span_to_json(&ProfileSpan {
+            path: "decide".into(),
+            invocations: 1,
+            total: 0.0,
+            components: ComponentCharges::default(),
+        });
+        assert!(profile_span_from_json(&row).is_some());
+        row = row.set("components", Value::object().set("compute", 1.0));
+        assert!(profile_span_from_json(&row).is_none());
+    }
+
+    mod profile_props {
+        use super::*;
+        use proptest::prelude::*;
+
+        /// Counts below 2^40 keep every weighted term — and their sum — an
+        /// exact integer under the default integer-weight cost model, so
+        /// equality assertions below are bit-for-bit, mirroring the PR-5
+        /// metrics proptests' 2^53-exactness argument.
+        fn tally_strategy() -> impl Strategy<Value = MemTally> {
+            proptest::collection::vec(0u64..(1 << 40), 11).prop_map(|v| {
+                let mut t = MemTally::new();
+                t.register_ops = v[0];
+                t.shared_loads = v[1];
+                t.shared_stores = v[2];
+                t.global_loads = v[3];
+                t.global_stores = v[4];
+                t.shared_atomics = v[5];
+                t.global_atomics = v[6];
+                t.warp_primitives = v[7];
+                t.coalesce_requests = v[8];
+                // ideal <= transactions, as the simulator guarantees.
+                t.coalesce_transactions = v[9].max(v[10]);
+                t.coalesce_ideal = v[9].min(v[10]);
+                t
+            })
+        }
+
+        proptest! {
+            #[test]
+            fn components_always_partition_cycles(t in tally_strategy()) {
+                let cost = CostModel::default();
+                let c = cost.components(&t);
+                prop_assert_eq!(c.total(), cost.cycles(&t));
+                prop_assert!(c.get("global_coalesced").unwrap() >= 0.0);
+                prop_assert!(c.get("global_uncoalesced").unwrap() >= 0.0);
+            }
+
+            #[test]
+            fn component_addition_is_exact_and_associative(
+                a in tally_strategy(),
+                b in tally_strategy(),
+                c in tally_strategy(),
+            ) {
+                let cost = CostModel::default();
+                let (ca, cb, cc) =
+                    (cost.components(&a), cost.components(&b), cost.components(&c));
+                prop_assert_eq!((ca + cb) + cc, ca + (cb + cc));
+                prop_assert_eq!((ca + cb).total(), ca.total() + cb.total());
+            }
+
+            #[test]
+            fn merged_tallies_preserve_component_totals(
+                a in tally_strategy(),
+                b in tally_strategy(),
+            ) {
+                // Span merging adds tallies and re-derives components: the
+                // re-derived breakdown must still partition the merged
+                // span's cycles exactly.
+                let cost = CostModel::default();
+                let merged = a + b;
+                prop_assert_eq!(cost.components(&merged).total(), cost.cycles(&merged));
+            }
+
+            #[test]
+            fn profile_spans_round_trip_through_json(
+                t in tally_strategy(),
+                segs in proptest::collection::vec(0usize..4, 1..4),
+                invocations in 0u64..1_000_000,
+            ) {
+                let names = ["decide", "hash", "contract", "sync"];
+                let path = segs
+                    .iter()
+                    .map(|&i| names[i])
+                    .collect::<Vec<_>>()
+                    .join("/");
+                let span = ProfileSpan {
+                    path,
+                    invocations,
+                    total: CostModel::default().components(&t).total(),
+                    components: CostModel::default().components(&t),
+                };
+                let rendered = profile_span_to_json(&span).render();
+                let back = profile_span_from_json(&parse(&rendered).unwrap()).unwrap();
+                prop_assert_eq!(back, span);
+            }
+        }
     }
 }
