@@ -4,9 +4,11 @@
 //!   (paper: 2.5× average at 8 GPUs — sublinear because communication
 //!   stays roughly constant while compute shrinks).
 //! * (b) compute vs. communication breakdown on the OR graph.
+//! * (c) full-hierarchy per-phase breakdown (phase 1 / contract /
+//!   exchange) under the partitioned multi-device contraction, OR graph.
 
 use gala_bench::{all_datasets, new_report, scale_from_env, BenchArgs, Table};
-use gala_core::multi_gpu::{run_phase1, MultiGpuConfig, SyncMode};
+use gala_core::multi_gpu::{run_full, run_phase1, ContractMode, MultiGpuConfig, SyncMode};
 use gala_graph::datasets::Dataset;
 
 fn main() {
@@ -69,10 +71,45 @@ fn main() {
     }
     table.print();
     table.add_to_report(&mut report, "fig10b");
-    BenchArgs::parse().write_report(&report);
     println!(
         "\ncompute reduction 1 -> 8 devices: {:.1}x (paper: 4.4x); \
          paper: comm ~constant, 43% of runtime at 8 GPUs.",
         computes[0] / computes[3]
     );
+
+    println!("\nFigure 10(c) — full hierarchy per-phase breakdown, partitioned contraction, OR stand-in\n");
+    let mut table = Table::new(&[
+        "GPUs",
+        "Phase1 us",
+        "Contract us",
+        "Exchange us",
+        "Total us",
+        "Contract %",
+    ]);
+    for &p in &device_counts {
+        let r = run_full(
+            &g,
+            MultiGpuConfig {
+                num_devices: p,
+                sync: SyncMode::Adaptive,
+                contract: ContractMode::Partitioned,
+                ..MultiGpuConfig::default()
+            },
+        );
+        let phase1 = r.total_us();
+        let contract: f64 = r.contracts.iter().map(|c| c.compute_us).sum();
+        let exchange: f64 = r.contracts.iter().map(|c| c.comm_us()).sum();
+        let total = phase1 + contract + exchange;
+        table.row(vec![
+            p.to_string(),
+            format!("{phase1:.0}"),
+            format!("{contract:.0}"),
+            format!("{exchange:.0}"),
+            format!("{total:.0}"),
+            format!("{:.0}%", (contract + exchange) / total.max(1e-9) * 100.0),
+        ]);
+    }
+    table.print();
+    table.add_to_report(&mut report, "fig10c");
+    BenchArgs::parse().write_report(&report);
 }

@@ -56,6 +56,28 @@ struct MetricsEvent {
     registry: MetricsRegistry,
 }
 
+/// Exchange accounting lifted from a partitioned `contract` span (the
+/// `contract` → `exchange` scope emitted by the multi-device phase-2
+/// path). `--check` cross-validates these counters against each other and
+/// against the matching exchange `sync` event.
+#[derive(Clone, Copy, Debug)]
+struct ExchangeCheck {
+    bytes: u64,
+    ghost_members: u64,
+    ghost_arcs: u64,
+    sparse_bytes: u64,
+    dense_bytes: u64,
+    dense_exchanges: u64,
+    sparse_exchanges: u64,
+}
+
+/// Bytes per ghost community member in the sparse exchange model
+/// (mirrors `gala-core::mg_contract::EXCHANGE_BYTES_PER_MEMBER`).
+const EXCHANGE_BYTES_PER_MEMBER: u64 = 8;
+/// Bytes per ghost member arc in the sparse exchange model
+/// (mirrors `gala-core::mg_contract::EXCHANGE_BYTES_PER_ARC`).
+const EXCHANGE_BYTES_PER_ARC: u64 = 12;
+
 /// What `--check` needs from one `span` event. The tree itself is merged
 /// into [`Trace::merged_root`] at parse time and dropped, so a trace with
 /// thousands of supersteps never holds every tree at once.
@@ -63,6 +85,8 @@ struct MetricsEvent {
 struct SpanCheck {
     phase: String,
     tally: MemTally,
+    /// Present only on partitioned phase-2 contract spans.
+    exchange: Option<ExchangeCheck>,
 }
 
 /// One retained span tree (only kept when the chrome-trace exporter needs
@@ -207,9 +231,22 @@ fn load_trace_with_spans(path: &str, keep_spans: bool) -> Result<Trace, Error> {
                     .get("root")
                     .and_then(span_from_json)
                     .ok_or_else(|| format!("{path} line {line}: bad span tree"))?;
+                let exchange = root
+                    .child("contract")
+                    .and_then(|c| c.child("exchange"))
+                    .map(|ex| ExchangeCheck {
+                        bytes: ex.counter("bytes"),
+                        ghost_members: ex.counter("ghost_members"),
+                        ghost_arcs: ex.counter("ghost_arcs"),
+                        sparse_bytes: ex.counter("sparse_bytes"),
+                        dense_bytes: ex.counter("dense_bytes"),
+                        dense_exchanges: ex.counter("dense_exchanges"),
+                        sparse_exchanges: ex.counter("sparse_exchanges"),
+                    });
                 trace.span_checks.push(SpanCheck {
                     phase: field_str(&v, "phase", line)?,
                     tally: root.total_tally(),
+                    exchange,
                 });
                 if keep_spans {
                     trace.span_trees.push(SpanTree {
@@ -310,7 +347,9 @@ fn check(path: &str, trace: &Trace) -> Result<String, Error> {
         }
     }
     for y in &trace.syncs {
-        if y.mode != "dense" && y.mode != "sparse" {
+        // Phase-1 syncs carry `dense`/`sparse`; partitioned phase-2
+        // contractions emit one `exchange-*` sync per round.
+        if !["dense", "sparse", "exchange-dense", "exchange-sparse"].contains(&y.mode.as_str()) {
             return Err(format!(
                 "{path}: sync at superstep {} has unknown mode `{}`",
                 y.superstep, y.mode
@@ -325,6 +364,84 @@ fn check(path: &str, trace: &Trace) -> Result<String, Error> {
         let t = ev.tally;
         if t.simt_active_lanes > t.simt_steps * 32 || t.coalesce_ideal > t.coalesce_transactions {
             return Err(format!("{path}: span tree {i} has incoherent SIMT counters").into());
+        }
+    }
+    // Partitioned phase-2 accounting: each contract span's exchange scope
+    // must be internally consistent (sparse bytes derived from the ghost
+    // row counts, exactly one strategy selected, payload matching the
+    // chosen strategy), and the i-th exchange `sync` event must agree with
+    // the i-th exchange span on mode and byte count — both streams are
+    // emitted once per partitioned round, in round order.
+    let exchange_spans: Vec<ExchangeCheck> = trace
+        .span_checks
+        .iter()
+        .filter_map(|s| s.exchange)
+        .collect();
+    for (i, ex) in exchange_spans.iter().enumerate() {
+        let at = format!("{path}: exchange span {i}");
+        let expected_sparse =
+            ex.ghost_members * EXCHANGE_BYTES_PER_MEMBER + ex.ghost_arcs * EXCHANGE_BYTES_PER_ARC;
+        if ex.sparse_bytes != expected_sparse {
+            return Err(format!(
+                "{at}: sparse bytes {} inconsistent with {} ghost members + {} ghost arcs \
+                 (expected {expected_sparse})",
+                ex.sparse_bytes, ex.ghost_members, ex.ghost_arcs
+            )
+            .into());
+        }
+        if ex.dense_exchanges + ex.sparse_exchanges != 1 {
+            return Err(format!(
+                "{at}: selected {} dense + {} sparse strategies (expected exactly one)",
+                ex.dense_exchanges, ex.sparse_exchanges
+            )
+            .into());
+        }
+        let chosen = if ex.dense_exchanges == 1 {
+            ex.dense_bytes
+        } else {
+            ex.sparse_bytes
+        };
+        if ex.bytes != chosen {
+            return Err(format!(
+                "{at}: payload {} bytes does not match the selected strategy's {chosen}",
+                ex.bytes
+            )
+            .into());
+        }
+    }
+    let exchange_syncs: Vec<&SyncEvent> = trace
+        .syncs
+        .iter()
+        .filter(|y| y.mode.starts_with("exchange-"))
+        .collect();
+    if exchange_syncs.len() != exchange_spans.len() {
+        return Err(format!(
+            "{path}: {} exchange sync events but {} exchange spans",
+            exchange_syncs.len(),
+            exchange_spans.len()
+        )
+        .into());
+    }
+    for (i, (y, ex)) in exchange_syncs.iter().zip(&exchange_spans).enumerate() {
+        let at = format!("{path}: exchange sync {i} (superstep {})", y.superstep);
+        let span_mode = if ex.dense_exchanges == 1 {
+            "exchange-dense"
+        } else {
+            "exchange-sparse"
+        };
+        if y.mode != span_mode {
+            return Err(format!(
+                "{at}: mode `{}` disagrees with its contract span's `{span_mode}`",
+                y.mode
+            )
+            .into());
+        }
+        if y.bytes != ex.bytes {
+            return Err(format!(
+                "{at}: {} bytes disagrees with its contract span's {}",
+                y.bytes, ex.bytes
+            )
+            .into());
         }
     }
     for (i, ev) in trace.profiles.iter().enumerate() {
@@ -975,6 +1092,7 @@ pub fn run(args: &AnalyzeArgs) -> Result<(), Error> {
 mod tests {
     use super::*;
     use gala_core::louvain::{Louvain, LouvainConfig};
+    use gala_core::multi_gpu::{run_full_traced, ContractMode, MultiGpuConfig};
     use gala_graph::generators::fixtures;
     use gala_telemetry::JsonlSink;
 
@@ -995,6 +1113,109 @@ mod tests {
         let path = format!("{}.jsonl", tmp(name));
         std::fs::write(&path, sink.into_inner()).unwrap();
         path
+    }
+
+    /// Runs the multi-device full hierarchy with the partitioned phase-2
+    /// contraction and writes its trace; returns the path.
+    fn write_mg_fixture_trace(name: &str) -> String {
+        let g = fixtures::ring_of_cliques(8, 6);
+        let mut sink = JsonlSink::new(Vec::new());
+        run_full_traced(
+            &g,
+            MultiGpuConfig {
+                num_devices: 4,
+                contract: ContractMode::Partitioned,
+                ..MultiGpuConfig::default()
+            },
+            &mut sink,
+        );
+        let path = format!("{}.jsonl", tmp(name));
+        std::fs::write(&path, sink.into_inner()).unwrap();
+        path
+    }
+
+    #[test]
+    fn partitioned_traces_decode_and_check_exchange_accounting() {
+        let path = write_mg_fixture_trace("mgload");
+        let trace = load_trace(&path).unwrap();
+        assert_eq!(trace.algorithm, "multi-gpu");
+        assert_eq!(trace.devices, 4);
+        let exchanges: Vec<ExchangeCheck> = trace
+            .span_checks
+            .iter()
+            .filter_map(|s| s.exchange)
+            .collect();
+        assert!(
+            !exchanges.is_empty(),
+            "partitioned run must emit exchange-scoped contract spans"
+        );
+        let syncs: Vec<&SyncEvent> = trace
+            .syncs
+            .iter()
+            .filter(|y| y.mode.starts_with("exchange-"))
+            .collect();
+        assert_eq!(syncs.len(), exchanges.len());
+        let summary = check(&path, &trace).unwrap();
+        assert!(summary.starts_with("ok:"), "{summary}");
+        let _ = std::fs::remove_file(path);
+    }
+
+    #[test]
+    fn check_rejects_corrupt_exchange_accounting() {
+        let path = write_mg_fixture_trace("mgbad");
+        let trace = load_trace(&path).unwrap();
+        let span_at = trace
+            .span_checks
+            .iter()
+            .position(|s| s.exchange.is_some())
+            .expect("an exchange span");
+        // Sparse byte model no longer matches the ghost row counts.
+        let mut bad_model = trace.clone();
+        bad_model.span_checks[span_at]
+            .exchange
+            .as_mut()
+            .unwrap()
+            .sparse_bytes += 1;
+        let err = check(&path, &bad_model).unwrap_err().to_string();
+        assert!(err.contains("sparse bytes"), "{err}");
+        // Both strategies claimed for one round.
+        let mut bad_strategy = trace.clone();
+        {
+            let ex = bad_strategy.span_checks[span_at].exchange.as_mut().unwrap();
+            ex.dense_exchanges = 1;
+            ex.sparse_exchanges = 1;
+        }
+        let err = check(&path, &bad_strategy).unwrap_err().to_string();
+        assert!(err.contains("exactly one"), "{err}");
+        // Payload bytes disagree with the selected strategy.
+        let mut bad_payload = trace.clone();
+        bad_payload.span_checks[span_at]
+            .exchange
+            .as_mut()
+            .unwrap()
+            .bytes += 8;
+        let err = check(&path, &bad_payload).unwrap_err().to_string();
+        assert!(err.contains("selected strategy"), "{err}");
+        // Sync event out of step with its contract span.
+        let sync_at = trace
+            .syncs
+            .iter()
+            .position(|y| y.mode.starts_with("exchange-"))
+            .expect("an exchange sync");
+        let mut bad_sync_bytes = trace.clone();
+        bad_sync_bytes.syncs[sync_at].bytes += 4;
+        let err = check(&path, &bad_sync_bytes).unwrap_err().to_string();
+        assert!(err.contains("disagrees"), "{err}");
+        let mut bad_sync_mode = trace.clone();
+        bad_sync_mode.syncs[sync_at].mode = "exchange-upside-down".into();
+        let err = check(&path, &bad_sync_mode).unwrap_err().to_string();
+        assert!(err.contains("unknown mode"), "{err}");
+        // A dropped sync event breaks the 1:1 pairing.
+        let mut missing_sync = trace.clone();
+        missing_sync.syncs.remove(sync_at);
+        let err = check(&path, &missing_sync).unwrap_err().to_string();
+        assert!(err.contains("exchange sync events"), "{err}");
+        let _ = std::fs::remove_file(path);
     }
 
     #[test]

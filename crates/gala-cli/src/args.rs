@@ -14,6 +14,8 @@ usage:
       --format edgelist|metis|bin              (default: by extension)
       --output <file>                          write `vertex community` lines
       --devices <p>                            simulated GPUs (default: 1)
+      --mg-contract host|partitioned           phase-2 contraction for
+                                               multi-device runs (default: host)
       --trace <file>     write a JSONL superstep trace (gala algorithm)
       --report <file>    write a machine-readable JSON run report
       --quiet                                  suppress the report
@@ -139,6 +141,30 @@ impl Backend {
     }
 }
 
+/// Phase-2 contraction strategy for multi-device runs (`--mg-contract`).
+/// Mirrors `gala-core`'s `ContractMode`; both strategies are bit-identical,
+/// the partitioned one adds per-device compute and exchange modelling.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum MgContract {
+    /// Single host contraction between rounds (the default).
+    #[default]
+    Host,
+    /// Partitioned per-device contraction with simulated collectives.
+    Partitioned,
+}
+
+impl MgContract {
+    fn parse(s: &str) -> Result<Self, ParseError> {
+        match s {
+            "host" => Ok(MgContract::Host),
+            "partitioned" => Ok(MgContract::Partitioned),
+            other => Err(ParseError(format!(
+                "unknown contract mode `{other}` (expected host|partitioned)"
+            ))),
+        }
+    }
+}
+
 /// Pruning strategy names.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum Pruning {
@@ -189,6 +215,8 @@ pub struct DetectArgs {
     pub output: Option<String>,
     /// Simulated device count.
     pub devices: usize,
+    /// Phase-2 contraction strategy (multi-device runs).
+    pub mg_contract: MgContract,
     /// JSONL trace output path (per-superstep events; GALA algorithm).
     pub trace: Option<String>,
     /// Machine-readable JSON report output path.
@@ -360,6 +388,7 @@ impl Command {
             resolution: 1.0,
             output: None,
             devices: 1,
+            mg_contract: MgContract::Host,
             trace: None,
             report: None,
             quiet: false,
@@ -391,6 +420,9 @@ impl Command {
                     if out.devices == 0 {
                         return Err(ParseError("need at least one device".into()));
                     }
+                }
+                "--mg-contract" => {
+                    out.mg_contract = MgContract::parse(value(args, &mut i, "--mg-contract")?)?
                 }
                 "--trace" => out.trace = Some(value(args, &mut i, "--trace")?.to_string()),
                 "--report" => out.report = Some(value(args, &mut i, "--report")?.to_string()),
@@ -679,13 +711,14 @@ mod tests {
         assert_eq!(d.backend, Backend::Sim);
         assert_eq!(d.pruning, Pruning::Mg);
         assert_eq!(d.resolution, 1.0);
+        assert_eq!(d.mg_contract, MgContract::Host);
         assert!(!d.quiet);
     }
 
     #[test]
     fn parses_full_detect() {
         let cmd = Command::parse(&argv(
-            "detect g.metis --algorithm leiden --backend native --resolution 2.5 --output out.txt --devices 4 --quiet",
+            "detect g.metis --algorithm leiden --backend native --resolution 2.5 --output out.txt --devices 4 --mg-contract partitioned --quiet",
         ))
         .unwrap();
         let Command::Detect(d) = cmd else { panic!() };
@@ -694,6 +727,7 @@ mod tests {
         assert_eq!(d.resolution, 2.5);
         assert_eq!(d.output.as_deref(), Some("out.txt"));
         assert_eq!(d.devices, 4);
+        assert_eq!(d.mg_contract, MgContract::Partitioned);
         assert!(d.quiet);
         assert_eq!(d.trace, None);
         assert_eq!(d.report, None);
@@ -717,6 +751,8 @@ mod tests {
         assert!(Command::parse(&argv("detect g.txt --devices 0")).is_err());
         assert!(Command::parse(&argv("detect g.txt --pruning magic")).is_err());
         assert!(Command::parse(&argv("detect g.txt --backend warp")).is_err());
+        assert!(Command::parse(&argv("detect g.txt --mg-contract fused")).is_err());
+        assert!(Command::parse(&argv("detect g.txt --mg-contract")).is_err());
         assert!(Command::parse(&argv("detect")).is_err());
         assert!(Command::parse(&argv("detect a.txt b.txt")).is_err());
         assert!(Command::parse(&argv("detect g.txt --nonsense")).is_err());

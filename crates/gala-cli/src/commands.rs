@@ -1,6 +1,8 @@
 //! Command execution: graph IO, algorithm dispatch, and reporting.
 
-use crate::args::{Algorithm, Backend, Command, DetectArgs, Format, GenerateArgs, Pruning, USAGE};
+use crate::args::{
+    Algorithm, Backend, Command, DetectArgs, Format, GenerateArgs, MgContract, Pruning, USAGE,
+};
 use gala_core::backend::BackendKind;
 use gala_core::label_prop::{label_propagation, LabelPropConfig};
 use gala_core::leiden::{leiden_instrumented, LeidenConfig};
@@ -8,7 +10,8 @@ use gala_core::louvain::LouvainConfig;
 use gala_core::metrics::summarize;
 use gala_core::modularity::modularity_with_resolution;
 use gala_core::multi_gpu::{
-    run_phase1_instrumented as multi_gpu_phase1_instrumented, MultiGpuConfig,
+    run_full_instrumented as multi_gpu_full_instrumented,
+    run_phase1_instrumented as multi_gpu_phase1_instrumented, ContractMode, MultiGpuConfig,
 };
 use gala_core::pruning::PruningKind;
 use gala_core::sequential::{sequential_louvain_instrumented, SequentialConfig};
@@ -278,7 +281,24 @@ fn detect(args: DetectArgs) -> Result<(), Error> {
                 Pruning::MgRm => PruningKind::GainRelaxed,
                 Pruning::None => PruningKind::None,
             };
-            if args.devices > 1 {
+            if args.mg_contract == MgContract::Partitioned {
+                // The partitioned contraction only exists in the full
+                // hierarchy driver, so `--mg-contract partitioned` runs
+                // all rounds even at one device.
+                let r = multi_gpu_full_instrumented(
+                    &graph,
+                    MultiGpuConfig {
+                        num_devices: args.devices,
+                        pruning,
+                        backend,
+                        contract: ContractMode::Partitioned,
+                        ..MultiGpuConfig::default()
+                    },
+                    sink,
+                    &mut prof,
+                );
+                ("GALA (multi-device, full)", r.partition)
+            } else if args.devices > 1 {
                 let r = multi_gpu_phase1_instrumented(
                     &graph,
                     MultiGpuConfig {
@@ -342,7 +362,14 @@ fn detect(args: DetectArgs) -> Result<(), Error> {
             .meta("backend", format!("{backend}"))
             .meta("input", args.input.as_str())
             .meta("resolution", format!("{}", args.resolution))
-            .meta("devices", format!("{}", args.devices));
+            .meta("devices", format!("{}", args.devices))
+            .meta(
+                "contract",
+                match args.mg_contract {
+                    MgContract::Host => "host",
+                    MgContract::Partitioned => "partitioned",
+                },
+            );
         report.push(
             MetricRow::new("summary")
                 .metric("vertices", graph.num_vertices() as f64)
@@ -534,6 +561,86 @@ mod tests {
             .count();
         assert!(syncs > 0, "multi-device trace must contain sync events");
         for p in [graph_path, trace_path] {
+            let _ = std::fs::remove_file(p);
+        }
+    }
+
+    #[test]
+    fn partitioned_detect_runs_the_full_hierarchy_and_traces_exchanges() {
+        let g = fixtures::ring_of_cliques(6, 5);
+        let graph_path = format!("{}.txt", tmp("mgfull"));
+        let trace_path = format!("{}.jsonl", tmp("mgfull"));
+        let report_path = format!("{}.json", tmp("mgfull"));
+        let out_host = format!("{}.host.txt", tmp("mgfull"));
+        let out_part = format!("{}.part.txt", tmp("mgfull"));
+        save(&g, &graph_path).unwrap();
+        // Host reference assignment at one device.
+        execute(
+            Command::parse(
+                &[
+                    "detect",
+                    graph_path.as_str(),
+                    "--output",
+                    out_host.as_str(),
+                    "--quiet",
+                ]
+                .map(String::from),
+            )
+            .unwrap(),
+        )
+        .unwrap();
+        execute(
+            Command::parse(
+                &[
+                    "detect",
+                    graph_path.as_str(),
+                    "--devices",
+                    "4",
+                    "--mg-contract",
+                    "partitioned",
+                    "--trace",
+                    trace_path.as_str(),
+                    "--report",
+                    report_path.as_str(),
+                    "--output",
+                    out_part.as_str(),
+                    "--quiet",
+                ]
+                .map(String::from),
+            )
+            .unwrap(),
+        )
+        .unwrap();
+        // The partitioned full hierarchy lands on the same assignment as
+        // the single-device host run (one clique per community).
+        assert_eq!(
+            std::fs::read_to_string(&out_host).unwrap(),
+            std::fs::read_to_string(&out_part).unwrap()
+        );
+        // The trace carries exchange syncs and survives `analyze --check`.
+        let text = std::fs::read_to_string(&trace_path).unwrap();
+        assert!(
+            text.lines()
+                .map(|l| gala_telemetry::json::parse(l).unwrap())
+                .any(|e| e.get("event").unwrap().as_str() == Some("sync")
+                    && e.get("mode")
+                        .unwrap()
+                        .as_str()
+                        .unwrap()
+                        .starts_with("exchange-")),
+            "partitioned trace must contain exchange sync events"
+        );
+        execute(
+            Command::parse(&["analyze", trace_path.as_str(), "--check"].map(String::from)).unwrap(),
+        )
+        .unwrap();
+        let report = Report::read_from(&report_path).unwrap();
+        assert_eq!(
+            report.meta_value("algorithm"),
+            Some("GALA (multi-device, full)")
+        );
+        assert_eq!(report.meta_value("contract"), Some("partitioned"));
+        for p in [graph_path, trace_path, report_path, out_host, out_part] {
             let _ = std::fs::remove_file(p);
         }
     }

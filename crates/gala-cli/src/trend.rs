@@ -386,6 +386,7 @@ mod tests {
             "BENCH_contract.json",
             "BENCH_native.json",
             "BENCH_profile.json",
+            "BENCH_mg_contract.json",
         ] {
             let path = format!("{dir}/results/{name}");
             let rows = rows_from_report(&path).unwrap();

@@ -26,13 +26,31 @@
 use crate::kernels::hashtable::{HashConfig, TableStats};
 use crate::kernels::{self, DecideOutput, DecideScratch, KernelKind};
 use crate::state::BspState;
-use gala_gpu::memory::CostModel;
+use gala_gpu::memory::{CostModel, MemTally};
 use gala_gpu::profile::{Profiler, SpanRecord};
-use gala_graph::coarsen::{coarsen_into, CoarsenScratch, Coarsened};
+use gala_graph::coarsen::{self, coarsen_into, CoarsenScratch, Coarsened};
+use gala_graph::partition::CommunityId;
 use gala_graph::{Graph, Partition};
 use gala_telemetry::{profile_spans, profile_spans_wall, TraceEvent};
 use std::fmt;
 use std::str::FromStr;
+use std::time::Instant;
+
+/// Per-device cost record of aggregating one contiguous coarse-row range in
+/// the partitioned phase-2 contraction: the sim backend fills the simulated
+/// tally and table statistics, the native backend the real wall time. The
+/// aggregated rows themselves are identical either way.
+#[derive(Clone, Debug, Default)]
+pub struct DeviceContractStats {
+    /// Simulated memory tally of the device's aggregation kernel (sim
+    /// backend only; zero on native).
+    pub tally: MemTally,
+    /// Hashtable placement statistics (sim backend only; zero on native).
+    pub table_stats: TableStats,
+    /// Measured wall time of the device's aggregation pass (native backend
+    /// only; zero on sim).
+    pub elapsed_ns: u64,
+}
 
 /// Which [`ExecutionBackend`] a driver runs on.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
@@ -113,6 +131,25 @@ pub trait ExecutionBackend: Sync {
         prof: &mut Profiler,
         scratch: &mut CoarsenScratch,
     ) -> Coarsened;
+
+    /// Aggregates one device's contiguous range of coarse rows of a
+    /// grouping prepared by [`coarsen::renumber_and_group`], appending each
+    /// row's degree to `row_deg` and its sorted `(community, weight)` pairs
+    /// to `pairs` in ascending row order — one device's slice of the
+    /// partitioned multi-device contraction. Both backends append
+    /// bit-identical rows; they differ only in what the returned
+    /// [`DeviceContractStats`] carries (simulated tally vs real wall time).
+    #[allow(clippy::too_many_arguments)]
+    fn contract_rows(
+        &self,
+        graph: &Graph,
+        kernel: KernelKind,
+        scratch: &CoarsenScratch,
+        rows: std::ops::Range<usize>,
+        k: usize,
+        row_deg: &mut Vec<u64>,
+        pairs: &mut Vec<(CommunityId, f64)>,
+    ) -> DeviceContractStats;
 }
 
 /// The simulated-GPU backend: grid/block launches with full
@@ -169,6 +206,30 @@ impl ExecutionBackend for SimBackend {
             coarsen_into(graph, partition, scratch)
         }
     }
+
+    fn contract_rows(
+        &self,
+        graph: &Graph,
+        kernel: KernelKind,
+        scratch: &CoarsenScratch,
+        rows: std::ops::Range<usize>,
+        _k: usize,
+        row_deg: &mut Vec<u64>,
+        pairs: &mut Vec<(CommunityId, f64)>,
+    ) -> DeviceContractStats {
+        // The simulated device always aggregates through the charged
+        // contract kernel here: the partitioned path exists to model
+        // per-device cost, so there is no uninstrumented shortcut.
+        let out =
+            kernels::contract::contract_rows(graph, rows, contract_table_cfg(kernel), scratch);
+        row_deg.extend_from_slice(&out.row_lens);
+        pairs.extend_from_slice(&out.pairs);
+        DeviceContractStats {
+            tally: out.tally,
+            table_stats: out.table_stats,
+            elapsed_ns: 0,
+        }
+    }
 }
 
 /// The native host backend: the same decision algorithms on the persistent
@@ -209,6 +270,24 @@ impl ExecutionBackend for NativeBackend {
         // Bit-identical to the device kernel (the cross-path contraction
         // tests pin that down); the call site counts real `elapsed_ns`.
         coarsen_into(graph, partition, scratch)
+    }
+
+    fn contract_rows(
+        &self,
+        graph: &Graph,
+        _kernel: KernelKind,
+        scratch: &CoarsenScratch,
+        rows: std::ops::Range<usize>,
+        k: usize,
+        row_deg: &mut Vec<u64>,
+        pairs: &mut Vec<(CommunityId, f64)>,
+    ) -> DeviceContractStats {
+        let started = Instant::now();
+        coarsen::aggregate_rows(graph, scratch, rows, k, row_deg, pairs);
+        DeviceContractStats {
+            elapsed_ns: started.elapsed().as_nanos() as u64,
+            ..DeviceContractStats::default()
+        }
     }
 }
 

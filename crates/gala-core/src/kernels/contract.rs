@@ -39,6 +39,58 @@ pub struct ContractOutput {
     pub arcs: u64,
 }
 
+/// Output of aggregating one device's contiguous coarse-row range through
+/// the simulated contraction kernel (see [`contract_rows`]).
+pub struct ContractRowsOutput {
+    /// Each row's sorted `(community, weight)` pairs, concatenated in
+    /// ascending row order — a contiguous slice of the coarse CSR body.
+    pub pairs: Vec<(CommunityId, f64)>,
+    /// Per-row distinct-neighbor counts, index-aligned with the range.
+    pub row_lens: Vec<u64>,
+    /// Summed simulated memory tally of the range's blocks.
+    pub tally: MemTally,
+    /// Summed per-block hashtable placement statistics.
+    pub table_stats: TableStats,
+}
+
+/// Aggregates the contiguous coarse-row range `rows` of a grouping prepared
+/// by [`renumber_and_group`]: one simulated block per row, exactly the
+/// per-row work of [`contract`], so a single device covering `0..k` charges
+/// the same tally and emits the same pairs as the full launch. This is one
+/// device's aggregation slice in the partitioned multi-device contraction.
+pub fn contract_rows(
+    graph: &Graph,
+    rows: std::ops::Range<usize>,
+    cfg: HashConfig,
+    scratch: &CoarsenScratch,
+) -> ContractRowsOutput {
+    let renum = scratch.renumbered();
+    let vo = scratch.community_offsets();
+    let members = scratch.community_members();
+    let row_ids: Vec<CommunityId> = (rows.start as CommunityId..rows.end as CommunityId).collect();
+    let launched = grid::launch(&row_ids, |&r, tally| {
+        contract_one(r, graph, renum, vo, members, cfg, tally)
+    });
+    let mut table_stats = TableStats::default();
+    let mut row_lens = Vec::with_capacity(row_ids.len());
+    let mut total = 0usize;
+    for (pairs, stats) in &launched.outputs {
+        table_stats += *stats;
+        row_lens.push(pairs.len() as u64);
+        total += pairs.len();
+    }
+    let mut pairs = Vec::with_capacity(total);
+    for (row_pairs, _) in &launched.outputs {
+        pairs.extend_from_slice(row_pairs);
+    }
+    ContractRowsOutput {
+        pairs,
+        row_lens,
+        tally: launched.tally,
+        table_stats,
+    }
+}
+
 /// Runs the contraction kernel: groups vertices by community on the host
 /// (shared with the host path), then launches one simulated block per
 /// super-vertex to aggregate its neighbor communities, and a device prefix
@@ -50,36 +102,20 @@ pub fn contract(
     scratch: &mut CoarsenScratch,
 ) -> ContractOutput {
     let k = renumber_and_group(graph, partition, scratch);
-    let renum = scratch.renumbered();
-    let vo = scratch.community_offsets();
-    let members = scratch.community_members();
-    let rows: Vec<CommunityId> = (0..k as CommunityId).collect();
-    let launched = grid::launch(&rows, |&r, tally| {
-        contract_one(r, graph, renum, vo, members, cfg, tally)
-    });
-    let mut tally = launched.tally;
-    let mut table_stats = TableStats::default();
-    let row_lens: Vec<u64> = launched
-        .outputs
-        .iter()
-        .map(|(pairs, stats)| {
-            table_stats += *stats;
-            pairs.len() as u64
-        })
-        .collect();
+    let mut out = contract_rows(graph, 0..k, cfg, scratch);
     // Coarse CSR layout: a device exclusive scan over the per-row degrees.
-    let (prefixes, total) = scan::exclusive_scan(&row_lens, Space::Global, &mut tally);
+    let (prefixes, total) = scan::exclusive_scan(&out.row_lens, Space::Global, &mut out.tally);
     let mut offsets = Vec::with_capacity(k + 1);
     offsets.extend(prefixes.iter().map(|&p| p as usize));
     offsets.push(total as usize);
     let mut targets: Vec<VertexId> = Vec::with_capacity(total as usize);
     let mut weights: Vec<f64> = Vec::with_capacity(total as usize);
-    for (pairs, _) in &launched.outputs {
-        for &(c, w) in pairs {
-            targets.push(c);
-            weights.push(w);
-        }
+    for &(c, w) in &out.pairs {
+        targets.push(c);
+        weights.push(w);
     }
+    let tally = out.tally;
+    let table_stats = out.table_stats;
     let coarse = Coarsened {
         graph: Graph::from_csr(offsets, targets, weights),
         renumbered: Partition::from_assignment(scratch.take_renumbered()),
@@ -211,6 +247,35 @@ mod tests {
         assert_eq!(out.arcs, g.num_arcs() as u64);
         let stats = out.table_stats;
         assert!(stats.shared_keys + stats.global_keys > 0, "table unused");
+    }
+
+    #[test]
+    fn contract_rows_splits_match_full_launch_and_tally() {
+        let g = fixtures::ring_of_cliques(8, 4);
+        let p = grouped_partition(g.num_vertices(), 4);
+        let mut scratch = CoarsenScratch::default();
+        let k = renumber_and_group(&g, &p, &mut scratch);
+        let full = contract_rows(&g, 0..k, HashConfig::default(), &scratch);
+        for splits in [vec![0, k / 2, k], vec![0, 1, k - 1, k, k]] {
+            let mut pairs = Vec::new();
+            let mut row_lens = Vec::new();
+            let mut tally = MemTally::new();
+            for w in splits.windows(2) {
+                let out = contract_rows(&g, w[0]..w[1], HashConfig::default(), &scratch);
+                pairs.extend_from_slice(&out.pairs);
+                row_lens.extend_from_slice(&out.row_lens);
+                tally += out.tally;
+            }
+            assert_eq!(row_lens, full.row_lens, "splits {splits:?}");
+            let bits: Vec<(CommunityId, u64)> =
+                pairs.iter().map(|&(c, w)| (c, w.to_bits())).collect();
+            let full_bits: Vec<(CommunityId, u64)> =
+                full.pairs.iter().map(|&(c, w)| (c, w.to_bits())).collect();
+            assert_eq!(bits, full_bits, "splits {splits:?}");
+            // Per-block charges are independent, so range tallies sum to
+            // the full launch's tally exactly.
+            assert_eq!(tally, full.tally, "splits {splits:?}");
+        }
     }
 
     #[test]

@@ -36,6 +36,7 @@ pub mod label_prop;
 pub mod leiden;
 pub mod louvain;
 pub mod metrics;
+pub mod mg_contract;
 pub mod modularity;
 pub mod multi_gpu;
 pub mod pruning;

@@ -23,16 +23,21 @@
 
 use crate::backend::BackendKind;
 use crate::kernels::{self, KernelKind};
+use crate::mg_contract::{self, ContractRoundStats};
 use crate::pruning::{self, PruningKind};
 use crate::state::BspState;
 use crate::weight::{self, WeightUpdateMode};
 use gala_gpu::comm::DeviceGroup;
 use gala_gpu::memory::{CostModel, MemTally};
 use gala_gpu::profile::Profiler;
+use gala_graph::coarsen::{CoarsenScratch, Coarsened};
 use gala_graph::{Graph, Partition, VertexId};
 use gala_telemetry::{MetricsRegistry, NullSink, TraceEvent, TraceSink};
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
+use std::fmt;
+use std::str::FromStr;
+use std::time::Instant;
 
 /// Synchronisation strategy between devices.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -43,6 +48,42 @@ pub enum SyncMode {
     Sparse,
     /// Per-iteration choice by modelled cost (GALA's strategy).
     Adaptive,
+}
+
+/// How [`run_full`] contracts the graph between hierarchy rounds.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum ContractMode {
+    /// Single host contraction through one [`CoarsenScratch`] (the
+    /// pre-partitioned behavior; the default).
+    #[default]
+    Host,
+    /// Partitioned per-device contraction with simulated collectives
+    /// ([`crate::mg_contract`]): bit-identical coarse graphs, plus modelled
+    /// per-device compute and exchange/repartition time.
+    Partitioned,
+}
+
+impl fmt::Display for ContractMode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            ContractMode::Host => "host",
+            ContractMode::Partitioned => "partitioned",
+        })
+    }
+}
+
+impl FromStr for ContractMode {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "host" => Ok(ContractMode::Host),
+            "partitioned" => Ok(ContractMode::Partitioned),
+            other => Err(format!(
+                "unknown contract mode `{other}` (expected host|partitioned)"
+            )),
+        }
+    }
 }
 
 /// Bytes of per-vertex state in a dense sync: community id (4) + moved
@@ -83,6 +124,9 @@ pub struct MultiGpuConfig {
     /// tallies, so modelled compute/communication times degenerate to the
     /// collective model only; assignments are identical either way.
     pub backend: BackendKind,
+    /// Phase-2 strategy for [`run_full`]: host contraction or the
+    /// partitioned per-device contraction with simulated collectives.
+    pub contract: ContractMode,
 }
 
 impl Default for MultiGpuConfig {
@@ -99,6 +143,7 @@ impl Default for MultiGpuConfig {
             clock_ghz: 1.4,
             effective_parallelism: 2048.0,
             backend: BackendKind::Sim,
+            contract: ContractMode::default(),
         }
     }
 }
@@ -201,6 +246,23 @@ pub fn run_phase1_instrumented(
     sink: &mut dyn TraceSink,
     prof: &mut Profiler,
 ) -> MultiGpuResult {
+    run_phase1_round(graph, config, sink, prof, 0, true)
+}
+
+/// One phase-1 pass at hierarchy round `round`. `bracket` controls whether
+/// this call owns the trace's `run_start`/`run_end` bracket (standalone
+/// phase-1 entry points) or runs inside a caller-owned bracket
+/// ([`run_full_instrumented`], which emits one bracket around all rounds).
+/// With `round == 0` and `bracket == true`, the emitted event stream is
+/// byte-identical to the pre-refactor [`run_phase1_instrumented`].
+fn run_phase1_round(
+    graph: &Graph,
+    config: MultiGpuConfig,
+    sink: &mut dyn TraceSink,
+    prof: &mut Profiler,
+    round: u32,
+    bracket: bool,
+) -> MultiGpuResult {
     let cfg = config;
     let backend = cfg.backend.resolve();
     let group = DeviceGroup::new(cfg.num_devices);
@@ -217,7 +279,7 @@ pub fn run_phase1_instrumented(
     let n = graph.num_vertices();
     let cycles_per_us = cfg.clock_ghz * 1000.0 * cfg.effective_parallelism;
     let mut prev_q = best_q;
-    if sink.enabled() {
+    if bracket && sink.enabled() {
         sink.emit(TraceEvent::RunStart {
             algorithm: "multi-gpu".to_string(),
             n: n as u64,
@@ -374,14 +436,14 @@ pub fn run_phase1_instrumented(
             let tree = sub.finish();
             if sink.enabled() {
                 sink.emit(TraceEvent::Span {
-                    round: 0,
+                    round,
                     superstep: iteration as u32,
                     phase: "phase1".to_string(),
                     root: tree.clone(),
                 });
                 sink.emit(crate::backend::profile_event(
                     cfg.backend,
-                    0,
+                    round,
                     iteration as u32,
                     "phase1",
                     &tree,
@@ -392,7 +454,7 @@ pub fn run_phase1_instrumented(
         if sink.enabled() {
             let moved = summary.num_moved();
             sink.emit(TraceEvent::Superstep {
-                round: 0,
+                round,
                 superstep: iteration as u32,
                 active: num_active as u64,
                 moved: moved as u64,
@@ -462,12 +524,12 @@ pub fn run_phase1_instrumented(
             },
         );
         sink.emit(TraceEvent::Metrics {
-            round: 0,
+            round,
             scope: "sync".to_string(),
             registry: m,
         });
     }
-    if sink.enabled() {
+    if bracket && sink.enabled() {
         let total: MemTally = iterations
             .iter()
             .flat_map(|i| i.device_tallies.iter().copied())
@@ -492,61 +554,218 @@ pub struct MultiGpuFullResult {
     pub partition: Partition,
     /// Final modularity.
     pub modularity: f64,
-    /// Per-round phase-1 results (the coarsening between rounds runs on
-    /// the host, as in the paper: phase 1 dominates and is what scales).
+    /// Per-round phase-1 results.
     pub rounds: Vec<MultiGpuResult>,
+    /// Per-round phase-2 cost records. Under [`ContractMode::Host`] these
+    /// carry mode `"host"` and no modelled device time; under
+    /// [`ContractMode::Partitioned`] they hold the per-device compute and
+    /// exchange/repartition model of [`mg_contract::contract_partitioned`].
+    pub contracts: Vec<ContractRoundStats>,
 }
 
 impl MultiGpuFullResult {
-    /// Total modelled device time across rounds (µs).
+    /// Total modelled phase-1 device time across rounds (µs).
     pub fn total_us(&self) -> f64 {
         self.rounds.iter().map(|r| r.total_us()).sum()
+    }
+
+    /// Total modelled phase-2 (contract + exchange) device time (µs); zero
+    /// under [`ContractMode::Host`].
+    pub fn contract_us(&self) -> f64 {
+        self.contracts.iter().map(|c| c.total_us()).sum()
     }
 }
 
 /// Runs the complete Louvain hierarchy with every phase 1 executed on the
-/// simulated devices.
+/// simulated devices and phase 2 selected by [`MultiGpuConfig::contract`].
 pub fn run_full(graph: &Graph, config: MultiGpuConfig) -> MultiGpuFullResult {
-    let backend = config.backend.resolve();
+    run_full_traced(graph, config, &mut NullSink)
+}
+
+/// [`run_full`] with a [`TraceSink`] receiving one `run_start`/`run_end`
+/// bracket around the whole hierarchy, the per-round phase-1 event stream
+/// (supersteps, spans, syncs, metrics — with real round indices), one
+/// `contract` span per round, an exchange `sync` event per partitioned
+/// contraction, and a `round_end` per round.
+pub fn run_full_traced(
+    graph: &Graph,
+    config: MultiGpuConfig,
+    sink: &mut dyn TraceSink,
+) -> MultiGpuFullResult {
+    run_full_instrumented(graph, config, sink, &mut Profiler::disabled())
+}
+
+/// [`run_full_traced`] with a [`Profiler`] accumulating the run-level span
+/// tree: one `round` span per hierarchy round holding the merged
+/// `superstep` trees plus the round's `contract` span (with `aggregate` /
+/// `exchange` children under [`ContractMode::Partitioned`]).
+pub fn run_full_instrumented(
+    graph: &Graph,
+    config: MultiGpuConfig,
+    sink: &mut dyn TraceSink,
+    prof: &mut Profiler,
+) -> MultiGpuFullResult {
+    let cfg = config;
+    let backend = cfg.backend.resolve();
+    let instrumented = prof.is_enabled() || sink.enabled();
+    if sink.enabled() {
+        sink.emit(TraceEvent::RunStart {
+            algorithm: "multi-gpu".to_string(),
+            n: graph.num_vertices() as u64,
+            m: graph.num_edges() as u64,
+            devices: cfg.num_devices as u32,
+        });
+    }
     let mut current: Option<Graph> = None;
     let mut flat: Option<Partition> = None;
-    let mut rounds = Vec::new();
+    let mut rounds: Vec<MultiGpuResult> = Vec::new();
+    let mut contracts: Vec<ContractRoundStats> = Vec::new();
     let mut last_q = f64::NEG_INFINITY;
-    let mut cscratch = gala_graph::coarsen::CoarsenScratch::default();
-    for _ in 0..20 {
+    let mut cscratch = CoarsenScratch::default();
+    for round in 0..20u32 {
         let g = current.as_ref().unwrap_or(graph);
-        let round = run_phase1(g, config);
-        let q = round.modularity;
-        let coarse = backend.contract(
-            g,
-            &round.partition,
-            config.kernel,
-            false,
-            &mut Profiler::disabled(),
-            &mut cscratch,
-        );
-        let stalled = coarse.num_communities == g.num_vertices();
-        flat = Some(match flat {
-            None => coarse.renumbered.clone(),
-            Some(prev) => prev.compose(&coarse.renumbered),
+        prof.enter("round");
+        let round_res = run_phase1_round(g, cfg, sink, prof, round, false);
+        let q = round_res.modularity;
+        // Phase 2 profiles like a superstep: a fresh sub-tree per round,
+        // emitted as a `span`/`profile` pair and absorbed into the open
+        // `round` span (the louvain driver's contract idiom).
+        let mut sub = if instrumented {
+            Profiler::new()
+        } else {
+            Profiler::disabled()
+        };
+        let started = Instant::now();
+        let (coarse, cstats) = sub.scope("contract", |p| {
+            let out = match cfg.contract {
+                ContractMode::Host => {
+                    let coarse = backend.contract(
+                        g,
+                        &round_res.partition,
+                        cfg.kernel,
+                        instrumented,
+                        p,
+                        &mut cscratch,
+                    );
+                    let stats = ContractRoundStats {
+                        devices: cfg.num_devices,
+                        rows: coarse.num_communities as u64,
+                        mode: "host",
+                        ..ContractRoundStats::default()
+                    };
+                    (coarse, stats)
+                }
+                ContractMode::Partitioned => mg_contract::contract_partitioned(
+                    g,
+                    &round_res.partition,
+                    &cfg,
+                    backend,
+                    p,
+                    &mut cscratch,
+                ),
+            };
+            p.count("vertices", g.num_vertices() as u64);
+            p.count("arcs", g.num_arcs() as u64);
+            p.count("communities", out.0.num_communities as u64);
+            p.count("elapsed_ns", started.elapsed().as_nanos() as u64);
+            out
         });
-        rounds.push(round);
-        if stalled || q - last_q < config.theta {
+        let supersteps = round_res.iterations.len() as u32;
+        if instrumented {
+            let tree = sub.finish();
+            if sink.enabled() {
+                sink.emit(TraceEvent::Span {
+                    round,
+                    superstep: supersteps,
+                    phase: "contract".to_string(),
+                    root: tree.clone(),
+                });
+                sink.emit(crate::backend::profile_event(
+                    cfg.backend,
+                    round,
+                    supersteps,
+                    "contract",
+                    &tree,
+                ));
+            }
+            prof.absorb(tree);
+        }
+        // The exchange is the phase-2 analogue of a phase-1 sync: one
+        // event per partitioned round (the host fallback exchanges
+        // nothing, so it emits nothing).
+        if sink.enabled() && cstats.mode != "host" {
+            sink.emit(TraceEvent::Sync {
+                superstep: supersteps,
+                mode: cstats.mode.to_string(),
+                bytes: cstats.exchange_bytes,
+                comm_us: cstats.exchange_us,
+                devices: cfg.num_devices as u32,
+            });
+        }
+        prof.exit();
+        let stalled = coarse.num_communities == g.num_vertices();
+        if sink.enabled() {
+            sink.emit(TraceEvent::RoundEnd {
+                round,
+                supersteps,
+                modularity: q,
+                communities: coarse.num_communities as u64,
+            });
+        }
+        rounds.push(round_res);
+        contracts.push(cstats);
+        let Coarsened {
+            graph: coarse_graph,
+            renumbered,
+            ..
+        } = coarse;
+        // Compose into the flat partition without cloning: the first
+        // round's renumbering *is* the flat partition; later rounds hand
+        // the spent level's assignment back to the scratch.
+        flat = Some(match flat.take() {
+            None => renumbered,
+            Some(prev) => {
+                let composed = prev.compose(&renumbered);
+                cscratch.reclaim_assignment(renumbered);
+                composed
+            }
+        });
+        if stalled || q - last_q < cfg.theta {
+            // The final round's coarse graph is never descended into:
+            // reclaim its CSR buffers instead of leaking them.
+            cscratch.reclaim_graph(coarse_graph);
             break;
         }
         last_q = q;
         if let Some(old) = current.take() {
             cscratch.reclaim_graph(old);
         }
-        cscratch.reclaim_assignment(coarse.renumbered);
-        current = Some(coarse.graph);
+        current = Some(coarse_graph);
     }
     let partition = flat.unwrap_or_else(|| Partition::singletons(graph.num_vertices()));
     let modularity = crate::modularity::modularity(graph, &partition);
+    if sink.enabled() {
+        let total: MemTally = rounds
+            .iter()
+            .flat_map(|r| r.iterations.iter())
+            .flat_map(|i| i.device_tallies.iter().copied())
+            .chain(
+                contracts
+                    .iter()
+                    .flat_map(|c| c.device_tallies.iter().copied()),
+            )
+            .sum();
+        sink.emit(TraceEvent::RunEnd {
+            modularity,
+            rounds: rounds.len() as u32,
+            total_cycles: CostModel::default().cycles(&total),
+        });
+    }
     MultiGpuFullResult {
         partition,
         modularity,
         rounds,
+        contracts,
     }
 }
 
@@ -782,6 +1001,124 @@ mod tests {
         assert_eq!(h.sum(), total_bytes);
         // Routing counters cover every decided vertex.
         assert!(m.counter("kernel/shuffle_vertices").unwrap() > 0);
+    }
+
+    #[test]
+    fn full_run_partitioned_matches_host_contraction() {
+        let g = fixtures::ring_of_cliques(8, 5);
+        for devices in [1, 2, 4, 8] {
+            let host = run_full(
+                &g,
+                MultiGpuConfig {
+                    num_devices: devices,
+                    ..MultiGpuConfig::default()
+                },
+            );
+            let part = run_full(
+                &g,
+                MultiGpuConfig {
+                    num_devices: devices,
+                    contract: ContractMode::Partitioned,
+                    ..MultiGpuConfig::default()
+                },
+            );
+            assert_eq!(part.partition, host.partition, "devices {devices}");
+            assert_eq!(part.modularity.to_bits(), host.modularity.to_bits());
+            assert_eq!(part.rounds.len(), host.rounds.len());
+            assert!(part.contracts.iter().all(|c| c.mode != "host"));
+            assert!(host.contracts.iter().all(|c| c.mode == "host"));
+            assert!(part.contract_us() > 0.0, "partitioned rounds are modelled");
+            assert_eq!(host.contract_us(), 0.0);
+        }
+    }
+
+    #[test]
+    fn full_traced_brackets_rounds_and_emits_exchange_syncs() {
+        use gala_telemetry::VecSink;
+        let g = fixtures::ring_of_cliques(8, 5);
+        let cfg = MultiGpuConfig {
+            num_devices: 4,
+            contract: ContractMode::Partitioned,
+            ..MultiGpuConfig::default()
+        };
+        let plain = run_full(&g, cfg);
+        let mut sink = VecSink::default();
+        let traced = run_full_traced(&g, cfg, &mut sink);
+        assert_eq!(traced.partition, plain.partition);
+        assert_eq!(traced.modularity.to_bits(), plain.modularity.to_bits());
+
+        let starts = sink
+            .events
+            .iter()
+            .filter(|e| matches!(e, TraceEvent::RunStart { .. }))
+            .count();
+        let ends = sink
+            .events
+            .iter()
+            .filter(|e| matches!(e, TraceEvent::RunEnd { .. }))
+            .count();
+        assert_eq!((starts, ends), (1, 1), "one bracket around the hierarchy");
+        let round_ends: Vec<u32> = sink
+            .events
+            .iter()
+            .filter_map(|e| match e {
+                TraceEvent::RoundEnd { round, .. } => Some(*round),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(round_ends.len(), traced.rounds.len());
+        assert_eq!(
+            round_ends,
+            (0..traced.rounds.len() as u32).collect::<Vec<_>>()
+        );
+
+        // One contract span per round, with aggregate/exchange children.
+        let contract_spans: Vec<_> = sink
+            .events
+            .iter()
+            .filter_map(|e| match e {
+                TraceEvent::Span { phase, root, .. } if phase == "contract" => Some(root),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(contract_spans.len(), traced.contracts.len());
+        for (root, stats) in contract_spans.iter().zip(&traced.contracts) {
+            let c = root.child("contract").expect("contract scope");
+            let ex = c.child("exchange").expect("exchange scope");
+            assert_eq!(ex.counter("bytes"), stats.exchange_bytes);
+            assert_eq!(ex.counter("ghost_members"), stats.ghost_members);
+            assert_eq!(c.child("aggregate").unwrap().counter("devices"), 4);
+        }
+
+        // One exchange sync event per partitioned round, byte-exact.
+        let exchanges: Vec<_> = sink
+            .events
+            .iter()
+            .filter_map(|e| match e {
+                TraceEvent::Sync { mode, bytes, .. } if mode.starts_with("exchange-") => {
+                    Some((mode.clone(), *bytes))
+                }
+                _ => None,
+            })
+            .collect();
+        assert_eq!(exchanges.len(), traced.contracts.len());
+        for ((mode, bytes), stats) in exchanges.iter().zip(&traced.contracts) {
+            assert_eq!(mode, stats.mode);
+            assert_eq!(*bytes, stats.exchange_bytes);
+        }
+    }
+
+    #[test]
+    fn contract_mode_parses_and_displays() {
+        assert_eq!("host".parse::<ContractMode>().unwrap(), ContractMode::Host);
+        assert_eq!(
+            "partitioned".parse::<ContractMode>().unwrap(),
+            ContractMode::Partitioned
+        );
+        assert!("device".parse::<ContractMode>().is_err());
+        for mode in [ContractMode::Host, ContractMode::Partitioned] {
+            assert_eq!(mode.to_string().parse::<ContractMode>().unwrap(), mode);
+        }
     }
 
     #[test]

@@ -199,8 +199,10 @@ impl CoarsenScratch {
 /// Community ids at or above `8n + 1024` fall back to the `HashMap` path:
 /// the dense histogram would be sized by the largest id, which only pays
 /// off while ids are `O(n)` — always true inside the Louvain hierarchy,
-/// where ids descend from vertex ids.
-fn ids_too_sparse(n: usize, comm: &[CommunityId]) -> bool {
+/// where ids descend from vertex ids. Public so partitioned multi-device
+/// drivers can detect the fallback condition and route the whole round to
+/// the host [`coarsen`] path instead of grouping per device.
+pub fn ids_too_sparse(n: usize, comm: &[CommunityId]) -> bool {
     let bound = n.saturating_mul(8).saturating_add(1024);
     comm.iter().any(|&c| c as usize >= bound)
 }
@@ -285,6 +287,81 @@ pub fn renumber_and_group(
     k as usize
 }
 
+/// One coarse row's canonical accumulation — members ascending × CSR
+/// neighbor order — shared by [`coarsen_into`] and [`aggregate_rows`] so
+/// every aggregation path (host, per device) is bit-for-bit identical.
+/// Appends the row's sorted `(community, weight)` pairs to `acc.pairs` and
+/// returns the row's degree (distinct neighbor communities).
+fn accumulate_row(
+    acc: &mut RowAccum,
+    graph: &Graph,
+    r: usize,
+    k: usize,
+    renum: &[CommunityId],
+    vo: &[usize],
+    members: &[VertexId],
+) -> usize {
+    acc.begin_row(k);
+    for &v in &members[vo[r]..vo[r + 1]] {
+        for (u, w) in graph.neighbors(v) {
+            acc.add(renum[u as usize], w);
+        }
+    }
+    acc.touched.sort_unstable();
+    for &c in &acc.touched {
+        acc.pairs.push((c, acc.val[c as usize]));
+    }
+    acc.touched.len()
+}
+
+/// Aggregates the contiguous coarse-row range `rows` of a grouping prepared
+/// by [`renumber_and_group`], through the same pooled dedup pass as
+/// [`coarsen_into`]: each row's degree is appended to `row_deg` and its
+/// sorted `(community, weight)` pairs to `pairs`, both in ascending row
+/// order. This is one device's slice of the partitioned multi-device
+/// contraction — concatenating the outputs of adjacent ranges in range
+/// order reproduces the [`coarsen_into`] CSR body bit for bit, at every
+/// pool width.
+///
+/// Takes the scratch by shared reference (the dedup-map pool is internally
+/// synchronised), so a driver can hold the grouping fixed while devices
+/// aggregate their ranges.
+pub fn aggregate_rows(
+    graph: &Graph,
+    scratch: &CoarsenScratch,
+    rows: std::ops::Range<usize>,
+    k: usize,
+    row_deg: &mut Vec<u64>,
+    pairs: &mut Vec<(CommunityId, f64)>,
+) {
+    let renum: &[CommunityId] = &scratch.renumbered;
+    let vo: &[usize] = &scratch.vert_offsets;
+    let members: &[VertexId] = &scratch.members;
+    let accums = &scratch.accums;
+    let pop_accum = || {
+        let mut acc: RowAccum = accums
+            .lock()
+            .expect("accumulator pool poisoned")
+            .pop()
+            .unwrap_or_default();
+        acc.pairs.clear();
+        acc
+    };
+    let base = rows.start;
+    let mut degs = Vec::new();
+    let accs = rayon::par_map_indexed_accum_into(rows.len(), &mut degs, pop_accum, |i, acc| {
+        accumulate_row(acc, graph, base + i, k, renum, vo, members)
+    });
+    row_deg.extend(degs.iter().map(|&d| d as u64));
+    for acc in &accs {
+        pairs.extend_from_slice(&acc.pairs);
+    }
+    accums
+        .lock()
+        .expect("accumulator pool poisoned")
+        .extend(accs);
+}
+
 /// [`coarsen`] through a parallel, allocation-reusing counting-sort
 /// pipeline (no comparison sort over edges, no `HashMap`):
 ///
@@ -334,19 +411,7 @@ pub fn coarsen_into(
         k,
         &mut scratch.row_deg,
         pop_accum,
-        |r, acc: &mut RowAccum| {
-            acc.begin_row(k);
-            for &v in &members[vo[r]..vo[r + 1]] {
-                for (u, w) in graph.neighbors(v) {
-                    acc.add(renum[u as usize], w);
-                }
-            }
-            acc.touched.sort_unstable();
-            for &c in &acc.touched {
-                acc.pairs.push((c, acc.val[c as usize]));
-            }
-            acc.touched.len()
-        },
+        |r, acc: &mut RowAccum| accumulate_row(acc, graph, r, k, renum, vo, members),
     );
 
     // Exact coarse CSR offsets from the distinct counts.
@@ -576,6 +641,44 @@ mod tests {
             scratch.renumbered.capacity() <= caps.0,
             "assignment buffer grew past the round-1 high-water mark"
         );
+    }
+
+    #[test]
+    fn aggregate_rows_splits_reproduce_coarsen_into() {
+        let g = crate::generators::fixtures::ring_of_cliques(12, 7);
+        let p = Partition::from_assignment(
+            (0..g.num_vertices() as CommunityId)
+                .map(|v| v / 3)
+                .collect(),
+        );
+        let mut ref_scratch = CoarsenScratch::default();
+        let whole = coarsen_into(&g, &p, &mut ref_scratch);
+        let mut scratch = CoarsenScratch::default();
+        let k = renumber_and_group(&g, &p, &mut scratch);
+        assert_eq!(k, whole.num_communities);
+        for splits in [vec![0, k], vec![0, 1, k], vec![0, k / 3, k / 2, k, k]] {
+            let mut row_deg = Vec::new();
+            let mut pairs = Vec::new();
+            for w in splits.windows(2) {
+                aggregate_rows(&g, &scratch, w[0]..w[1], k, &mut row_deg, &mut pairs);
+            }
+            assert_eq!(row_deg.len(), k);
+            let mut run = 0usize;
+            for (r, &d) in row_deg.iter().enumerate() {
+                run += d as usize;
+                assert_eq!(run, whole.graph.offsets()[r + 1], "row {r} degree");
+            }
+            let flat: Vec<(CommunityId, u64)> =
+                pairs.iter().map(|&(c, w)| (c, w.to_bits())).collect();
+            let expect: Vec<(CommunityId, u64)> = whole
+                .graph
+                .targets()
+                .iter()
+                .zip(whole.graph.weights())
+                .map(|(&c, w)| (c, w.to_bits()))
+                .collect();
+            assert_eq!(flat, expect, "splits {splits:?}");
+        }
     }
 
     #[test]
