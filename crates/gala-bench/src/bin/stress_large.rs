@@ -1,24 +1,76 @@
-//! Section 5.6's capacity check: the paper runs phase 1 of the first round
-//! on uk-2007-02 (3.4 B edges) in 43 s on 8 A100s. Here: the largest
-//! stand-in this harness generates (a uk-2007-flavoured power-law SBM, two
-//! orders of magnitude smaller), timed end to end on the simulated devices.
+//! Section 5.6's capacity check, in two acts.
+//!
+//! **Fidelity act** (unchanged series): the largest stand-in the simulator
+//! can afford — a uk-2007-flavoured power-law SBM, two orders of magnitude
+//! below the paper's uk-2007-02 — through single-device and 8-device
+//! simulated phase 1.
+//!
+//! **Capacity act** (out-of-core): a [`CommunityStream`] graph with
+//! ≥ 200 M directed arcs at full scale — the paper's *scale*, minus its
+//! hardware — ingested by the streaming spill-and-merge builder under an
+//! enforced chunk budget (`GALA_STRESS_BUDGET_MB`, default 1024), then
+//! clustered: native-backend phase 1 followed by the 8-device partitioned
+//! contraction. Peak RSS per phase comes from the gala-telemetry procfs
+//! probe, and the run **fails** (exit 1) if the ingest phase's peak
+//! exceeds budget + output CSR + slack — the out-of-core contract is a
+//! hard promise here, not a printed number.
 //!
 //! ```sh
-//! cargo run --release -p gala-bench --bin stress_large
+//! cargo run --release -p gala-bench --bin stress_large -- --report results/BENCH_stress.json
 //! ```
 
-use gala_bench::{new_report, time, BenchArgs};
+use gala_bench::{eng, new_report, time, BenchArgs, Table};
+use gala_core::backend::BackendKind;
 use gala_core::louvain::{Louvain, LouvainConfig};
+use gala_core::mg_contract::contract_partitioned;
 use gala_core::multi_gpu::{run_phase1, MultiGpuConfig, SyncMode};
+use gala_gpu::profile::Profiler;
+use gala_graph::coarsen::CoarsenScratch;
 use gala_graph::generators::sbm::PowerLawSbm;
+use gala_graph::generators::stream::CommunityStream;
 use gala_graph::stats::GraphStats;
+use gala_graph::stream::StreamingBuilder;
+use gala_graph::Graph;
+use gala_telemetry::mem::{mib, PhasePeak};
 use gala_telemetry::MetricRow;
 
+/// Devices the partitioned contraction runs on (the paper's A100 count).
+const CONTRACT_DEVICES: usize = 8;
+
+/// Slack allowed on top of budget + output CSR before the ingest phase's
+/// peak RSS fails the run: covers the merge accumulator's transient
+/// (counts + pre-dedup output headroom) and procfs granularity.
+const BUDGET_SLACK_FRACTION: f64 = 0.35;
+const BUDGET_SLACK_FLOOR_BYTES: u64 = 256 << 20;
+
+/// The streaming chunk budget: `GALA_STRESS_BUDGET_MB` or 1 GiB.
+fn budget_bytes(test_scale: bool) -> usize {
+    match std::env::var("GALA_STRESS_BUDGET_MB")
+        .ok()
+        .and_then(|v| v.parse::<usize>().ok())
+    {
+        Some(mb) => mb << 20,
+        None if test_scale => 4 << 20,
+        None => 1024 << 20,
+    }
+}
+
+/// Resident bytes of the finished CSR (offsets + targets + weights +
+/// per-vertex weighted degrees) — the part of the ingest peak that is
+/// output, not working set.
+fn csr_bytes(g: &Graph) -> u64 {
+    let n = g.num_vertices() as u64;
+    let arcs = g.num_arcs() as u64;
+    (n + 1) * 8 + arcs * 4 + arcs * 8 + n * 8
+}
+
 fn main() {
-    let n = match std::env::var("GALA_SCALE").as_deref() {
-        Ok("test") => 20_000,
-        _ => 200_000,
-    };
+    let args = BenchArgs::parse();
+    let test_scale = matches!(std::env::var("GALA_SCALE").as_deref(), Ok("test"));
+    let mut report = new_report("stress_large");
+
+    // ---- act 1: simulated fidelity at the simulator's comfort scale ----
+    let n = if test_scale { 20_000 } else { 200_000 };
     println!("generating uk-2007-flavoured stand-in (n = {n})...");
     let (gt, gen_time) = time(|| {
         PowerLawSbm {
@@ -69,7 +121,6 @@ fn main() {
         multi.comm_us(),
         multi.modularity
     );
-    let mut report = new_report("stress_large");
     report.push(
         MetricRow::new("graph")
             .metric("vertices", s.num_vertices as f64)
@@ -89,6 +140,171 @@ fn main() {
             .metric("comm_us", multi.comm_us())
             .metric("modularity", multi.modularity),
     );
-    BenchArgs::parse().write_report(&report);
+    drop((state, g));
+
+    // ---- act 2: out-of-core capacity at the paper's arc scale ----------
+    let stream = CommunityStream {
+        num_vertices: if test_scale { 100_000 } else { 12_000_000 },
+        community_size: 64,
+        intra: 7,
+        chords: 2,
+        seed: 0x5712E55,
+    };
+    let budget = budget_bytes(test_scale);
+    println!(
+        "\nout-of-core act: streaming ~{} arcs (n = {}) under a {} MiB chunk budget...",
+        eng(2.0 * stream.max_edges() as f64),
+        stream.num_vertices,
+        budget >> 20
+    );
+
+    let ingest_probe = PhasePeak::begin();
+    let ((big, spilled_runs, spilled_bytes), ingest_wall) = time(|| {
+        let mut b = StreamingBuilder::with_budget_bytes(stream.num_vertices, budget);
+        b.extend_unweighted(stream.edges());
+        let (runs, bytes) = (b.spilled_runs(), b.spilled_bytes());
+        (b.finish().expect("streaming ingest failed"), runs, bytes)
+    });
+    let ingest_peak = ingest_probe.end();
+    let arcs = big.num_arcs() as u64;
+    let arcs_per_s = arcs as f64 / ingest_wall.as_secs_f64().max(1e-9);
+    let out_bytes = csr_bytes(&big);
+    println!(
+        "ingested {} arcs in {:.1}s ({} arcs/s, {} runs, {:.0} MiB spilled) -> CSR {:.0} MiB",
+        eng(arcs as f64),
+        ingest_wall.as_secs_f64(),
+        eng(arcs_per_s),
+        spilled_runs,
+        mib(spilled_bytes),
+        mib(out_bytes),
+    );
+
+    // The enforced budget: ingest peak must stay within chunk budget +
+    // the CSR it produces + bounded slack.
+    let slack = ((out_bytes as f64 * BUDGET_SLACK_FRACTION) as u64).max(BUDGET_SLACK_FLOOR_BYTES);
+    let allowed = budget as u64 + out_bytes + slack;
+    match ingest_peak {
+        Some(peak) => {
+            println!(
+                "ingest peak RSS {:.0} MiB (allowed {:.0} MiB = budget {} MiB + CSR {:.0} MiB + slack)",
+                mib(peak),
+                mib(allowed),
+                budget >> 20,
+                mib(out_bytes),
+            );
+            if peak > allowed {
+                eprintln!(
+                    "BUDGET EXCEEDED: ingest peak {:.0} MiB over the allowed {:.0} MiB",
+                    mib(peak),
+                    mib(allowed)
+                );
+                std::process::exit(1);
+            }
+        }
+        None => println!("ingest peak RSS unavailable (no procfs); budget not enforceable"),
+    }
+
+    let phase1_probe = PhasePeak::begin();
+    let ((big_state, big_stats), phase1_wall) = time(|| {
+        Louvain::new(LouvainConfig {
+            backend: BackendKind::Native,
+            ..LouvainConfig::default()
+        })
+        .run_phase1(&big)
+    });
+    let phase1_peak = phase1_probe.end();
+    println!(
+        "native phase 1: {:.1}s wall, {} supersteps, Q = {:.5}, {} communities",
+        phase1_wall.as_secs_f64(),
+        big_stats.iterations.len(),
+        big_stats.modularity,
+        big_state.partition().num_communities()
+    );
+
+    let mut prof = Profiler::new();
+    let mut scratch = CoarsenScratch::default();
+    let ((coarse, cstats), contract_wall) = time(|| {
+        contract_partitioned(
+            &big,
+            &big_state.partition(),
+            &MultiGpuConfig {
+                num_devices: CONTRACT_DEVICES,
+                backend: BackendKind::Native,
+                ..MultiGpuConfig::default()
+            },
+            BackendKind::Native.resolve(),
+            &mut prof,
+            &mut scratch,
+        )
+    });
+    println!(
+        "partitioned contraction ({} devices): {:.1}s wall, {} rows, mode {}, \
+         {} ghost members, exchange {:.1} MiB",
+        cstats.devices,
+        contract_wall.as_secs_f64(),
+        cstats.rows,
+        cstats.mode,
+        cstats.ghost_members,
+        mib(cstats.exchange_bytes),
+    );
+
+    let mut ingest_table = Table::new(&[
+        "Phase",
+        "Arcs",
+        "Wall s",
+        "Arcs/s",
+        "Peak MiB",
+        "Runs",
+        "Spill MiB",
+    ]);
+    ingest_table.row(vec![
+        "ingest".into(),
+        arcs.to_string(),
+        format!("{:.1}", ingest_wall.as_secs_f64()),
+        format!("{arcs_per_s:.0}"),
+        ingest_peak.map_or("-".into(), |p| format!("{:.0}", mib(p))),
+        spilled_runs.to_string(),
+        format!("{:.0}", mib(spilled_bytes)),
+    ]);
+    ingest_table.row(vec![
+        "phase1".into(),
+        arcs.to_string(),
+        format!("{:.1}", phase1_wall.as_secs_f64()),
+        format!("{:.0}", arcs as f64 / phase1_wall.as_secs_f64().max(1e-9)),
+        phase1_peak.map_or("-".into(), |p| format!("{:.0}", mib(p))),
+        "0".into(),
+        "0".into(),
+    ]);
+    println!();
+    ingest_table.print();
+    ingest_table.add_to_report(&mut report, "outofcore");
+
+    report.push(
+        MetricRow::new("outofcore/graph")
+            .metric("vertices", big.num_vertices() as f64)
+            .metric("arcs", arcs as f64)
+            .metric("budget_mib", (budget >> 20) as f64)
+            .metric("csr_mib", mib(out_bytes)),
+    );
+    report.push(
+        MetricRow::new("outofcore/phase1")
+            .metric("supersteps", big_stats.iterations.len() as f64)
+            .metric("modularity", big_stats.modularity)
+            .metric(
+                "communities",
+                big_state.partition().num_communities() as f64,
+            ),
+    );
+    report.push(
+        MetricRow::new("outofcore/contract")
+            .metric("devices", cstats.devices as f64)
+            .metric("rows", cstats.rows as f64)
+            .metric("ghost_members", cstats.ghost_members as f64)
+            .metric("exchange_mib", mib(cstats.exchange_bytes))
+            .metric("wall_s", contract_wall.as_secs_f64())
+            .metric("coarse_vertices", coarse.graph.num_vertices() as f64),
+    );
+
+    args.write_report(&report);
     println!("\npaper: uk-2007-02 (3.4B edges) phase 1 in 43 s on 8 A100s.");
 }

@@ -16,6 +16,15 @@ usage:
       --devices <p>                            simulated GPUs (default: 1)
       --mg-contract host|partitioned           phase-2 contraction for
                                                multi-device runs (default: host)
+      --reorder degree|bfs|none                locality preprocessing: renumber
+                                               vertices before detection and
+                                               report mean edge span before and
+                                               after (default: none; output
+                                               assignments keep original ids)
+      --store owned|mapped                     binary-graph load path: fully
+                                               validated owned arrays, or the
+                                               checksummed mapped container
+                                               (default: owned; bin format only)
       --trace <file>     write a JSONL superstep trace (gala algorithm)
       --report <file>    write a machine-readable JSON run report
       --quiet                                  suppress the report
@@ -165,6 +174,59 @@ impl MgContract {
     }
 }
 
+/// Locality preprocessing (`--reorder`): renumber vertices before
+/// detection. Assignments written with `--output` are mapped back to the
+/// original ids. The graph itself is unchanged up to relabeling, but
+/// parallel Louvain breaks ties by vertex id, so community boundaries
+/// (and Q, slightly) can differ from the unreordered run.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum Reorder {
+    /// Keep the input ordering (the default).
+    #[default]
+    None,
+    /// Degree-descending (hubs first).
+    Degree,
+    /// BFS from the highest-degree vertex per component.
+    Bfs,
+}
+
+impl Reorder {
+    fn parse(s: &str) -> Result<Self, ParseError> {
+        match s {
+            "none" => Ok(Reorder::None),
+            "degree" => Ok(Reorder::Degree),
+            "bfs" => Ok(Reorder::Bfs),
+            other => Err(ParseError(format!(
+                "unknown reorder `{other}` (expected degree|bfs|none)"
+            ))),
+        }
+    }
+}
+
+/// Binary-graph load path (`--store`): fully validated owned arrays, or
+/// the checksummed v2 container through the mapped loader. Both yield
+/// identical graphs; mapped skips the structural audit on load.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum Store {
+    /// Owned, fully validated load (the default).
+    #[default]
+    Owned,
+    /// Mapped v2-container load (bin format only).
+    Mapped,
+}
+
+impl Store {
+    fn parse(s: &str) -> Result<Self, ParseError> {
+        match s {
+            "owned" => Ok(Store::Owned),
+            "mapped" => Ok(Store::Mapped),
+            other => Err(ParseError(format!(
+                "unknown store `{other}` (expected owned|mapped)"
+            ))),
+        }
+    }
+}
+
 /// Pruning strategy names.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum Pruning {
@@ -217,6 +279,10 @@ pub struct DetectArgs {
     pub devices: usize,
     /// Phase-2 contraction strategy (multi-device runs).
     pub mg_contract: MgContract,
+    /// Locality preprocessing before detection.
+    pub reorder: Reorder,
+    /// Binary-graph load path.
+    pub store: Store,
     /// JSONL trace output path (per-superstep events; GALA algorithm).
     pub trace: Option<String>,
     /// Machine-readable JSON report output path.
@@ -389,6 +455,8 @@ impl Command {
             output: None,
             devices: 1,
             mg_contract: MgContract::Host,
+            reorder: Reorder::None,
+            store: Store::Owned,
             trace: None,
             report: None,
             quiet: false,
@@ -424,6 +492,8 @@ impl Command {
                 "--mg-contract" => {
                     out.mg_contract = MgContract::parse(value(args, &mut i, "--mg-contract")?)?
                 }
+                "--reorder" => out.reorder = Reorder::parse(value(args, &mut i, "--reorder")?)?,
+                "--store" => out.store = Store::parse(value(args, &mut i, "--store")?)?,
                 "--trace" => out.trace = Some(value(args, &mut i, "--trace")?.to_string()),
                 "--report" => out.report = Some(value(args, &mut i, "--report")?.to_string()),
                 "--quiet" => out.quiet = true,
@@ -742,6 +812,28 @@ mod tests {
         assert_eq!(d.report.as_deref(), Some("report.json"));
         assert!(Command::parse(&argv("detect g.txt --trace")).is_err());
         assert!(Command::parse(&argv("detect g.txt --report")).is_err());
+    }
+
+    #[test]
+    fn parses_reorder_and_store_flags() {
+        let cmd = Command::parse(&argv("detect g.bin --reorder degree --store mapped")).unwrap();
+        let Command::Detect(d) = cmd else { panic!() };
+        assert_eq!(d.reorder, Reorder::Degree);
+        assert_eq!(d.store, Store::Mapped);
+
+        let cmd = Command::parse(&argv("detect g.txt --reorder bfs")).unwrap();
+        let Command::Detect(d) = cmd else { panic!() };
+        assert_eq!(d.reorder, Reorder::Bfs);
+        assert_eq!(d.store, Store::Owned);
+
+        let cmd = Command::parse(&argv("detect g.txt --reorder none")).unwrap();
+        let Command::Detect(d) = cmd else { panic!() };
+        assert_eq!(d.reorder, Reorder::None);
+
+        assert!(Command::parse(&argv("detect g.txt --reorder hilbert")).is_err());
+        assert!(Command::parse(&argv("detect g.txt --store virtual")).is_err());
+        assert!(Command::parse(&argv("detect g.txt --reorder")).is_err());
+        assert!(Command::parse(&argv("detect g.txt --store")).is_err());
     }
 
     #[test]

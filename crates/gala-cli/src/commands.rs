@@ -1,7 +1,8 @@
 //! Command execution: graph IO, algorithm dispatch, and reporting.
 
 use crate::args::{
-    Algorithm, Backend, Command, DetectArgs, Format, GenerateArgs, MgContract, Pruning, USAGE,
+    Algorithm, Backend, Command, DetectArgs, Format, GenerateArgs, MgContract, Pruning, Reorder,
+    Store, USAGE,
 };
 use gala_core::backend::BackendKind;
 use gala_core::label_prop::{label_propagation, LabelPropConfig};
@@ -24,8 +25,9 @@ use gala_graph::generators::lfr::LfrParams;
 use gala_graph::generators::rmat::{rmat, RmatParams};
 use gala_graph::generators::sbm::PowerLawSbm;
 use gala_graph::generators::ws::watts_strogatz;
+use gala_graph::reorder::{self, Ordering};
 use gala_graph::stats::GraphStats;
-use gala_graph::{io, metis, Graph, Partition};
+use gala_graph::{io, metis, Graph, GraphStore, Partition};
 use gala_telemetry::{JsonlSink, MetricRow, NullSink, Report, TraceSink};
 use std::fs::File;
 use std::io::{BufWriter, Write};
@@ -247,7 +249,36 @@ fn push_span_rows(report: &mut Report, span: &SpanRecord, prefix: &str) {
 }
 
 fn detect(args: DetectArgs) -> Result<(), Error> {
-    let graph = load(&args.input, args.format)?;
+    let format = args
+        .format
+        .unwrap_or_else(|| Format::from_path(&args.input));
+    let store = if args.store == Store::Mapped {
+        if format != Format::Binary {
+            return Err("--store mapped requires a binary graph (--format bin)".into());
+        }
+        GraphStore::Mapped(io::load_binary_mapped(&args.input)?)
+    } else {
+        GraphStore::Owned(load(&args.input, Some(format))?)
+    };
+    let store_kind = store.kind();
+    // --reorder: renumber for locality before detection. The ordering is
+    // kept so `--output` can map assignments back to the original ids.
+    let (graph, ordering, spans): (Graph, Option<Ordering>, Option<(f64, f64)>) = match args.reorder
+    {
+        Reorder::None => (store.into_graph(), None, None),
+        kind => {
+            let base = store.graph();
+            let before = reorder::mean_edge_span(base);
+            let ord = match kind {
+                Reorder::Degree => reorder::degree_order(base),
+                Reorder::Bfs => reorder::bfs_order(base),
+                Reorder::None => unreachable!(),
+            };
+            let reordered = reorder::apply(base, &ord);
+            let after = reorder::mean_edge_span(&reordered);
+            (reordered, Some(ord), Some((before, after)))
+        }
+    };
     // --trace: JSONL superstep events (only the GALA drivers emit them;
     // the other algorithms leave the file empty).
     let mut jsonl = match &args.trace {
@@ -369,6 +400,15 @@ fn detect(args: DetectArgs) -> Result<(), Error> {
                     MgContract::Host => "host",
                     MgContract::Partitioned => "partitioned",
                 },
+            )
+            .meta("store", store_kind)
+            .meta(
+                "reorder",
+                match args.reorder {
+                    Reorder::None => "none",
+                    Reorder::Degree => "degree",
+                    Reorder::Bfs => "bfs",
+                },
             );
         report.push(
             MetricRow::new("summary")
@@ -380,6 +420,13 @@ fn detect(args: DetectArgs) -> Result<(), Error> {
                 .metric("mean_conductance", mean_conductance(&graph, &partition))
                 .metric("seconds", elapsed.as_secs_f64()),
         );
+        if let Some((before, after)) = spans {
+            report.push(
+                MetricRow::new("reorder")
+                    .metric("mean_edge_span_before", before)
+                    .metric("mean_edge_span_after", after),
+            );
+        }
         push_span_rows(&mut report, &prof.finish(), "span");
         report.write_to(path)?;
     }
@@ -399,10 +446,20 @@ fn detect(args: DetectArgs) -> Result<(), Error> {
             coverage(&graph, &partition),
             mean_conductance(&graph, &partition)
         );
+        if let Some((before, after)) = spans {
+            println!("mean edge span: {before:.1} -> {after:.1} (reordered)");
+        }
     }
     if let Some(path) = args.output {
         let mut w = BufWriter::new(File::create(&path)?);
-        for (v, &c) in partition.assignment().iter().enumerate() {
+        // Assignments are written against the ORIGINAL vertex ids: when a
+        // reorder ran, each original vertex reads its label through its
+        // renumbered id.
+        for v in 0..partition.len() {
+            let c = match &ordering {
+                Some(ord) => partition.community_of(ord.new_id[v]),
+                None => partition.community_of(v as u32),
+            };
             writeln!(w, "{v} {c}")?;
         }
         if !args.quiet {
@@ -756,6 +813,139 @@ mod tests {
         assert_ne!(p.community_of(3), 7);
         assert_ne!(p.community_of(1), p.community_of(3));
         let _ = std::fs::remove_file(path);
+    }
+
+    #[test]
+    fn reordered_detect_matches_unordered_up_to_labels() {
+        let g = fixtures::ring_of_cliques(6, 4);
+        let graph_path = format!("{}.txt", tmp("reord"));
+        save(&g, &graph_path).unwrap();
+        let base_out = format!("{}_none.out", tmp("reord"));
+        execute(
+            Command::parse(
+                &[
+                    "detect",
+                    graph_path.as_str(),
+                    "--output",
+                    base_out.as_str(),
+                    "--quiet",
+                ]
+                .map(String::from),
+            )
+            .unwrap(),
+        )
+        .unwrap();
+        let base = load_assignment(&base_out, 0).unwrap();
+        for kind in ["degree", "bfs"] {
+            let out = format!("{}_{kind}.out", tmp("reord"));
+            let report_path = format!("{}_{kind}.json", tmp("reord"));
+            execute(
+                Command::parse(
+                    &[
+                        "detect",
+                        graph_path.as_str(),
+                        "--reorder",
+                        kind,
+                        "--output",
+                        out.as_str(),
+                        "--report",
+                        report_path.as_str(),
+                        "--quiet",
+                    ]
+                    .map(String::from),
+                )
+                .unwrap(),
+            )
+            .unwrap();
+            // Output is keyed by ORIGINAL ids: same partition up to labels.
+            let p = load_assignment(&out, 0).unwrap();
+            assert_eq!(
+                gala_core::metrics::nmi(&base, &p),
+                1.0,
+                "--reorder {kind} must not change the partition"
+            );
+            let report = Report::read_from(&report_path).unwrap();
+            assert_eq!(report.meta_value("reorder"), Some(kind));
+            let row = report.row("reorder").expect("span metrics row");
+            assert!(row.get("mean_edge_span_before").unwrap() > 0.0);
+            assert!(row.get("mean_edge_span_after").unwrap() > 0.0);
+            for p in [out, report_path] {
+                let _ = std::fs::remove_file(p);
+            }
+        }
+        for p in [graph_path, base_out] {
+            let _ = std::fs::remove_file(p);
+        }
+    }
+
+    #[test]
+    fn mapped_store_detect_matches_owned_on_both_backends() {
+        let g = fixtures::ring_of_cliques(5, 4);
+        let graph_path = format!("{}.bin", tmp("mapped"));
+        save(&g, &graph_path).unwrap();
+        for backend in ["sim", "native"] {
+            let mut outs = Vec::new();
+            for store in ["owned", "mapped"] {
+                let out = format!("{}_{backend}_{store}.out", tmp("mapped"));
+                let report_path = format!("{}_{backend}_{store}.json", tmp("mapped"));
+                execute(
+                    Command::parse(
+                        &[
+                            "detect",
+                            graph_path.as_str(),
+                            "--backend",
+                            backend,
+                            "--store",
+                            store,
+                            "--output",
+                            out.as_str(),
+                            "--report",
+                            report_path.as_str(),
+                            "--quiet",
+                        ]
+                        .map(String::from),
+                    )
+                    .unwrap(),
+                )
+                .unwrap();
+                let report = Report::read_from(&report_path).unwrap();
+                assert_eq!(report.meta_value("store"), Some(store));
+                let q = report.row("summary").unwrap().get("modularity").unwrap();
+                outs.push((std::fs::read_to_string(&out).unwrap(), q));
+                for p in [out, report_path] {
+                    let _ = std::fs::remove_file(p);
+                }
+            }
+            assert_eq!(
+                outs[0].0, outs[1].0,
+                "{backend}: mapped and owned stores must agree on assignments"
+            );
+            assert_eq!(
+                outs[0].1, outs[1].1,
+                "{backend}: mapped and owned stores must agree on modularity"
+            );
+        }
+        let _ = std::fs::remove_file(graph_path);
+    }
+
+    #[test]
+    fn mapped_store_requires_binary_input() {
+        let g = fixtures::two_cliques(3);
+        let graph_path = format!("{}.txt", tmp("mappedtxt"));
+        save(&g, &graph_path).unwrap();
+        let cmd = Command::parse(
+            &[
+                "detect",
+                graph_path.as_str(),
+                "--store",
+                "mapped",
+                "--quiet",
+            ]
+            .map(String::from),
+        )
+        .unwrap();
+        assert!(execute(cmd).is_err());
+        let _ = std::fs::remove_file(graph_path);
     }
 
     #[test]

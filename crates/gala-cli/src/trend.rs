@@ -37,7 +37,12 @@ enum Direction {
 fn direction(metric: &str) -> Direction {
     let m = metric.to_ascii_lowercase();
     let has = |needle: &str| m.contains(needle);
-    if has("vertices") || has("arcs") || has("comms") || has("edges") || m == "n" || m == "m" {
+    // Throughputs ("arcs/s", "Marcs/s") end with a per-second unit; they
+    // must win over the Neutral size words they usually contain.
+    if m.ends_with("/s") {
+        Direction::HigherIsBetter
+    } else if has("vertices") || has("arcs") || has("comms") || has("edges") || m == "n" || m == "m"
+    {
         Direction::Neutral
     } else if has("speedup")
         || has("modularity")
@@ -288,6 +293,11 @@ mod tests {
         assert_eq!(direction("NMI"), Direction::HigherIsBetter);
         assert_eq!(direction("Vertices"), Direction::Neutral);
         assert_eq!(direction("Arcs"), Direction::Neutral);
+        // Throughputs end in "/s" and beat the Neutral size words.
+        assert_eq!(direction("Arcs/s"), Direction::HigherIsBetter);
+        assert_eq!(direction("Stream Marcs/s"), Direction::HigherIsBetter);
+        // But "ns/superstep" style rates still read lower-is-better.
+        assert_eq!(direction("ns/superstep"), Direction::LowerIsBetter);
     }
 
     #[test]

@@ -7,6 +7,32 @@
 
 use crate::csr::{Graph, VertexId};
 
+/// Anything that can accept a stream of undirected edges: the in-memory
+/// [`GraphBuilder`], the out-of-core [`crate::stream::StreamingBuilder`],
+/// and test doubles. `crate::io::parse_edge_list_into` is generic over
+/// this trait so the byte-level parser feeds either path.
+///
+/// Implementations must apply the crate's edge conventions themselves
+/// (self-loop doubling, symmetrisation, duplicate merging at build time)
+/// so that every sink fed the same edge multiset produces the same graph.
+pub trait EdgeSink {
+    /// Adds an undirected edge `{u, v}` of weight `w`. Panics on
+    /// non-finite or negative weights, like [`GraphBuilder::add_edge`].
+    fn add_edge(&mut self, u: VertexId, v: VertexId, w: f64);
+
+    /// Ensures the built graph has at least `n` vertices.
+    fn reserve_vertices(&mut self, n: usize);
+}
+
+/// Validates an edge weight (shared by every [`EdgeSink`]).
+#[inline]
+pub(crate) fn assert_weight(w: f64) {
+    assert!(
+        w.is_finite() && w >= 0.0,
+        "edge weight must be finite and >= 0, got {w}"
+    );
+}
+
 /// Builds a [`Graph`] from an arbitrary stream of undirected edges.
 ///
 /// ```
@@ -38,11 +64,26 @@ impl GraphBuilder {
     }
 
     /// Creates a builder with pre-reserved space for `num_edges` edges.
+    ///
+    /// The arc vector is reserved exactly once (each edge contributes at
+    /// most two arcs), so feeding exactly `num_edges` edges never
+    /// reallocates and never over-doubles: callers that know their edge
+    /// count — file ingestion, [`crate::reorder::apply`], streaming-chunk
+    /// replay — get a single right-sized allocation instead of the
+    /// amortised-growth worst case of ~2x the final size.
     pub fn with_capacity(num_vertices: usize, num_edges: usize) -> Self {
         Self {
             num_vertices,
-            arcs: Vec::with_capacity(num_edges * 2),
+            arcs: Vec::with_capacity(num_edges.saturating_mul(2)),
         }
+    }
+
+    /// Reserves space for `additional` more *edges* (up to two arcs each)
+    /// in one exact reservation. Streaming callers that replay bounded
+    /// chunks call this once per chunk instead of relying on push-time
+    /// doubling, which can transiently hold ~2x the needed memory.
+    pub fn reserve_edges(&mut self, additional: usize) {
+        self.arcs.reserve_exact(additional.saturating_mul(2));
     }
 
     /// Current vertex count (grows with added endpoints).
@@ -68,10 +109,7 @@ impl GraphBuilder {
     /// Panics if `w` is not finite or is negative (modularity is undefined
     /// for negative weights).
     pub fn add_edge(&mut self, u: VertexId, v: VertexId, w: f64) {
-        assert!(
-            w.is_finite() && w >= 0.0,
-            "edge weight must be finite and >= 0, got {w}"
-        );
+        assert_weight(w);
         self.num_vertices = self.num_vertices.max(u.max(v) as usize + 1);
         if u == v {
             self.arcs.push((u, v, 2.0 * w));
@@ -106,56 +144,87 @@ impl GraphBuilder {
     /// Arcs are counting-sorted by source using the offsets histogram — no
     /// global comparison sort — so only each row's targets are sorted, at
     /// `Σ d(v) log d(v)` instead of `m log m` total.
+    ///
+    /// Duplicate `(u, v)` arcs are summed **in insertion order** (the
+    /// counting sort is stable and the per-row sort is stable), which
+    /// pins the floating-point merge result: the out-of-core
+    /// [`crate::stream::StreamingBuilder`] reproduces it bit-for-bit at
+    /// any chunk size.
     pub fn build(self) -> Graph {
         let n = self.num_vertices;
-        let arcs = self.arcs;
-        // Counting sort by source: histogram, prefix sum, scatter.
-        let mut offsets = vec![0usize; n + 1];
-        for &(u, _, _) in &arcs {
-            offsets[u as usize + 1] += 1;
-        }
-        for i in 0..n {
-            offsets[i + 1] += offsets[i];
-        }
-        let mut cursor: Vec<usize> = offsets[..n].to_vec();
-        let mut binned: Vec<(VertexId, f64)> = vec![(0, 0.0); arcs.len()];
-        for (u, v, w) in arcs {
-            let slot = &mut cursor[u as usize];
-            binned[*slot] = (v, w);
-            *slot += 1;
-        }
-        drop(cursor);
-        // Sort each row by target and merge its duplicates in place,
-        // recording merged row lengths for an exactly-sized output.
-        let mut merged_offsets = Vec::with_capacity(n + 1);
-        merged_offsets.push(0usize);
-        let mut row_lens = Vec::with_capacity(n);
-        let mut total = 0usize;
-        for r in 0..n {
-            let row = &mut binned[offsets[r]..offsets[r + 1]];
-            row.sort_unstable_by_key(|&(v, _)| v);
-            let mut len = 0usize;
-            for i in 0..row.len() {
-                if len > 0 && row[len - 1].0 == row[i].0 {
-                    row[len - 1].1 += row[i].1;
-                } else {
-                    row[len] = row[i];
-                    len += 1;
-                }
+        let mut arcs = self.arcs;
+        // Unused growth slack is returned before the second arc-sized
+        // buffer below is allocated, trimming the build's transient peak.
+        arcs.shrink_to_fit();
+        build_from_arcs(n, arcs)
+    }
+}
+
+/// Directed-arc list → CSR, the shared back half of [`GraphBuilder::build`]
+/// and the streaming builder's no-spill fast path: arcs must already follow
+/// the crate conventions (both directions present, self-loops once at
+/// doubled weight). Stable counting sort by source + stable per-row sort by
+/// target — the same total order as a stable global `(u, v)` sort, so both
+/// callers produce bit-identical graphs.
+pub(crate) fn build_from_arcs(n: usize, arcs: Vec<(VertexId, VertexId, f64)>) -> Graph {
+    // Counting sort by source: histogram, prefix sum, scatter.
+    let mut offsets = vec![0usize; n + 1];
+    for &(u, _, _) in &arcs {
+        offsets[u as usize + 1] += 1;
+    }
+    for i in 0..n {
+        offsets[i + 1] += offsets[i];
+    }
+    let mut cursor: Vec<usize> = offsets[..n].to_vec();
+    let mut binned: Vec<(VertexId, f64)> = vec![(0, 0.0); arcs.len()];
+    for (u, v, w) in arcs {
+        let slot = &mut cursor[u as usize];
+        binned[*slot] = (v, w);
+        *slot += 1;
+    }
+    drop(cursor);
+    // Sort each row by target and merge its duplicates in place,
+    // recording merged row lengths for an exactly-sized output.
+    let mut merged_offsets = Vec::with_capacity(n + 1);
+    merged_offsets.push(0usize);
+    let mut row_lens = Vec::with_capacity(n);
+    let mut total = 0usize;
+    for r in 0..n {
+        let row = &mut binned[offsets[r]..offsets[r + 1]];
+        // Stable: equal targets keep insertion order, so the merge
+        // below sums duplicate weights left-to-right as inserted.
+        row.sort_by_key(|&(v, _)| v);
+        let mut len = 0usize;
+        for i in 0..row.len() {
+            if len > 0 && row[len - 1].0 == row[i].0 {
+                row[len - 1].1 += row[i].1;
+            } else {
+                row[len] = row[i];
+                len += 1;
             }
-            row_lens.push(len);
-            total += len;
-            merged_offsets.push(total);
         }
-        let mut targets = Vec::with_capacity(total);
-        let mut weights = Vec::with_capacity(total);
-        for r in 0..n {
-            for &(v, w) in &binned[offsets[r]..offsets[r] + row_lens[r]] {
-                targets.push(v);
-                weights.push(w);
-            }
+        row_lens.push(len);
+        total += len;
+        merged_offsets.push(total);
+    }
+    let mut targets = Vec::with_capacity(total);
+    let mut weights = Vec::with_capacity(total);
+    for r in 0..n {
+        for &(v, w) in &binned[offsets[r]..offsets[r] + row_lens[r]] {
+            targets.push(v);
+            weights.push(w);
         }
-        Graph::from_csr(merged_offsets, targets, weights)
+    }
+    Graph::from_csr(merged_offsets, targets, weights)
+}
+
+impl EdgeSink for GraphBuilder {
+    fn add_edge(&mut self, u: VertexId, v: VertexId, w: f64) {
+        GraphBuilder::add_edge(self, u, v, w);
+    }
+
+    fn reserve_vertices(&mut self, n: usize) {
+        GraphBuilder::reserve_vertices(self, n);
     }
 }
 

@@ -6,6 +6,7 @@
 //! simulated GPU devices.
 
 use std::fmt;
+use std::path::{Path, PathBuf};
 
 /// Vertex identifier. `u32` keeps hot state dense and cache-friendly; the
 /// paper's largest graph stand-ins are far below `u32::MAX` vertices.
@@ -83,6 +84,37 @@ impl Graph {
         };
         graph.assert_symmetric();
         graph
+    }
+
+    /// Builds a graph from CSR arrays that are already known to be valid
+    /// — i.e. produced by this crate and round-tripped through a
+    /// checksummed container ([`crate::io`] v2) or an exact permutation
+    /// ([`crate::reorder::apply`]). Skips the `O(m log d)` symmetry and
+    /// sortedness audit of [`Self::from_csr`], which dominates load time
+    /// for multi-hundred-million-arc graphs; structural invariants are
+    /// still `debug_assert`ed.
+    pub(crate) fn from_csr_trusted(
+        offsets: Vec<usize>,
+        targets: Vec<VertexId>,
+        weights: Vec<f64>,
+    ) -> Self {
+        debug_assert!(!offsets.is_empty());
+        debug_assert_eq!(offsets[0], 0);
+        debug_assert_eq!(*offsets.last().unwrap(), targets.len());
+        debug_assert_eq!(targets.len(), weights.len());
+        let n = offsets.len() - 1;
+        let mut degree_w = vec![0.0f64; n];
+        for v in 0..n {
+            debug_assert!(offsets[v] <= offsets[v + 1]);
+            degree_w[v] = weights[offsets[v]..offsets[v + 1]].iter().sum();
+        }
+        Self {
+            total_weight: degree_w.iter().sum(),
+            offsets,
+            targets,
+            weights,
+            degree_w,
+        }
     }
 
     fn assert_symmetric(&self) {
@@ -228,6 +260,99 @@ impl fmt::Debug for Graph {
             .field("num_edges", &self.num_edges())
             .field("total_weight", &self.total_weight)
             .finish()
+    }
+}
+
+/// A graph loaded read-only from the aligned v2 binary container
+/// ([`crate::io`]), retaining its backing-file provenance.
+///
+/// The workspace forbids `unsafe`, so there is no true `mmap(2)` here:
+/// the sections are streamed from disk into exactly-sized buffers and the
+/// container checksum replaces the `O(m log d)` structural audit that
+/// the owned path pays in [`Graph::from_csr`]. The type keeps the same
+/// seam a real mapping would use — drivers see `&Graph`, the store knows
+/// where the bytes came from — so swapping in OS mapping later only
+/// touches [`crate::io`].
+#[derive(Debug)]
+pub struct MappedGraph {
+    graph: Graph,
+    source: PathBuf,
+    mapped_bytes: u64,
+}
+
+impl MappedGraph {
+    /// Internal constructor used by [`crate::io::load_binary_mapped`].
+    pub(crate) fn new(graph: Graph, source: PathBuf, mapped_bytes: u64) -> Self {
+        Self {
+            graph,
+            source,
+            mapped_bytes,
+        }
+    }
+
+    /// The loaded graph.
+    #[inline]
+    pub fn graph(&self) -> &Graph {
+        &self.graph
+    }
+
+    /// Path of the backing container file.
+    pub fn source(&self) -> &Path {
+        &self.source
+    }
+
+    /// Size in bytes of the mapped (checksummed) container payload.
+    pub fn mapped_bytes(&self) -> u64 {
+        self.mapped_bytes
+    }
+}
+
+/// How a graph is held in memory: fully owned, or backed by a v2 binary
+/// container. Drivers consume either transparently via [`Deref`] /
+/// [`GraphStore::graph`]; only load/report paths care which it is.
+///
+/// [`Deref`]: std::ops::Deref
+#[derive(Debug)]
+pub enum GraphStore {
+    /// Built in memory (builder, generators, v1 binary, text).
+    Owned(Graph),
+    /// Loaded read-only from an aligned v2 container.
+    Mapped(MappedGraph),
+}
+
+impl GraphStore {
+    /// Borrows the graph regardless of backing.
+    #[inline]
+    pub fn graph(&self) -> &Graph {
+        match self {
+            GraphStore::Owned(g) => g,
+            GraphStore::Mapped(m) => m.graph(),
+        }
+    }
+
+    /// Converts into an owned [`Graph`] (free for both variants — the
+    /// emulated mapping already owns its buffers).
+    pub fn into_graph(self) -> Graph {
+        match self {
+            GraphStore::Owned(g) => g,
+            GraphStore::Mapped(m) => m.graph,
+        }
+    }
+
+    /// `"owned"` or `"mapped"`, for report metadata.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            GraphStore::Owned(_) => "owned",
+            GraphStore::Mapped(_) => "mapped",
+        }
+    }
+}
+
+impl std::ops::Deref for GraphStore {
+    type Target = Graph;
+
+    fn deref(&self) -> &Graph {
+        self.graph()
     }
 }
 

@@ -8,6 +8,8 @@
 //!   tunable community strength; the backbone of the paper-graph stand-ins.
 //! * [`rmat`] — R-MAT power-law graphs (the Twitter-like stand-in).
 //! * [`lfr`] — LFR-style benchmark with ground-truth communities (Table 4).
+//! * [`stream`] — restartable hash-addressed streaming generator for the
+//!   multi-hundred-million-arc out-of-core benches (no buffered state).
 //! * [`fixtures`] — tiny deterministic graphs for tests and examples,
 //!   including Zachary's karate club.
 
@@ -18,6 +20,7 @@ pub mod gnp;
 pub mod lfr;
 pub mod rmat;
 pub mod sbm;
+pub mod stream;
 pub mod ws;
 
 use rand::distributions::Distribution;

@@ -1,0 +1,217 @@
+//! Restartable streaming generator for huge community-structured graphs.
+//!
+//! The out-of-core benches need synthetic inputs far larger than anything
+//! worth materialising as an edge `Vec` — hundreds of millions of arcs.
+//! [`CommunityStream`] produces such a graph *as an iterator*: nothing is
+//! buffered, the stream can be consumed any number of times (each
+//! [`CommunityStream::edges`] call restarts it), and every edge is a pure
+//! function of the configuration — no RNG state to carry, just a
+//! splitmix64 hash of `(seed, vertex, chord index)` — so two passes yield
+//! the identical edge sequence. That restartability is what lets
+//! `bench_ingest` feed the same stream to the in-memory and streaming
+//! builders and demand bit-identical CSRs.
+//!
+//! ## Shape
+//!
+//! Vertices `0..n` are grouped into consecutive communities of size `s`
+//! (the last one may be smaller). Each vertex `v` with local index `l`
+//! emits:
+//!
+//! * `intra` ring edges `(v, community_start + (l + j) mod s')` for
+//!   `j in 1..=intra` — a circulant within the community, duplicate-free
+//!   while `s' > 2 * intra`;
+//! * `chords` pseudo-random cross-community edges whose endpoints come
+//!   from splitmix64 (same-community and self pairs are skipped, so the
+//!   realised chord count varies slightly per vertex).
+//!
+//! All weights are 1. The result is connected-ish, community-strong, and
+//! cheap: generation is a few ns per edge, far below builder cost, so
+//! ingest benchmarks measure the builders rather than the source.
+
+use crate::csr::VertexId;
+
+/// Finalizer from splitmix64 — a high-quality 64-bit mixer. Keyed
+/// counter-mode hashing gives restartable position-addressed randomness.
+#[inline]
+pub fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    x ^ (x >> 31)
+}
+
+/// Configuration of a streaming community graph. See the module docs.
+#[derive(Clone, Copy, Debug)]
+pub struct CommunityStream {
+    /// Vertex count.
+    pub num_vertices: usize,
+    /// Community size (consecutive id blocks).
+    pub community_size: usize,
+    /// Intra-community ring half-width: each vertex links to its next
+    /// `intra` clockwise neighbors on the community ring.
+    pub intra: usize,
+    /// Cross-community chord attempts per vertex.
+    pub chords: usize,
+    /// Hash seed.
+    pub seed: u64,
+}
+
+impl CommunityStream {
+    /// Upper bound on emitted edges (`n * (intra + chords)`); the realised
+    /// count is slightly lower because same-community chords are skipped.
+    pub fn max_edges(&self) -> u64 {
+        self.num_vertices as u64 * (self.intra + self.chords) as u64
+    }
+
+    /// Community id of a vertex.
+    pub fn community_of(&self, v: VertexId) -> u32 {
+        (v as usize / self.community_size) as u32
+    }
+
+    /// Number of communities.
+    pub fn num_communities(&self) -> usize {
+        self.num_vertices.div_ceil(self.community_size)
+    }
+
+    /// A fresh pass over the edge sequence. Every call yields the same
+    /// edges in the same order.
+    pub fn edges(&self) -> EdgeStream {
+        assert!(self.community_size >= 1, "community_size must be >= 1");
+        assert!(
+            self.community_size > 2 * self.intra,
+            "community_size must exceed 2 * intra or ring edges duplicate"
+        );
+        EdgeStream {
+            cfg: *self,
+            v: 0,
+            j: 0,
+        }
+    }
+}
+
+/// Iterator state of one pass. Yields `(u, v)` pairs, weight implicitly 1.
+pub struct EdgeStream {
+    cfg: CommunityStream,
+    /// Current source vertex.
+    v: usize,
+    /// Per-vertex emission index: `0..intra` are ring edges,
+    /// `intra..intra + chords` are chord attempts.
+    j: usize,
+}
+
+impl Iterator for EdgeStream {
+    type Item = (VertexId, VertexId);
+
+    fn next(&mut self) -> Option<(VertexId, VertexId)> {
+        let cfg = &self.cfg;
+        let n = cfg.num_vertices;
+        loop {
+            if self.v >= n {
+                return None;
+            }
+            let v = self.v;
+            let j = self.j;
+            self.j += 1;
+            if self.j >= cfg.intra + cfg.chords {
+                self.j = 0;
+                self.v += 1;
+            }
+            let community = v / cfg.community_size;
+            let start = community * cfg.community_size;
+            let size = cfg.community_size.min(n - start);
+            if j < cfg.intra {
+                // Ring edge; degenerate tail communities emit fewer.
+                if size >= 2 && j + 1 < size {
+                    let local = v - start;
+                    let u = start + (local + j + 1) % size;
+                    return Some((v as VertexId, u as VertexId));
+                }
+                continue;
+            }
+            // Chord attempt: position-addressed hash pick.
+            let h = splitmix64(
+                cfg.seed ^ (v as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15) ^ ((j as u64) << 48),
+            );
+            let u = (h % n as u64) as usize;
+            if u / cfg.community_size == community {
+                continue; // same community (also covers u == v)
+            }
+            return Some((v as VertexId, u as VertexId));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small() -> CommunityStream {
+        CommunityStream {
+            num_vertices: 200,
+            community_size: 16,
+            intra: 3,
+            chords: 2,
+            seed: 42,
+        }
+    }
+
+    #[test]
+    fn two_passes_are_identical() {
+        let cfg = small();
+        let a: Vec<_> = cfg.edges().collect();
+        let b: Vec<_> = cfg.edges().collect();
+        assert_eq!(a, b);
+        assert!(!a.is_empty());
+        assert!(a.len() as u64 <= cfg.max_edges());
+    }
+
+    #[test]
+    fn ring_edges_are_duplicate_free_and_intra() {
+        let cfg = small();
+        let mut seen = std::collections::HashSet::new();
+        for (u, v) in cfg.edges() {
+            assert!(u != v, "no self loops");
+            let key = (u.min(v), u.max(v));
+            if cfg.community_of(u) == cfg.community_of(v) {
+                assert!(seen.insert(key), "duplicate intra edge {key:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn chords_leave_the_community() {
+        let cfg = small();
+        let cross = cfg
+            .edges()
+            .filter(|&(u, v)| cfg.community_of(u) != cfg.community_of(v))
+            .count();
+        assert!(cross > 0, "chords must produce cross-community edges");
+    }
+
+    #[test]
+    fn builds_a_connected_community_graph() {
+        let cfg = small();
+        let mut b = crate::builder::GraphBuilder::new(cfg.num_vertices);
+        b.extend_unweighted(cfg.edges());
+        let g = b.build();
+        assert_eq!(g.num_vertices(), 200);
+        // Every vertex keeps its ring degree at least.
+        for v in g.vertices() {
+            assert!(g.degree(v) >= 2, "vertex {v} under-connected");
+        }
+    }
+
+    #[test]
+    fn tail_community_smaller_than_size_is_handled() {
+        let cfg = CommunityStream {
+            num_vertices: 37, // tail community of 5
+            community_size: 16,
+            intra: 2,
+            chords: 1,
+            seed: 7,
+        };
+        let mut b = crate::builder::GraphBuilder::new(cfg.num_vertices);
+        b.extend_unweighted(cfg.edges());
+        assert_eq!(b.build().num_vertices(), 37);
+    }
+}

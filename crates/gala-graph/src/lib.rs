@@ -2,9 +2,14 @@
 //!
 //! This crate provides everything the Louvain layers need from a graph:
 //!
-//! * a compact weighted undirected [`Graph`] in CSR form ([`csr`]),
-//! * an accumulating [`builder::GraphBuilder`] (edge list → CSR),
-//! * text / binary IO ([`io`]),
+//! * a compact weighted undirected [`Graph`] in CSR form ([`csr`]), plus
+//!   the [`GraphStore`] owned/mapped seam for binary-loaded graphs,
+//! * an accumulating [`builder::GraphBuilder`] (edge list → CSR) and an
+//!   out-of-core [`stream::StreamingBuilder`] that spills sorted chunk
+//!   runs and k-way-merges them under a fixed memory budget, bit-identical
+//!   to the in-memory build,
+//! * text / binary IO ([`io`]): a byte-level allocation-free edge-list
+//!   parser and an aligned, checksummed binary container,
 //! * seeded synthetic generators ([`generators`]): stochastic block models,
 //!   R-MAT, LFR-style benchmarks with ground truth, G(n, p), and small test
 //!   fixtures,
@@ -41,9 +46,11 @@ pub mod metis;
 pub mod partition;
 pub mod reorder;
 pub mod stats;
+pub mod stream;
 pub mod subgraph;
 pub mod traversal;
 
-pub use builder::GraphBuilder;
-pub use csr::{Graph, VertexId};
+pub use builder::{EdgeSink, GraphBuilder};
+pub use csr::{Graph, GraphStore, MappedGraph, VertexId};
 pub use partition::Partition;
+pub use stream::StreamingBuilder;

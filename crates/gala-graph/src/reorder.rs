@@ -7,7 +7,6 @@
 //! workload-aware dispatcher batch same-kernel vertices) and BFS order
 //! (locality for community-structured graphs).
 
-use crate::builder::GraphBuilder;
 use crate::csr::{Graph, VertexId};
 use crate::partition::Partition;
 
@@ -80,18 +79,42 @@ pub fn bfs_order(graph: &Graph) -> Ordering {
 }
 
 /// Rebuilds the graph under an ordering.
+///
+/// This is a pure CSR permutation — exactly-sized output arrays, each row
+/// copied through the renumbering and re-sorted — with no edge-list
+/// round-trip, so weights carry over bit-for-bit and the transient peak
+/// is one adjacency row, not a second arc vector. Valid by construction
+/// (a permutation of a valid graph), so it uses the trusted constructor
+/// and skips the `O(m log d)` structural audit.
 pub fn apply(graph: &Graph, ordering: &Ordering) -> Graph {
-    assert_eq!(ordering.new_id.len(), graph.num_vertices());
-    let mut b = GraphBuilder::with_capacity(graph.num_vertices(), graph.num_edges());
-    for v in graph.vertices() {
-        for (u, w) in graph.neighbors(v) {
-            if u >= v {
-                let w = if u == v { w / 2.0 } else { w };
-                b.add_edge(ordering.new_id[v as usize], ordering.new_id[u as usize], w);
-            }
+    let n = graph.num_vertices();
+    assert_eq!(ordering.new_id.len(), n);
+    let old = ordering.old_id();
+    let mut offsets = Vec::with_capacity(n + 1);
+    offsets.push(0usize);
+    let mut total = 0usize;
+    for &v in &old {
+        total += graph.degree(v);
+        offsets.push(total);
+    }
+    let mut targets = Vec::with_capacity(total);
+    let mut weights = Vec::with_capacity(total);
+    let mut row: Vec<(VertexId, f64)> = Vec::new();
+    for &v in &old {
+        row.clear();
+        row.extend(
+            graph
+                .neighbors(v)
+                .map(|(u, w)| (ordering.new_id[u as usize], w)),
+        );
+        // Targets within a row are unique, so unstable is deterministic.
+        row.sort_unstable_by_key(|&(u, _)| u);
+        for &(u, w) in &row {
+            targets.push(u);
+            weights.push(w);
         }
     }
-    b.build()
+    Graph::from_csr_trusted(offsets, targets, weights)
 }
 
 /// Mean absolute id distance across edges — the locality proxy reordering

@@ -14,6 +14,9 @@
 //!   effectiveness, kernel routing splits, hashtable level statistics,
 //!   sync traffic), mergeable across workers and devices and emitted as
 //!   `metrics` trace events.
+//! * [`mem`] — procfs-backed RSS / peak-RSS probes ([`mem::PhasePeak`])
+//!   for the memory-budgeted ingestion benches (no counting allocator:
+//!   the workspace forbids `unsafe`).
 //! * [`report`] — schema-versioned [`Report`]s written by the bench
 //!   binaries and the CLI (`--report`), plus [`Report::compare`] for the
 //!   CI baseline gate (±10% simulated-cycle tolerance).
@@ -30,6 +33,7 @@
 
 pub mod attribution;
 pub mod json;
+pub mod mem;
 pub mod metrics;
 pub mod report;
 pub mod trace;
