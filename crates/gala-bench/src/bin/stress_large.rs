@@ -31,8 +31,10 @@ use gala_graph::generators::stream::CommunityStream;
 use gala_graph::stats::GraphStats;
 use gala_graph::stream::StreamingBuilder;
 use gala_graph::Graph;
-use gala_telemetry::mem::{mib, PhasePeak};
+use gala_telemetry::mem::{mib, rss_bytes, PhasePeak};
+use gala_telemetry::recorder::{self, ProgressLimiter, ProgressSnapshot};
 use gala_telemetry::MetricRow;
+use std::time::Duration;
 
 /// Devices the partitioned contraction runs on (the paper's A100 count).
 const CONTRACT_DEVICES: usize = 8;
@@ -143,6 +145,21 @@ fn main() {
     drop((state, g));
 
     // ---- act 2: out-of-core capacity at the paper's arc scale ----------
+    // The capacity act runs for minutes at full scale, so it heartbeats:
+    // every driver's progress snapshots reach a plain status line on
+    // stderr (at most one every 2 s), a watchdog flags a superstep that
+    // stalls for over a minute, and GALA_LOG turns on ring logging for
+    // the crash dump a panic would leave behind.
+    recorder::init_from_env();
+    let mut print_gate = ProgressLimiter::new(Duration::from_secs(2));
+    recorder::set_progress_callback(Box::new(move |snap| {
+        if print_gate.ready() {
+            eprintln!("{}", snap.render_line());
+        }
+    }));
+    recorder::arm_watchdog(Duration::from_secs(60));
+    recorder::install_panic_hook(recorder::Manifest::with_cmdline().entry("bench", "stress_large"));
+
     let stream = CommunityStream {
         num_vertices: if test_scale { 100_000 } else { 12_000_000 },
         community_size: 64,
@@ -160,7 +177,29 @@ fn main() {
 
     let ingest_probe = PhasePeak::begin();
     let ((big, spilled_runs, spilled_bytes), ingest_wall) = time(|| {
-        let mut b = StreamingBuilder::with_budget_bytes(stream.num_vertices, budget);
+        // Forward the builder's spill/merge reports to the recorder as
+        // progress snapshots: every report beats the watchdog, a bounded
+        // subset becomes status lines.
+        let mut fwd = ProgressLimiter::default_cadence();
+        let mut b = StreamingBuilder::with_budget_bytes(stream.num_vertices, budget).on_progress(
+            Box::new(move |p| {
+                recorder::heartbeat(&format!("ingest/{}", p.phase));
+                if !fwd.ready() {
+                    return;
+                }
+                recorder::observe_progress(&ProgressSnapshot {
+                    driver: "stress-ingest".to_string(),
+                    round: 0,
+                    phase: p.phase.to_string(),
+                    superstep: p.runs as u32,
+                    modularity: 0.0,
+                    active_frac: 0.0,
+                    moved_frac: 0.0,
+                    arcs: p.arcs,
+                    rss_bytes: rss_bytes().unwrap_or(0),
+                });
+            }),
+        );
         b.extend_unweighted(stream.edges());
         let (runs, bytes) = (b.spilled_runs(), b.spilled_bytes());
         (b.finish().expect("streaming ingest failed"), runs, bytes)
@@ -262,7 +301,7 @@ fn main() {
         arcs.to_string(),
         format!("{:.1}", ingest_wall.as_secs_f64()),
         format!("{arcs_per_s:.0}"),
-        ingest_peak.map_or("-".into(), |p| format!("{:.0}", mib(p))),
+        ingest_peak.map_or("n/a".into(), |p| format!("{:.0}", mib(p))),
         spilled_runs.to_string(),
         format!("{:.0}", mib(spilled_bytes)),
     ]);
@@ -271,7 +310,7 @@ fn main() {
         arcs.to_string(),
         format!("{:.1}", phase1_wall.as_secs_f64()),
         format!("{:.0}", arcs as f64 / phase1_wall.as_secs_f64().max(1e-9)),
-        phase1_peak.map_or("-".into(), |p| format!("{:.0}", mib(p))),
+        phase1_peak.map_or("n/a".into(), |p| format!("{:.0}", mib(p))),
         "0".into(),
         "0".into(),
     ]);
@@ -304,6 +343,9 @@ fn main() {
             .metric("wall_s", contract_wall.as_secs_f64())
             .metric("coarse_vertices", coarse.graph.num_vertices() as f64),
     );
+
+    recorder::disarm_watchdog();
+    recorder::clear_progress_callback();
 
     args.write_report(&report);
     println!("\npaper: uk-2007-02 (3.4B edges) phase 1 in 43 s on 8 A100s.");

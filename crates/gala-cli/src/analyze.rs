@@ -18,6 +18,7 @@ use crate::args::AnalyzeArgs;
 use crate::commands::Error;
 use gala_gpu::memory::{CostModel, MemTally};
 use gala_gpu::profile::{Profiler, SpanRecord};
+use gala_telemetry::recorder::{self, LogEvent, ProgressSnapshot};
 use gala_telemetry::{
     json, profile_span_from_json, span_from_json, tally_from_json, MetricsRegistry, ProfileSpan,
     MIN_SCHEMA_VERSION, SCHEMA_VERSION,
@@ -134,6 +135,10 @@ struct Trace {
     /// All span trees merged by name in first-seen order (the in-process
     /// profiler's rule), built incrementally while streaming the file.
     merged_root: SpanRecord,
+    /// Flight-recorder ring lines drained into the trace (schema 5+).
+    logs: Vec<LogEvent>,
+    /// Deterministic per-round driver snapshots (schema 5+).
+    progress: Vec<ProgressSnapshot>,
     round_ends: u64,
     run_end: Option<RunEnd>,
     events: usize,
@@ -285,6 +290,14 @@ fn load_trace_with_spans(path: &str, keep_spans: bool) -> Result<Trace, Error> {
                     registry,
                 });
             }
+            "log" => trace.logs.push(
+                LogEvent::from_json(&v)
+                    .ok_or_else(|| format!("{path} line {line}: bad log event"))?,
+            ),
+            "progress" => trace.progress.push(
+                ProgressSnapshot::from_json(&v)
+                    .ok_or_else(|| format!("{path} line {line}: bad progress event"))?,
+            ),
             "round_end" => trace.round_ends += 1,
             "run_end" => {
                 trace.run_end = Some(RunEnd {
@@ -469,6 +482,36 @@ fn check(path: &str, trace: &Trace) -> Result<String, Error> {
             }
         }
     }
+    // Flight-recorder lines: the ring drains one contiguous window, so the
+    // sequence numbers must run without gaps — a jump means lines were lost
+    // between the drain and the trace write, not by the (accounted) ring
+    // eviction. Progress snapshots must carry sane scalars.
+    for (i, pair) in trace.logs.windows(2).enumerate() {
+        if pair[1].seq != pair[0].seq + 1 {
+            return Err(format!(
+                "{path}: log event {} has seq {} after seq {} (the drained window \
+                 must be contiguous)",
+                i + 1,
+                pair[1].seq,
+                pair[0].seq
+            )
+            .into());
+        }
+    }
+    for (i, p) in trace.progress.iter().enumerate() {
+        let at = format!("{path}: progress event {i} ({} r{})", p.driver, p.round);
+        if !p.modularity.is_finite() {
+            return Err(format!("{at}: non-finite modularity").into());
+        }
+        for (name, frac) in [("active_frac", p.active_frac), ("moved_frac", p.moved_frac)] {
+            if !(0.0..=1.0).contains(&frac) {
+                return Err(format!("{at}: {name} {frac} outside [0,1]").into());
+            }
+        }
+        if p.driver.is_empty() || p.phase.is_empty() {
+            return Err(format!("{at}: empty driver or phase").into());
+        }
+    }
     for (i, ev) in trace.metrics.iter().enumerate() {
         let at = format!("{path}: metrics event {i} (round {})", ev.round);
         if ev.scope != "phase1" && ev.scope != "sync" {
@@ -494,7 +537,7 @@ fn check(path: &str, trace: &Trace) -> Result<String, Error> {
     }
     Ok(format!(
         "ok: {} events ({} supersteps, {} rounds, {} span trees, {} syncs, \
-         {} metrics, {} profiles), final Q = {:.5}",
+         {} metrics, {} profiles, {} logs, {} progress), final Q = {:.5}",
         trace.events,
         trace.supersteps.len(),
         trace.round_ends.max(end.rounds),
@@ -502,6 +545,8 @@ fn check(path: &str, trace: &Trace) -> Result<String, Error> {
         trace.syncs.len(),
         trace.metrics.len(),
         trace.profiles.len(),
+        trace.logs.len(),
+        trace.progress.len(),
         end.modularity,
     ))
 }
@@ -749,6 +794,57 @@ fn render_profiles(trace: &Trace) -> String {
     )
 }
 
+/// Flight-recorder inventory: one pointer line when the trace carries
+/// `log`/`progress` events, the empty string otherwise (so pre-schema-5
+/// golden outputs stay byte-identical).
+fn render_recorder_summary(trace: &Trace) -> String {
+    if trace.logs.is_empty() && trace.progress.is_empty() {
+        return String::new();
+    }
+    format!(
+        "\nflight recorder: {} log lines, {} progress snapshots (print with --logs)\n",
+        trace.logs.len(),
+        trace.progress.len()
+    )
+}
+
+/// The `--logs` section: deterministic progress snapshots, then the drained
+/// ring lines with their elapsed stamps.
+fn render_logs(trace: &Trace) -> String {
+    if trace.logs.is_empty() && trace.progress.is_empty() {
+        return "no flight-recorder events in trace (write one with \
+                `gala detect --progress` and GALA_LOG set)\n"
+            .to_string();
+    }
+    let mut out = String::new();
+    if !trace.progress.is_empty() {
+        out.push_str(&format!(
+            "\nprogress snapshots ({})\n",
+            trace.progress.len()
+        ));
+        for p in &trace.progress {
+            out.push_str(&format!("  {}\n", p.render_line()));
+        }
+    }
+    if !trace.logs.is_empty() {
+        out.push_str(&format!(
+            "\nflight-recorder log ({} lines, first seq {})\n",
+            trace.logs.len(),
+            trace.logs[0].seq
+        ));
+        for l in &trace.logs {
+            out.push_str(&format!(
+                "  [{:>9.3}s] {:<5} {}: {}\n",
+                l.elapsed_us as f64 / 1e6,
+                l.level.as_str(),
+                l.scope,
+                l.message
+            ));
+        }
+    }
+    out
+}
+
 /// Full single-trace report: header, curves, span summary.
 fn render_single(path: &str, trace: &Trace, top: usize) -> String {
     let mut out = format!(
@@ -781,6 +877,7 @@ fn render_single(path: &str, trace: &Trace, top: usize) -> String {
     out.push_str(&render_span_summary(trace, top));
     out.push_str(&render_metrics(trace));
     out.push_str(&render_profiles(trace));
+    out.push_str(&render_recorder_summary(trace));
     out
 }
 
@@ -1055,6 +1152,21 @@ fn render_diff(
     (out, regressions)
 }
 
+/// Detects a crash dump: a file holding one JSON object with `kind:
+/// "crash"` (as written by the panic hook) rather than JSONL trace lines.
+/// Returns `None` when the file is not a crash dump, the validation
+/// verdict when it is.
+fn try_crash_dump(path: &str) -> Option<Result<String, Error>> {
+    let text = std::fs::read_to_string(path).ok()?;
+    let doc = json::parse(&text).ok()?;
+    if doc.get("kind").and_then(json::Value::as_str) != Some("crash") {
+        return None;
+    }
+    Some(
+        recorder::validate_crash_dump(&doc).map_err(|e| -> Error { format!("{path}: {e}").into() }),
+    )
+}
+
 /// Executes the `analyze` subcommand. Errors (including diff regressions)
 /// surface as a non-zero exit through the caller.
 pub fn run(args: &AnalyzeArgs) -> Result<(), Error> {
@@ -1063,9 +1175,19 @@ pub fn run(args: &AnalyzeArgs) -> Result<(), Error> {
         println!("wrote {count} trace events to {out} (open in https://ui.perfetto.dev)");
         return Ok(());
     }
+    // Crash dumps validate (structure, manifest, contiguous event window)
+    // under any mode; they have no curves to render.
+    if let Some(verdict) = try_crash_dump(&args.trace) {
+        println!("{}", verdict?);
+        return Ok(());
+    }
     let trace = load_trace(&args.trace)?;
     if args.check {
         println!("{}", check(&args.trace, &trace)?);
+        return Ok(());
+    }
+    if args.logs {
+        print!("{}", render_logs(&trace));
         return Ok(());
     }
     match &args.baseline {
@@ -1577,6 +1699,104 @@ mod tests {
         assert_eq!(rel_change(5.0, 0.0), 1.0);
         assert_eq!(rel_change(-5.0, 0.0), -1.0);
         assert!((rel_change(11.0, 10.0) - 0.1).abs() < 1e-12);
+    }
+
+    #[test]
+    fn log_and_progress_events_load_check_and_render() {
+        let path = write_fixture_trace("recorder");
+        // The instrumented run already emits deterministic progress events;
+        // append a drained ring window behind run_end (the order `detect
+        // --progress` writes).
+        let mut text = std::fs::read_to_string(&path).unwrap();
+        for seq in 3..6u64 {
+            let ev = LogEvent {
+                seq,
+                elapsed_us: seq * 1000,
+                level: gala_telemetry::Level::Info,
+                scope: "louvain".into(),
+                message: format!("line {seq}"),
+                fields: vec![("round".into(), seq as f64)],
+            };
+            text.push_str(&ev.to_json().render());
+            text.push('\n');
+        }
+        std::fs::write(&path, &text).unwrap();
+        let trace = load_trace(&path).unwrap();
+        assert!(
+            !trace.progress.is_empty(),
+            "instrumented run must emit progress events"
+        );
+        assert_eq!(trace.logs.len(), 3);
+        let summary = check(&path, &trace).unwrap();
+        assert!(summary.contains("3 logs"), "{summary}");
+        assert!(summary.contains("progress"), "{summary}");
+        // A seq gap means lines were lost outside the accounted ring window.
+        let mut gapped = trace.clone();
+        gapped.logs[2].seq += 5;
+        let err = check(&path, &gapped).unwrap_err().to_string();
+        assert!(err.contains("contiguous"), "{err}");
+        // Progress snapshots with broken fractions are rejected.
+        let mut bad_frac = trace.clone();
+        bad_frac.progress[0].moved_frac = 1.5;
+        let err = check(&path, &bad_frac).unwrap_err().to_string();
+        assert!(err.contains("outside [0,1]"), "{err}");
+        // Rendering: the inventory pointer and the --logs section.
+        let rendered = render_single(&path, &trace, 10);
+        assert!(rendered.contains("flight recorder:"), "{rendered}");
+        let logs = render_logs(&trace);
+        assert!(logs.contains("progress snapshots"), "{logs}");
+        assert!(logs.contains("line 3"), "{logs}");
+        // Traces without recorder events render neither section header.
+        let bare = Trace::default();
+        assert_eq!(render_recorder_summary(&bare), "");
+        assert!(render_logs(&bare).contains("no flight-recorder events"));
+        let _ = std::fs::remove_file(path);
+    }
+
+    #[test]
+    fn crash_dumps_are_detected_and_validated() {
+        let path = format!("{}.json", tmp("crash"));
+        let events: Vec<json::Value> = (2..5u64)
+            .map(|seq| {
+                LogEvent {
+                    seq,
+                    elapsed_us: seq * 10,
+                    level: gala_telemetry::Level::Error,
+                    scope: "watchdog".into(),
+                    message: "stall".into(),
+                    fields: Vec::new(),
+                }
+                .to_json()
+            })
+            .collect();
+        let doc = json::Value::object()
+            .set("schema", SCHEMA_VERSION)
+            .set("kind", "crash")
+            .set("pid", 123u64)
+            .set("reason", "test panic")
+            .set(
+                "manifest",
+                json::Value::object().set("cmdline", "gala detect g.txt"),
+            )
+            .set("dropped", 2u64)
+            .set("events", json::Value::Array(events));
+        std::fs::write(&path, doc.render_pretty()).unwrap();
+        let verdict = try_crash_dump(&path).expect("crash dump detected");
+        verdict.unwrap();
+        // A drop counter that disagrees with the first surviving seq fails.
+        let bad = doc.set("dropped", 0u64);
+        std::fs::write(&path, bad.render_pretty()).unwrap();
+        let err = try_crash_dump(&path)
+            .expect("still detected")
+            .unwrap_err()
+            .to_string();
+        assert!(err.contains("seq"), "{err}");
+        // A JSONL trace is not mistaken for a crash dump.
+        let trace_path = write_fixture_trace("notcrash");
+        assert!(try_crash_dump(&trace_path).is_none());
+        for p in [path, trace_path] {
+            let _ = std::fs::remove_file(p);
+        }
     }
 
     #[test]

@@ -28,6 +28,9 @@ usage:
       --trace <file>     write a JSONL superstep trace (gala algorithm)
       --report <file>    write a machine-readable JSON run report
       --quiet                                  suppress the report
+      --progress         live status line on stderr (plain lines when
+                         stderr is not a TTY); honours GALA_LOG for the
+                         flight-recorder level/scope filter
   gala stats <graph> [--format ...]   print graph statistics
   gala generate <kind> --out <file> [--n <v>] [--seed <s>] [--mixing <mu>]
       kinds: sbm | lfr | rmat | ba | ws | gnp
@@ -44,6 +47,8 @@ usage:
       --top <n>          span-summary rows (default: 10)
       --threshold <t>    relative regression tolerance (default: 0.1)
       --check            validate the trace only (exit non-zero if malformed)
+      --logs             print the trace's flight-recorder log and
+                         progress events after the report
       --chrome-trace <file>  export a Chrome Trace Event JSON file for
                              Perfetto / chrome://tracing instead of a report
   gala profile <sim.trace> <native.trace> [options]
@@ -289,6 +294,8 @@ pub struct DetectArgs {
     pub report: Option<String>,
     /// Suppress the human-readable report.
     pub quiet: bool,
+    /// Render a live flight-recorder status line on stderr.
+    pub progress: bool,
 }
 
 /// The `generate` subcommand's options.
@@ -361,6 +368,8 @@ pub struct AnalyzeArgs {
     pub check: bool,
     /// Write a Chrome Trace Event Format export here instead of a report.
     pub chrome_trace: Option<String>,
+    /// Print the trace's flight-recorder log/progress events.
+    pub logs: bool,
 }
 
 /// The `profile` subcommand's options.
@@ -460,6 +469,7 @@ impl Command {
             trace: None,
             report: None,
             quiet: false,
+            progress: false,
         };
         let mut i = 0;
         while i < args.len() {
@@ -497,6 +507,7 @@ impl Command {
                 "--trace" => out.trace = Some(value(args, &mut i, "--trace")?.to_string()),
                 "--report" => out.report = Some(value(args, &mut i, "--report")?.to_string()),
                 "--quiet" => out.quiet = true,
+                "--progress" => out.progress = true,
                 flag if flag.starts_with("--") => {
                     return Err(ParseError(format!("unknown flag `{flag}`")))
                 }
@@ -521,6 +532,7 @@ impl Command {
         let mut threshold = 0.1f64;
         let mut check = false;
         let mut chrome_trace = None;
+        let mut logs = false;
         let mut i = 0;
         while i < args.len() {
             match args[i].as_str() {
@@ -543,6 +555,7 @@ impl Command {
                     }
                 }
                 "--check" => check = true,
+                "--logs" => logs = true,
                 flag if flag.starts_with("--") => {
                     return Err(ParseError(format!("unknown flag `{flag}`")))
                 }
@@ -563,6 +576,7 @@ impl Command {
             threshold,
             check,
             chrome_trace,
+            logs,
         }))
     }
 
@@ -783,12 +797,13 @@ mod tests {
         assert_eq!(d.resolution, 1.0);
         assert_eq!(d.mg_contract, MgContract::Host);
         assert!(!d.quiet);
+        assert!(!d.progress);
     }
 
     #[test]
     fn parses_full_detect() {
         let cmd = Command::parse(&argv(
-            "detect g.metis --algorithm leiden --backend native --resolution 2.5 --output out.txt --devices 4 --mg-contract partitioned --quiet",
+            "detect g.metis --algorithm leiden --backend native --resolution 2.5 --output out.txt --devices 4 --mg-contract partitioned --quiet --progress",
         ))
         .unwrap();
         let Command::Detect(d) = cmd else { panic!() };
@@ -799,6 +814,7 @@ mod tests {
         assert_eq!(d.devices, 4);
         assert_eq!(d.mg_contract, MgContract::Partitioned);
         assert!(d.quiet);
+        assert!(d.progress);
         assert_eq!(d.trace, None);
         assert_eq!(d.report, None);
     }
@@ -901,6 +917,12 @@ mod tests {
         let Command::Analyze(a) = cmd else { panic!() };
         assert!(a.check);
         assert_eq!(a.chrome_trace, None);
+        assert!(!a.logs);
+
+        let cmd = Command::parse(&argv("analyze t.jsonl --logs")).unwrap();
+        let Command::Analyze(a) = cmd else { panic!() };
+        assert!(a.logs);
+        assert!(!a.check);
 
         let cmd = Command::parse(&argv("analyze t.jsonl --chrome-trace out.json")).unwrap();
         let Command::Analyze(a) = cmd else { panic!() };

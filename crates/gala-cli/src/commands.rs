@@ -28,10 +28,10 @@ use gala_graph::generators::ws::watts_strogatz;
 use gala_graph::reorder::{self, Ordering};
 use gala_graph::stats::GraphStats;
 use gala_graph::{io, metis, Graph, GraphStore, Partition};
-use gala_telemetry::{JsonlSink, MetricRow, NullSink, Report, TraceSink};
+use gala_telemetry::{recorder, JsonlSink, MetricRow, NullSink, Report, TraceSink};
 use std::fs::File;
-use std::io::{BufWriter, Write};
-use std::time::Instant;
+use std::io::{BufWriter, IsTerminal, Write};
+use std::time::{Duration, Instant};
 
 /// Boxed error type for command failures.
 pub type Error = Box<dyn std::error::Error>;
@@ -301,6 +301,37 @@ fn detect(args: DetectArgs) -> Result<(), Error> {
         Backend::Sim => BackendKind::Sim,
         Backend::Native => BackendKind::Native,
     };
+    // --progress: arm the flight recorder for live observation. The ring
+    // filter honours GALA_LOG; the status line renders on stderr (rewritten
+    // in place on a TTY, one plain line per snapshot otherwise) so stdout
+    // stays clean for reports. A watchdog flags supersteps that go silent,
+    // and a panic hook drains the ring into a provenance-stamped crash dump.
+    let progress_tty = if args.progress {
+        recorder::init_from_env();
+        let tty = std::io::stderr().is_terminal();
+        recorder::set_progress_callback(Box::new(move |snap| {
+            let line = snap.render_line();
+            if tty {
+                eprint!("\r\x1b[2K{line}");
+                let _ = std::io::stderr().flush();
+            } else {
+                eprintln!("{line}");
+            }
+        }));
+        recorder::arm_watchdog(Duration::from_secs(30));
+        recorder::install_panic_hook(
+            recorder::Manifest::with_cmdline()
+                .entry("input", &args.input)
+                .entry("algorithm", &format!("{:?}", args.algorithm))
+                .entry("backend", &format!("{backend}"))
+                .entry("devices", &format!("{}", args.devices))
+                .entry("resolution", &format!("{}", args.resolution))
+                .entry("schema", &format!("{}", gala_telemetry::SCHEMA_VERSION)),
+        );
+        Some(tty)
+    } else {
+        None
+    };
     let start = Instant::now();
     let (name, partition): (&str, Partition) = match args.algorithm {
         Algorithm::Gala => {
@@ -381,6 +412,17 @@ fn detect(args: DetectArgs) -> Result<(), Error> {
         }
     };
     let elapsed = start.elapsed();
+    if let Some(tty) = progress_tty {
+        recorder::disarm_watchdog();
+        recorder::clear_progress_callback();
+        if tty {
+            // Terminate the in-place status line.
+            eprintln!();
+        }
+        // Append the recorder's buffered log lines to the trace (a no-op
+        // without --trace): readers accept `log` events after `run_end`.
+        recorder::drain_into_sink(sink);
+    }
     if let Some(s) = jsonl {
         // Flush the trace before anything else can fail.
         s.into_inner();
@@ -698,6 +740,46 @@ mod tests {
         );
         assert_eq!(report.meta_value("contract"), Some("partitioned"));
         for p in [graph_path, trace_path, report_path, out_host, out_part] {
+            let _ = std::fs::remove_file(p);
+        }
+    }
+
+    #[test]
+    fn progress_detect_runs_and_its_trace_survives_check() {
+        // Non-TTY path (test harness stderr is a pipe): plain status lines,
+        // deterministic trace content, and the trailing ring flush must not
+        // break `analyze --check`.
+        let g = fixtures::ring_of_cliques(5, 4);
+        let graph_path = format!("{}.txt", tmp("prog"));
+        let trace_path = format!("{}.jsonl", tmp("prog"));
+        save(&g, &graph_path).unwrap();
+        execute(
+            Command::parse(
+                &[
+                    "detect",
+                    graph_path.as_str(),
+                    "--progress",
+                    "--trace",
+                    trace_path.as_str(),
+                    "--quiet",
+                ]
+                .map(String::from),
+            )
+            .unwrap(),
+        )
+        .unwrap();
+        let text = std::fs::read_to_string(&trace_path).unwrap();
+        assert!(
+            text.lines()
+                .map(|l| gala_telemetry::json::parse(l).unwrap())
+                .any(|e| e.get("event").unwrap().as_str() == Some("progress")),
+            "trace must carry deterministic progress events"
+        );
+        execute(
+            Command::parse(&["analyze", trace_path.as_str(), "--check"].map(String::from)).unwrap(),
+        )
+        .unwrap();
+        for p in [graph_path, trace_path] {
             let _ = std::fs::remove_file(p);
         }
     }

@@ -8,6 +8,7 @@
 //! comparisons.
 
 use crate::kernels::cpu;
+use crate::progress::{Counts, ProgressReporter};
 use crate::state::BspState;
 use crate::weight::{self, WeightUpdateMode};
 use gala_gpu::profile::Profiler;
@@ -66,6 +67,10 @@ fn phase1_profiled(
     // is recycled across supersteps like louvain.rs's Phase1Scratch.
     let active = vec![true; graph.num_vertices()];
     let mut out = crate::kernels::DecideOutput::default();
+    // Live observation: bounded-frequency snapshots to the flight recorder
+    // (this baseline has no pruning, so every vertex is always active).
+    let mut progress = ProgressReporter::new("grappolo");
+    let mut arcs_done = 0u64;
     for iteration in 0..max_iterations {
         let mut sub = if instrumented {
             Profiler::new()
@@ -113,6 +118,19 @@ fn phase1_profiled(
             }
             prof.scope("superstep", |p| p.absorb(tree));
         }
+        arcs_done += graph.num_arcs() as u64;
+        progress.superstep(
+            round,
+            "phase1",
+            iteration as u32,
+            q,
+            Counts::from_counts(
+                graph.num_vertices(),
+                summary.num_moved(),
+                graph.num_vertices(),
+                arcs_done,
+            ),
+        );
         // Progress measured against the best state (see louvain.rs).
         if q > best_q {
             best_state = state.clone();
@@ -164,6 +182,7 @@ pub fn grappolo_instrumented(
     let mut first_round_iterations = 0;
     let mut rounds = 0u32;
     let mut cscratch = CoarsenScratch::default();
+    let mut progress = ProgressReporter::new("grappolo");
     for round in 0..20 {
         let g = current.as_ref().unwrap_or(graph);
         prof.enter("round");
@@ -210,13 +229,28 @@ pub fn grappolo_instrumented(
             None => coarse.renumbered.clone(),
             Some(prev) => prev.compose(&coarse.renumbered),
         });
-        if sink.enabled() {
-            sink.emit(TraceEvent::RoundEnd {
-                round: round as u32,
-                supersteps: iters as u32,
-                modularity: crate::modularity::modularity(graph, flat.as_ref().expect("just set")),
-                communities: coarse.num_communities as u64,
-            });
+        if sink.enabled() || progress.live() {
+            let q = crate::modularity::modularity(graph, flat.as_ref().expect("just set"));
+            if sink.enabled() {
+                sink.emit(TraceEvent::RoundEnd {
+                    round: round as u32,
+                    supersteps: iters as u32,
+                    modularity: q,
+                    communities: coarse.num_communities as u64,
+                });
+            }
+            progress.round(
+                sink,
+                round as u32,
+                "phase1",
+                iters as u32,
+                q,
+                Counts {
+                    active_frac: 0.0,
+                    moved_frac: 0.0,
+                    arcs: g.num_arcs() as u64,
+                },
+            );
         }
         if stalled {
             break;

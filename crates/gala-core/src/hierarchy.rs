@@ -8,9 +8,11 @@
 
 use crate::louvain::{Louvain, LouvainConfig};
 use crate::modularity::modularity_with_resolution;
+use crate::progress::{Counts, ProgressReporter};
 use gala_gpu::profile::Profiler;
 use gala_graph::coarsen::CoarsenScratch;
 use gala_graph::{Graph, Partition};
+use gala_telemetry::NullSink;
 
 /// A full Louvain hierarchy: level 0 is the finest (first-round)
 /// partition of the original graph; each subsequent level merges further.
@@ -34,7 +36,10 @@ impl Dendrogram {
         let mut current: Option<Graph> = None;
         let mut flat: Option<Partition> = None;
         let mut cscratch = CoarsenScratch::default();
-        for _round in 0..config.max_rounds {
+        // Live observation only: the dendrogram builder has no trace sink,
+        // so each completed level goes straight to the flight recorder.
+        let mut progress = ProgressReporter::new("hierarchy");
+        for round in 0..config.max_rounds {
             let g = current.as_ref().unwrap_or(graph);
             let (state, stats) = runner.run_phase1(g);
             let moved_any = stats.iterations.iter().any(|i| i.num_moved > 0);
@@ -51,6 +56,18 @@ impl Dendrogram {
                 Some(prev) => prev.compose(&coarse.renumbered),
             };
             modularities.push(modularity_with_resolution(graph, &level, config.resolution));
+            progress.round(
+                &mut NullSink,
+                round as u32,
+                "level",
+                stats.iterations.len() as u32,
+                *modularities.last().expect("just pushed"),
+                Counts {
+                    active_frac: 0.0,
+                    moved_frac: 0.0,
+                    arcs: coarse.graph.num_arcs() as u64,
+                },
+            );
             levels.push(level.clone());
             flat = Some(level);
             if !moved_any || coarse.num_communities == g.num_vertices() {

@@ -15,6 +15,7 @@
 use crate::backend::BackendKind;
 use crate::kernels::KernelKind;
 use crate::modularity::modularity_with_resolution;
+use crate::progress::{Counts, ProgressReporter};
 use gala_gpu::profile::Profiler;
 use gala_graph::coarsen::CoarsenScratch;
 use gala_graph::partition::CommunityId;
@@ -100,6 +101,9 @@ pub fn leiden_instrumented(
     let mut rounds = 0;
     let mut cscratch = CoarsenScratch::default();
     let mut sweep = SweepScratch::default();
+    // One deterministic `progress` event per round (local moving is one
+    // indivisible host pass here, like the sequential baseline).
+    let mut progress = ProgressReporter::new("leiden");
     for round in 0..config.max_rounds {
         let g = current.as_ref().unwrap_or(graph);
         let mut comm: Vec<CommunityId> = labels
@@ -213,17 +217,32 @@ pub fn leiden_instrumented(
             None => refined_dense.clone(),
             Some(prev) => prev.compose(refined_dense),
         });
-        if sink.enabled() {
-            sink.emit(TraceEvent::RoundEnd {
-                round: round as u32,
-                supersteps: 1,
-                modularity: modularity_with_resolution(
-                    graph,
-                    flat.as_ref().expect("just set"),
-                    config.resolution,
-                ),
-                communities: coarse.num_communities as u64,
-            });
+        if sink.enabled() || progress.live() {
+            let q = modularity_with_resolution(
+                graph,
+                flat.as_ref().expect("just set"),
+                config.resolution,
+            );
+            if sink.enabled() {
+                sink.emit(TraceEvent::RoundEnd {
+                    round: round as u32,
+                    supersteps: 1,
+                    modularity: q,
+                    communities: coarse.num_communities as u64,
+                });
+            }
+            progress.round(
+                sink,
+                round as u32,
+                "phase1",
+                1,
+                q,
+                Counts {
+                    active_frac: 0.0,
+                    moved_frac: 0.0,
+                    arcs: coarse.graph.num_arcs() as u64,
+                },
+            );
         }
         if !moved {
             break;

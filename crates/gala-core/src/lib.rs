@@ -23,6 +23,9 @@
 //! * [`multi_gpu`] — vertex-partitioned multi-device execution with
 //!   adaptive dense/sparse synchronisation (Sec. 4.3).
 //! * [`metrics`] — NMI and partition-quality statistics.
+//! * [`progress`] — host-side progress observation shared by the drivers:
+//!   bounded-frequency live snapshots for the flight recorder plus
+//!   deterministic per-round `progress` trace events.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -39,6 +42,7 @@ pub mod metrics;
 pub mod mg_contract;
 pub mod modularity;
 pub mod multi_gpu;
+pub mod progress;
 pub mod pruning;
 pub mod sequential;
 pub mod state;

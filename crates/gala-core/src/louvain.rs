@@ -5,6 +5,7 @@
 use crate::backend::BackendKind;
 use crate::kernels::hashtable::TableStats;
 use crate::kernels::{self, KernelKind};
+use crate::progress::{Counts, ProgressReporter};
 use crate::pruning::{self, PruningKind};
 use crate::state::BspState;
 use crate::weight::{self, WeightUpdateMode};
@@ -288,6 +289,11 @@ impl Louvain {
         // simulated-memory traffic), built only when a sink wants them and
         // emitted once per round as a `metrics` event.
         let mut metrics = sink.enabled().then(MetricsRegistry::new);
+        // Live progress is host-side too: per-superstep snapshots reach the
+        // flight recorder at a bounded frequency, one deterministic
+        // `progress` event per round reaches the sink.
+        let mut progress = ProgressReporter::new("louvain");
+        let mut arcs_done = 0u64;
         for iteration in 0..cfg.max_iterations {
             let mut sub = if instrumented {
                 Profiler::new()
@@ -380,6 +386,21 @@ impl Louvain {
                 });
             }
             prev_q = q;
+            // Each superstep sweeps the active vertices' arcs; the estimate
+            // scales the graph's arc count by the active fraction.
+            let n = graph.num_vertices();
+            arcs_done += if n == 0 {
+                0
+            } else {
+                (graph.num_arcs() as u64).saturating_mul(num_active as u64) / n as u64
+            };
+            progress.superstep(
+                round as u32,
+                "phase1",
+                iteration as u32,
+                q,
+                Counts::from_counts(num_active, summary.num_moved(), n, arcs_done),
+            );
             // Progress is measured against the best state, never against
             // the previous (possibly oscillating) superstep: a θ-sized
             // up-tick inside an oscillation must not read as convergence.
@@ -434,6 +455,20 @@ impl Louvain {
             modularity: best_q,
             iterations,
         };
+        let last = stats.iterations.last();
+        progress.round(
+            sink,
+            round as u32,
+            "phase1",
+            stats.iterations.len() as u32,
+            best_q,
+            Counts::from_counts(
+                last.map_or(0, |i| i.num_active),
+                last.map_or(0, |i| i.num_moved),
+                graph.num_vertices(),
+                arcs_done,
+            ),
+        );
         (state, stats)
     }
 
@@ -482,6 +517,7 @@ impl Louvain {
         // rounds contract without fresh allocations.
         let mut scratch = Phase1Scratch::default();
         let mut cscratch = CoarsenScratch::default();
+        let mut progress = ProgressReporter::new("louvain");
         for round in 0..cfg.max_rounds {
             let g = current.as_ref().unwrap_or(graph);
             prof.enter("round");
@@ -566,6 +602,20 @@ impl Louvain {
                     communities: coarse.num_communities as u64,
                 });
             }
+            // Coarsening progress: the next round's graph size tells the
+            // operator how fast the hierarchy is collapsing.
+            progress.round(
+                sink,
+                round as u32,
+                "contract",
+                rounds.last().map_or(0, |s| s.iterations.len()) as u32,
+                q_flat,
+                Counts {
+                    active_frac: 0.0,
+                    moved_frac: 0.0,
+                    arcs: coarse.graph.num_arcs() as u64,
+                },
+            );
             // Stop when phase 1 stopped merging or the round gained < θ.
             if !moved_any || coarse.num_communities == g.num_vertices() || q - last_q < cfg.theta {
                 break;

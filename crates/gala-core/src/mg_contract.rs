@@ -31,6 +31,7 @@
 
 use crate::backend::ExecutionBackend;
 use crate::multi_gpu::{partition_by_arcs, MultiGpuConfig, SyncMode};
+use crate::progress::{Counts, ProgressReporter};
 use gala_gpu::comm::DeviceGroup;
 use gala_gpu::memory::{CostModel, MemTally};
 use gala_gpu::profile::Profiler;
@@ -245,8 +246,13 @@ pub fn contract_partitioned(
     let mut device_tallies = Vec::with_capacity(p);
     let mut compute_us = 0.0f64;
     let mut elapsed_ns = 0u64;
+    // Live observation only (no sink reaches this layer): heartbeats keep
+    // the watchdog fed through a long aggregation, bounded-frequency
+    // snapshots report coarse arcs built so far.
+    let mut progress = ProgressReporter::new("mg-contract");
+    let mut coarse_arcs = 0u64;
     prof.scope("aggregate", |pr| {
-        for rows in &row_ranges {
+        for (d, rows) in row_ranges.iter().enumerate() {
             let mut deg = Vec::new();
             let mut pairs = Vec::new();
             let st = backend.contract_rows(
@@ -262,6 +268,18 @@ pub fn contract_partitioned(
             compute_us = compute_us.max(cost.cycles(&st.tally) / cycles_per_us);
             elapsed_ns = elapsed_ns.max(st.elapsed_ns);
             device_tallies.push(st.tally);
+            coarse_arcs += pairs.len() as u64;
+            progress.superstep(
+                0,
+                "aggregate",
+                d as u32,
+                0.0,
+                Counts {
+                    active_frac: 0.0,
+                    moved_frac: 0.0,
+                    arcs: coarse_arcs,
+                },
+            );
             per_device_deg.push(deg);
             per_device_pairs.push(pairs);
         }

@@ -24,6 +24,7 @@
 use crate::backend::BackendKind;
 use crate::kernels::{self, KernelKind};
 use crate::mg_contract::{self, ContractRoundStats};
+use crate::progress::{Counts, ProgressReporter};
 use crate::pruning::{self, PruningKind};
 use crate::state::BspState;
 use crate::weight::{self, WeightUpdateMode};
@@ -296,6 +297,10 @@ fn run_phase1_round(
         m.inc("sync/devices", cfg.num_devices as u64);
         m
     });
+    // Live progress: per-superstep snapshots to the flight recorder at a
+    // bounded frequency, one deterministic `progress` event per round.
+    let mut progress = ProgressReporter::new("multi-gpu");
+    let mut arcs_done = 0u64;
     // Superstep working set, allocated once and recycled every iteration.
     let mut active: Vec<bool> = Vec::new();
     let mut next_comm = Vec::new();
@@ -483,6 +488,18 @@ fn run_phase1_round(
             });
         }
         prev_q = q;
+        arcs_done += if n == 0 {
+            0
+        } else {
+            (graph.num_arcs() as u64).saturating_mul(num_active as u64) / n as u64
+        };
+        progress.superstep(
+            round,
+            "phase1",
+            iteration as u32,
+            q,
+            Counts::from_counts(num_active, summary.num_moved(), n, arcs_done),
+        );
         iterations.push(MultiGpuIteration {
             iteration,
             compute_us,
@@ -529,6 +546,20 @@ fn run_phase1_round(
             registry: m,
         });
     }
+    let last = iterations.last();
+    progress.round(
+        sink,
+        round,
+        "phase1",
+        iterations.len() as u32,
+        best_q,
+        Counts::from_counts(
+            last.map_or(0, |i| i.num_active),
+            last.map_or(0, |i| i.num_moved),
+            n,
+            arcs_done,
+        ),
+    );
     if bracket && sink.enabled() {
         let total: MemTally = iterations
             .iter()
@@ -622,6 +653,7 @@ pub fn run_full_instrumented(
     let mut contracts: Vec<ContractRoundStats> = Vec::new();
     let mut last_q = f64::NEG_INFINITY;
     let mut cscratch = CoarsenScratch::default();
+    let mut progress = ProgressReporter::new("multi-gpu");
     for round in 0..20u32 {
         let g = current.as_ref().unwrap_or(graph);
         prof.enter("round");
@@ -712,6 +744,20 @@ pub fn run_full_instrumented(
                 communities: coarse.num_communities as u64,
             });
         }
+        // Coarsening progress: the next level's arc count shows how fast
+        // the hierarchy is collapsing.
+        progress.round(
+            sink,
+            round,
+            "contract",
+            supersteps,
+            q,
+            Counts {
+                active_frac: 0.0,
+                moved_frac: 0.0,
+                arcs: coarse.graph.num_arcs() as u64,
+            },
+        );
         rounds.push(round_res);
         contracts.push(cstats);
         let Coarsened {

@@ -1,0 +1,208 @@
+//! Host-side progress observation shared by every driver.
+//!
+//! Two consumers with different needs hang off the same snapshots:
+//!
+//! * the flight [`recorder`](gala_telemetry::recorder) wants *live*
+//!   observation — bounded-frequency snapshots forwarded to the status-line
+//!   callback and the ring, plus watchdog heartbeats — and tolerates
+//!   wall-clock-dependent cadence because nothing it does feeds back into
+//!   the run;
+//! * the [`TraceSink`] wants *deterministic* content — the set of emitted
+//!   events must not depend on how fast the host happens to be — so it only
+//!   receives the per-round snapshots.
+//!
+//! Neither path touches the simulated-memory tallies: snapshots are pure
+//! host-side observation, so simulated cycle totals are bit-for-bit
+//! identical with the reporter on or off.
+
+use gala_telemetry::recorder::{self, ProgressLimiter, ProgressSnapshot};
+use gala_telemetry::TraceSink;
+
+/// A per-driver progress reporter. Construct once per run; the constructor
+/// samples the recorder's global switches so steady-state supersteps cost
+/// two branch checks when observation is off.
+#[derive(Debug)]
+pub struct ProgressReporter {
+    driver: &'static str,
+    limiter: ProgressLimiter,
+    live: bool,
+    watchdog: bool,
+}
+
+impl ProgressReporter {
+    /// Creates a reporter for `driver` (`"louvain"`, `"multi-gpu"`, …).
+    pub fn new(driver: &'static str) -> Self {
+        Self {
+            driver,
+            limiter: ProgressLimiter::default_cadence(),
+            live: recorder::progress_active(),
+            watchdog: recorder::watchdog_armed(),
+        }
+    }
+
+    /// Whether live observation is on (snapshots reach the recorder).
+    pub fn live(&self) -> bool {
+        self.live
+    }
+
+    fn snap(
+        &self,
+        round: u32,
+        phase: &str,
+        superstep: u32,
+        q: f64,
+        stats: Counts,
+    ) -> ProgressSnapshot {
+        ProgressSnapshot {
+            driver: self.driver.to_string(),
+            round,
+            phase: phase.to_string(),
+            superstep,
+            modularity: q,
+            active_frac: stats.active_frac,
+            moved_frac: stats.moved_frac,
+            arcs: stats.arcs,
+            rss_bytes: gala_telemetry::mem::rss_bytes().unwrap_or(0),
+        }
+    }
+
+    /// Per-superstep observation: beats the watchdog (every call) and
+    /// forwards a snapshot to the recorder at most once per cadence. Never
+    /// emits to the trace sink — superstep-granularity snapshots are rate
+    /// limited by wall clock and would make trace content timing-dependent.
+    pub fn superstep(&mut self, round: u32, phase: &str, superstep: u32, q: f64, stats: Counts) {
+        if self.watchdog {
+            recorder::heartbeat(&format!("{}/{phase} r{round} s{superstep}", self.driver));
+        }
+        if !self.live || !self.limiter.ready() {
+            return;
+        }
+        recorder::observe_progress(&self.snap(round, phase, superstep, q, stats));
+    }
+
+    /// Per-round (or per-phase-boundary) observation: emitted as a
+    /// deterministic `progress` trace event when the sink is enabled, and
+    /// always forwarded to the recorder when live — round boundaries bypass
+    /// the rate limiter so they are never dropped.
+    pub fn round(
+        &mut self,
+        sink: &mut dyn TraceSink,
+        round: u32,
+        phase: &str,
+        superstep: u32,
+        q: f64,
+        stats: Counts,
+    ) {
+        if !self.live && !sink.enabled() {
+            return;
+        }
+        let snap = self.snap(round, phase, superstep, q, stats);
+        if sink.enabled() {
+            sink.emit(snap.to_trace_event());
+        }
+        if self.live {
+            recorder::observe_progress(&snap);
+        }
+    }
+
+    /// Emits a `progress` trace event for `snap` and forwards it to the
+    /// recorder, subject to the same gating as [`Self::round`]. For callers
+    /// that build snapshots themselves (the streaming builder callback).
+    pub fn observe(&mut self, sink: &mut dyn TraceSink, snap: &ProgressSnapshot) {
+        if sink.enabled() {
+            sink.emit(snap.to_trace_event());
+        }
+        if self.live {
+            recorder::observe_progress(snap);
+        }
+    }
+}
+
+/// The work counters carried by a snapshot, bundled so call sites stay
+/// readable: fractions in `0..=1`, arcs processed so far in the phase.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct Counts {
+    /// Fraction of vertices classified active (0 when not applicable).
+    pub active_frac: f64,
+    /// Fraction of evaluated vertices that moved.
+    pub moved_frac: f64,
+    /// Arcs processed so far in this phase.
+    pub arcs: u64,
+}
+
+impl Counts {
+    /// Builds the fractions from raw vertex counts (0 when `n == 0`).
+    pub fn from_counts(active: usize, moved: usize, n: usize, arcs: u64) -> Self {
+        let frac = |num: usize| {
+            if n == 0 {
+                0.0
+            } else {
+                num as f64 / n as f64
+            }
+        };
+        Self {
+            active_frac: frac(active),
+            moved_frac: frac(moved),
+            arcs,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gala_telemetry::{NullSink, TraceEvent, VecSink};
+
+    #[test]
+    fn counts_fractions_are_safe_on_empty_graphs() {
+        let c = Counts::from_counts(0, 0, 0, 0);
+        assert_eq!(c.active_frac, 0.0);
+        assert_eq!(c.moved_frac, 0.0);
+        let c = Counts::from_counts(3, 1, 4, 10);
+        assert!((c.active_frac - 0.75).abs() < 1e-12);
+        assert!((c.moved_frac - 0.25).abs() < 1e-12);
+        assert_eq!(c.arcs, 10);
+    }
+
+    #[test]
+    fn round_emits_one_progress_event_to_an_enabled_sink() {
+        let mut rep = ProgressReporter::new("test-driver");
+        let mut sink = VecSink::default();
+        rep.round(
+            &mut sink,
+            2,
+            "phase1",
+            7,
+            0.5,
+            Counts::from_counts(8, 4, 16, 99),
+        );
+        assert_eq!(sink.events.len(), 1);
+        match &sink.events[0] {
+            TraceEvent::Progress {
+                driver,
+                round,
+                phase,
+                superstep,
+                modularity,
+                arcs,
+                ..
+            } => {
+                assert_eq!(driver, "test-driver");
+                assert_eq!(*round, 2);
+                assert_eq!(phase, "phase1");
+                assert_eq!(*superstep, 7);
+                assert_eq!(*modularity, 0.5);
+                assert_eq!(*arcs, 99);
+            }
+            other => panic!("unexpected event {other:?}"),
+        }
+    }
+
+    #[test]
+    fn disabled_sink_and_inactive_recorder_emit_nothing() {
+        // NullSink::emit debug-asserts if called, so this proves the gate.
+        let mut rep = ProgressReporter::new("test-driver");
+        rep.round(&mut NullSink, 0, "phase1", 0, 0.0, Counts::default());
+        rep.superstep(0, "phase1", 0, 0.0, Counts::default());
+    }
+}

@@ -6,6 +6,7 @@
 //! compared against, and the slowest baseline of Figure 5.
 
 use crate::modularity::{gain_score, modularity};
+use crate::progress::{Counts, ProgressReporter};
 use gala_gpu::profile::Profiler;
 use gala_graph::coarsen::{coarsen_into, CoarsenScratch};
 use gala_graph::partition::CommunityId;
@@ -77,6 +78,9 @@ pub fn sequential_louvain_instrumented(
     let mut flat: Option<Partition> = None;
     let mut rounds = 0;
     let mut cscratch = CoarsenScratch::default();
+    // One deterministic `progress` event per round (sequential phase 1 is
+    // one indivisible host pass, so there is no superstep granularity).
+    let mut progress = ProgressReporter::new("sequential");
     for round in 0..config.max_rounds {
         let g = current.as_ref().unwrap_or(graph);
         prof.enter("round");
@@ -154,13 +158,28 @@ pub fn sequential_louvain_instrumented(
             None => coarse.renumbered.clone(),
             Some(prev) => prev.compose(&coarse.renumbered),
         });
-        if sink.enabled() {
-            sink.emit(TraceEvent::RoundEnd {
-                round: round as u32,
-                supersteps: 1,
-                modularity: modularity(graph, flat.as_ref().expect("just set")),
-                communities: coarse.num_communities as u64,
-            });
+        if sink.enabled() || progress.live() {
+            let q = modularity(graph, flat.as_ref().expect("just set"));
+            if sink.enabled() {
+                sink.emit(TraceEvent::RoundEnd {
+                    round: round as u32,
+                    supersteps: 1,
+                    modularity: q,
+                    communities: coarse.num_communities as u64,
+                });
+            }
+            progress.round(
+                sink,
+                round as u32,
+                "phase1",
+                1,
+                q,
+                Counts {
+                    active_frac: 0.0,
+                    moved_frac: 0.0,
+                    arcs: g.num_arcs() as u64,
+                },
+            );
         }
         if merged_everything {
             break;

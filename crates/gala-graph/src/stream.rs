@@ -54,6 +54,30 @@ const MERGE_READ_BUF_BYTES: usize = 256 << 10;
 
 static SPILL_DIR_COUNTER: AtomicU64 = AtomicU64::new(0);
 
+/// How often the k-way merge reports progress: once per this many merged
+/// arcs (~16 M arcs ≈ 256 MiB of spill traffic between reports).
+const MERGE_REPORT_EVERY_ARCS: u64 = 1 << 24;
+
+/// One ingestion progress report, handed to the callback installed with
+/// [`StreamingBuilder::on_progress`]. This crate stays observability-
+/// agnostic: callers (the CLI, the stress benches) forward these to the
+/// telemetry layer's flight recorder themselves.
+#[derive(Clone, Copy, Debug)]
+pub struct IngestProgress {
+    /// `"spill"` while chunks are being sorted and parked on disk,
+    /// `"merge"` while the k-way merge drains the runs into the CSR.
+    pub phase: &'static str,
+    /// Arcs accepted so far (spill phase) or merged so far (merge phase).
+    pub arcs: u64,
+    /// Run files on disk right now.
+    pub runs: usize,
+    /// Bytes currently parked in spill files.
+    pub spilled_bytes: u64,
+}
+
+/// The boxed callback type [`StreamingBuilder::on_progress`] installs.
+pub type IngestProgressFn = Box<dyn FnMut(&IngestProgress) + Send>;
+
 /// Accumulates undirected edges under a fixed memory budget, spilling
 /// sorted arc runs to disk, and k-way-merges them into a CSR [`Graph`]
 /// bit-identical to [`crate::GraphBuilder::build`] on the same edges.
@@ -87,6 +111,9 @@ pub struct StreamingBuilder {
     total_arcs: u64,
     /// First spill/IO failure, surfaced by `finish()`.
     pending_err: Option<io::Error>,
+    /// Observation hook: called after every spill and periodically during
+    /// the merge. `None` costs one branch per spill.
+    progress: Option<IngestProgressFn>,
 }
 
 impl StreamingBuilder {
@@ -109,6 +136,28 @@ impl StreamingBuilder {
             runs: Vec::new(),
             total_arcs: 0,
             pending_err: None,
+            progress: None,
+        }
+    }
+
+    /// Installs a progress callback, invoked with an [`IngestProgress`]
+    /// after every spilled chunk and roughly every 16 M merged arcs during
+    /// [`Self::finish`]. Graph construction is unaffected — the hook is
+    /// pure observation.
+    pub fn on_progress(mut self, cb: IngestProgressFn) -> Self {
+        self.progress = Some(cb);
+        self
+    }
+
+    fn report(&mut self, phase: &'static str, arcs: u64) {
+        if let Some(cb) = self.progress.as_mut() {
+            cb(&IngestProgress {
+                phase,
+                arcs,
+                runs: self.runs.len(),
+                spilled_bytes: self.runs.iter().map(|&(_, a)| a).sum::<u64>()
+                    * SPILL_ARC_BYTES as u64,
+            });
         }
     }
 
@@ -242,6 +291,7 @@ impl StreamingBuilder {
         w.flush()?;
         self.runs.push((path, self.chunk.len() as u64));
         self.chunk.clear();
+        self.report("spill", self.total_arcs);
         Ok(())
     }
 
@@ -303,8 +353,13 @@ impl StreamingBuilder {
                 }
             }
             let mut acc = CsrAccumulator::new(n, total);
+            let mut merged = 0u64;
             while let Some(Reverse(e)) = heap.pop() {
                 acc.push(e.u, e.v, e.w);
+                merged += 1;
+                if merged.is_multiple_of(MERGE_REPORT_EVERY_ARCS) {
+                    self.report("merge", merged);
+                }
                 if let Some((u, v, w)) = readers[e.run].next_arc()? {
                     heap.push(Reverse(HeapEntry {
                         u,
@@ -314,6 +369,7 @@ impl StreamingBuilder {
                     }));
                 }
             }
+            self.report("merge", merged);
             acc.finish()
         };
         self.cleanup();
@@ -531,6 +587,36 @@ mod tests {
         assert!(dir.is_dir());
         assert_eq!(fs::read_dir(&dir).unwrap().count(), 0);
         let _ = fs::remove_dir(dir);
+    }
+
+    #[test]
+    fn progress_callback_sees_spills_and_merge_without_changing_output() {
+        use std::sync::{Arc, Mutex};
+        let edges = edge_set();
+        type Seen = Arc<Mutex<Vec<(&'static str, u64, usize)>>>;
+        let seen: Seen = Arc::new(Mutex::new(Vec::new()));
+        let sink = Arc::clone(&seen);
+        let mut s = StreamingBuilder::with_budget_bytes(7, 1).on_progress(Box::new(move |p| {
+            sink.lock().unwrap().push((p.phase, p.arcs, p.runs));
+        }));
+        s.chunk_arcs = 4;
+        s.extend_edges(edges.iter().copied());
+        let g = s.finish().unwrap();
+        assert_bit_identical(&g, &reference(&edges));
+        let seen = seen.lock().unwrap();
+        let spills = seen.iter().filter(|(p, ..)| *p == "spill").count();
+        assert!(spills >= 2, "tiny chunks must spill more than once");
+        // The merge reports at least its final tally, covering every arc.
+        let (_, merged, _) = seen
+            .iter()
+            .rev()
+            .find(|(p, ..)| *p == "merge")
+            .expect("a merge report");
+        let total: u64 = edges
+            .iter()
+            .map(|&(u, v, _)| if u == v { 1 } else { 2 })
+            .sum();
+        assert_eq!(*merged, total);
     }
 
     #[test]

@@ -24,6 +24,12 @@
 //!   `gala profile`: joins the `profile` events of a simulated and a
 //!   native trace span-by-span, fits a clock, and computes per-kernel
 //!   residuals plus per-component calibration factors.
+//! * [`recorder`] — the in-process flight recorder: a fixed-capacity
+//!   drop-oldest ring of leveled log events behind a `GALA_LOG`-style
+//!   filter, bounded-frequency [`recorder::ProgressSnapshot`]s for the
+//!   CLI's `--progress` status line, a heartbeat watchdog for stalled
+//!   supersteps, and a panic hook that drains the ring into a
+//!   `crash-<pid>.json` dump with a provenance manifest.
 //!
 //! Both formats carry [`SCHEMA_VERSION`] so downstream tooling can reject
 //! documents it does not understand.
@@ -35,12 +41,16 @@ pub mod attribution;
 pub mod json;
 pub mod mem;
 pub mod metrics;
+pub mod recorder;
 pub mod report;
 pub mod trace;
 
 pub use attribution::{Attribution, AttributionReport, Calibration, KernelResidual};
 pub use json::Value;
 pub use metrics::{Histogram, MetricsRegistry};
+pub use recorder::{
+    Level, LogEvent, Manifest, ProgressLimiter, ProgressSnapshot, Ring, StallReport, WatchdogCore,
+};
 pub use report::{MetricRow, Regression, Report, ReportError};
 pub use trace::{
     components_from_json, components_to_json, profile_span_from_json, profile_span_to_json,
@@ -55,8 +65,10 @@ pub use trace::{
 /// tally counters (`simt_*`, `coalesce_*`); 3 — `metrics` events carrying
 /// a [`MetricsRegistry`] (counters / gauges / log2 histograms); 4 —
 /// `profile` events decomposing every span's cycles (sim) or wall
-/// nanoseconds (native) into component charges for `gala profile`.
-pub const SCHEMA_VERSION: u64 = 4;
+/// nanoseconds (native) into component charges for `gala profile`; 5 —
+/// `log` / `progress` events from the flight [`recorder`] (leveled ring
+/// lines and bounded-frequency driver snapshots).
+pub const SCHEMA_VERSION: u64 = 5;
 
 /// Oldest schema this build still reads. Additions since
 /// [`MIN_SCHEMA_VERSION`] are purely additive (new event kinds), so traces

@@ -146,6 +146,45 @@ pub enum TraceEvent {
         /// Total simulated cycles across all phases.
         total_cycles: f64,
     },
+    /// One structured flight-recorder log line, drained from the
+    /// recorder's ring (see `crate::recorder`). Schema 5+.
+    Log {
+        /// Monotonic sequence number assigned by the ring.
+        seq: u64,
+        /// Microseconds since the recorder was initialised.
+        elapsed_us: u64,
+        /// Severity (`"error"`, `"warn"`, `"info"`, `"debug"`).
+        level: String,
+        /// Component that produced the line.
+        scope: String,
+        /// Human-readable message.
+        message: String,
+        /// Structured numeric payload, in insertion order.
+        fields: Vec<(String, f64)>,
+    },
+    /// A bounded-frequency progress snapshot from a live driver: where the
+    /// run is right now, cheap enough to stream while it executes. Schema
+    /// 5+.
+    Progress {
+        /// Driver name (`"louvain"`, `"multi-gpu"`, `"stream"`, …).
+        driver: String,
+        /// Coarsening round (or chunk index for ingestion).
+        round: u32,
+        /// Phase within the round (`"phase1"`, `"contract"`, `"ingest"`).
+        phase: String,
+        /// Superstep within the phase, from 0.
+        superstep: u32,
+        /// Modularity at snapshot time (0 when not yet defined).
+        modularity: f64,
+        /// Fraction of vertices still active (0 when not applicable).
+        active_frac: f64,
+        /// Fraction of evaluated vertices that moved this superstep.
+        moved_frac: f64,
+        /// Arcs processed so far in this phase.
+        arcs: u64,
+        /// Resident set size at snapshot time; 0 when no probe exists.
+        rss_bytes: u64,
+    },
 }
 
 /// One span's row inside a [`TraceEvent::Profile`]: its position in the
@@ -345,6 +384,8 @@ impl TraceEvent {
             TraceEvent::Metrics { .. } => "metrics",
             TraceEvent::RoundEnd { .. } => "round_end",
             TraceEvent::RunEnd { .. } => "run_end",
+            TraceEvent::Log { .. } => "log",
+            TraceEvent::Progress { .. } => "progress",
         }
     }
 
@@ -457,6 +498,45 @@ impl TraceEvent {
                 .set("modularity", *modularity)
                 .set("rounds", *rounds)
                 .set("total_cycles", *total_cycles),
+            TraceEvent::Log {
+                seq,
+                elapsed_us,
+                level,
+                scope,
+                message,
+                fields,
+            } => base
+                .set("seq", *seq)
+                .set("elapsed_us", *elapsed_us)
+                .set("level", level.as_str())
+                .set("scope", scope.as_str())
+                .set("message", message.as_str())
+                .set(
+                    "fields",
+                    fields
+                        .iter()
+                        .fold(Value::object(), |v, (k, n)| v.set(k, *n)),
+                ),
+            TraceEvent::Progress {
+                driver,
+                round,
+                phase,
+                superstep,
+                modularity,
+                active_frac,
+                moved_frac,
+                arcs,
+                rss_bytes,
+            } => base
+                .set("driver", driver.as_str())
+                .set("round", *round)
+                .set("phase", phase.as_str())
+                .set("superstep", *superstep)
+                .set("modularity", *modularity)
+                .set("active_frac", *active_frac)
+                .set("moved_frac", *moved_frac)
+                .set("arcs", *arcs)
+                .set("rss_bytes", *rss_bytes),
         }
     }
 }
